@@ -1,0 +1,112 @@
+// Command characterize regenerates the paper's Table III workload
+// characterization — working-set size, read and write counts — either from
+// the built-in generators or from a stored trace file.
+//
+// Usage:
+//
+//	characterize [-scale 0.02] [-seed 1]          # all generators
+//	characterize -trace ferret.trc [-format binary|text]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridmem/internal/experiments"
+	"hybridmem/internal/memspec"
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.02, "trace scale for generator characterization")
+	seed := flag.Int64("seed", 1, "trace seed")
+	traceFile := flag.String("trace", "", "characterize a stored trace file instead")
+	format := flag.String("format", "binary", "trace file format: binary or text")
+	reuse := flag.String("reuse", "", "also print the reuse-distance profile of this workload")
+	flag.Parse()
+
+	if err := run(*scale, *seed, *traceFile, *format, *reuse); err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale float64, seed int64, traceFile, format, reuse string) error {
+	if traceFile != "" {
+		return characterizeFile(traceFile, format)
+	}
+	if reuse != "" {
+		return reuseProfile(reuse, scale, seed)
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = scale
+	cfg.Seed = seed
+	cfg.MinPages = 0 // show the raw scaling, no floor
+	t, err := experiments.Table3(cfg)
+	if err != nil {
+		return err
+	}
+	return t.Write(os.Stdout)
+}
+
+func characterizeFile(path, format string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var src trace.Source
+	switch format {
+	case "binary":
+		src = trace.NewReader(f)
+	case "text":
+		src = trace.NewTextReader(f)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	st := trace.CollectStats(src, workload.PageSizeBytes)
+	if r, ok := src.(interface{ Err() error }); ok && r.Err() != nil {
+		return r.Err()
+	}
+	fmt.Printf("trace %s:\n", path)
+	fmt.Printf("  accesses:     %d (%d reads, %d writes; %.1f%% writes)\n",
+		st.Total(), st.Reads, st.Writes, 100*st.WriteFraction())
+	fmt.Printf("  working set:  %d pages (%d KB)\n", st.FootprintPages(), st.WorkingSetKB())
+	if st.Total() > 0 {
+		fmt.Printf("  mean CPU gap: %.1f ns\n", st.TotalGapNS/float64(st.Total()))
+	}
+	return nil
+}
+
+// reuseProfile prints the page-level reuse-distance histogram of a workload:
+// the locality ground truth behind every LRU-family hit ratio.
+func reuseProfile(name string, scale float64, seed int64) error {
+	spec, ok := workload.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown workload %q (have: %v)", name, workload.Names())
+	}
+	gen, err := workload.NewGenerator(spec, scale, seed)
+	if err != nil {
+		return err
+	}
+	r, err := trace.AnalyzeReuse(gen, workload.PageSizeBytes, 24)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s reuse-distance profile (%d accesses, %.3f%% cold):\n",
+		name, r.Total(), 100*r.ColdFraction())
+	for _, b := range r.Histogram() {
+		share := 100 * float64(b.Count) / float64(r.Total())
+		fmt.Printf("  dist %7d..%-7d %10d (%.1f%%)\n", b.LoDistance, b.HiDistance, b.Count, share)
+	}
+	frames := memspecTotal(gen.Pages())
+	fmt.Printf("implied LRU hit ratio at the paper's provisioning (%d frames): %.4f\n",
+		frames, r.HitRatioAt(frames))
+	return nil
+}
+
+func memspecTotal(pages int) int {
+	return memspec.DefaultSizing().TotalPages(pages)
+}

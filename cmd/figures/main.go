@@ -1,0 +1,199 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation, plus the headline-claims summary and the two methodology
+// ablations.
+//
+// Usage:
+//
+//	figures [-id all|table2|table3|table4|fig1|fig2a|fig2b|fig2c|fig4a|fig4b|fig4c|claims|fullsys|replacement]
+//	        [-scale 0.02] [-seed 1] [-csv] [-adaptive]
+//
+// Figures print as stacked text bars (or CSV with -csv); tables print as
+// aligned text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridmem/internal/experiments"
+	"hybridmem/internal/fullsys"
+	"hybridmem/internal/memspec"
+	"hybridmem/internal/model"
+	"hybridmem/internal/report"
+	"hybridmem/internal/workload"
+)
+
+func main() {
+	id := flag.String("id", "all", "experiment id (all, table2-4, fig1, fig2a-c, fig4a-c, claims, fullsys, replacement, arch)")
+	scale := flag.Float64("scale", 0.02, "trace scale (1.0 = full Table III sizes)")
+	seed := flag.Int64("seed", 1, "trace generation seed")
+	csv := flag.Bool("csv", false, "emit figures as CSV instead of text bars")
+	adaptive := flag.Bool("adaptive", false, "use the adaptive-threshold variant of the proposed scheme")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.Adaptive = *adaptive
+
+	if err := run(*id, cfg, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(id string, cfg experiments.Config, csv bool) error {
+	out := os.Stdout
+
+	needsRuns := id == "all"
+	for _, f := range experiments.FigureIDs() {
+		if id == f {
+			needsRuns = true
+		}
+	}
+	if id == "claims" {
+		needsRuns = true
+	}
+
+	var runs []*experiments.WorkloadRun
+	if needsRuns {
+		var err error
+		runs, err = experiments.RunAll(cfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	emitFigure := func(fid string) error {
+		f, err := experiments.BuildFigure(fid, runs)
+		if err != nil {
+			return err
+		}
+		if csv {
+			return experiments.FigureCSV(f).WriteCSV(out)
+		}
+		if err := experiments.RenderFigure(f).Write(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		return nil
+	}
+
+	emit := func(eid string) error {
+		switch eid {
+		case "table2":
+			defer fmt.Fprintln(out)
+			return experiments.Table2(memspec.DefaultMachine()).Write(out)
+		case "table3":
+			t, err := experiments.Table3(cfg)
+			if err != nil {
+				return err
+			}
+			defer fmt.Fprintln(out)
+			if csv {
+				return t.WriteCSV(out)
+			}
+			return t.Write(out)
+		case "table4":
+			defer fmt.Fprintln(out)
+			return experiments.Table4(cfg.Spec).Write(out)
+		case "claims":
+			fmt.Fprintln(out, "Headline claims (paper vs this reproduction):")
+			defer fmt.Fprintln(out)
+			return experiments.ExtractClaims(runs).Write(out)
+		case "fullsys":
+			return emitFullsys(out, cfg)
+		case "arch":
+			return emitArch(out, cfg)
+		case "replacement":
+			return emitReplacement(out, cfg)
+		default:
+			return emitFigure(eid)
+		}
+	}
+
+	if id != "all" {
+		return emit(id)
+	}
+	order := append([]string{"table2", "table3", "table4"}, experiments.FigureIDs()...)
+	order = append(order, "claims", "replacement", "arch", "fullsys")
+	for _, eid := range order {
+		if err := emit(eid); err != nil {
+			return fmt.Errorf("%s: %w", eid, err)
+		}
+	}
+	return nil
+}
+
+func emitFullsys(out *os.File, cfg experiments.Config) error {
+	t := &report.Table{
+		Title: "Trace-methodology ablation: direct calibrated traces vs cache-filtered (COTSon-substitute) traces",
+		Headers: []string{"Workload", "CPU accesses", "Post-LLC", "Filter ratio",
+			"L1D hit", "LLC hit", "AMAT direct (ns)", "AMAT filtered (ns)"},
+	}
+	for _, name := range []string{"bodytrack", "freqmine", "x264"} {
+		r, err := experiments.FullSysAblation(name, cfg, fullsys.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		directAMAT := r.Direct.AMAT.HitDRAM + r.Direct.AMAT.HitNVM + r.Direct.AMAT.Migrations()
+		filteredAMAT := r.Filtered.AMAT.HitDRAM + r.Filtered.AMAT.HitNVM + r.Filtered.AMAT.Migrations()
+		t.AddRow(name,
+			fmt.Sprintf("%d", r.CPUAccesses),
+			fmt.Sprintf("%d", r.FilteredAccesses),
+			fmt.Sprintf("%.1f%%", 100*float64(r.FilteredAccesses)/float64(r.CPUAccesses)),
+			fmt.Sprintf("%.3f", r.L1DHitRatio),
+			fmt.Sprintf("%.3f", r.LLCHitRatio),
+			fmt.Sprintf("%.1f", directAMAT),
+			fmt.Sprintf("%.1f", filteredAMAT))
+	}
+	defer fmt.Fprintln(out)
+	return t.Write(out)
+}
+
+func emitArch(out *os.File, cfg experiments.Config) error {
+	t := &report.Table{
+		Title: "Architecture comparison (Section III): exclusive migration vs DRAM-as-cache",
+		Headers: []string{"Workload", "Arch", "AMAT hits+mig (ns)", "Power (nJ)",
+			"NVM writes", "DRAM hit ratio"},
+	}
+	for _, name := range []string{"ferret", "streamcluster", "canneal", "vips"} {
+		row, err := experiments.ArchComparison(name, cfg)
+		if err != nil {
+			return err
+		}
+		add := func(arch string, r *model.Report) {
+			t.AddRow(name, arch,
+				fmt.Sprintf("%.1f", r.AMAT.HitDRAM+r.AMAT.HitNVM+r.AMAT.Migrations()),
+				fmt.Sprintf("%.2f", r.APPR.Total()),
+				fmt.Sprintf("%d", r.NVMWrites.Total()),
+				fmt.Sprintf("%.3f", r.Probabilities.PHitDRAM))
+		}
+		add("proposed (migration)", row.Proposed)
+		add("dram-cache", row.Cache)
+		add("static-partition", row.Static)
+		add("clock-dwf", row.DWF)
+	}
+	defer fmt.Fprintln(out)
+	return t.Write(out)
+}
+
+func emitReplacement(out *os.File, cfg experiments.Config) error {
+	t := &report.Table{
+		Title:   "Replacement-quality comparison (hit ratios; memory = 75% of footprint)",
+		Headers: []string{"Workload", "Frames", "LRU", "CLOCK", "CLOCK-Pro"},
+	}
+	for _, name := range workload.Names() {
+		row, err := experiments.ReplacementComparison(name, cfg)
+		if err != nil {
+			return err
+		}
+		t.AddRow(name, fmt.Sprintf("%d", row.Frames),
+			fmt.Sprintf("%.4f", row.LRU),
+			fmt.Sprintf("%.4f", row.Clock),
+			fmt.Sprintf("%.4f", row.ClockPro))
+	}
+	defer fmt.Fprintln(out)
+	return t.Write(out)
+}

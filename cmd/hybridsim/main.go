@@ -1,0 +1,176 @@
+// Command hybridsim runs one workload under one memory-management policy and
+// prints the complete evaluation: event counts, the Table I probabilities,
+// the AMAT breakdown (Eq. 1), the APPR breakdown (Eqs. 2-3), the NVM write
+// sources and the endurance estimate.
+//
+// Usage:
+//
+//	hybridsim -workload canneal [-policy proposed|adaptive|clock-dwf|dram-cache|dram-only|nvm-only]
+//	          [-scale 0.02] [-seed 1] [-read-threshold 96] [-write-threshold 128]
+//	          [-read-perc 0.1] [-write-perc 0.3] [-dram-frac 0.1] [-word-granularity]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridmem/internal/clockdwf"
+	"hybridmem/internal/core"
+	"hybridmem/internal/dramcache"
+	"hybridmem/internal/experiments"
+	"hybridmem/internal/memspec"
+	"hybridmem/internal/model"
+	"hybridmem/internal/policy"
+	"hybridmem/internal/sim"
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "canneal", "Table III workload name")
+	pol := flag.String("policy", "proposed", "proposed, adaptive, clock-dwf, dram-cache, dram-only or nvm-only")
+	scale := flag.Float64("scale", 0.02, "trace scale")
+	seed := flag.Int64("seed", 1, "trace seed")
+	readThr := flag.Int("read-threshold", 0, "proposed: read threshold (0 = default)")
+	writeThr := flag.Int("write-threshold", 0, "proposed: write threshold (0 = default)")
+	readPerc := flag.Float64("read-perc", 0, "proposed: read window fraction (0 = default)")
+	writePerc := flag.Float64("write-perc", 0, "proposed: write window fraction (0 = default)")
+	dramFrac := flag.Float64("dram-frac", 0.10, "hybrid DRAM share of total memory")
+	word := flag.Bool("word-granularity", false, "account accesses as 4B words (PageFactor 1024)")
+	flag.Parse()
+
+	if err := run(*wl, *pol, *scale, *seed, *readThr, *writeThr, *readPerc, *writePerc, *dramFrac, *word); err != nil {
+		fmt.Fprintln(os.Stderr, "hybridsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl, pol string, scale float64, seed int64, readThr, writeThr int,
+	readPerc, writePerc, dramFrac float64, word bool) error {
+	spec, ok := workload.ByName(wl)
+	if !ok {
+		return fmt.Errorf("unknown workload %q (have: %v)", wl, workload.Names())
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = scale
+	cfg.Seed = seed
+	cfg.Sizing.DRAMFractionOfMem = dramFrac
+	if word {
+		cfg.Spec.Geometry = memspec.WordGeometry()
+	}
+	if readThr > 0 {
+		cfg.Core.ReadThreshold = readThr
+	}
+	if writeThr > 0 {
+		cfg.Core.WriteThreshold = writeThr
+	}
+	if readPerc > 0 {
+		cfg.Core.ReadPerc = readPerc
+	}
+	if writePerc > 0 {
+		cfg.Core.WritePerc = writePerc
+	}
+
+	gen, err := workload.NewGenerator(spec, scale, seed)
+	if err != nil {
+		return err
+	}
+	warm, err := trace.Materialize(gen.WarmupSource(seed+1), 0)
+	if err != nil {
+		return err
+	}
+	roi, err := trace.Materialize(gen, 0)
+	if err != nil {
+		return err
+	}
+	pages := gen.Pages()
+	total := cfg.Sizing.TotalPages(pages)
+	dram, nvm := cfg.Sizing.Partition(pages)
+
+	var p policy.Policy
+	switch pol {
+	case "proposed":
+		p, err = core.New(dram, nvm, cfg.Core)
+	case "adaptive":
+		p, err = core.NewAdaptive(dram, nvm, cfg.Core, cfg.AdaptiveCfg)
+	case "clock-dwf":
+		p, err = clockdwf.New(dram, nvm, cfg.DWF)
+	case "dram-cache":
+		p, err = dramcache.New(dram, nvm, dramcache.DefaultConfig())
+	case "dram-only":
+		p, err = policy.NewDRAMOnly(total)
+	case "nvm-only":
+		p, err = policy.NewNVMOnly(total)
+	default:
+		return fmt.Errorf("unknown policy %q", pol)
+	}
+	if err != nil {
+		return err
+	}
+
+	if _, err := sim.Run(trace.NewSliceSource(warm), p, cfg.Spec, sim.Options{}); err != nil {
+		return fmt.Errorf("warmup: %w", err)
+	}
+	res, err := sim.Run(trace.NewSliceSource(roi), p, cfg.Spec, sim.Options{})
+	if err != nil {
+		return err
+	}
+	rep, err := model.Evaluate(res, cfg.Spec)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workload %s at scale %g: %d pages (%d KB footprint), %d accesses\n",
+		wl, scale, pages, pages*cfg.Spec.Geometry.PageSizeBytes/1024, res.Counts.Accesses)
+	fmt.Printf("memory: %d total frames", total)
+	if dram > 0 && nvm > 0 && pol != "dram-only" && pol != "nvm-only" {
+		fmt.Printf(" (DRAM %d + NVM %d)", dram, nvm)
+	}
+	fmt.Printf(", PageFactor %d\n\n", cfg.Spec.Geometry.PageFactor())
+
+	c := res.Counts
+	fmt.Printf("policy %s\n", p.Name())
+	fmt.Printf("  hits:        DRAM %d (R %d / W %d), NVM %d (R %d / W %d)\n",
+		c.HitsDRAM(), c.ReadsDRAM, c.WritesDRAM, c.HitsNVM(), c.ReadsNVM, c.WritesNVM)
+	fmt.Printf("  faults:      %d (to DRAM %d, to NVM %d)\n", c.Faults, c.FaultsToDRAM, c.FaultsToNVM)
+	fmt.Printf("  migrations:  %d promotions, %d demotions (%d fault-forced, %d promotion-forced)\n",
+		c.Promotions, c.Demotions, c.DemotionsFault, c.DemotionsPromo)
+	fmt.Printf("  evictions:   %d from DRAM, %d from NVM\n\n", c.EvictionsDRAM, c.EvictionsNVM)
+
+	pr := rep.Probabilities
+	fmt.Printf("Table I probabilities:\n")
+	fmt.Printf("  PHitDRAM %.4f  PHitNVM %.4f  PMiss %.6f\n", pr.PHitDRAM, pr.PHitNVM, pr.PMiss)
+	fmt.Printf("  PMigD %.6f  PMigN %.6f (stalling %.6f)\n\n", pr.PMigD, pr.PMigN, pr.PMigNStall)
+
+	a := rep.AMAT
+	fmt.Printf("AMAT (Eq. 1): %.1f ns/access\n", a.Total())
+	fmt.Printf("  hits %.1f (DRAM %.1f + NVM %.1f), disk %.1f, migrations %.1f\n\n",
+		a.HitDRAM+a.HitNVM, a.HitDRAM, a.HitNVM, a.Miss, a.Migrations())
+
+	e := rep.APPR
+	fmt.Printf("APPR (Eqs. 2-3): %.2f nJ/access\n", e.Total())
+	fmt.Printf("  static %.2f, dynamic %.2f, page-fault %.2f, migration %.2f\n\n",
+		e.Static, e.Dynamic(), e.PageFault(), e.Migration())
+
+	w := rep.NVMWrites
+	fmt.Printf("NVM writes (lines): %d total = %d requests + %d page-fault + %d migration\n",
+		w.Total(), w.Requests, w.PageFault, w.Migration)
+
+	if res.NVMPages > 0 && res.NVMWear.Total > 0 {
+		end, err := model.EvaluateEndurance(res, cfg.Spec)
+		if err == nil {
+			fmt.Printf("endurance: %.1f writes/s; lifetime %.1f years (ideal leveling), %.1f years (worst frame)\n",
+				end.LineWritesPerSec, end.LifetimeYearsLeveled, end.LifetimeYearsWorstFrame)
+			fmt.Printf("wear imbalance (max/mean frame): %.2f\n",
+				model.WearImbalance(res.NVMWear, res.NVMPages))
+		}
+	}
+
+	if a, ok := p.(*core.Adaptive); ok {
+		r, w := a.Thresholds()
+		fmt.Printf("adaptive controller: final thresholds %d/%d after %d adjustments\n",
+			r, w, a.Adjustments)
+	}
+	return nil
+}

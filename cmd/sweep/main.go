@@ -1,0 +1,207 @@
+// Command sweep runs the sensitivity studies around the paper's design
+// choices: migration thresholds (the Section V-B raytrace discussion),
+// the DRAM share of the hybrid memory, the access-granularity PageFactor
+// (Section II), and the fixed-vs-adaptive threshold ablation (the paper's
+// stated future work).
+//
+// Usage:
+//
+//	sweep -kind threshold [-workload raytrace] [-scale 0.02]
+//	sweep -kind dram      [-workload ferret]
+//	sweep -kind pagefactor [-workload freqmine]
+//	sweep -kind adaptive  [-workload raytrace]
+//	sweep -kind wearlevel [-workload vips]
+//	sweep -kind mix       [-workload bodytrack,ferret,canneal]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hybridmem/internal/experiments"
+	"hybridmem/internal/memspec"
+	"hybridmem/internal/model"
+	"hybridmem/internal/report"
+)
+
+func main() {
+	kind := flag.String("kind", "threshold", "threshold, dram, pagefactor, adaptive, wearlevel or mix (workload=a,b,...)")
+	wl := flag.String("workload", "raytrace", "Table III workload name")
+	scale := flag.Float64("scale", 0.02, "trace scale")
+	seed := flag.Int64("seed", 1, "trace seed")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+
+	var err error
+	switch *kind {
+	case "threshold":
+		err = sweepThreshold(*wl, cfg)
+	case "dram":
+		err = sweepDRAM(*wl, cfg)
+	case "pagefactor":
+		err = sweepPageFactor(*wl, cfg)
+	case "adaptive":
+		err = sweepAdaptive(*wl, cfg)
+	case "wearlevel":
+		err = sweepWearLevel(*wl, cfg)
+	case "mix":
+		err = sweepMix(*wl, cfg)
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func sweepThreshold(wl string, cfg experiments.Config) error {
+	points, err := experiments.ThresholdSweep(wl, cfg, experiments.DefaultThresholdPairs())
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title: fmt.Sprintf("Threshold sensitivity on %s (Section V-B)", wl),
+		Headers: []string{"read-thr", "write-thr", "PMigD", "power vs DRAM",
+			"AMAT vs CLOCK-DWF", "NVM writes vs NVM-only"},
+	}
+	for _, p := range points {
+		t.AddRow(
+			fmt.Sprintf("%d", p.ReadThreshold),
+			fmt.Sprintf("%d", p.WriteThreshold),
+			fmt.Sprintf("%.6f", p.Proposed.Probabilities.PMigD),
+			fmt.Sprintf("%.3f", p.PowerVsDRAM),
+			fmt.Sprintf("%.3f", p.AMATVsDWF),
+			fmt.Sprintf("%.3f", p.WritesVsNVMOnly))
+	}
+	return t.Write(os.Stdout)
+}
+
+func sweepDRAM(wl string, cfg experiments.Config) error {
+	points, err := experiments.DRAMSweep(wl, cfg,
+		[]float64{0.05, 0.10, 0.20, 0.30, 0.50})
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("DRAM share sweep on %s (paper fixes 10%%)", wl),
+		Headers: []string{"DRAM share", "PHitDRAM", "power vs DRAM-only", "AMAT vs CLOCK-DWF"},
+	}
+	for _, p := range points {
+		t.AddRow(
+			fmt.Sprintf("%.0f%%", p.DRAMFraction*100),
+			fmt.Sprintf("%.3f", p.Run.Report(experiments.Proposed).Probabilities.PHitDRAM),
+			fmt.Sprintf("%.3f", p.PowerVsDRAM),
+			fmt.Sprintf("%.3f", p.AMATVsDWF))
+	}
+	return t.Write(os.Stdout)
+}
+
+func sweepPageFactor(wl string, cfg experiments.Config) error {
+	points, err := experiments.PageFactorSweep(wl, cfg, []memspec.Geometry{
+		{PageSizeBytes: 4096, LineSizeBytes: 64},
+		{PageSizeBytes: 4096, LineSizeBytes: 16},
+		{PageSizeBytes: 4096, LineSizeBytes: 4},
+		{PageSizeBytes: 8192, LineSizeBytes: 64},
+	})
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("Access-granularity (PageFactor) sweep on %s (Section II)", wl),
+		Headers: []string{"page", "line", "PageFactor", "power vs DRAM-only", "AMAT vs CLOCK-DWF"},
+	}
+	for _, p := range points {
+		t.AddRow(
+			fmt.Sprintf("%dB", p.Geometry.PageSizeBytes),
+			fmt.Sprintf("%dB", p.Geometry.LineSizeBytes),
+			fmt.Sprintf("%d", p.PageFactor),
+			fmt.Sprintf("%.3f", p.PowerVsDRAM),
+			fmt.Sprintf("%.3f", p.AMATVsDWF))
+	}
+	return t.Write(os.Stdout)
+}
+
+func sweepAdaptive(wl string, cfg experiments.Config) error {
+	cmp, err := experiments.CompareAdaptive(wl, cfg)
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("Fixed vs adaptive thresholds on %s (paper's future work)", wl),
+		Headers: []string{"variant", "APPR (nJ)", "AMAT hits+mig (ns)", "NVM writes", "PMigD"},
+	}
+	for _, v := range []struct {
+		name string
+		rep  *model.Report
+	}{
+		{"fixed", cmp.Fixed},
+		{"adaptive", cmp.Adaptive},
+	} {
+		t.AddRow(v.name,
+			fmt.Sprintf("%.2f", v.rep.APPR.Total()),
+			fmt.Sprintf("%.1f", v.rep.AMAT.HitDRAM+v.rep.AMAT.HitNVM+v.rep.AMAT.Migrations()),
+			fmt.Sprintf("%d", v.rep.NVMWrites.Total()),
+			fmt.Sprintf("%.6f", v.rep.Probabilities.PMigD))
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("adaptive controller settled at thresholds %d/%d\n",
+		cmp.FinalReadThreshold, cmp.FinalWriteThreshold)
+	return nil
+}
+
+func sweepWearLevel(wl string, cfg experiments.Config) error {
+	t := &report.Table{
+		Title:   fmt.Sprintf("Start-Gap wear leveling on %s (NVM-only placement)", wl),
+		Headers: []string{"period (lines)", "imbalance", "worst-frame lifetime (y)", "gap moves"},
+	}
+	plainDone := false
+	for _, period := range []int{64, 16, 4} {
+		res, err := experiments.WearLevelAblation(wl, cfg, period)
+		if err != nil {
+			return err
+		}
+		if !plainDone {
+			t.AddRow("off", fmt.Sprintf("%.2f", res.PlainImbalance),
+				fmt.Sprintf("%.2f", res.PlainWorstYears), "0")
+			plainDone = true
+		}
+		t.AddRow(fmt.Sprintf("%d", period),
+			fmt.Sprintf("%.2f", res.LeveledImbalance),
+			fmt.Sprintf("%.2f", res.LeveledWorstYears),
+			fmt.Sprintf("%d", res.GapMoves))
+	}
+	return t.Write(os.Stdout)
+}
+
+func sweepMix(wl string, cfg experiments.Config) error {
+	names := strings.Split(wl, ",")
+	run, err := experiments.RunMixed(names, cfg)
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title: fmt.Sprintf("Consolidated-server mix %s (DRAM %d + NVM %d frames)",
+			run.Label(), run.DRAMPages, run.NVMPages),
+		Headers: []string{"policy", "AMAT hits+mig (ns)", "power (nJ)", "NVM writes", "DRAM hit ratio"},
+	}
+	for _, id := range []experiments.PolicyID{
+		experiments.DRAMOnly, experiments.NVMOnly,
+		experiments.ClockDWF, experiments.Proposed,
+	} {
+		r := run.Reports[id]
+		t.AddRow(string(id),
+			fmt.Sprintf("%.1f", r.AMAT.HitDRAM+r.AMAT.HitNVM+r.AMAT.Migrations()),
+			fmt.Sprintf("%.2f", r.APPR.Total()),
+			fmt.Sprintf("%d", r.NVMWrites.Total()),
+			fmt.Sprintf("%.3f", r.Probabilities.PHitDRAM))
+	}
+	return t.Write(os.Stdout)
+}

@@ -1,0 +1,127 @@
+// Command tracegen generates a synthetic PARSEC-like memory trace and writes
+// it to a file in the binary or text trace format, optionally including the
+// warmup (initialization) phase or routing the stream through the Table II
+// cache hierarchy (the COTSon-substitute pipeline).
+//
+// Usage:
+//
+//	tracegen -workload ferret -o ferret.trc [-scale 0.02] [-seed 1]
+//	         [-format binary|text] [-warmup] [-filtered]
+//	tracegen -specs custom.json -workload myworkload -o my.trc
+//
+// With -specs, workload definitions are loaded from a JSON file (the format
+// written by workload.SaveSpecs) instead of the built-in Table III set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridmem/internal/fullsys"
+	"hybridmem/internal/memspec"
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "", "Table III workload name")
+	out := flag.String("o", "", "output file (default <workload>.trc)")
+	scale := flag.Float64("scale", 0.02, "trace scale")
+	seed := flag.Int64("seed", 1, "trace seed")
+	format := flag.String("format", "binary", "binary or text")
+	warmup := flag.Bool("warmup", false, "prepend the warmup (initialization) phase")
+	filtered := flag.Bool("filtered", false, "filter through the Table II cache hierarchy")
+	specsFile := flag.String("specs", "", "JSON file with custom workload specs")
+	flag.Parse()
+
+	if err := run(*wl, *out, *scale, *seed, *format, *warmup, *filtered, *specsFile); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl, out string, scale float64, seed int64, format string, warmup, filtered bool, specsFile string) error {
+	if wl == "" {
+		return fmt.Errorf("missing -workload (have: %v)", workload.Names())
+	}
+	var (
+		spec workload.Spec
+		ok   bool
+	)
+	if specsFile != "" {
+		f, err := os.Open(specsFile)
+		if err != nil {
+			return err
+		}
+		specs, err := workload.LoadSpecs(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		for _, s := range specs {
+			if s.Name == wl {
+				spec, ok = s, true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("workload %q not in %s", wl, specsFile)
+		}
+	} else {
+		spec, ok = workload.ByName(wl)
+		if !ok {
+			return fmt.Errorf("unknown workload %q (have: %v)", wl, workload.Names())
+		}
+	}
+	gen, err := workload.NewGenerator(spec, scale, seed)
+	if err != nil {
+		return err
+	}
+
+	var src trace.Source = gen
+	if warmup {
+		src = trace.Concat(gen.WarmupSource(seed+1), gen)
+	}
+	var capture *fullsys.Capture
+	if filtered {
+		capture, err = fullsys.New(src, memspec.DefaultMachine(), fullsys.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		src = capture
+	}
+
+	if out == "" {
+		out = wl + ".trc"
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var n int
+	switch format {
+	case "binary":
+		n, err = trace.WriteAll(trace.NewWriter(f), src)
+	case "text":
+		n, err = trace.WriteText(f, src)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	if err != nil {
+		return err
+	}
+	if capture != nil && capture.Err() != nil {
+		return capture.Err()
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records to %s (%s)\n", n, out, format)
+	if capture != nil {
+		fmt.Printf("cache filter: %d CPU accesses -> %d memory accesses\n",
+			capture.CPUAccesses, n)
+	}
+	return nil
+}

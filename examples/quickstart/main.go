@@ -1,0 +1,51 @@
+// Quickstart: run one PARSEC-like workload on the proposed hybrid-memory
+// migration scheme and print the paper's three headline metrics — average
+// memory access time, power per request, and NVM write traffic.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridmem"
+)
+
+func main() {
+	// Synthesize the ferret workload at 1% of its Table III size. The
+	// warmup stream touches every page once (the initialization phase);
+	// the ROI stream is what gets measured.
+	warmup, roi, err := hybridmem.GenerateWorkload("ferret", 0.01, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Provision memory by the paper's rule: 75% of the footprint, of which
+	// 10% is DRAM and 90% is NVM (PCM).
+	size := hybridmem.SizeFor(hybridmem.FootprintPages(warmup))
+	fmt.Printf("ferret: %d accesses over %d pages; DRAM %d + NVM %d frames\n\n",
+		len(roi), hybridmem.FootprintPages(warmup), size.DRAMPages, size.NVMPages)
+
+	sys, err := hybridmem.NewSystem(hybridmem.Proposed, size)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Warm(warmup); err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Run(roi)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("AMAT:       %8.1f ns/access (hits %.1f + disk %.1f + migrations %.1f)\n",
+		res.AMATNanos, res.AMATHitNanos, res.AMATDiskNanos, res.AMATMigrationNanos)
+	fmt.Printf("power:      %8.2f nJ/access (static %.2f + dynamic %.2f + faults %.2f + migration %.2f)\n",
+		res.PowerNanojoulesPerAccess, res.PowerStatic, res.PowerDynamic,
+		res.PowerPageFault, res.PowerMigration)
+	fmt.Printf("NVM writes: %8d lines (%d in-place, %d fault loads, %d migrations)\n",
+		res.NVMWriteLines, res.NVMWritesFromRequests, res.NVMWritesFromFaults,
+		res.NVMWritesFromMigration)
+	fmt.Printf("placement:  %.1f%% DRAM hits, %.1f%% NVM hits, %.4f%% faults; %d promotions\n",
+		100*res.DRAMHitRatio, 100*res.NVMHitRatio, 100*res.FaultRatio, res.Promotions)
+	fmt.Printf("endurance:  %.1f years (ideal wear leveling)\n", res.LifetimeYears)
+}

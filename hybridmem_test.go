@@ -1,0 +1,190 @@
+package hybridmem
+
+import (
+	"testing"
+)
+
+func TestSizeFor(t *testing.T) {
+	s := SizeFor(1000)
+	if s.DRAMPages != 75 || s.NVMPages != 675 {
+		t.Errorf("SizeFor(1000) = %+v, want 75/675", s)
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem("bogus", Size{DRAMPages: 2, NVMPages: 8}); err == nil {
+		t.Error("unknown policy should error")
+	}
+	if _, err := NewSystem(Proposed, Size{}); err == nil {
+		t.Error("empty size should error")
+	}
+	if _, err := NewSystem(Proposed, Size{DRAMPages: 2, NVMPages: 8},
+		WithThresholds(0, 0)); err == nil {
+		t.Error("invalid thresholds should error")
+	}
+}
+
+func TestWorkloadCatalog(t *testing.T) {
+	names := WorkloadNames()
+	if len(names) != 12 {
+		t.Fatalf("got %d workloads", len(names))
+	}
+	infos := Workloads()
+	if len(infos) != 12 {
+		t.Fatalf("got %d infos", len(infos))
+	}
+	for _, w := range infos {
+		if w.WorkingSetKB <= 0 || w.Reads+w.Writes <= 0 {
+			t.Errorf("%s: empty characterization", w.Name)
+		}
+	}
+}
+
+func TestGenerateWorkloadUnknown(t *testing.T) {
+	if _, _, err := GenerateWorkload("swaptions", 0.01, 1); err == nil {
+		t.Error("unknown workload should error")
+	}
+}
+
+func TestEndToEndQuickstart(t *testing.T) {
+	warm, roi, err := GenerateWorkload("ferret", 0.005, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm) == 0 || len(roi) == 0 {
+		t.Fatal("empty streams")
+	}
+	size := SizeFor(FootprintPages(warm))
+	sys, err := NewSystem(Proposed, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Kind() != Proposed {
+		t.Errorf("kind = %q", sys.Kind())
+	}
+	if err := sys.Warm(warm); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(roi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses != int64(len(roi)) {
+		t.Errorf("accesses = %d, want %d", res.Accesses, len(roi))
+	}
+	if res.AMATNanos <= 0 || res.PowerNanojoulesPerAccess <= 0 {
+		t.Error("non-positive evaluation")
+	}
+	sum := res.AMATHitNanos + res.AMATDiskNanos + res.AMATMigrationNanos
+	if diff := sum - res.AMATNanos; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("AMAT breakdown %v != total %v", sum, res.AMATNanos)
+	}
+	psum := res.PowerStatic + res.PowerDynamic + res.PowerPageFault + res.PowerMigration
+	if diff := psum - res.PowerNanojoulesPerAccess; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("power breakdown %v != total %v", psum, res.PowerNanojoulesPerAccess)
+	}
+	if res.NVMWriteLines != res.NVMWritesFromRequests+res.NVMWritesFromFaults+res.NVMWritesFromMigration {
+		t.Error("NVM write sources do not sum")
+	}
+	if res.LifetimeYears <= 0 {
+		t.Error("expected a lifetime estimate for a hybrid system")
+	}
+}
+
+func TestAllPoliciesRunTheSameTrace(t *testing.T) {
+	warm, roi, err := GenerateWorkload("bodytrack", 0.005, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := SizeFor(FootprintPages(warm))
+	results := map[PolicyKind]*Results{}
+	for _, kind := range []PolicyKind{Proposed, ProposedAdaptive, ClockDWF, DRAMOnly, NVMOnly} {
+		sys, err := NewSystem(kind, size)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := sys.Warm(warm); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		res, err := sys.Run(roi)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		results[kind] = res
+	}
+	// Sanity of the paper's ordering on a write-heavy workload: the
+	// proposed scheme writes less to NVM than both CLOCK-DWF and NVM-only.
+	if p, d := results[Proposed].NVMWriteLines, results[ClockDWF].NVMWriteLines; p >= d {
+		t.Errorf("proposed NVM writes %d >= CLOCK-DWF %d", p, d)
+	}
+	if p, n := results[Proposed].NVMWriteLines, results[NVMOnly].NVMWriteLines; p >= n {
+		t.Errorf("proposed NVM writes %d >= NVM-only %d", p, n)
+	}
+	if results[DRAMOnly].NVMWriteLines != 0 {
+		t.Error("DRAM-only should have no NVM writes")
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	warm, roi, _ := GenerateWorkload("freqmine", 0.005, 3)
+	size := SizeFor(FootprintPages(warm))
+	loose, _ := NewSystem(Proposed, size, WithThresholds(2, 3), WithWindows(0.5, 0.8))
+	strict, _ := NewSystem(Proposed, size, WithThresholds(1<<20, 1<<20))
+	loose.Warm(warm)
+	strict.Warm(warm)
+	lr, err := loose.Run(roi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := strict.Run(roi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Promotions != 0 {
+		t.Errorf("unreachable thresholds still promoted %d pages", sr.Promotions)
+	}
+	if lr.Promotions == 0 {
+		t.Error("loose thresholds never promoted")
+	}
+}
+
+func TestWordAccountingChangesPageFactorCosts(t *testing.T) {
+	warm, roi, _ := GenerateWorkload("raytrace", 0.005, 4)
+	size := SizeFor(FootprintPages(warm))
+	lines, _ := NewSystem(ClockDWF, size)
+	words, _ := NewSystem(ClockDWF, size, WithWordAccounting())
+	lines.Warm(warm)
+	words.Warm(warm)
+	lr, _ := lines.Run(roi)
+	wr, _ := words.Run(roi)
+	// Word accounting moves pages as 1024 accesses instead of 64: the
+	// migration AMAT component grows accordingly.
+	if wr.AMATMigrationNanos <= lr.AMATMigrationNanos {
+		t.Errorf("word-granularity migration cost %v should exceed line-granularity %v",
+			wr.AMATMigrationNanos, lr.AMATMigrationNanos)
+	}
+}
+
+func TestDRAMCacheKind(t *testing.T) {
+	warm, roi, _ := GenerateWorkload("ferret", 0.005, 6)
+	size := SizeFor(FootprintPages(warm))
+	sys, err := NewSystem(DRAMCache, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Warm(warm); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(roi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cache architecture serves hot hits from DRAM without exclusive
+	// migration churn.
+	if res.DRAMHitRatio <= 0 {
+		t.Error("cache never hit")
+	}
+	if res.AMATNanos <= 0 {
+		t.Error("bad evaluation")
+	}
+}

@@ -1,0 +1,245 @@
+// Package cache implements the CPU cache hierarchy of Table II — split
+// 32KB 4-way L1 caches per core and a shared, inclusive 2MB 16-way
+// last-level cache, all write-back with 64B lines, kept coherent with the
+// MOESI protocol — standing in for the COTSon full-system simulator. Its job
+// in the reproduction is to filter CPU-level access streams down to the
+// main-memory traffic (LLC miss fills and dirty writebacks) the hybrid
+// memory policies actually see.
+package cache
+
+import (
+	"fmt"
+
+	"hybridmem/internal/memspec"
+)
+
+// State is a MOESI coherence state.
+type State uint8
+
+// MOESI states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Owned
+	Modified
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Owned:
+		return "O"
+	case Modified:
+		return "M"
+	default:
+		return "?"
+	}
+}
+
+// Dirty reports whether a line in this state holds data newer than the level
+// below.
+func (s State) Dirty() bool { return s == Owned || s == Modified }
+
+type line struct {
+	tag     uint64
+	state   State
+	lastUse uint64
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits, Misses         int64
+	Evictions, Writeback int64
+}
+
+// HitRatio returns hits / (hits+misses), 0 when idle.
+func (s Stats) HitRatio() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// Cache is one set-associative, write-back cache level with LRU replacement.
+type Cache struct {
+	spec     memspec.CacheSpec
+	sets     [][]line
+	setMask  uint64
+	lineBits uint
+	tick     uint64
+	Stats    Stats
+}
+
+// New builds a cache from its specification.
+func New(spec memspec.CacheSpec) (*Cache, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	sets := spec.Sets()
+	c := &Cache{
+		spec:    spec,
+		sets:    make([][]line, sets),
+		setMask: uint64(sets - 1),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, spec.Ways)
+	}
+	for b := spec.LineBytes; b > 1; b >>= 1 {
+		c.lineBits++
+	}
+	return c, nil
+}
+
+// Spec returns the cache's configuration.
+func (c *Cache) Spec() memspec.CacheSpec { return c.spec }
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	blk := addr >> c.lineBits
+	return blk & c.setMask, blk >> uint(popcount(c.setMask))
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// LineAddr reconstructs the line-aligned address of a (set, tag) pair.
+func (c *Cache) lineAddr(set, tag uint64) uint64 {
+	return ((tag << uint(popcount(c.setMask))) | set) << c.lineBits
+}
+
+// Lookup returns the state of the line containing addr without touching LRU.
+func (c *Cache) Lookup(addr uint64) State {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.state != Invalid && l.tag == tag {
+			return l.state
+		}
+	}
+	return Invalid
+}
+
+// Touch refreshes LRU and returns the line's state; Invalid on miss.
+// It does not change coherence state (use SetState).
+func (c *Cache) Touch(addr uint64) State {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.state != Invalid && l.tag == tag {
+			c.tick++
+			l.lastUse = c.tick
+			return l.state
+		}
+	}
+	return Invalid
+}
+
+// SetState changes the coherence state of a resident line. Setting Invalid
+// drops the line (a coherence invalidation, not an eviction).
+func (c *Cache) SetState(addr uint64, s State) error {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.state != Invalid && l.tag == tag {
+			l.state = s
+			return nil
+		}
+	}
+	return fmt.Errorf("cache %s: SetState on missing line %#x", c.spec.Name, addr)
+}
+
+// Victim describes a line displaced by Fill.
+type Victim struct {
+	Addr  uint64
+	State State
+}
+
+// Fill inserts the line containing addr with the given state, evicting the
+// LRU way if the set is full. It returns the victim, if any.
+func (c *Cache) Fill(addr uint64, s State) (Victim, bool, error) {
+	if s == Invalid {
+		return Victim{}, false, fmt.Errorf("cache %s: filling %#x with Invalid", c.spec.Name, addr)
+	}
+	set, tag := c.index(addr)
+	c.tick++
+	// Already present: just update.
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.state != Invalid && l.tag == tag {
+			l.state = s
+			l.lastUse = c.tick
+			return Victim{}, false, nil
+		}
+	}
+	// Free way?
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.state == Invalid {
+			*l = line{tag: tag, state: s, lastUse: c.tick}
+			return Victim{}, false, nil
+		}
+	}
+	// Evict LRU.
+	lru := 0
+	for i := range c.sets[set] {
+		if c.sets[set][i].lastUse < c.sets[set][lru].lastUse {
+			lru = i
+		}
+	}
+	v := Victim{Addr: c.lineAddr(set, c.sets[set][lru].tag), State: c.sets[set][lru].state}
+	c.sets[set][lru] = line{tag: tag, state: s, lastUse: c.tick}
+	c.Stats.Evictions++
+	if v.State.Dirty() {
+		c.Stats.Writeback++
+	}
+	return v, true, nil
+}
+
+// Invalidate drops the line containing addr, returning its prior state.
+func (c *Cache) Invalidate(addr uint64) State {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.state != Invalid && l.tag == tag {
+			s := l.state
+			l.state = Invalid
+			return s
+		}
+	}
+	return Invalid
+}
+
+// Resident returns the number of valid lines (O(size); for tests).
+func (c *Cache) Resident() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, l := range set {
+			if l.state != Invalid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ForEachLine calls fn for every valid line (for invariant checks).
+func (c *Cache) ForEachLine(fn func(addr uint64, s State)) {
+	for si, set := range c.sets {
+		for _, l := range set {
+			if l.state != Invalid {
+				fn(c.lineAddr(uint64(si), l.tag), l.state)
+			}
+		}
+	}
+}

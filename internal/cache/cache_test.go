@@ -1,0 +1,345 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"hybridmem/internal/memspec"
+)
+
+// tiny returns a 2-set, 2-way, 64B-line cache for deterministic tests.
+func tiny(t *testing.T) *Cache {
+	t.Helper()
+	c, err := New(memspec.CacheSpec{
+		Name: "tiny", SizeBytes: 256, Ways: 2, LineBytes: 64, WriteBack: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewRejectsBadSpec(t *testing.T) {
+	if _, err := New(memspec.CacheSpec{Name: "bad", SizeBytes: 100, Ways: 3, LineBytes: 64}); err == nil {
+		t.Error("non-power-of-two sets should error")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		Invalid: "I", Shared: "S", Exclusive: "E", Owned: "O", Modified: "M", State(9): "?",
+	} {
+		if s.String() != want {
+			t.Errorf("State(%d) = %q, want %q", s, s, want)
+		}
+	}
+	if Invalid.Dirty() || Shared.Dirty() || Exclusive.Dirty() {
+		t.Error("clean states reported dirty")
+	}
+	if !Owned.Dirty() || !Modified.Dirty() {
+		t.Error("dirty states reported clean")
+	}
+}
+
+func TestFillLookupInvalidate(t *testing.T) {
+	c := tiny(t)
+	if c.Lookup(0) != Invalid {
+		t.Error("empty cache should miss")
+	}
+	if _, _, err := c.Fill(0, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if c.Lookup(0) != Exclusive || c.Lookup(63) != Exclusive {
+		t.Error("line should cover its full 64B")
+	}
+	if c.Lookup(64) != Invalid {
+		t.Error("adjacent line should miss")
+	}
+	if got := c.Invalidate(0); got != Exclusive {
+		t.Errorf("Invalidate returned %v", got)
+	}
+	if c.Lookup(0) != Invalid {
+		t.Error("line survived invalidation")
+	}
+	if got := c.Invalidate(0); got != Invalid {
+		t.Error("double invalidate should return Invalid")
+	}
+}
+
+func TestFillInvalidStateRejected(t *testing.T) {
+	c := tiny(t)
+	if _, _, err := c.Fill(0, Invalid); err == nil {
+		t.Error("filling Invalid should error")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := tiny(t)
+	// Set 0 holds lines with addresses 0, 128 (2 sets * 64B lines).
+	c.Fill(0, Exclusive)
+	c.Fill(128, Exclusive)
+	c.Touch(0) // 0 is now MRU; 128 is LRU
+	v, evicted, err := c.Fill(256, Exclusive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !evicted || v.Addr != 128 {
+		t.Errorf("victim = %+v, want addr 128", v)
+	}
+	if c.Stats.Evictions != 1 || c.Stats.Writeback != 0 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+func TestDirtyEvictionCountsWriteback(t *testing.T) {
+	c := tiny(t)
+	c.Fill(0, Modified)
+	c.Fill(128, Exclusive)
+	v, _, _ := c.Fill(256, Exclusive) // evicts 0 (LRU, dirty)
+	if v.Addr != 0 || !v.State.Dirty() {
+		t.Errorf("victim = %+v", v)
+	}
+	if c.Stats.Writeback != 1 {
+		t.Errorf("writebacks = %d", c.Stats.Writeback)
+	}
+}
+
+func TestSetStateMissingLine(t *testing.T) {
+	c := tiny(t)
+	if err := c.SetState(0, Modified); err == nil {
+		t.Error("SetState on missing line should error")
+	}
+}
+
+func TestRefillExistingLineNoEviction(t *testing.T) {
+	c := tiny(t)
+	c.Fill(0, Shared)
+	_, evicted, err := c.Fill(0, Modified)
+	if err != nil || evicted {
+		t.Errorf("refill evicted: %v, %v", evicted, err)
+	}
+	if c.Lookup(0) != Modified {
+		t.Error("refill did not update state")
+	}
+	if c.Resident() != 1 {
+		t.Errorf("resident = %d", c.Resident())
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	var s Stats
+	if s.HitRatio() != 0 {
+		t.Error("idle ratio should be 0")
+	}
+	s.Hits, s.Misses = 3, 1
+	if s.HitRatio() != 0.75 {
+		t.Errorf("ratio = %v", s.HitRatio())
+	}
+}
+
+// smallMachine builds a 2-core machine with tiny caches for coherence tests.
+func smallMachine() memspec.Machine {
+	return memspec.Machine{
+		Cores: 2,
+		L1D: memspec.CacheSpec{Name: "L1D", SizeBytes: 256, Ways: 2,
+			LineBytes: 64, WriteBack: true, LatencyNS: 1},
+		L1I: memspec.CacheSpec{Name: "L1I", SizeBytes: 256, Ways: 2,
+			LineBytes: 64, WriteBack: true, LatencyNS: 1},
+		LLC: memspec.CacheSpec{Name: "LLC", SizeBytes: 1024, Ways: 4,
+			LineBytes: 64, WriteBack: true, LatencyNS: 10},
+		MainMemoryBytes: 1 << 30,
+		Disk:            memspec.DefaultDisk(),
+	}
+}
+
+func TestHierarchyColdMissEmitsRead(t *testing.T) {
+	h, err := NewHierarchy(smallMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := h.Access(0, 0x1000, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mem) != 1 || mem[0].Write || mem[0].Addr != 0x1000 {
+		t.Errorf("traffic = %v", mem)
+	}
+	// Second access hits in L1: no traffic.
+	mem, _ = h.Access(0, 0x1000, false, false)
+	if len(mem) != 0 {
+		t.Errorf("hit emitted traffic: %v", mem)
+	}
+	if h.L1D(0).Lookup(0x1000) != Exclusive {
+		t.Errorf("solo reader should be Exclusive, got %v", h.L1D(0).Lookup(0x1000))
+	}
+}
+
+func TestHierarchyReadSharing(t *testing.T) {
+	h, _ := NewHierarchy(smallMachine())
+	h.Access(0, 0x1000, false, false)
+	mem, _ := h.Access(1, 0x1000, false, false)
+	if len(mem) != 0 {
+		t.Errorf("second reader should hit LLC, traffic: %v", mem)
+	}
+	if h.L1D(0).Lookup(0x1000) != Shared || h.L1D(1).Lookup(0x1000) != Shared {
+		t.Errorf("states = %v/%v, want S/S",
+			h.L1D(0).Lookup(0x1000), h.L1D(1).Lookup(0x1000))
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyWriteInvalidatesSharers(t *testing.T) {
+	h, _ := NewHierarchy(smallMachine())
+	h.Access(0, 0x1000, false, false)
+	h.Access(1, 0x1000, false, false) // both Shared
+	h.Access(0, 0x1000, true, false)  // core 0 writes
+	if h.L1D(0).Lookup(0x1000) != Modified {
+		t.Errorf("writer state = %v, want M", h.L1D(0).Lookup(0x1000))
+	}
+	if h.L1D(1).Lookup(0x1000) != Invalid {
+		t.Errorf("other core still holds %v", h.L1D(1).Lookup(0x1000))
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyDirtySharingMakesOwned(t *testing.T) {
+	h, _ := NewHierarchy(smallMachine())
+	h.Access(0, 0x1000, true, false) // core 0: Modified
+	mem, _ := h.Access(1, 0x1000, false, false)
+	if len(mem) != 0 {
+		t.Errorf("cache-to-cache transfer went to memory: %v", mem)
+	}
+	if h.L1D(0).Lookup(0x1000) != Owned {
+		t.Errorf("previous owner = %v, want O", h.L1D(0).Lookup(0x1000))
+	}
+	if h.L1D(1).Lookup(0x1000) != Shared {
+		t.Errorf("reader = %v, want S", h.L1D(1).Lookup(0x1000))
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyExclusiveToModifiedSilent(t *testing.T) {
+	h, _ := NewHierarchy(smallMachine())
+	h.Access(0, 0x1000, false, false) // Exclusive
+	mem, _ := h.Access(0, 0x1000, true, false)
+	if len(mem) != 0 {
+		t.Errorf("E->M upgrade emitted traffic: %v", mem)
+	}
+	if h.L1D(0).Lookup(0x1000) != Modified {
+		t.Errorf("state = %v, want M", h.L1D(0).Lookup(0x1000))
+	}
+}
+
+func TestHierarchyLLCEvictionWritesBackDirty(t *testing.T) {
+	h, _ := NewHierarchy(smallMachine())
+	// Dirty a line, then stream enough conflicting lines through one LLC set
+	// to evict it. LLC: 4 sets of 4 ways; same set every 4*64=256 bytes.
+	h.Access(0, 0x0, true, false)
+	var wb []MemAccess
+	for i := 1; i <= 8; i++ {
+		mem, err := h.Access(0, uint64(i)*256, false, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mem {
+			if m.Write {
+				wb = append(wb, m)
+			}
+		}
+	}
+	found := false
+	for _, m := range wb {
+		if m.Addr == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dirty line 0 never written back; writebacks: %v", wb)
+	}
+	// Inclusion: the evicted line must be gone from the L1 too.
+	if h.L1D(0).Lookup(0) != Invalid {
+		t.Error("back-invalidation failed")
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyInstructionFetch(t *testing.T) {
+	h, _ := NewHierarchy(smallMachine())
+	mem, err := h.Access(0, 0x2000, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mem) != 1 {
+		t.Errorf("cold I-fetch traffic: %v", mem)
+	}
+	if h.L1I(0).Lookup(0x2000) == Invalid {
+		t.Error("I-cache did not keep the line")
+	}
+	if _, err := h.Access(0, 0x2000, true, true); err == nil {
+		t.Error("instruction writes should error")
+	}
+}
+
+func TestHierarchyCPURange(t *testing.T) {
+	h, _ := NewHierarchy(smallMachine())
+	if _, err := h.Access(5, 0, false, false); err == nil {
+		t.Error("out-of-range cpu should error")
+	}
+}
+
+func TestHierarchyTimeAccumulates(t *testing.T) {
+	h, _ := NewHierarchy(smallMachine())
+	h.Access(0, 0x1000, false, false) // miss: L1 + LLC latency
+	h.Access(0, 0x1000, false, false) // hit: L1 latency
+	if h.TimeNS != 1+10+1 {
+		t.Errorf("TimeNS = %v, want 12", h.TimeNS)
+	}
+}
+
+func TestHierarchyRandomInvariants(t *testing.T) {
+	h, err := NewHierarchy(smallMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	reads, writes := 0, 0
+	for i := 0; i < 20000; i++ {
+		cpu := rng.Intn(2)
+		addr := uint64(rng.Intn(64)) * 64 // 64 lines; contention guaranteed
+		write := rng.Intn(3) == 0
+		instr := !write && rng.Intn(8) == 0
+		mem, err := h.Access(cpu, addr, write, instr)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		for _, m := range mem {
+			if m.Write {
+				writes++
+			} else {
+				reads++
+			}
+		}
+		if i%500 == 0 {
+			if err := h.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if reads == 0 || writes == 0 {
+		t.Errorf("expected both fills (%d) and writebacks (%d)", reads, writes)
+	}
+	// Every line that memory saw was line-aligned.
+	if h.LLC().Stats.Misses == 0 {
+		t.Error("no LLC misses recorded")
+	}
+}

@@ -1,0 +1,251 @@
+package cache
+
+import (
+	"fmt"
+
+	"hybridmem/internal/memspec"
+)
+
+// MemAccess is one line-sized access that escaped the cache hierarchy and
+// must be serviced by main memory: an LLC miss fill (read) or a dirty
+// writeback (write).
+type MemAccess struct {
+	Addr  uint64
+	Write bool
+	CPU   uint8
+}
+
+// Hierarchy is the Table II machine: per-core split L1s over a shared,
+// inclusive, write-back LLC, kept coherent with MOESI snooping. Main-memory
+// latency is *not* modeled here — the emitted MemAccess stream is exactly
+// what the hybrid-memory simulator charges.
+type Hierarchy struct {
+	machine  memspec.Machine
+	l1d, l1i []*Cache
+	llc      *Cache
+	// TimeNS accumulates CPU-side time: L1 hit latency per access plus LLC
+	// latency on L1 misses. The capture layer turns it into trace gaps.
+	TimeNS float64
+	// emitted collects this access's memory traffic (reused buffer).
+	emitted []MemAccess
+}
+
+// NewHierarchy builds the machine's cache hierarchy.
+func NewHierarchy(m memspec.Machine) (*Hierarchy, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{machine: m}
+	for i := 0; i < m.Cores; i++ {
+		d, err := New(m.L1D)
+		if err != nil {
+			return nil, err
+		}
+		ins, err := New(m.L1I)
+		if err != nil {
+			return nil, err
+		}
+		h.l1d = append(h.l1d, d)
+		h.l1i = append(h.l1i, ins)
+	}
+	llc, err := New(m.LLC)
+	if err != nil {
+		return nil, err
+	}
+	h.llc = llc
+	return h, nil
+}
+
+// L1D returns core i's data cache (for tests and stats).
+func (h *Hierarchy) L1D(i int) *Cache { return h.l1d[i] }
+
+// L1I returns core i's instruction cache.
+func (h *Hierarchy) L1I(i int) *Cache { return h.l1i[i] }
+
+// LLC returns the shared last-level cache.
+func (h *Hierarchy) LLC() *Cache { return h.llc }
+
+// everyL1 iterates all L1 caches (data and instruction).
+func (h *Hierarchy) everyL1(fn func(c *Cache)) {
+	for i := range h.l1d {
+		fn(h.l1d[i])
+		fn(h.l1i[i])
+	}
+}
+
+// Access services one CPU access from the given core. instr selects the
+// instruction cache (instruction fetches are always reads). It returns the
+// main-memory traffic the access caused; the slice is reused across calls.
+func (h *Hierarchy) Access(cpu int, addr uint64, write, instr bool) ([]MemAccess, error) {
+	if cpu < 0 || cpu >= h.machine.Cores {
+		return nil, fmt.Errorf("cache: cpu %d out of range", cpu)
+	}
+	if instr && write {
+		return nil, fmt.Errorf("cache: instruction writes not supported")
+	}
+	h.emitted = h.emitted[:0]
+	c := h.l1d[cpu]
+	spec := h.machine.L1D
+	if instr {
+		c = h.l1i[cpu]
+		spec = h.machine.L1I
+	}
+	h.TimeNS += spec.LatencyNS
+
+	if st := c.Touch(addr); st != Invalid {
+		c.Stats.Hits++
+		if write {
+			if err := h.writeUpgrade(c, addr, st); err != nil {
+				return nil, err
+			}
+		}
+		return h.emitted, nil
+	}
+	c.Stats.Misses++
+	h.TimeNS += h.machine.LLC.LatencyNS
+
+	// Snoop the other L1s to find sharers and the owner of dirty data.
+	otherDirty, otherShared := false, false
+	h.everyL1(func(o *Cache) {
+		if o == c {
+			return
+		}
+		s := o.Lookup(addr)
+		if s == Invalid {
+			return
+		}
+		if write {
+			// The write invalidates every other copy; dirty data is
+			// forwarded cache-to-cache to the requester.
+			o.Invalidate(addr)
+			return
+		}
+		switch s {
+		case Modified:
+			// The owner degrades to Owned and supplies the data.
+			o.SetState(addr, Owned)
+			otherDirty = true
+		case Owned:
+			otherDirty = true
+		case Exclusive:
+			o.SetState(addr, Shared)
+			otherShared = true
+		case Shared:
+			otherShared = true
+		}
+	})
+
+	// LLC lookup; a miss goes to main memory.
+	if h.llc.Touch(addr) == Invalid {
+		h.llc.Stats.Misses++
+		h.emitted = append(h.emitted, MemAccess{Addr: addr, CPU: uint8(cpu)})
+		if err := h.llcFill(addr); err != nil {
+			return nil, err
+		}
+	} else {
+		h.llc.Stats.Hits++
+	}
+
+	// Choose the requester's state and fill its L1.
+	newState := Exclusive
+	switch {
+	case write:
+		newState = Modified
+	case otherDirty || otherShared:
+		newState = Shared
+	}
+	victim, evicted, err := c.Fill(addr, newState)
+	if err != nil {
+		return nil, err
+	}
+	if evicted && victim.State.Dirty() {
+		// Dirty L1 victims land in the LLC (write-back), marking it dirty.
+		if err := h.llc.SetState(victim.Addr, Modified); err != nil {
+			return nil, fmt.Errorf("cache: inclusion broken on writeback: %w", err)
+		}
+	}
+	return h.emitted, nil
+}
+
+// writeUpgrade handles a write hit: gaining exclusivity if needed.
+func (h *Hierarchy) writeUpgrade(c *Cache, addr uint64, st State) error {
+	switch st {
+	case Modified:
+		return nil
+	case Exclusive:
+		return c.SetState(addr, Modified)
+	case Shared, Owned:
+		h.everyL1(func(o *Cache) {
+			if o != c {
+				o.Invalidate(addr)
+			}
+		})
+		return c.SetState(addr, Modified)
+	default:
+		return fmt.Errorf("cache: write upgrade from %v", st)
+	}
+}
+
+// llcFill brings a line into the inclusive LLC, back-invalidating L1 copies
+// of the victim and writing dirty victims to memory.
+func (h *Hierarchy) llcFill(addr uint64) error {
+	victim, evicted, err := h.llc.Fill(addr, Exclusive)
+	if err != nil {
+		return err
+	}
+	if !evicted {
+		return nil
+	}
+	dirty := victim.State.Dirty()
+	h.everyL1(func(o *Cache) {
+		if s := o.Invalidate(victim.Addr); s.Dirty() {
+			dirty = true
+		}
+	})
+	if dirty {
+		h.emitted = append(h.emitted, MemAccess{Addr: victim.Addr, Write: true})
+	}
+	return nil
+}
+
+// CheckInvariants validates MOESI single-writer and LLC inclusion.
+func (h *Hierarchy) CheckInvariants() error {
+	type holders struct {
+		m, e, o, total int
+	}
+	lines := map[uint64]*holders{}
+	var err error
+	h.everyL1(func(c *Cache) {
+		c.ForEachLine(func(addr uint64, s State) {
+			if h.llc.Lookup(addr) == Invalid && err == nil {
+				err = fmt.Errorf("cache: L1 line %#x not in inclusive LLC", addr)
+			}
+			hd := lines[addr]
+			if hd == nil {
+				hd = &holders{}
+				lines[addr] = hd
+			}
+			hd.total++
+			switch s {
+			case Modified:
+				hd.m++
+			case Exclusive:
+				hd.e++
+			case Owned:
+				hd.o++
+			}
+		})
+	})
+	if err != nil {
+		return err
+	}
+	for addr, hd := range lines {
+		// M and E are exclusive states: no other copy may exist. At most
+		// one Owned copy may coexist with Shared copies.
+		if (hd.m+hd.e >= 1 && hd.total > 1) || hd.m+hd.e > 1 || hd.o > 1 {
+			return fmt.Errorf("cache: line %#x violates single-writer (M=%d E=%d O=%d of %d)",
+				addr, hd.m, hd.e, hd.o, hd.total)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package clockdwf
+
+import (
+	"math/rand"
+	"testing"
+
+	"hybridmem/internal/mm"
+	"hybridmem/internal/policy"
+	"hybridmem/internal/trace"
+)
+
+func mustNew(t *testing.T, dram, nvm int) *Policy {
+	t.Helper()
+	p, err := New(dram, nvm, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4, DefaultConfig()); err == nil {
+		t.Error("zero DRAM frames should error")
+	}
+	if _, err := New(4, 0, DefaultConfig()); err == nil {
+		t.Error("zero NVM frames should error")
+	}
+	if _, err := New(4, 4, Config{MaxWriteCredit: -1, MaxScanLaps: 1}); err == nil {
+		t.Error("negative credit should error")
+	}
+	if _, err := New(4, 4, Config{MaxWriteCredit: 1, MaxScanLaps: 0}); err == nil {
+		t.Error("zero laps should error")
+	}
+}
+
+func TestFaultPlacementByRequestType(t *testing.T) {
+	p := mustNew(t, 2, 2)
+	// Write fault -> DRAM.
+	res, err := p.Access(1, trace.OpWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fault || res.ServedFrom != mm.LocDRAM {
+		t.Errorf("write fault: %+v", res)
+	}
+	if p.System().Loc(1) != mm.LocDRAM {
+		t.Error("write-faulted page should be in DRAM")
+	}
+	// Read fault -> NVM.
+	res, _ = p.Access(2, trace.OpRead)
+	if !res.Fault || res.ServedFrom != mm.LocNVM {
+		t.Errorf("read fault: %+v", res)
+	}
+	if p.System().Loc(2) != mm.LocNVM {
+		t.Error("read-faulted page should be in NVM")
+	}
+}
+
+func TestNVMNeverServicesWrites(t *testing.T) {
+	p := mustNew(t, 2, 2)
+	p.Access(1, trace.OpRead) // into NVM
+	// Write hit on the NVM page: it must migrate to DRAM.
+	res, err := p.Access(1, trace.OpWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServedFrom != mm.LocDRAM {
+		t.Errorf("served from %v, want DRAM", res.ServedFrom)
+	}
+	if len(res.Moves) != 1 || res.Moves[0].Reason != policy.ReasonPromotion {
+		t.Errorf("moves = %v", res.Moves)
+	}
+	if p.System().Loc(1) != mm.LocDRAM {
+		t.Error("page should now be in DRAM")
+	}
+}
+
+func TestPromotionSwapsWhenBothFull(t *testing.T) {
+	p := mustNew(t, 1, 1)
+	p.Access(1, trace.OpWrite) // 1 -> DRAM
+	p.Access(2, trace.OpRead)  // 2 -> NVM
+	// Write to the NVM page with both zones full: 2 and 1 must swap.
+	res, err := p.Access(2, trace.OpWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Moves) != 2 {
+		t.Fatalf("moves = %v", res.Moves)
+	}
+	if res.Moves[0].Reason != policy.ReasonPromotion || res.Moves[0].Page != 2 {
+		t.Errorf("move 0 = %v", res.Moves[0])
+	}
+	if res.Moves[1].Reason != policy.ReasonDemotePromo || res.Moves[1].Page != 1 {
+		t.Errorf("move 1 = %v", res.Moves[1])
+	}
+	if p.System().Loc(2) != mm.LocDRAM || p.System().Loc(1) != mm.LocNVM {
+		t.Error("swap did not happen")
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigrationPingPong(t *testing.T) {
+	// The pathology motivating the reproduced paper: alternating writes to
+	// pages that keep landing in NVM cause a migration on every write.
+	p := mustNew(t, 1, 2)
+	p.Access(1, trace.OpWrite) // 1 -> DRAM
+	p.Access(2, trace.OpRead)  // 2 -> NVM
+	p.Access(3, trace.OpRead)  // 3 -> NVM
+	promotions := 0
+	for i := 0; i < 10; i++ {
+		page := uint64(2 + i%2)
+		res, err := p.Access(page, trace.OpWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range res.Moves {
+			if m.Reason == policy.ReasonPromotion {
+				promotions++
+			}
+		}
+	}
+	if promotions < 9 {
+		t.Errorf("promotions = %d, want ping-pong on nearly every write", promotions)
+	}
+}
+
+func TestReadFaultEvictsNVMToDisk(t *testing.T) {
+	p := mustNew(t, 1, 1)
+	p.Access(1, trace.OpRead) // NVM
+	res, _ := p.Access(2, trace.OpRead)
+	if len(res.Moves) != 2 {
+		t.Fatalf("moves = %v", res.Moves)
+	}
+	if res.Moves[0].Reason != policy.ReasonEvict || res.Moves[0].Page != 1 {
+		t.Errorf("eviction = %v", res.Moves[0])
+	}
+	if res.Moves[0].To != mm.LocDisk {
+		t.Error("eviction should go to disk")
+	}
+}
+
+func TestWriteFaultDemotesDRAMVictim(t *testing.T) {
+	p := mustNew(t, 1, 2)
+	p.Access(1, trace.OpWrite) // 1 -> DRAM
+	res, _ := p.Access(2, trace.OpWrite)
+	// 1 demoted to NVM, 2 faulted into DRAM.
+	if len(res.Moves) != 2 {
+		t.Fatalf("moves = %v", res.Moves)
+	}
+	if res.Moves[0].Reason != policy.ReasonDemoteFault || res.Moves[0].Page != 1 ||
+		res.Moves[0].To != mm.LocNVM {
+		t.Errorf("demotion = %v", res.Moves[0])
+	}
+	if p.System().Loc(1) != mm.LocNVM || p.System().Loc(2) != mm.LocDRAM {
+		t.Error("placement wrong after write-fault demotion")
+	}
+}
+
+func TestWriteHistoryProtectsDRAMPages(t *testing.T) {
+	// Build up write credit on page 1, then force demotions: the
+	// write-dominant page survives sweeps that evict read-only pages.
+	p := mustNew(t, 2, 4)
+	p.Access(1, trace.OpWrite)
+	p.Access(1, trace.OpWrite) // credit 2 (capped by config at 3)
+	p.Access(2, trace.OpWrite) // DRAM now [1, 2]
+	// Faulting write 3: sweep must evict 2 (credit 1 spent... ) or keep
+	// the higher-credit page 1 in DRAM.
+	p.Access(3, trace.OpWrite)
+	if p.System().Loc(1) != mm.LocDRAM {
+		t.Error("write-dominant page 1 should survive the first demotion")
+	}
+}
+
+func TestRandomWorkloadInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	p := mustNew(t, 8, 24)
+	for i := 0; i < 8000; i++ {
+		page := uint64(rng.Intn(100))
+		op := trace.OpRead
+		if rng.Intn(3) == 0 {
+			op = trace.OpWrite
+		}
+		res, err := p.Access(page, op)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		// Where the policy says it served from must match the map.
+		if got := p.System().Loc(page); got != res.ServedFrom {
+			t.Fatalf("step %d: served from %v but page at %v", i, res.ServedFrom, got)
+		}
+		// CLOCK-DWF invariant: a write is never serviced by NVM.
+		if op == trace.OpWrite && res.ServedFrom == mm.LocNVM {
+			t.Fatalf("step %d: write serviced by NVM", i)
+		}
+		if i%500 == 0 {
+			if err := p.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	dram, nvm := p.Residents()
+	if dram > 8 || nvm > 24 {
+		t.Errorf("over capacity: %d/%d", dram, nvm)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hybridmem/internal/trace"
+)
+
+func TestAdaptiveConfigValidate(t *testing.T) {
+	if err := DefaultAdaptiveConfig().Validate(); err != nil {
+		t.Fatalf("default adaptive config invalid: %v", err)
+	}
+	bad := []AdaptiveConfig{
+		{EpochLength: 0, TargetUtility: 1, MinThreshold: 1, MaxThreshold: 2},
+		{EpochLength: 10, TargetUtility: 0, MinThreshold: 1, MaxThreshold: 2},
+		{EpochLength: 10, TargetUtility: 1, MinThreshold: 0, MaxThreshold: 2},
+		{EpochLength: 10, TargetUtility: 1, MinThreshold: 4, MaxThreshold: 2},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+}
+
+func TestSetThresholds(t *testing.T) {
+	s := mustNew(t, 2, 4, DefaultConfig())
+	if err := s.SetThresholds(7, 9); err != nil {
+		t.Fatal(err)
+	}
+	r, w := s.Thresholds()
+	if r != 7 || w != 9 {
+		t.Errorf("thresholds = %d/%d, want 7/9", r, w)
+	}
+	if err := s.SetThresholds(0, 9); err == nil {
+		t.Error("zero threshold should error")
+	}
+}
+
+func TestAdaptiveProbesDownWhenNoMigrations(t *testing.T) {
+	base := Config{ReadPerc: 0.5, WritePerc: 0.5, ReadThreshold: 50, WriteThreshold: 50}
+	a, err := NewAdaptive(2, 8, base, AdaptiveConfig{
+		EpochLength: 100, TargetUtility: 4, MinThreshold: 1, MaxThreshold: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold uniform traffic: no page crosses a threshold of 50, so each
+	// epoch lowers the thresholds by one.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		a.Access(uint64(rng.Intn(40)), trace.OpRead)
+	}
+	r, w := a.Thresholds()
+	if r >= 50 || w >= 50 {
+		t.Errorf("thresholds = %d/%d, want lowered from 50", r, w)
+	}
+	if a.Adjustments == 0 {
+		t.Error("expected at least one adjustment")
+	}
+}
+
+func TestAdaptiveRaisesOnUselessMigrations(t *testing.T) {
+	// Threshold 1 with a scan pattern: pages are promoted and then never
+	// touched again before being demoted -> zero utility -> thresholds rise.
+	base := Config{ReadPerc: 1, WritePerc: 1, ReadThreshold: 1, WriteThreshold: 1}
+	a, err := NewAdaptive(2, 8, base, AdaptiveConfig{
+		EpochLength: 200, TargetUtility: 8, MinThreshold: 1, MaxThreshold: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle over a resident footprint (9 pages in 2+8 frames): each pass, a
+	// page in NVM takes two reads, crosses the threshold on the second and
+	// is promoted — then demoted by later promotions before it is ever hit
+	// in DRAM. Pure non-beneficial migrations.
+	for i := 0; i < 1000; i++ {
+		page := uint64(i % 9)
+		a.Access(page, trace.OpRead)
+		a.Access(page, trace.OpRead)
+	}
+	r, w := a.Thresholds()
+	if r <= 1 || w <= 1 {
+		t.Errorf("thresholds = %d/%d, want raised above 1", r, w)
+	}
+}
+
+func TestAdaptiveBoundsRespected(t *testing.T) {
+	base := Config{ReadPerc: 1, WritePerc: 1, ReadThreshold: 2, WriteThreshold: 2}
+	a, err := NewAdaptive(2, 6, base, AdaptiveConfig{
+		EpochLength: 50, TargetUtility: 1000, MinThreshold: 1, MaxThreshold: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		page := uint64(rng.Intn(12))
+		op := trace.OpRead
+		if rng.Intn(2) == 0 {
+			op = trace.OpWrite
+		}
+		a.Access(page, op)
+		r, w := a.Thresholds()
+		if r < 1 || r > 8 || w < 1 || w > 8 {
+			t.Fatalf("step %d: thresholds %d/%d outside [1,8]", i, r, w)
+		}
+	}
+}
+
+func TestAdaptiveBehavesLikeSchemeWithinEpoch(t *testing.T) {
+	// Before the first epoch boundary, Adaptive and Scheme must agree on
+	// every result (same placements, same moves).
+	base := DefaultConfig()
+	a, _ := NewAdaptive(3, 9, base, AdaptiveConfig{
+		EpochLength: 1 << 30, TargetUtility: 32, MinThreshold: 1, MaxThreshold: 64})
+	s := mustNew(t, 3, 9, base)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 3000; i++ {
+		page := uint64(rng.Intn(30))
+		op := trace.Op(rng.Intn(2))
+		ra, errA := a.Access(page, op)
+		rs, errS := s.Access(page, op)
+		if (errA == nil) != (errS == nil) {
+			t.Fatalf("step %d: error mismatch %v vs %v", i, errA, errS)
+		}
+		if ra.ServedFrom != rs.ServedFrom || ra.Fault != rs.Fault ||
+			len(ra.Moves) != len(rs.Moves) {
+			t.Fatalf("step %d: results diverged: %+v vs %+v", i, ra, rs)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hybridmem/internal/mm"
+	"hybridmem/internal/policy"
+	"hybridmem/internal/trace"
+)
+
+func mustNew(t *testing.T, dram, nvm int, cfg Config) *Scheme {
+	t.Helper()
+	s, err := New(dram, nvm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// cfgWide gives windows covering the whole NVM queue so positional resets
+// never interfere with threshold tests.
+func cfgWide(readThr, writeThr int) Config {
+	return Config{ReadPerc: 1, WritePerc: 1, ReadThreshold: readThr, WriteThreshold: writeThr}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{ReadPerc: 0, WritePerc: 0.3, ReadThreshold: 1, WriteThreshold: 1},
+		{ReadPerc: 0.1, WritePerc: 1.5, ReadThreshold: 1, WriteThreshold: 1},
+		{ReadPerc: 0.1, WritePerc: 0.3, ReadThreshold: 0, WriteThreshold: 1},
+		{ReadPerc: 0.1, WritePerc: 0.3, ReadThreshold: 1, WriteThreshold: 0},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+}
+
+func TestDefaultConfigFollowsPaperOrdering(t *testing.T) {
+	// Section IV: write-side parameters are set higher than read-side ones.
+	c := DefaultConfig()
+	if c.WritePerc <= c.ReadPerc {
+		t.Errorf("WritePerc %v <= ReadPerc %v", c.WritePerc, c.ReadPerc)
+	}
+	if c.WriteThreshold < c.ReadThreshold {
+		t.Errorf("WriteThreshold %d < ReadThreshold %d", c.WriteThreshold, c.ReadThreshold)
+	}
+}
+
+func TestFaultsAlwaysLoadIntoDRAM(t *testing.T) {
+	s := mustNew(t, 2, 4, DefaultConfig())
+	for _, op := range []trace.Op{trace.OpRead, trace.OpWrite} {
+		page := uint64(op) + 1
+		res, err := s.Access(page, op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Fault || res.ServedFrom != mm.LocDRAM {
+			t.Errorf("fault on %v: %+v", op, res)
+		}
+		if s.sys.Loc(page) != mm.LocDRAM {
+			t.Errorf("page %d at %v, want DRAM (Section IV: all faults to DRAM)",
+				page, s.sys.Loc(page))
+		}
+	}
+}
+
+func TestFaultCascadeDemotesAndEvicts(t *testing.T) {
+	s := mustNew(t, 1, 1, cfgWide(100, 100))
+	s.Access(1, trace.OpRead) // 1 -> DRAM
+	s.Access(2, trace.OpRead) // 1 demoted to NVM, 2 -> DRAM
+	if s.sys.Loc(1) != mm.LocNVM || s.sys.Loc(2) != mm.LocDRAM {
+		t.Fatal("first demotion wrong")
+	}
+	res, err := s.Access(3, trace.OpRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Order: evict NVM tail (1) to disk, demote DRAM tail (2), fault 3 in.
+	if len(res.Moves) != 3 {
+		t.Fatalf("moves = %v", res.Moves)
+	}
+	if res.Moves[0].Reason != policy.ReasonEvict || res.Moves[0].Page != 1 {
+		t.Errorf("move 0 = %v", res.Moves[0])
+	}
+	if res.Moves[1].Reason != policy.ReasonDemoteFault || res.Moves[1].Page != 2 {
+		t.Errorf("move 1 = %v", res.Moves[1])
+	}
+	if res.Moves[2].Reason != policy.ReasonFault || res.Moves[2].Page != 3 {
+		t.Errorf("move 2 = %v", res.Moves[2])
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNVMHitServedFromNVM(t *testing.T) {
+	// Unlike CLOCK-DWF, a write below the threshold is serviced by NVM.
+	s := mustNew(t, 1, 2, cfgWide(100, 100))
+	s.Access(1, trace.OpRead)
+	s.Access(2, trace.OpRead) // 1 -> NVM
+	res, _ := s.Access(1, trace.OpWrite)
+	if res.ServedFrom != mm.LocNVM || res.Fault || len(res.Moves) != 0 {
+		t.Errorf("NVM write hit: %+v", res)
+	}
+}
+
+func TestThresholdTriggersPromotion(t *testing.T) {
+	s := mustNew(t, 1, 2, cfgWide(100, 2)) // promote after 3rd write
+	s.Access(1, trace.OpRead)
+	s.Access(2, trace.OpRead) // 1 in NVM
+	for i := 0; i < 2; i++ {
+		res, _ := s.Access(1, trace.OpWrite)
+		if len(res.Moves) != 0 {
+			t.Fatalf("write %d should not migrate yet: %v", i+1, res.Moves)
+		}
+	}
+	if _, w, _ := s.Counters(1); w != 2 {
+		t.Fatalf("write counter = %d, want 2", w)
+	}
+	res, _ := s.Access(1, trace.OpWrite) // counter 3 > 2: migrate
+	if res.ServedFrom != mm.LocNVM {
+		t.Errorf("triggering hit served from %v, want NVM", res.ServedFrom)
+	}
+	if len(res.Moves) != 2 {
+		t.Fatalf("moves = %v", res.Moves)
+	}
+	if res.Moves[0].Reason != policy.ReasonPromotion || res.Moves[0].Page != 1 {
+		t.Errorf("promotion = %v", res.Moves[0])
+	}
+	if res.Moves[1].Reason != policy.ReasonDemotePromo || res.Moves[1].Page != 2 {
+		t.Errorf("demotion = %v", res.Moves[1])
+	}
+	if s.sys.Loc(1) != mm.LocDRAM || s.sys.Loc(2) != mm.LocNVM {
+		t.Error("swap placement wrong")
+	}
+	if s.Migrations != 1 {
+		t.Errorf("Migrations = %d, want 1", s.Migrations)
+	}
+}
+
+func TestReadThresholdIndependentOfWrites(t *testing.T) {
+	s := mustNew(t, 1, 2, cfgWide(2, 100))
+	s.Access(1, trace.OpRead)
+	s.Access(2, trace.OpRead)
+	// Mix of writes must not advance the read counter.
+	s.Access(1, trace.OpWrite)
+	s.Access(1, trace.OpRead)
+	s.Access(1, trace.OpWrite)
+	s.Access(1, trace.OpRead)
+	r, w, _ := s.Counters(1)
+	if r != 2 || w != 2 {
+		t.Fatalf("counters = %d/%d, want 2/2", r, w)
+	}
+	res, _ := s.Access(1, trace.OpRead) // read counter 3 > 2: migrate
+	if len(res.Moves) == 0 || res.Moves[0].Reason != policy.ReasonPromotion {
+		t.Errorf("expected promotion, got %v", res.Moves)
+	}
+}
+
+func TestCounterResetOnWindowExit(t *testing.T) {
+	// NVM of 4 frames; read window covers 1 position (25%), write window 2.
+	s := mustNew(t, 1, 4, Config{ReadPerc: 0.25, WritePerc: 0.5, ReadThreshold: 2, WriteThreshold: 2})
+	// Fill: faults go to DRAM and demote, so pages 1..4 end up in NVM.
+	for p := uint64(1); p <= 5; p++ {
+		s.Access(p, trace.OpRead)
+	}
+	// NVM holds [4 3 2 1] (MRU..LRU); read window = {4}, write window = {4 3}.
+	s.Access(4, trace.OpRead) // in window: counter -> 1... position was MRU already
+	if r, _, _ := s.Counters(4); r != 1 {
+		t.Fatalf("read counter = %d, want 1", r)
+	}
+	s.Access(4, trace.OpRead)
+	if r, _, _ := s.Counters(4); r != 2 {
+		t.Fatalf("read counter = %d, want 2", r)
+	}
+	// Touch 3: it enters the read window, pushing 4 out -> 4's read counter
+	// resets to 0.
+	s.Access(3, trace.OpRead)
+	if r, _, _ := s.Counters(4); r != 0 {
+		t.Fatalf("read counter after window exit = %d, want 0", r)
+	}
+	// 4 is still within the write window (top 2), so a write counts from
+	// its retained value.
+	s.Access(4, trace.OpRead) // back in read window, counter = 1 (was outside when hit)
+	if r, _, _ := s.Counters(4); r != 1 {
+		t.Fatalf("read counter after re-entry = %d, want 1", r)
+	}
+}
+
+func TestOutsideWindowHitSetsCounterToOne(t *testing.T) {
+	// Algorithm 1 lines 13-14/19-20: a hit outside the window sets the
+	// counter to 1 rather than incrementing.
+	s := mustNew(t, 1, 10, Config{ReadPerc: 0.2, WritePerc: 0.2, ReadThreshold: 99, WriteThreshold: 99})
+	for p := uint64(1); p <= 11; p++ {
+		s.Access(p, trace.OpRead)
+	}
+	// NVM MRU..LRU: [10 9 8 7 6 5 4 3 2 1]; window = top 2 = {10, 9}.
+	// Hit page 1 (deep outside window): counter = 1, then it re-enters.
+	s.Access(1, trace.OpRead)
+	if r, _, _ := s.Counters(1); r != 1 {
+		t.Fatalf("counter = %d, want 1", r)
+	}
+	// Now page 1 is MRU (inside window): next hit increments.
+	s.Access(1, trace.OpRead)
+	if r, _, _ := s.Counters(1); r != 2 {
+		t.Fatalf("counter = %d, want 2", r)
+	}
+}
+
+func TestPromotionWithFreeDRAMDoesNotDemote(t *testing.T) {
+	s := mustNew(t, 2, 2, cfgWide(1, 1))
+	s.Access(1, trace.OpRead)
+	s.Access(2, trace.OpRead)
+	s.Access(3, trace.OpRead) // DRAM [3 2], NVM [1]
+	// Remove 3's DRAM slot... Access 1 twice to cross read threshold 1.
+	s.Access(1, trace.OpRead)
+	res, _ := s.Access(1, trace.OpRead) // counter 2 > 1: promote
+	found := false
+	for _, m := range res.Moves {
+		if m.Reason == policy.ReasonDemotePromo {
+			found = true
+		}
+	}
+	if s.sys.Residents(mm.LocDRAM) == s.sys.Cap(mm.LocDRAM) && found {
+		t.Log("DRAM was full; demotion expected")
+	}
+	if s.sys.Loc(1) != mm.LocDRAM {
+		t.Error("promoted page should be in DRAM")
+	}
+}
+
+func TestRandomWorkloadInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	// Low thresholds and wide windows so the random workload exercises the
+	// full promotion/demotion machinery.
+	s := mustNew(t, 6, 18, Config{ReadPerc: 0.5, WritePerc: 0.5, ReadThreshold: 3, WriteThreshold: 4})
+	for i := 0; i < 8000; i++ {
+		// Skewed traffic: 70% of accesses hit a 10-page hot set, so hot
+		// pages that land in NVM accumulate counter hits and promote.
+		var page uint64
+		if rng.Intn(10) < 7 {
+			page = uint64(rng.Intn(10))
+		} else {
+			page = uint64(10 + rng.Intn(70))
+		}
+		op := trace.OpRead
+		if rng.Intn(3) == 0 {
+			op = trace.OpWrite
+		}
+		res, err := s.Access(page, op)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		// The access leaves the page resident; DRAM for faults, and for
+		// hits wherever it was (possibly DRAM after promotion).
+		if got := s.sys.Loc(page); got == mm.LocDisk {
+			t.Fatalf("step %d: page %d not resident after access", i, page)
+		}
+		if res.Fault && s.sys.Loc(page) != mm.LocDRAM {
+			t.Fatalf("step %d: faulted page not in DRAM", i)
+		}
+		if i%500 == 0 {
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Migrations == 0 {
+		t.Error("expected some promotions in a hot random workload")
+	}
+}
+
+// TestFewerMigrationsThanClockDWFStyle checks the paper's core claim at the
+// policy level: with thresholds, repeated cold writes to NVM pages do not
+// each trigger a migration.
+func TestColdWritesDoNotThrash(t *testing.T) {
+	s := mustNew(t, 2, 8, DefaultConfig())
+	// Fill memory.
+	for p := uint64(1); p <= 10; p++ {
+		s.Access(p, trace.OpRead)
+	}
+	start := s.Migrations
+	// One write each to many distinct NVM pages: all below threshold.
+	for p := uint64(1); p <= 8; p++ {
+		if s.sys.Loc(p) == mm.LocNVM {
+			s.Access(p, trace.OpWrite)
+		}
+	}
+	if s.Migrations != start {
+		t.Errorf("single cold writes caused %d migrations", s.Migrations-start)
+	}
+}

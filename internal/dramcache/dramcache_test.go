@@ -1,0 +1,192 @@
+package dramcache
+
+import (
+	"math/rand"
+	"testing"
+
+	"hybridmem/internal/mm"
+	"hybridmem/internal/policy"
+	"hybridmem/internal/trace"
+)
+
+func mustNew(t *testing.T, dram, nvm int, cfg Config) *Policy {
+	t.Helper()
+	p, err := New(dram, nvm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4, DefaultConfig()); err == nil {
+		t.Error("zero cache should error")
+	}
+	if _, err := New(4, 4, DefaultConfig()); err == nil {
+		t.Error("cache >= backing should error")
+	}
+	if _, err := New(2, 8, Config{FillThreshold: 0, CandidateFactor: 1}); err == nil {
+		t.Error("zero threshold should error")
+	}
+	if _, err := New(2, 8, Config{FillThreshold: 1, CandidateFactor: 0}); err == nil {
+		t.Error("zero candidate factor should error")
+	}
+}
+
+func TestFaultsLoadIntoNVM(t *testing.T) {
+	p := mustNew(t, 2, 8, DefaultConfig())
+	res, err := p.Access(1, trace.OpWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fault || res.ServedFrom != mm.LocNVM {
+		t.Errorf("fault: %+v", res)
+	}
+	if p.sys.Loc(1) != mm.LocNVM {
+		t.Error("page should be in NVM (cache fills only after reuse)")
+	}
+}
+
+func TestFillAfterThresholdAccesses(t *testing.T) {
+	p := mustNew(t, 2, 8, Config{FillThreshold: 3, CandidateFactor: 4})
+	p.Access(1, trace.OpRead) // fault
+	for i := 0; i < 2; i++ {
+		res, _ := p.Access(1, trace.OpRead)
+		if len(res.Moves) != 0 {
+			t.Fatalf("hit %d should not fill yet: %v", i, res.Moves)
+		}
+		if res.ServedFrom != mm.LocNVM {
+			t.Fatalf("pre-fill hit served from %v", res.ServedFrom)
+		}
+	}
+	res, _ := p.Access(1, trace.OpRead) // 3rd NVM hit: fill
+	if len(res.Moves) != 1 || res.Moves[0].Reason != policy.ReasonPromotion {
+		t.Fatalf("fill moves = %v", res.Moves)
+	}
+	if p.sys.Loc(1) != mm.LocDRAM || p.Cached() != 1 {
+		t.Error("page should be cached now")
+	}
+	// Subsequent hits are DRAM.
+	res, _ = p.Access(1, trace.OpRead)
+	if res.ServedFrom != mm.LocDRAM {
+		t.Errorf("cached hit served from %v", res.ServedFrom)
+	}
+}
+
+func TestCleanEvictionIsFree(t *testing.T) {
+	p := mustNew(t, 1, 8, Config{FillThreshold: 1, CandidateFactor: 4})
+	p.Access(1, trace.OpRead)
+	p.Access(1, trace.OpRead) // fills (threshold 1 on first NVM hit)
+	if p.Cached() != 1 {
+		t.Fatal("page 1 not cached")
+	}
+	p.Access(2, trace.OpRead)
+	res, _ := p.Access(2, trace.OpRead) // fills 2, evicting clean 1
+	var sawClean bool
+	for _, m := range res.Moves {
+		if m.Reason == policy.ReasonDemoteClean && m.Page == 1 {
+			sawClean = true
+		}
+		if m.Reason == policy.ReasonDemotePromo {
+			t.Errorf("clean copy evicted as dirty: %v", m)
+		}
+	}
+	if !sawClean {
+		t.Errorf("expected clean demotion, moves = %v", res.Moves)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	p := mustNew(t, 1, 8, Config{FillThreshold: 1, CandidateFactor: 4})
+	p.Access(1, trace.OpRead)
+	p.Access(1, trace.OpRead)  // fill
+	p.Access(1, trace.OpWrite) // dirty the cached copy
+	p.Access(2, trace.OpRead)
+	res, _ := p.Access(2, trace.OpRead) // fill 2, evict dirty 1
+	var sawWriteback bool
+	for _, m := range res.Moves {
+		if m.Reason == policy.ReasonDemotePromo && m.Page == 1 {
+			sawWriteback = true
+		}
+	}
+	if !sawWriteback {
+		t.Errorf("dirty eviction missing writeback, moves = %v", res.Moves)
+	}
+}
+
+func TestBackingEvictionInvalidatesCache(t *testing.T) {
+	p := mustNew(t, 1, 2, Config{FillThreshold: 1, CandidateFactor: 4})
+	p.Access(1, trace.OpRead)
+	p.Access(1, trace.OpRead) // cached
+	p.Access(2, trace.OpRead)
+	// Fault 3: the backing store (2 frames) is full and its LRU page is the
+	// cached page 1 (page 2 was faulted in more recently), so the eviction
+	// must invalidate the DRAM copy.
+	res, err := p.Access(3, trace.OpRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cached() != 0 {
+		t.Errorf("cache still holds %d pages after backing eviction", p.Cached())
+	}
+	var evicted []uint64
+	for _, m := range res.Moves {
+		if m.Reason == policy.ReasonEvict {
+			evicted = append(evicted, m.Page)
+		}
+	}
+	if len(evicted) != 1 || evicted[0] != 1 {
+		t.Errorf("evicted = %v, want [1]", evicted)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanDoesNotPolluteCache(t *testing.T) {
+	// One-pass scan pages never reach the fill threshold.
+	p := mustNew(t, 4, 64, DefaultConfig())
+	for pg := uint64(0); pg < 32; pg++ {
+		p.Access(pg, trace.OpRead)
+	}
+	if p.Cached() != 0 {
+		t.Errorf("scan cached %d pages", p.Cached())
+	}
+}
+
+func TestRandomWorkloadInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	p := mustNew(t, 6, 48, DefaultConfig())
+	for i := 0; i < 10000; i++ {
+		var page uint64
+		if rng.Intn(10) < 7 {
+			page = uint64(rng.Intn(8))
+		} else {
+			page = uint64(8 + rng.Intn(80))
+		}
+		op := trace.OpRead
+		if rng.Intn(3) == 0 {
+			op = trace.OpWrite
+		}
+		res, err := p.Access(page, op)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		// An NVM hit that triggers a fill is served by NVM before the copy,
+		// so only move-free hits must match the physical map.
+		if got := p.sys.Loc(page); got != res.ServedFrom && !res.Fault && len(res.Moves) == 0 {
+			t.Fatalf("step %d: served %v but page at %v", i, res.ServedFrom, got)
+		}
+		if i%500 == 0 {
+			if err := p.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Cached() == 0 {
+		t.Error("hot pages never got cached")
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hybridmem/internal/dramcache"
+	"hybridmem/internal/model"
+	"hybridmem/internal/policy"
+	"hybridmem/internal/sim"
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+)
+
+// ArchRow compares the two hybrid-memory architectures of Section III on one
+// workload: exclusive migration (the proposed scheme) against DRAM-as-cache,
+// with CLOCK-DWF and DRAM-only for reference. The paper's argument is that
+// caching wins only while locality is high — the cache duplicates capacity
+// and stops absorbing traffic when the hot set spreads.
+type ArchRow struct {
+	Workload string
+	// Reports per architecture. Static is the no-migration first-touch
+	// hybrid, which isolates what migration itself buys.
+	Proposed, Cache, Static, DWF, DRAM *model.Report
+	// CacheCleanDrops counts the cache architecture's free invalidations.
+	CacheCleanDrops int64
+}
+
+// ArchComparison runs the comparison for one workload under the standard
+// provisioning.
+func ArchComparison(name string, cfg Config) (*ArchRow, error) {
+	run, err := RunWorkload(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	spec, _ := workload.ByName(name)
+	gen, err := workload.NewGenerator(spec, cfg.effectiveScale(spec), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	warm, err := trace.Materialize(gen.WarmupSource(cfg.Seed+1), 0)
+	if err != nil {
+		return nil, err
+	}
+	roi, err := trace.Materialize(gen, 0)
+	if err != nil {
+		return nil, err
+	}
+	dram, nvm := cfg.Sizing.Partition(gen.Pages())
+	opts := sim.Options{CheckEvery: cfg.CheckEvery}
+
+	evaluate := func(pol policy.Policy, label string) (*model.Report, *sim.Result, error) {
+		if _, err := sim.Run(trace.NewSliceSource(warm), pol, cfg.Spec, opts); err != nil {
+			return nil, nil, fmt.Errorf("experiments: %s warmup on %s: %w", label, name, err)
+		}
+		res, err := sim.Run(trace.NewSliceSource(roi), pol, cfg.Spec, opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: %s on %s: %w", label, name, err)
+		}
+		rep, err := model.Evaluate(res, cfg.Spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rep, res, nil
+	}
+
+	// Same silicon budget as the migration architecture: the DRAM frames
+	// become cache, the NVM frames are the sole main memory.
+	cachePol, err := dramcache.New(dram, nvm, dramcache.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	cacheRep, cacheRes, err := evaluate(cachePol, "dram-cache")
+	if err != nil {
+		return nil, err
+	}
+
+	staticPol, err := policy.NewStaticPartition(dram, nvm)
+	if err != nil {
+		return nil, err
+	}
+	staticRep, _, err := evaluate(staticPol, "static-partition")
+	if err != nil {
+		return nil, err
+	}
+
+	return &ArchRow{
+		Workload:        name,
+		Proposed:        run.Report(Proposed),
+		Cache:           cacheRep,
+		Static:          staticRep,
+		DWF:             run.Report(ClockDWF),
+		DRAM:            run.Report(DRAMOnly),
+		CacheCleanDrops: cacheRes.Counts.DemotionsClean,
+	}, nil
+}

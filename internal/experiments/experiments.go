@@ -1,0 +1,211 @@
+// Package experiments defines and runs the paper's evaluation: every
+// workload of Table III against the DRAM-only, NVM-only, CLOCK-DWF and
+// proposed policies, and the figure builders that reproduce Figs. 1, 2a-c
+// and 4a-c plus the characterization tables.
+//
+// Methodology (Section V-A):
+//   - total memory = 75% of the workload's distinct pages, DRAM = 10% of
+//     that for the hybrid policies; the single-technology baselines get the
+//     full total;
+//   - each policy first services a warmup pass (every page touched once, as
+//     the pre-ROI initialization) whose statistics are discarded, then the
+//     measured ROI stream;
+//   - all four policies replay bit-identical traces.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"hybridmem/internal/clockdwf"
+	"hybridmem/internal/core"
+	"hybridmem/internal/memspec"
+	"hybridmem/internal/model"
+	"hybridmem/internal/policy"
+	"hybridmem/internal/sim"
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Scale uniformly scales every workload's footprint and request count
+	// (1.0 replays full Table III sizes; the default trades a little tail
+	// accuracy for CI-friendly runtimes).
+	Scale float64
+	// Seed drives trace generation; runs are deterministic in (Scale, Seed).
+	Seed int64
+	// Spec is the memory-technology parameter set (Table IV).
+	Spec memspec.Spec
+	// Sizing is the provisioning rule (75% / 10%).
+	Sizing memspec.Sizing
+	// Core configures the proposed scheme; DWF configures CLOCK-DWF.
+	Core core.Config
+	DWF  clockdwf.Config
+	// Adaptive, when true, replaces the fixed-threshold proposed scheme
+	// with the adaptive-threshold extension.
+	Adaptive bool
+	// AdaptiveCfg configures the adaptive controller (used when Adaptive).
+	AdaptiveCfg core.AdaptiveConfig
+	// CheckEvery enables policy invariant checks every N accesses (0 off).
+	CheckEvery int
+	// MinPages floors each workload's scaled footprint: tiny workloads
+	// (blackscholes) are scaled less aggressively so zone sizes and counter
+	// windows stay meaningful.
+	MinPages int
+}
+
+// effectiveScale returns the per-workload scale after the MinPages floor.
+func (c Config) effectiveScale(spec workload.Spec) float64 {
+	s := c.Scale
+	if c.MinPages > 0 && float64(spec.Pages())*s < float64(c.MinPages) {
+		s = float64(c.MinPages) / float64(spec.Pages())
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// DefaultConfig returns the reproduction settings.
+func DefaultConfig() Config {
+	return Config{
+		Scale:       0.02,
+		Seed:        1,
+		Spec:        memspec.Default(),
+		Sizing:      memspec.DefaultSizing(),
+		Core:        core.DefaultConfig(),
+		DWF:         clockdwf.DefaultConfig(),
+		AdaptiveCfg: core.DefaultAdaptiveConfig(),
+		MinPages:    256,
+	}
+}
+
+// PolicyID names the four standard policies of the evaluation.
+type PolicyID string
+
+// The evaluated policies.
+const (
+	DRAMOnly PolicyID = "dram-only"
+	NVMOnly  PolicyID = "nvm-only"
+	ClockDWF PolicyID = "clock-dwf"
+	Proposed PolicyID = "proposed"
+)
+
+// WorkloadRun holds one workload's results across all policies.
+type WorkloadRun struct {
+	Workload  workload.Spec
+	Pages     int // scaled footprint
+	DRAMPages int // hybrid DRAM zone frames
+	NVMPages  int // hybrid NVM zone frames
+	Reports   map[PolicyID]*model.Report
+	Results   map[PolicyID]*sim.Result
+	Policies  map[PolicyID]policy.Policy
+}
+
+// Report returns the named policy's model evaluation.
+func (w *WorkloadRun) Report(id PolicyID) *model.Report { return w.Reports[id] }
+
+// RunWorkload evaluates one Table III workload under all four policies.
+func RunWorkload(name string, cfg Config) (*WorkloadRun, error) {
+	spec, ok := workload.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown workload %q", name)
+	}
+	return RunSpec(spec, cfg)
+}
+
+// RunSpec evaluates an arbitrary workload spec under all four policies.
+func RunSpec(spec workload.Spec, cfg Config) (*WorkloadRun, error) {
+	gen, err := workload.NewGenerator(spec, cfg.effectiveScale(spec), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	warm, err := trace.Materialize(gen.WarmupSource(cfg.Seed+1), 0)
+	if err != nil {
+		return nil, err
+	}
+	roi, err := trace.Materialize(gen, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	pages := gen.Pages()
+	total := cfg.Sizing.TotalPages(pages)
+	dram, nvm := cfg.Sizing.Partition(pages)
+
+	run := &WorkloadRun{
+		Workload:  spec,
+		Pages:     pages,
+		DRAMPages: dram,
+		NVMPages:  nvm,
+		Reports:   make(map[PolicyID]*model.Report, 4),
+		Results:   make(map[PolicyID]*sim.Result, 4),
+		Policies:  make(map[PolicyID]policy.Policy, 4),
+	}
+
+	build := func(id PolicyID) (policy.Policy, error) {
+		switch id {
+		case DRAMOnly:
+			return policy.NewDRAMOnly(total)
+		case NVMOnly:
+			return policy.NewNVMOnly(total)
+		case ClockDWF:
+			return clockdwf.New(dram, nvm, cfg.DWF)
+		case Proposed:
+			if cfg.Adaptive {
+				return core.NewAdaptive(dram, nvm, cfg.Core, cfg.AdaptiveCfg)
+			}
+			return core.New(dram, nvm, cfg.Core)
+		default:
+			return nil, fmt.Errorf("experiments: unknown policy %q", id)
+		}
+	}
+
+	for _, id := range []PolicyID{DRAMOnly, NVMOnly, ClockDWF, Proposed} {
+		pol, err := build(id)
+		if err != nil {
+			return nil, err
+		}
+		opts := sim.Options{CheckEvery: cfg.CheckEvery}
+		// Warmup pass: fills memory, statistics discarded.
+		if _, err := sim.Run(trace.NewSliceSource(warm), pol, cfg.Spec, opts); err != nil {
+			return nil, fmt.Errorf("experiments: %s warmup on %s: %w", id, spec.Name, err)
+		}
+		res, err := sim.Run(trace.NewSliceSource(roi), pol, cfg.Spec, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s on %s: %w", id, spec.Name, err)
+		}
+		rep, err := model.Evaluate(res, cfg.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: evaluating %s on %s: %w", id, spec.Name, err)
+		}
+		run.Results[id] = res
+		run.Reports[id] = rep
+		run.Policies[id] = pol
+	}
+	return run, nil
+}
+
+// RunAll evaluates every Table III workload, in parallel, returning runs in
+// workload name order.
+func RunAll(cfg Config) ([]*WorkloadRun, error) {
+	names := workload.Names()
+	runs := make([]*WorkloadRun, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			runs[i], errs[i] = RunWorkload(name, cfg)
+		}(i, name)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", names[i], err)
+		}
+	}
+	return runs, nil
+}

@@ -1,0 +1,335 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"hybridmem/internal/memspec"
+	"hybridmem/internal/workload"
+)
+
+// testConfig is a fast configuration for integration tests.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.002
+	cfg.MinPages = 128
+	return cfg
+}
+
+var (
+	allOnce sync.Once
+	allRuns []*WorkloadRun
+	allErr  error
+)
+
+// testRuns runs the full evaluation once and shares it across tests.
+func testRuns(t *testing.T) []*WorkloadRun {
+	t.Helper()
+	allOnce.Do(func() {
+		allRuns, allErr = RunAll(testConfig())
+	})
+	if allErr != nil {
+		t.Fatal(allErr)
+	}
+	return allRuns
+}
+
+func TestRunWorkloadUnknown(t *testing.T) {
+	if _, err := RunWorkload("swaptions", testConfig()); err == nil {
+		t.Error("unknown workload should error")
+	}
+}
+
+func TestRunAllProducesAllPolicies(t *testing.T) {
+	runs := testRuns(t)
+	if len(runs) != 12 {
+		t.Fatalf("got %d runs, want 12", len(runs))
+	}
+	for _, r := range runs {
+		for _, id := range []PolicyID{DRAMOnly, NVMOnly, ClockDWF, Proposed} {
+			rep := r.Report(id)
+			if rep == nil {
+				t.Fatalf("%s: missing report for %s", r.Workload.Name, id)
+			}
+			if rep.Accesses == 0 {
+				t.Errorf("%s/%s: zero accesses", r.Workload.Name, id)
+			}
+			if rep.APPR.Total() <= 0 || rep.AMAT.Total() <= 0 {
+				t.Errorf("%s/%s: non-positive totals", r.Workload.Name, id)
+			}
+		}
+		// All four policies replay the same trace.
+		n := r.Report(DRAMOnly).Accesses
+		for _, id := range []PolicyID{NVMOnly, ClockDWF, Proposed} {
+			if r.Report(id).Accesses != n {
+				t.Errorf("%s: access counts differ across policies", r.Workload.Name)
+			}
+		}
+	}
+}
+
+func TestEffectiveScaleFloor(t *testing.T) {
+	cfg := testConfig()
+	bs, _ := workload.ByName("blackscholes")
+	// blackscholes has 1297 pages; at scale 0.002 the floor dominates.
+	if got := cfg.effectiveScale(bs); got <= cfg.Scale {
+		t.Errorf("effectiveScale = %v, want floored above %v", got, cfg.Scale)
+	}
+	sc, _ := workload.ByName("streamcluster")
+	big, _ := workload.ByName("dedup")
+	if got := cfg.effectiveScale(big); got != cfg.Scale {
+		t.Errorf("dedup effectiveScale = %v, want %v", got, cfg.Scale)
+	}
+	_ = sc
+	cfg.Scale = 2
+	if got := cfg.effectiveScale(big); got != 1 {
+		t.Errorf("scale should cap at 1, got %v", got)
+	}
+}
+
+func TestFig1ComponentsSumToOne(t *testing.T) {
+	f := Fig1(testRuns(t))
+	if len(f.Columns) != 12 {
+		t.Fatalf("fig1 columns = %d", len(f.Columns))
+	}
+	for i := range f.Columns {
+		if total := f.Total(0, i); math.Abs(total-1) > 1e-9 {
+			t.Errorf("%s: components sum to %v, want 1", f.Columns[i], total)
+		}
+	}
+}
+
+func TestFiguresHaveMeanColumns(t *testing.T) {
+	runs := testRuns(t)
+	for _, id := range FigureIDs() {
+		f, err := BuildFigure(id, runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id == "fig1" {
+			continue // fig1 is per-workload normalized, no mean columns
+		}
+		if len(f.Columns) != 14 {
+			t.Errorf("%s: %d columns, want 12 workloads + G-Mean + A-Mean", id, len(f.Columns))
+		}
+		gi, ok := f.ColumnIndex("G-Mean")
+		ai, ok2 := f.ColumnIndex("A-Mean")
+		if !ok || !ok2 {
+			t.Fatalf("%s: mean columns missing", id)
+		}
+		for g := range f.Groups {
+			if f.Total(g, gi) <= 0 || f.Total(g, ai) <= 0 {
+				t.Errorf("%s group %d: non-positive means", id, g)
+			}
+			// AM-GM: the geometric mean never exceeds the arithmetic mean.
+			if f.Total(g, gi) > f.Total(g, ai)*(1+1e-9) {
+				t.Errorf("%s group %d: G-Mean %v > A-Mean %v", id,
+					g, f.Total(g, gi), f.Total(g, ai))
+			}
+		}
+	}
+	if _, err := BuildFigure("fig9z", runs); err == nil {
+		t.Error("unknown figure should error")
+	}
+}
+
+func TestPaperShapeHeadlines(t *testing.T) {
+	// The qualitative results the reproduction must preserve, at test scale.
+	runs := testRuns(t)
+	c := ExtractClaims(runs)
+
+	if c.AMATVsDWFAvg <= 0.15 {
+		t.Errorf("proposed scheme should improve AMAT vs CLOCK-DWF by a wide margin, got %v", c.AMATVsDWFAvg)
+	}
+	if c.WritesVsNVMOnlyAvg <= 0.15 {
+		t.Errorf("proposed scheme should cut NVM writes vs NVM-only, got %v", c.WritesVsNVMOnlyAvg)
+	}
+	if c.PowerVsDWFAvg <= 0 {
+		t.Errorf("proposed scheme should use less power than CLOCK-DWF on average, got %v", c.PowerVsDWFAvg)
+	}
+	if c.DWFWritesExceedNVMOnlyMax <= 1 {
+		t.Errorf("CLOCK-DWF should exceed NVM-only writes somewhere (paper: 3.7x), got %v",
+			c.DWFWritesExceedNVMOnlyMax)
+	}
+	if c.StaticShareLo < 0.35 || c.StaticShareHi > 1 {
+		t.Errorf("static share range [%v, %v] implausible", c.StaticShareLo, c.StaticShareHi)
+	}
+	if c.StreamclusterStaticShare > 0.3 {
+		t.Errorf("streamcluster must be the dynamic-dominated outlier, static share %v",
+			c.StreamclusterStaticShare)
+	}
+	if c.DWFMigrationAMATShareMax < 0.5 {
+		t.Errorf("CLOCK-DWF migrations should dominate AMAT somewhere (paper >60%%), got %v",
+			c.DWFMigrationAMATShareMax)
+	}
+}
+
+func TestStreamclusterIsFig1Outlier(t *testing.T) {
+	f := Fig1(testRuns(t))
+	i, ok := f.ColumnIndex("streamcluster")
+	if !ok {
+		t.Fatal("streamcluster column missing")
+	}
+	static := f.Groups[0].Components[0].Values[i]
+	dynamic := f.Groups[0].Components[1].Values[i]
+	if dynamic <= static {
+		t.Errorf("streamcluster should be dynamic-dominated: static %v, dynamic %v", static, dynamic)
+	}
+}
+
+func TestClaimsWrite(t *testing.T) {
+	var b strings.Builder
+	c := ExtractClaims(testRuns(t))
+	if err := c.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"power vs DRAM-only", "79%", "measured"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("claims output missing %q", want)
+		}
+	}
+}
+
+func TestTable3MeasureMatchesSpecs(t *testing.T) {
+	cfg := testConfig()
+	rows, err := Table3Measure(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		spec, ok := workload.ByName(r.Name)
+		if !ok {
+			t.Fatalf("unknown row %q", r.Name)
+		}
+		if r.Reads+r.Writes == 0 {
+			t.Errorf("%s: empty characterization", r.Name)
+		}
+		// The measured write fraction must match Table III.
+		want := spec.WriteFraction()
+		got := float64(r.Writes) / float64(r.Reads+r.Writes)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("%s: write fraction %v, want ~%v", r.Name, got, want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	var b strings.Builder
+	if err := Table2(memspec.DefaultMachine()).Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "MOESI") {
+		t.Error("Table II missing CPU row")
+	}
+	b.Reset()
+	if err := Table4(memspec.Default()).Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "100/350") {
+		t.Error("Table IV missing NVM latency")
+	}
+	tab3, err := Table3(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := tab3.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "blackscholes") {
+		t.Error("Table III missing workloads")
+	}
+}
+
+func TestRenderFigureAndCSV(t *testing.T) {
+	runs := testRuns(t)
+	f := Fig4a(runs)
+	var b strings.Builder
+	if err := RenderFigure(f).Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "clock-dwf") || !strings.Contains(b.String(), "proposed") {
+		t.Error("rendered figure missing groups")
+	}
+	b.Reset()
+	if err := FigureCSV(f).WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "clock-dwf:Static") {
+		t.Errorf("CSV missing component headers:\n%s", b.String()[:200])
+	}
+}
+
+func TestThresholdSweep(t *testing.T) {
+	cfg := testConfig()
+	points, err := ThresholdSweep("bodytrack", cfg, [][2]int{{4, 6}, {96, 128}, {1 << 20, 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// An unreachable threshold yields zero promotions.
+	last := points[2]
+	if last.Proposed.Probabilities.PMigD != 0 {
+		t.Errorf("infinite threshold still promoted: %v", last.Proposed.Probabilities.PMigD)
+	}
+	// Very low thresholds promote more than high ones.
+	if points[0].Proposed.Probabilities.PMigD < points[1].Proposed.Probabilities.PMigD {
+		t.Errorf("low thresholds should migrate at least as much: %v vs %v",
+			points[0].Proposed.Probabilities.PMigD, points[1].Proposed.Probabilities.PMigD)
+	}
+	if _, err := ThresholdSweep("bodytrack", cfg, nil); err == nil {
+		t.Error("empty sweep should error")
+	}
+}
+
+func TestDRAMSweep(t *testing.T) {
+	points, err := DRAMSweep("ferret", testConfig(), []float64{0.05, 0.30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// A larger DRAM share gives the hybrid more DRAM hits.
+	d0 := points[0].Run.Report(Proposed).Probabilities.PHitDRAM
+	d1 := points[1].Run.Report(Proposed).Probabilities.PHitDRAM
+	if d1 <= d0 {
+		t.Errorf("30%% DRAM should serve more hits than 5%%: %v vs %v", d1, d0)
+	}
+	if _, err := DRAMSweep("ferret", testConfig(), []float64{1.5}); err == nil {
+		t.Error("invalid fraction should error")
+	}
+}
+
+func TestPageFactorSweep(t *testing.T) {
+	points, err := PageFactorSweep("freqmine", testConfig(), []memspec.Geometry{
+		memspec.DefaultGeometry(),
+		memspec.WordGeometry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].PageFactor != 64 || points[1].PageFactor != 1024 {
+		t.Errorf("page factors = %d/%d", points[0].PageFactor, points[1].PageFactor)
+	}
+}
+
+func TestCompareAdaptive(t *testing.T) {
+	cmp, err := CompareAdaptive("raytrace", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Fixed == nil || cmp.Adaptive == nil {
+		t.Fatal("missing reports")
+	}
+	if cmp.FinalReadThreshold < 1 || cmp.FinalWriteThreshold < 1 {
+		t.Errorf("final thresholds %d/%d invalid", cmp.FinalReadThreshold, cmp.FinalWriteThreshold)
+	}
+}

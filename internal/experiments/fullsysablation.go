@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hybridmem/internal/core"
+	"hybridmem/internal/fullsys"
+	"hybridmem/internal/memspec"
+	"hybridmem/internal/model"
+	"hybridmem/internal/sim"
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+)
+
+// FullSysResult compares the proposed scheme on the calibrated direct trace
+// against the cache-filtered (COTSon-substitute) trace of the same workload:
+// the trace-methodology ablation of DESIGN.md.
+type FullSysResult struct {
+	Workload string
+	// Direct is the proposed scheme on the generator's direct stream.
+	Direct *model.Report
+	// Filtered is the proposed scheme on the cache-filtered stream.
+	Filtered *model.Report
+	// CPUAccesses and FilteredAccesses show the hierarchy's filtering power.
+	CPUAccesses, FilteredAccesses int64
+	// L1DHitRatio and LLCHitRatio summarize the cache model's behaviour.
+	L1DHitRatio, LLCHitRatio float64
+}
+
+// FullSysAblation runs the ablation for one workload.
+func FullSysAblation(name string, cfg Config, opts fullsys.Options) (*FullSysResult, error) {
+	direct, err := RunWorkload(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	spec, _ := workload.ByName(name)
+	gen, err := workload.NewGenerator(spec, cfg.effectiveScale(spec), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	capture, err := fullsys.New(gen, memspec.DefaultMachine(), opts)
+	if err != nil {
+		return nil, err
+	}
+	filtered, err := trace.Materialize(capture, 0)
+	if err != nil {
+		return nil, err
+	}
+	if capture.Err() != nil {
+		return nil, fmt.Errorf("experiments: capture: %w", capture.Err())
+	}
+	if len(filtered) == 0 {
+		return nil, fmt.Errorf("experiments: cache filtered the whole trace away")
+	}
+
+	// Size memory from the filtered trace's own footprint (it includes the
+	// instruction pages and loses never-missing lines).
+	st := trace.CollectStats(trace.NewSliceSource(filtered), cfg.Spec.Geometry.PageSizeBytes)
+	dram, nvm := cfg.Sizing.Partition(st.FootprintPages())
+	pol, err := core.New(dram, nvm, cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	// First pass warms memory, second is measured (the filtered stream has
+	// no separate warmup phase).
+	if _, err := sim.Run(trace.NewSliceSource(filtered), pol, cfg.Spec, sim.Options{}); err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(trace.NewSliceSource(filtered), pol, cfg.Spec, sim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := model.Evaluate(res, cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+
+	h := capture.Hierarchy()
+	l1 := h.L1D(0).Stats
+	for i := 1; i < memspec.DefaultMachine().Cores; i++ {
+		s := h.L1D(i).Stats
+		l1.Hits += s.Hits
+		l1.Misses += s.Misses
+	}
+	return &FullSysResult{
+		Workload:         name,
+		Direct:           direct.Report(Proposed),
+		Filtered:         rep,
+		CPUAccesses:      capture.CPUAccesses,
+		FilteredAccesses: int64(len(filtered)),
+		L1DHitRatio:      l1.HitRatio(),
+		LLCHitRatio:      h.LLC().Stats.HitRatio(),
+	}, nil
+}

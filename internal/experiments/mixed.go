@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hybridmem/internal/clockdwf"
+	"hybridmem/internal/core"
+	"hybridmem/internal/model"
+	"hybridmem/internal/policy"
+	"hybridmem/internal/sim"
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+)
+
+// MixedRun evaluates the policies on a multiprogrammed mix of workloads:
+// the consolidated-server scenario the paper's experimental setup implies
+// (a quad-core issuing enough parallel traffic "to simulate a production
+// server"). Migration quality matters more under consolidation, because a
+// DRAM-unfriendly tenant can evict a friendly tenant's hot pages.
+type MixedRun struct {
+	Names     []string
+	Pages     int
+	DRAMPages int
+	NVMPages  int
+	Reports   map[PolicyID]*model.Report
+}
+
+// RunMixed runs the standard four policies on the interleaved mix.
+func RunMixed(names []string, cfg Config) (*MixedRun, error) {
+	if len(names) < 2 {
+		return nil, fmt.Errorf("experiments: mix needs >= 2 workloads")
+	}
+	var specs []workload.Spec
+	minScale := 1.0
+	for _, n := range names {
+		s, ok := workload.ByName(n)
+		if !ok {
+			return nil, errUnknownWorkload(n)
+		}
+		specs = append(specs, s)
+		if es := cfg.effectiveScale(s); es < minScale {
+			minScale = es
+		}
+	}
+	// All tenants run at one scale so their relative intensities match the
+	// paper's characterization.
+	mix, err := workload.NewMix(specs, minScale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	warm, err := trace.Materialize(mix.WarmupSource(cfg.Seed+1), 0)
+	if err != nil {
+		return nil, err
+	}
+	roi, err := trace.Materialize(mix, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	pages := mix.Pages()
+	total := cfg.Sizing.TotalPages(pages)
+	dram, nvm := cfg.Sizing.Partition(pages)
+	run := &MixedRun{
+		Names: names, Pages: pages, DRAMPages: dram, NVMPages: nvm,
+		Reports: make(map[PolicyID]*model.Report, 4),
+	}
+
+	for _, id := range []PolicyID{DRAMOnly, NVMOnly, ClockDWF, Proposed} {
+		var pol policy.Policy
+		var err error
+		switch id {
+		case DRAMOnly:
+			pol, err = policy.NewDRAMOnly(total)
+		case NVMOnly:
+			pol, err = policy.NewNVMOnly(total)
+		case ClockDWF:
+			pol, err = clockdwf.New(dram, nvm, cfg.DWF)
+		case Proposed:
+			pol, err = core.New(dram, nvm, cfg.Core)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sim.Run(trace.NewSliceSource(warm), pol, cfg.Spec, sim.Options{}); err != nil {
+			return nil, fmt.Errorf("experiments: mix warmup %s: %w", id, err)
+		}
+		res, err := sim.Run(trace.NewSliceSource(roi), pol, cfg.Spec, sim.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: mix %s: %w", id, err)
+		}
+		rep, err := model.Evaluate(res, cfg.Spec)
+		if err != nil {
+			return nil, err
+		}
+		run.Reports[id] = rep
+	}
+	return run, nil
+}
+
+// Label returns a display name for the mix.
+func (m *MixedRun) Label() string { return strings.Join(m.Names, "+") }

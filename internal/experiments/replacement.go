@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"hybridmem/internal/clockalg"
+	"hybridmem/internal/clockpro"
+	"hybridmem/internal/lru"
+	"hybridmem/internal/workload"
+)
+
+// ReplacementRow compares single-memory hit ratios of the three replacement
+// algorithms the paper's lineage involves: LRU (the proposed scheme's
+// building block), CLOCK (second chance, CLOCK-DWF's building block) and
+// CLOCK-Pro. It backs two claims: the proposed scheme's queues inherit LRU's
+// hit ratio (Section IV), and the related-work ordering of Section III.
+type ReplacementRow struct {
+	Workload             string
+	Frames               int
+	LRU, Clock, ClockPro float64
+	Accesses             int64
+}
+
+// ReplacementComparison measures hit ratios over one workload's ROI stream
+// with memory sized by the usual 75% rule.
+func ReplacementComparison(name string, cfg Config) (*ReplacementRow, error) {
+	spec, ok := workload.ByName(name)
+	if !ok {
+		return nil, errUnknownWorkload(name)
+	}
+	gen, err := workload.NewGenerator(spec, cfg.effectiveScale(spec), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	frames := cfg.Sizing.TotalPages(gen.Pages())
+
+	lruList := lru.New[struct{}]()
+	ring := clockalg.New[struct{}]()
+	pro, err := clockpro.New(frames)
+	if err != nil {
+		return nil, err
+	}
+
+	var lruHits, clockHits, accesses int64
+	pageSize := cfg.Spec.Geometry.PageSizeBytes
+	for {
+		rec, ok := gen.Next()
+		if !ok {
+			break
+		}
+		page := rec.Page(pageSize)
+		accesses++
+
+		if _, ok := lruList.Touch(page); ok {
+			lruHits++
+		} else {
+			if lruList.Len() == frames {
+				lruList.RemoveBack()
+			}
+			if err := lruList.PushFront(page, struct{}{}); err != nil {
+				return nil, err
+			}
+		}
+
+		if _, ok := ring.Reference(page); ok {
+			clockHits++
+		} else {
+			if ring.Len() == frames {
+				ring.Evict()
+			}
+			if err := ring.Insert(page, struct{}{}, true); err != nil {
+				return nil, err
+			}
+		}
+
+		pro.Access(page)
+	}
+
+	return &ReplacementRow{
+		Workload: name,
+		Frames:   frames,
+		LRU:      float64(lruHits) / float64(accesses),
+		Clock:    float64(clockHits) / float64(accesses),
+		ClockPro: pro.HitRatio(),
+		Accesses: accesses,
+	}, nil
+}
+
+func errUnknownWorkload(name string) error {
+	return &unknownWorkloadError{name}
+}
+
+type unknownWorkloadError struct{ name string }
+
+func (e *unknownWorkloadError) Error() string {
+	return "experiments: unknown workload \"" + e.name + "\""
+}

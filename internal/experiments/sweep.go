@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hybridmem/internal/core"
+	"hybridmem/internal/memspec"
+	"hybridmem/internal/model"
+)
+
+// ThresholdPoint is one configuration of the threshold sensitivity sweep
+// (the Section V-B raytrace discussion: optimal thresholds are workload
+// dependent).
+type ThresholdPoint struct {
+	ReadThreshold, WriteThreshold int
+	// Proposed is the proposed scheme's evaluation at these thresholds.
+	Proposed *model.Report
+	// PowerVsDRAM and AMATVsDWF are the figure-normalized metrics.
+	PowerVsDRAM float64
+	AMATVsDWF   float64
+	// WritesVsNVMOnly is the endurance metric.
+	WritesVsNVMOnly float64
+}
+
+// ThresholdSweep evaluates the proposed scheme across threshold pairs on one
+// workload, holding the baselines fixed.
+func ThresholdSweep(name string, cfg Config, pairs [][2]int) ([]ThresholdPoint, error) {
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("experiments: empty threshold sweep")
+	}
+	points := make([]ThresholdPoint, 0, len(pairs))
+	for _, pair := range pairs {
+		c := cfg
+		c.Core.ReadThreshold = pair[0]
+		c.Core.WriteThreshold = pair[1]
+		run, err := RunWorkload(name, c)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: thresholds %v: %w", pair, err)
+		}
+		prop := run.Report(Proposed)
+		dwf := run.Report(ClockDWF)
+		dram := run.Report(DRAMOnly)
+		nvm := run.Report(NVMOnly)
+		dwfAMAT := dwf.AMAT.HitDRAM + dwf.AMAT.HitNVM + dwf.AMAT.Migrations()
+		propAMAT := prop.AMAT.HitDRAM + prop.AMAT.HitNVM + prop.AMAT.Migrations()
+		points = append(points, ThresholdPoint{
+			ReadThreshold:   pair[0],
+			WriteThreshold:  pair[1],
+			Proposed:        prop,
+			PowerVsDRAM:     prop.APPR.Total() / dram.APPR.Total(),
+			AMATVsDWF:       propAMAT / dwfAMAT,
+			WritesVsNVMOnly: float64(prop.NVMWrites.Total()) / float64(nvm.NVMWrites.Total()),
+		})
+	}
+	return points, nil
+}
+
+// DefaultThresholdPairs returns the grid used by the sweep experiment.
+func DefaultThresholdPairs() [][2]int {
+	return [][2]int{
+		{4, 6}, {8, 12}, {16, 24}, {32, 48}, {64, 96}, {96, 128}, {128, 192}, {256, 384},
+	}
+}
+
+// DRAMPoint is one DRAM-share configuration of the provisioning sweep.
+type DRAMPoint struct {
+	DRAMFraction float64
+	Run          *WorkloadRun
+	PowerVsDRAM  float64
+	AMATVsDWF    float64
+}
+
+// DRAMSweep re-runs one workload across DRAM shares of the hybrid memory
+// (the paper fixes 10%; the sweep shows how the trade-off moves).
+func DRAMSweep(name string, cfg Config, fractions []float64) ([]DRAMPoint, error) {
+	if len(fractions) == 0 {
+		return nil, fmt.Errorf("experiments: empty DRAM sweep")
+	}
+	points := make([]DRAMPoint, 0, len(fractions))
+	for _, f := range fractions {
+		c := cfg
+		c.Sizing.DRAMFractionOfMem = f
+		if err := c.Sizing.Validate(); err != nil {
+			return nil, err
+		}
+		run, err := RunWorkload(name, c)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: DRAM share %v: %w", f, err)
+		}
+		prop := run.Report(Proposed)
+		dwf := run.Report(ClockDWF)
+		dram := run.Report(DRAMOnly)
+		dwfAMAT := dwf.AMAT.HitDRAM + dwf.AMAT.HitNVM + dwf.AMAT.Migrations()
+		propAMAT := prop.AMAT.HitDRAM + prop.AMAT.HitNVM + prop.AMAT.Migrations()
+		points = append(points, DRAMPoint{
+			DRAMFraction: f,
+			Run:          run,
+			PowerVsDRAM:  prop.APPR.Total() / dram.APPR.Total(),
+			AMATVsDWF:    propAMAT / dwfAMAT,
+		})
+	}
+	return points, nil
+}
+
+// PageFactorPoint is one access-granularity configuration (Section II: the
+// PageFactor coefficient converts page moves into memory accesses).
+type PageFactorPoint struct {
+	Geometry    memspec.Geometry
+	PageFactor  int
+	Run         *WorkloadRun
+	PowerVsDRAM float64
+	AMATVsDWF   float64
+}
+
+// PageFactorSweep re-runs one workload across access granularities.
+func PageFactorSweep(name string, cfg Config, geometries []memspec.Geometry) ([]PageFactorPoint, error) {
+	if len(geometries) == 0 {
+		return nil, fmt.Errorf("experiments: empty PageFactor sweep")
+	}
+	points := make([]PageFactorPoint, 0, len(geometries))
+	for _, g := range geometries {
+		c := cfg
+		c.Spec.Geometry = g
+		if err := c.Spec.Validate(); err != nil {
+			return nil, err
+		}
+		run, err := RunWorkload(name, c)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: geometry %+v: %w", g, err)
+		}
+		prop := run.Report(Proposed)
+		dwf := run.Report(ClockDWF)
+		dram := run.Report(DRAMOnly)
+		dwfAMAT := dwf.AMAT.HitDRAM + dwf.AMAT.HitNVM + dwf.AMAT.Migrations()
+		propAMAT := prop.AMAT.HitDRAM + prop.AMAT.HitNVM + prop.AMAT.Migrations()
+		points = append(points, PageFactorPoint{
+			Geometry:    g,
+			PageFactor:  g.PageFactor(),
+			Run:         run,
+			PowerVsDRAM: prop.APPR.Total() / dram.APPR.Total(),
+			AMATVsDWF:   propAMAT / dwfAMAT,
+		})
+	}
+	return points, nil
+}
+
+// AdaptiveComparison runs the fixed-threshold and adaptive-threshold
+// variants of the proposed scheme on one workload (the paper's future-work
+// ablation).
+type AdaptiveComparison struct {
+	Fixed    *model.Report
+	Adaptive *model.Report
+	// FinalReadThreshold/FinalWriteThreshold are where the controller
+	// settled.
+	FinalReadThreshold, FinalWriteThreshold int
+}
+
+// CompareAdaptive evaluates both variants.
+func CompareAdaptive(name string, cfg Config) (*AdaptiveComparison, error) {
+	fixedRun, err := RunWorkload(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	acfg := cfg
+	acfg.Adaptive = true
+	adaptRun, err := RunWorkload(name, acfg)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &AdaptiveComparison{
+		Fixed:    fixedRun.Report(Proposed),
+		Adaptive: adaptRun.Report(Proposed),
+	}
+	if a, ok := adaptRun.Policies[Proposed].(*core.Adaptive); ok {
+		cmp.FinalReadThreshold, cmp.FinalWriteThreshold = a.Thresholds()
+	}
+	return cmp, nil
+}

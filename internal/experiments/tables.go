@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"hybridmem/internal/memspec"
+	"hybridmem/internal/report"
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+)
+
+// Table2 renders the simulated machine configuration (Table II).
+func Table2(m memspec.Machine) *report.Table {
+	t := &report.Table{
+		Title:   "Table II: COTSon-substitute configuration",
+		Headers: []string{"Component", "Configuration"},
+	}
+	cache := func(c memspec.CacheSpec) string {
+		return fmt.Sprintf("%dKB WB %d-way set associative with %dB line size",
+			c.SizeBytes>>10, c.Ways, c.LineBytes)
+	}
+	t.AddRow("CPU", fmt.Sprintf("%d-core with MOESI protocol", m.Cores))
+	t.AddRow("L1 Data Cache", cache(m.L1D))
+	t.AddRow("L1 Instruction Cache", cache(m.L1I))
+	t.AddRow("Last-Level Cache", fmt.Sprintf("%dMB WB %d-way set associative with %dB line size",
+		m.LLC.SizeBytes>>20, m.LLC.Ways, m.LLC.LineBytes))
+	t.AddRow("Main Memory", fmt.Sprintf("%dGB", m.MainMemoryBytes>>30))
+	t.AddRow("Secondary Storage", fmt.Sprintf("HDD with %g milliseconds response time",
+		m.Disk.AccessLatencyNS/1e6))
+	return t
+}
+
+// Table3Row is one workload's measured characterization.
+type Table3Row struct {
+	Name          string
+	WorkingSetKB  int
+	Reads, Writes int64
+}
+
+// Table3Measure regenerates the Table III characterization by generating and
+// characterizing every workload at the configured scale. Request counts come
+// from the measured (ROI) stream; the working set covers the whole trace
+// (warmup + ROI), matching how the paper characterizes the benchmarks.
+func Table3Measure(cfg Config) ([]Table3Row, error) {
+	names := workload.Names()
+	rows := make([]Table3Row, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			spec, _ := workload.ByName(name)
+			g, err := workload.NewGenerator(spec, cfg.effectiveScale(spec), cfg.Seed)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			warm := trace.CollectStats(g.WarmupSource(cfg.Seed+1), workload.PageSizeBytes)
+			roi := trace.CollectStats(g, workload.PageSizeBytes)
+			rows[i] = Table3Row{
+				Name: name,
+				// Warmup and ROI touch the same page range; the union's
+				// footprint is the warmup's (it covers every page).
+				WorkingSetKB: warm.WorkingSetKB(),
+				Reads:        roi.Reads,
+				Writes:       roi.Writes,
+			}
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// Table3 renders the measured characterization alongside the paper's values.
+func Table3(cfg Config) (*report.Table, error) {
+	rows, err := Table3Measure(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title: fmt.Sprintf("Table III: workload characterization (scale %g)", cfg.Scale),
+		Headers: []string{"Workload", "WSS (KB)", "# Reads", "# Writes",
+			"Write %", "Paper WSS", "Paper Reads", "Paper Writes"},
+	}
+	for _, r := range rows {
+		spec, _ := workload.ByName(r.Name)
+		wf := 0.0
+		if tot := r.Reads + r.Writes; tot > 0 {
+			wf = 100 * float64(r.Writes) / float64(tot)
+		}
+		t.AddRow(r.Name,
+			fmt.Sprintf("%d", r.WorkingSetKB),
+			fmt.Sprintf("%d", r.Reads),
+			fmt.Sprintf("%d", r.Writes),
+			fmt.Sprintf("%.1f%%", wf),
+			fmt.Sprintf("%d", spec.WorkingSetKB),
+			fmt.Sprintf("%d", spec.Reads),
+			fmt.Sprintf("%d", spec.Writes))
+	}
+	return t, nil
+}
+
+// Table4 renders the memory characteristics (Table IV).
+func Table4(spec memspec.Spec) *report.Table {
+	t := &report.Table{
+		Title:   "Table IV: memory characteristics",
+		Headers: []string{"Memory", "Latency r/w (ns)", "Power r/w (nJ)", "Static Power (J/GB.s)"},
+	}
+	for _, tech := range []memspec.Tech{spec.DRAM, spec.NVM} {
+		t.AddRow(tech.Name,
+			fmt.Sprintf("%g/%g", tech.ReadLatencyNS, tech.WriteLatencyNS),
+			fmt.Sprintf("%g/%g", tech.ReadEnergyNJ, tech.WriteEnergyNJ),
+			fmt.Sprintf("%g", tech.StaticPowerWPerGB))
+	}
+	t.AddRow("Disk", fmt.Sprintf("%g/%g", spec.Disk.AccessLatencyNS, spec.Disk.AccessLatencyNS), "-", "-")
+	return t
+}
+
+// RenderFigure converts an experiments Figure into a text chart.
+func RenderFigure(f *Figure) *report.StackedBars {
+	groups := make([]report.BarGroup, len(f.Groups))
+	for gi, g := range f.Groups {
+		comps := make([]report.BarComponent, len(g.Components))
+		for ci, c := range g.Components {
+			comps[ci] = report.BarComponent{Label: c.Label, Values: c.Values}
+		}
+		groups[gi] = report.BarGroup{Name: g.Name, Components: comps}
+	}
+	title := fmt.Sprintf("%s: %s", f.ID, f.Title)
+	if f.Notes != "" {
+		title += "\n(" + f.Notes + ")"
+	}
+	return &report.StackedBars{
+		Title:   title,
+		YLabel:  f.YLabel,
+		Columns: f.Columns,
+		Groups:  groups,
+	}
+}
+
+// FigureCSV converts a Figure into a CSV-able table: one row per column,
+// one column per (group, component) pair plus totals.
+func FigureCSV(f *Figure) *report.Table {
+	headers := []string{"workload"}
+	for _, g := range f.Groups {
+		for _, c := range g.Components {
+			headers = append(headers, fmt.Sprintf("%s:%s", g.Name, c.Label))
+		}
+		headers = append(headers, fmt.Sprintf("%s:total", g.Name))
+	}
+	t := &report.Table{Title: f.ID, Headers: headers}
+	for i, col := range f.Columns {
+		row := []string{col}
+		for gi, g := range f.Groups {
+			for _, c := range g.Components {
+				row = append(row, fmt.Sprintf("%.6f", c.Values[i]))
+			}
+			row = append(row, fmt.Sprintf("%.6f", f.Total(gi, i)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

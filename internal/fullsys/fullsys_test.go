@@ -1,0 +1,182 @@
+package fullsys
+
+import (
+	"testing"
+
+	"hybridmem/internal/memspec"
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Options{InstrPerAccess: -1}).Validate(); err == nil {
+		t.Error("negative instr should error")
+	}
+	if err := (Options{InstrPerAccess: 2, CodeFootprintBytes: 0}).Validate(); err == nil {
+		t.Error("instr stream without code footprint should error")
+	}
+}
+
+// stream builds a CPU-level source of repeated line-aligned accesses.
+func stream(addrs []uint64, op trace.Op) trace.Source {
+	recs := make([]trace.Record, len(addrs))
+	for i, a := range addrs {
+		recs[i] = trace.Record{Addr: a, Op: op, GapNS: 10}
+	}
+	return trace.NewSliceSource(recs)
+}
+
+func TestCaptureFiltersRepeatedAccesses(t *testing.T) {
+	// 100 accesses to the same line: exactly one memory read escapes.
+	addrs := make([]uint64, 100)
+	for i := range addrs {
+		addrs[i] = 0x4000
+	}
+	c, err := New(stream(addrs, trace.OpRead), memspec.DefaultMachine(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := trace.Materialize(c, 0)
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	if len(got) != 1 || got[0].Op != trace.OpRead || got[0].Addr != 0x4000 {
+		t.Fatalf("memory traffic = %v, want single read of 0x4000", got)
+	}
+	if c.CPUAccesses != 100 {
+		t.Errorf("consumed %d CPU accesses, want 100", c.CPUAccesses)
+	}
+}
+
+func TestCaptureGapAccumulatesCPUTime(t *testing.T) {
+	// Two accesses to distinct cold lines: each miss carries the gap since
+	// the previous memory access (input gap + cache latencies).
+	c, err := New(stream([]uint64{0x4000, 0x8000}, trace.OpRead),
+		memspec.DefaultMachine(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := trace.Materialize(c, 0)
+	if len(got) != 2 {
+		t.Fatalf("traffic = %v", got)
+	}
+	// Gap = input 10ns + L1 latency 1 + LLC latency 10.
+	if got[0].GapNS != 21 || got[1].GapNS != 21 {
+		t.Errorf("gaps = %d/%d, want 21/21", got[0].GapNS, got[1].GapNS)
+	}
+}
+
+func TestCaptureEmitsWritebacks(t *testing.T) {
+	// Dirty many distinct lines so LLC evictions write back to memory.
+	m := memspec.DefaultMachine()
+	lines := m.LLC.SizeBytes/m.LLC.LineBytes + 4096
+	addrs := make([]uint64, lines)
+	for i := range addrs {
+		addrs[i] = uint64(i) * 64
+	}
+	c, err := New(stream(addrs, trace.OpWrite), m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := 0
+	for {
+		r, ok := c.Next()
+		if !ok {
+			break
+		}
+		if r.Op == trace.OpWrite {
+			writes++
+		}
+	}
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	if writes == 0 {
+		t.Error("no writebacks reached memory")
+	}
+	if err := c.Hierarchy().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCaptureInstructionStreamStaysWarm(t *testing.T) {
+	// A code loop within the L1I: after the cold pass the instruction
+	// stream adds no memory traffic beyond its footprint.
+	addrs := make([]uint64, 2000)
+	for i := range addrs {
+		addrs[i] = 0x4000 // single hot data line
+	}
+	opts := Options{InstrPerAccess: 2, CodeFootprintBytes: 8 << 10}
+	c, err := New(stream(addrs, trace.OpRead), memspec.DefaultMachine(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := trace.Materialize(c, 0)
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	// Expected cold misses: 1 data line + 8KB/64B code lines.
+	want := 1 + (8<<10)/64
+	if len(got) != want {
+		t.Errorf("memory traffic = %d records, want %d (cold code+data only)", len(got), want)
+	}
+	if ratio := c.Hierarchy().L1I(0).Stats.HitRatio(); ratio < 0.9 {
+		t.Errorf("L1I hit ratio = %v, want warm (>0.9)", ratio)
+	}
+}
+
+func TestCaptureOnWorkloadGenerator(t *testing.T) {
+	// End-to-end: a PARSEC-like generator filtered by the hierarchy yields
+	// fewer memory accesses than CPU accesses, all invariants hold.
+	spec, _ := workload.ByName("bodytrack")
+	g, err := workload.NewGenerator(spec, 0.02, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(g, memspec.DefaultMachine(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.CollectStats(c, 4096)
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	if st.Total() == 0 {
+		t.Fatal("no memory traffic")
+	}
+	if st.Total() >= c.CPUAccesses {
+		t.Errorf("cache filtered nothing: %d memory vs %d CPU", st.Total(), c.CPUAccesses)
+	}
+	if err := c.Hierarchy().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The hierarchy absorbed the hot set: L1D should show real locality.
+	if ratio := c.Hierarchy().L1D(0).Stats.HitRatio(); ratio < 0.2 {
+		t.Errorf("L1D hit ratio %v suspiciously low", ratio)
+	}
+}
+
+func TestCaptureDeterministic(t *testing.T) {
+	spec, _ := workload.ByName("freqmine")
+	run := func() []trace.Record {
+		g, _ := workload.NewGenerator(spec, 0.005, 4)
+		c, err := New(g, memspec.DefaultMachine(), DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, _ := trace.Materialize(c, 0)
+		return recs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package memspec
+
+import "fmt"
+
+// CacheSpec describes one cache level of the simulated machine (Table II).
+type CacheSpec struct {
+	Name      string
+	SizeBytes int
+	Ways      int
+	LineBytes int
+	WriteBack bool
+	// LatencyNS is the CPU-visible hit latency, used by the time model that
+	// prorates static power over wall-clock time (Eq. 3).
+	LatencyNS float64
+}
+
+// Sets returns the number of sets in the cache.
+func (c CacheSpec) Sets() int { return c.SizeBytes / (c.Ways * c.LineBytes) }
+
+// Validate reports whether the cache geometry is realizable.
+func (c CacheSpec) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("memspec: cache %q has non-positive geometry", c.Name)
+	}
+	if c.SizeBytes%(c.Ways*c.LineBytes) != 0 {
+		return fmt.Errorf("memspec: cache %q size %dB not divisible into %d ways of %dB lines",
+			c.Name, c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	if s := c.Sets(); s&(s-1) != 0 {
+		return fmt.Errorf("memspec: cache %q has %d sets, not a power of two", c.Name, s)
+	}
+	return nil
+}
+
+// Machine is the COTSon configuration of Table II: a quad-core with MOESI
+// coherence, split 32KB 4-way L1s, a shared 2MB 16-way LLC, 64B lines,
+// 4GB of main memory and a 5 ms HDD.
+type Machine struct {
+	Cores           int
+	L1D, L1I, LLC   CacheSpec
+	MainMemoryBytes int64
+	Disk            Disk
+}
+
+// DefaultMachine returns the Table II configuration.
+func DefaultMachine() Machine {
+	return Machine{
+		Cores: 4,
+		L1D: CacheSpec{Name: "L1D", SizeBytes: 32 << 10, Ways: 4,
+			LineBytes: 64, WriteBack: true, LatencyNS: 1},
+		L1I: CacheSpec{Name: "L1I", SizeBytes: 32 << 10, Ways: 4,
+			LineBytes: 64, WriteBack: true, LatencyNS: 1},
+		LLC: CacheSpec{Name: "LLC", SizeBytes: 2 << 20, Ways: 16,
+			LineBytes: 64, WriteBack: true, LatencyNS: 10},
+		MainMemoryBytes: 4 << 30,
+		Disk:            DefaultDisk(),
+	}
+}
+
+// Validate reports whether the machine description is consistent.
+func (m Machine) Validate() error {
+	if m.Cores <= 0 {
+		return fmt.Errorf("memspec: machine needs at least one core, got %d", m.Cores)
+	}
+	for _, c := range []CacheSpec{m.L1D, m.L1I, m.LLC} {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	if m.L1D.LineBytes != m.LLC.LineBytes || m.L1I.LineBytes != m.LLC.LineBytes {
+		return fmt.Errorf("memspec: mixed line sizes across cache levels")
+	}
+	if m.MainMemoryBytes <= 0 {
+		return fmt.Errorf("memspec: main memory size must be positive")
+	}
+	return nil
+}

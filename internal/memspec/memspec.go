@@ -1,0 +1,205 @@
+// Package memspec defines the timing, energy and geometry parameters of the
+// simulated memory system: the DRAM and NVM (PCM) characteristics of Table IV,
+// the disk model, the page/line geometry that determines the migration
+// PageFactor of Section II, and the memory-provisioning rule of Section V-A.
+//
+// All latencies are in nanoseconds, all energies in nanojoules, and static
+// power in watts per gigabyte (equivalently J/(GB*s)), exactly as the paper
+// reports them.
+package memspec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BytesPerGB is the number of bytes in one gigabyte (2^30), used to convert
+// Table IV's static power (J/(GB*s)) into per-page figures.
+const BytesPerGB = 1 << 30
+
+// Tech describes one memory technology (one row of Table IV).
+type Tech struct {
+	// Name identifies the technology in reports ("DRAM", "NVM (PCM)", ...).
+	Name string
+	// ReadLatencyNS and WriteLatencyNS are the service latencies of one
+	// line-sized access, in nanoseconds (Table IV "Latency r/w").
+	ReadLatencyNS  float64
+	WriteLatencyNS float64
+	// ReadEnergyNJ and WriteEnergyNJ are the dynamic energies of one
+	// line-sized access, in nanojoules (Table IV "Power r/w").
+	ReadEnergyNJ  float64
+	WriteEnergyNJ float64
+	// StaticPowerWPerGB is the background power (refresh/leakage) drawn per
+	// gigabyte of capacity regardless of traffic (Table IV "Static Power").
+	StaticPowerWPerGB float64
+	// WriteEnduranceCycles is the number of writes a cell sustains before
+	// wearing out. Zero means effectively unlimited (DRAM).
+	WriteEnduranceCycles float64
+}
+
+// StaticPowerNJPerPageSec returns the static energy one page of the given
+// size consumes per second, in nanojoules (the StperPage parameter of Eq. 3).
+func (t Tech) StaticPowerNJPerPageSec(pageBytes int) float64 {
+	return t.StaticPowerWPerGB * 1e9 * float64(pageBytes) / BytesPerGB
+}
+
+// DDR2DRAM returns the DRAM parameters of Table IV.
+func DDR2DRAM() Tech {
+	return Tech{
+		Name:              "DRAM",
+		ReadLatencyNS:     50,
+		WriteLatencyNS:    50,
+		ReadEnergyNJ:      3.2,
+		WriteEnergyNJ:     3.2,
+		StaticPowerWPerGB: 1.0,
+	}
+}
+
+// PCM returns the NVM (phase-change memory) parameters of Table IV.
+// The endurance figure (1e8 cycles) is the commonly cited PCM cell lifetime
+// and is used only by the endurance/lifetime model, not by AMAT or APPR.
+func PCM() Tech {
+	return Tech{
+		Name:                 "NVM (PCM)",
+		ReadLatencyNS:        100,
+		WriteLatencyNS:       350,
+		ReadEnergyNJ:         6.4,
+		WriteEnergyNJ:        32,
+		StaticPowerWPerGB:    0.1,
+		WriteEnduranceCycles: 1e8,
+	}
+}
+
+// Disk models the secondary storage of Table II: a constant-latency HDD.
+// Page-fault reads stall for AccessLatencyNS; evictions are write-behind via
+// DMA and do not stall the faulting request (Section II-A).
+type Disk struct {
+	AccessLatencyNS float64
+}
+
+// DefaultDisk returns the 5 ms HDD of Table II.
+func DefaultDisk() Disk { return Disk{AccessLatencyNS: 5e6} }
+
+// Geometry fixes the data-page size and the granularity of one main-memory
+// access (one cache line for post-LLC traffic). Their ratio is the PageFactor
+// coefficient of Eq. 1/2: the number of memory accesses needed to move one
+// data page.
+type Geometry struct {
+	PageSizeBytes int
+	LineSizeBytes int
+}
+
+// DefaultGeometry returns 4KB pages moved as 64B lines (PageFactor 64).
+func DefaultGeometry() Geometry {
+	return Geometry{PageSizeBytes: 4096, LineSizeBytes: 64}
+}
+
+// WordGeometry returns the paper's alternative accounting where CPU requests
+// are 4B words, making a page three orders of magnitude larger than an access
+// (PageFactor 1024). Used by the granularity ablation.
+func WordGeometry() Geometry {
+	return Geometry{PageSizeBytes: 4096, LineSizeBytes: 4}
+}
+
+// PageFactor returns the number of line-sized memory accesses required to
+// read or write one full data page.
+func (g Geometry) PageFactor() int { return g.PageSizeBytes / g.LineSizeBytes }
+
+// Validate reports whether the geometry is internally consistent.
+func (g Geometry) Validate() error {
+	if g.PageSizeBytes <= 0 || g.LineSizeBytes <= 0 {
+		return errors.New("memspec: page and line sizes must be positive")
+	}
+	if g.PageSizeBytes%g.LineSizeBytes != 0 {
+		return fmt.Errorf("memspec: page size %d not a multiple of line size %d",
+			g.PageSizeBytes, g.LineSizeBytes)
+	}
+	return nil
+}
+
+// Spec aggregates every hardware parameter a simulation needs.
+type Spec struct {
+	DRAM     Tech
+	NVM      Tech
+	Disk     Disk
+	Geometry Geometry
+}
+
+// Default returns the paper's experimental configuration: Table IV DRAM and
+// PCM, the 5 ms disk, and 4KB pages accessed as 64B lines.
+func Default() Spec {
+	return Spec{
+		DRAM:     DDR2DRAM(),
+		NVM:      PCM(),
+		Disk:     DefaultDisk(),
+		Geometry: DefaultGeometry(),
+	}
+}
+
+// Validate reports whether every parameter is physically meaningful.
+func (s Spec) Validate() error {
+	if err := s.Geometry.Validate(); err != nil {
+		return err
+	}
+	for _, t := range []Tech{s.DRAM, s.NVM} {
+		if t.ReadLatencyNS <= 0 || t.WriteLatencyNS <= 0 {
+			return fmt.Errorf("memspec: %s latencies must be positive", t.Name)
+		}
+		if t.ReadEnergyNJ < 0 || t.WriteEnergyNJ < 0 || t.StaticPowerWPerGB < 0 {
+			return fmt.Errorf("memspec: %s energies must be non-negative", t.Name)
+		}
+	}
+	if s.Disk.AccessLatencyNS <= 0 {
+		return errors.New("memspec: disk latency must be positive")
+	}
+	return nil
+}
+
+// Sizing encodes the experimental provisioning rule of Section V-A: the total
+// main memory holds MemFractionOfFootprint of the workload's distinct pages,
+// and DRAM gets DRAMFractionOfMem of that total (the rest is NVM).
+type Sizing struct {
+	MemFractionOfFootprint float64
+	DRAMFractionOfMem      float64
+}
+
+// DefaultSizing returns the paper's 75% / 10% rule.
+func DefaultSizing() Sizing {
+	return Sizing{MemFractionOfFootprint: 0.75, DRAMFractionOfMem: 0.10}
+}
+
+// Validate reports whether both fractions are in (0, 1].
+func (z Sizing) Validate() error {
+	if z.MemFractionOfFootprint <= 0 || z.MemFractionOfFootprint > 1 {
+		return fmt.Errorf("memspec: memory fraction %v outside (0,1]", z.MemFractionOfFootprint)
+	}
+	if z.DRAMFractionOfMem <= 0 || z.DRAMFractionOfMem > 1 {
+		return fmt.Errorf("memspec: DRAM fraction %v outside (0,1]", z.DRAMFractionOfMem)
+	}
+	return nil
+}
+
+// TotalPages returns the provisioned main-memory capacity, in pages, for a
+// workload touching footprintPages distinct pages. Always at least 2 so that
+// a hybrid split can give each zone one frame.
+func (z Sizing) TotalPages(footprintPages int) int {
+	total := int(z.MemFractionOfFootprint * float64(footprintPages))
+	if total < 2 {
+		total = 2
+	}
+	return total
+}
+
+// Partition splits the provisioned capacity into DRAM and NVM frame counts.
+// Both zones receive at least one frame.
+func (z Sizing) Partition(footprintPages int) (dramPages, nvmPages int) {
+	total := z.TotalPages(footprintPages)
+	dramPages = int(z.DRAMFractionOfMem * float64(total))
+	if dramPages < 1 {
+		dramPages = 1
+	}
+	if dramPages >= total {
+		dramPages = total - 1
+	}
+	return dramPages, total - dramPages
+}

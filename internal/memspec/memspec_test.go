@@ -1,0 +1,160 @@
+package memspec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableIVValues(t *testing.T) {
+	d := DDR2DRAM()
+	if d.ReadLatencyNS != 50 || d.WriteLatencyNS != 50 {
+		t.Errorf("DRAM latency = %v/%v, want 50/50", d.ReadLatencyNS, d.WriteLatencyNS)
+	}
+	if d.ReadEnergyNJ != 3.2 || d.WriteEnergyNJ != 3.2 {
+		t.Errorf("DRAM energy = %v/%v, want 3.2/3.2", d.ReadEnergyNJ, d.WriteEnergyNJ)
+	}
+	if d.StaticPowerWPerGB != 1.0 {
+		t.Errorf("DRAM static = %v, want 1.0", d.StaticPowerWPerGB)
+	}
+	n := PCM()
+	if n.ReadLatencyNS != 100 || n.WriteLatencyNS != 350 {
+		t.Errorf("NVM latency = %v/%v, want 100/350", n.ReadLatencyNS, n.WriteLatencyNS)
+	}
+	if n.ReadEnergyNJ != 6.4 || n.WriteEnergyNJ != 32 {
+		t.Errorf("NVM energy = %v/%v, want 6.4/32", n.ReadEnergyNJ, n.WriteEnergyNJ)
+	}
+	if n.StaticPowerWPerGB != 0.1 {
+		t.Errorf("NVM static = %v, want 0.1", n.StaticPowerWPerGB)
+	}
+}
+
+func TestStaticPowerPerPage(t *testing.T) {
+	// 1 J/(GB*s) over a 4KB page = 1e9 nJ * 4096/2^30 per second.
+	got := DDR2DRAM().StaticPowerNJPerPageSec(4096)
+	want := 1e9 * 4096 / float64(BytesPerGB)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("StaticPowerNJPerPageSec = %v, want %v", got, want)
+	}
+	// NVM is exactly 10x cheaper.
+	if got, want := PCM().StaticPowerNJPerPageSec(4096), want/10; math.Abs(got-want) > 1e-9 {
+		t.Errorf("NVM static per page = %v, want %v", got, want)
+	}
+}
+
+func TestPageFactor(t *testing.T) {
+	if pf := DefaultGeometry().PageFactor(); pf != 64 {
+		t.Errorf("default PageFactor = %d, want 64", pf)
+	}
+	if pf := WordGeometry().PageFactor(); pf != 1024 {
+		t.Errorf("word PageFactor = %d, want 1024", pf)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+	bad := Default()
+	bad.Geometry.LineSizeBytes = 48
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for non-divisible line size")
+	}
+	bad = Default()
+	bad.DRAM.ReadLatencyNS = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for zero latency")
+	}
+	bad = Default()
+	bad.Disk.AccessLatencyNS = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for negative disk latency")
+	}
+}
+
+func TestSizingPartition(t *testing.T) {
+	z := DefaultSizing()
+	if err := z.Validate(); err != nil {
+		t.Fatalf("default sizing invalid: %v", err)
+	}
+	dram, nvm := z.Partition(1000)
+	if total := dram + nvm; total != 750 {
+		t.Errorf("total = %d, want 750 (75%% of 1000)", total)
+	}
+	if dram != 75 {
+		t.Errorf("dram = %d, want 75 (10%% of 750)", dram)
+	}
+}
+
+func TestSizingPartitionSmall(t *testing.T) {
+	// Tiny footprints must still yield at least one frame per zone.
+	for _, fp := range []int{1, 2, 3, 5, 10} {
+		dram, nvm := DefaultSizing().Partition(fp)
+		if dram < 1 || nvm < 1 {
+			t.Errorf("Partition(%d) = %d, %d; each zone needs >= 1 frame", fp, dram, nvm)
+		}
+	}
+}
+
+func TestSizingValidateRejectsBadFractions(t *testing.T) {
+	for _, z := range []Sizing{
+		{MemFractionOfFootprint: 0, DRAMFractionOfMem: 0.1},
+		{MemFractionOfFootprint: 0.75, DRAMFractionOfMem: 0},
+		{MemFractionOfFootprint: 1.5, DRAMFractionOfMem: 0.1},
+		{MemFractionOfFootprint: 0.75, DRAMFractionOfMem: -0.2},
+	} {
+		if err := z.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", z)
+		}
+	}
+}
+
+func TestPartitionInvariants(t *testing.T) {
+	// Property: for any footprint and legal fractions, both zones get at
+	// least one frame and the sum never exceeds the footprint-derived total.
+	f := func(fp uint16, memFrac, dramFrac uint8) bool {
+		z := Sizing{
+			MemFractionOfFootprint: 0.05 + float64(memFrac%90)/100,
+			DRAMFractionOfMem:      0.05 + float64(dramFrac%90)/100,
+		}
+		dram, nvm := z.Partition(int(fp))
+		return dram >= 1 && nvm >= 1 && dram+nvm == z.TotalPages(int(fp))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultMachine(t *testing.T) {
+	m := DefaultMachine()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("default machine invalid: %v", err)
+	}
+	if m.Cores != 4 {
+		t.Errorf("cores = %d, want 4 (Table II quad-core)", m.Cores)
+	}
+	if m.LLC.Sets() != 2<<20/(16*64) {
+		t.Errorf("LLC sets = %d, want %d", m.LLC.Sets(), 2<<20/(16*64))
+	}
+	if m.L1D.Sets() != 128 {
+		t.Errorf("L1D sets = %d, want 128", m.L1D.Sets())
+	}
+}
+
+func TestMachineValidateRejectsBadConfigs(t *testing.T) {
+	m := DefaultMachine()
+	m.Cores = 0
+	if err := m.Validate(); err == nil {
+		t.Error("expected error for zero cores")
+	}
+	m = DefaultMachine()
+	m.L1D.Ways = 3 // 32KB/(3*64) is not an integer number of sets
+	if err := m.Validate(); err == nil {
+		t.Error("expected error for non-power-of-two sets")
+	}
+	m = DefaultMachine()
+	m.LLC.LineBytes = 128
+	if err := m.Validate(); err == nil {
+		t.Error("expected error for mixed line sizes")
+	}
+}

@@ -1,0 +1,86 @@
+package mm
+
+import "fmt"
+
+// StartGap implements Start-Gap wear leveling (Qureshi et al., MICRO 2009)
+// over a zone's frame space: one spare frame plus a gap pointer that rotates
+// through the frames, remapping logical frames to physical ones so that
+// write-hot logical frames spread their wear over every physical frame.
+//
+// The endurance analysis (Section III-C) motivates it: without leveling, the
+// paper's scheme concentrates NVM writes on the frames that hold demoted
+// pages, and the worst frame bounds the memory's lifetime. The wear-leveling
+// ablation quantifies how much of that gap Start-Gap closes.
+//
+// The simulator integrates it at the wear-accounting level: logical wear
+// events pass through the remap before landing on physical counters, and
+// every GapPeriod writes the gap advances (costing one page copy, which the
+// accounting reports).
+type StartGap struct {
+	frames    int
+	gap       int // physical index of the unused spare
+	start     int // rotation count (how many full remap steps happened)
+	period    int
+	sinceMove int
+	// GapMoves counts gap advances (each is one page copy of overhead).
+	GapMoves int64
+}
+
+// NewStartGap creates a leveler for a zone of the given size. period is the
+// number of writes between gap moves (the paper's reference uses 100).
+func NewStartGap(frames, period int) (*StartGap, error) {
+	if frames < 2 {
+		return nil, fmt.Errorf("mm: start-gap needs >= 2 frames, got %d", frames)
+	}
+	if period < 1 {
+		return nil, fmt.Errorf("mm: start-gap period %d < 1", period)
+	}
+	return &StartGap{frames: frames, gap: frames - 1, period: period}, nil
+}
+
+// Remap translates a logical frame index to its current physical frame: the
+// logical space is laid on the physical ring starting at the start pointer,
+// skipping the gap frame. Logical frames before the gap (measured along the
+// walk from start) map directly; those at or past it shift by one.
+func (s *StartGap) Remap(logical int) (int, error) {
+	if logical < 0 || logical >= s.frames-1 {
+		// One frame is always the spare, so logical space is frames-1.
+		return 0, fmt.Errorf("mm: logical frame %d outside [0,%d)", logical, s.frames-1)
+	}
+	gapDist := ((s.gap-s.start)%s.frames + s.frames) % s.frames
+	phys := logical
+	if logical >= gapDist {
+		phys++
+	}
+	return (s.start + phys) % s.frames, nil
+}
+
+// RecordWrite notes one write event and advances the gap when the period
+// elapses. It returns true when a gap move happened (one page copy of
+// overhead).
+func (s *StartGap) RecordWrite() bool {
+	return s.RecordWrites(1) > 0
+}
+
+// RecordWrites notes n write events (e.g. the line writes of a page copy)
+// and returns how many gap moves they triggered.
+func (s *StartGap) RecordWrites(n uint64) int {
+	s.sinceMove += int(n)
+	moves := 0
+	for s.sinceMove >= s.period {
+		s.sinceMove -= s.period
+		moves++
+		s.GapMoves++
+		// Move the gap down one frame; after a full lap, the start pointer
+		// advances, shifting the whole mapping by one.
+		s.gap--
+		if s.gap < 0 {
+			s.gap = s.frames - 1
+			s.start = (s.start + 1) % s.frames
+		}
+	}
+	return moves
+}
+
+// LogicalFrames returns the usable (non-spare) frame count.
+func (s *StartGap) LogicalFrames() int { return s.frames - 1 }

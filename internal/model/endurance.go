@@ -1,0 +1,72 @@
+package model
+
+import (
+	"errors"
+
+	"hybridmem/internal/memspec"
+	"hybridmem/internal/mm"
+	"hybridmem/internal/sim"
+)
+
+// Endurance estimates NVM lifetime from write traffic (Section III-C /
+// Section V-B: the proposed scheme "will prolong its lifetime up to 4x").
+type Endurance struct {
+	// TotalLineWrites is all line writes that reached NVM.
+	TotalLineWrites int64
+	// LineWritesPerSec is the write rate over the simulated runtime.
+	LineWritesPerSec float64
+	// LifetimeYearsLeveled assumes ideal wear leveling: every cell ages at
+	// the average rate.
+	LifetimeYearsLeveled float64
+	// LifetimeYearsWorstFrame uses the most-written frame's observed rate:
+	// the no-wear-leveling bound.
+	LifetimeYearsWorstFrame float64
+}
+
+const secondsPerYear = 365.25 * 24 * 3600
+
+// EvaluateEndurance estimates lifetime for a run. The NVM zone must be
+// non-empty and the technology must declare a write endurance.
+func EvaluateEndurance(r *sim.Result, spec memspec.Spec) (*Endurance, error) {
+	if r.NVMPages == 0 {
+		return nil, errors.New("model: no NVM zone to evaluate")
+	}
+	if spec.NVM.WriteEnduranceCycles <= 0 {
+		return nil, errors.New("model: NVM endurance cycles not specified")
+	}
+	if r.RuntimeNS <= 0 {
+		return nil, errors.New("model: non-positive runtime")
+	}
+	seconds := r.RuntimeNS * 1e-9
+	pf := float64(spec.Geometry.PageFactor())
+	total := int64(r.NVMWear.Total)
+	rate := float64(total) / seconds
+
+	e := &Endurance{
+		TotalLineWrites:  total,
+		LineWritesPerSec: rate,
+	}
+	// Ideal leveling: the zone has NVMPages*PageFactor line slots; each can
+	// take WriteEnduranceCycles writes. Lifetime = capacity budget / rate.
+	if rate > 0 {
+		budget := spec.NVM.WriteEnduranceCycles * float64(r.NVMPages) * pf
+		e.LifetimeYearsLeveled = budget / rate / secondsPerYear
+	}
+	// Worst frame: its PageFactor lines absorb MaxWear writes uniformly, so
+	// per-line wear rate is MaxWear/PageFactor per runtime.
+	if r.NVMWear.Max > 0 {
+		perLineRate := float64(r.NVMWear.Max) / pf / seconds
+		e.LifetimeYearsWorstFrame = spec.NVM.WriteEnduranceCycles / perLineRate / secondsPerYear
+	}
+	return e, nil
+}
+
+// WearImbalance returns max-frame wear divided by mean-frame wear for the
+// NVM zone (1.0 is perfectly even; large values motivate wear leveling).
+func WearImbalance(ws mm.WearStats, frames int) float64 {
+	if ws.Total == 0 || frames == 0 {
+		return 0
+	}
+	mean := float64(ws.Total) / float64(frames)
+	return float64(ws.Max) / mean
+}

@@ -1,0 +1,196 @@
+// Package model implements the paper's analytical models: the Average
+// Memory Access Time of Eq. 1, the Average Power Per Request of Eq. 2 with
+// the prorated static power of Eq. 3, the per-source NVM write accounting of
+// the endurance analysis (Section III-C), and the Table I probability
+// vocabulary, all computed from simulation counts.
+//
+// Every component is exposed separately because the paper's figures are
+// stacked breakdowns: static/dynamic/migration power (Figs. 1, 2a, 4a),
+// request/migration AMAT (Figs. 2b, 4c) and page-fault/migration/request NVM
+// writes (Figs. 2c, 4b).
+package model
+
+import (
+	"errors"
+
+	"hybridmem/internal/memspec"
+	"hybridmem/internal/sim"
+)
+
+// Probabilities are the Table I request probabilities extracted from a run.
+// Hit/miss/migration probabilities are per access; the read/write and
+// disk-destination splits are conditional, exactly as Eqs. 1-2 use them.
+type Probabilities struct {
+	PHitDRAM, PHitNVM, PMiss float64 // per access
+	PRDRAM, PWDRAM           float64 // conditional on a DRAM hit
+	PRNVM, PWNVM             float64 // conditional on an NVM hit
+	PMigD, PMigN             float64 // migrations per access (to DRAM / to NVM)
+	PDiskToD, PDiskToN       float64 // conditional on a miss
+	// PMigNStall is the subset of PMigN that stalls the application:
+	// demotions forced by promotions. Demotions forced by page faults
+	// overlap the disk DMA (Section II-A) and appear only in the energy
+	// model.
+	PMigNStall float64
+}
+
+// probabilitiesFrom derives the Table I values from raw counts.
+func probabilitiesFrom(c sim.Counts) (Probabilities, error) {
+	if c.Accesses == 0 {
+		return Probabilities{}, errors.New("model: no accesses")
+	}
+	n := float64(c.Accesses)
+	p := Probabilities{
+		PHitDRAM:   float64(c.HitsDRAM()) / n,
+		PHitNVM:    float64(c.HitsNVM()) / n,
+		PMiss:      float64(c.Faults) / n,
+		PMigD:      float64(c.Promotions) / n,
+		PMigN:      float64(c.Demotions) / n,
+		PMigNStall: float64(c.DemotionsPromo) / n,
+	}
+	if h := float64(c.HitsDRAM()); h > 0 {
+		p.PRDRAM = float64(c.ReadsDRAM) / h
+		p.PWDRAM = float64(c.WritesDRAM) / h
+	}
+	if h := float64(c.HitsNVM()); h > 0 {
+		p.PRNVM = float64(c.ReadsNVM) / h
+		p.PWNVM = float64(c.WritesNVM) / h
+	}
+	if f := float64(c.Faults); f > 0 {
+		p.PDiskToD = float64(c.FaultsToDRAM) / f
+		p.PDiskToN = float64(c.FaultsToNVM) / f
+	}
+	return p, nil
+}
+
+// AMAT is the Eq. 1 breakdown, in nanoseconds per access.
+type AMAT struct {
+	HitDRAM    float64 // PHitDRAM * (PRDRAM*TRDRAM + PWDRAM*TWDRAM)
+	HitNVM     float64 // PHitNVM  * (PRNVM*TRNVM + PWNVM*TWNVM)
+	Miss       float64 // PMiss * TDisk
+	MigrationD float64 // PMigD * PageFactor * (TRNVM + TWDRAM)
+	MigrationN float64 // PMigNStall * PageFactor * (TRDRAM + TWNVM)
+}
+
+// Total returns the full AMAT.
+func (a AMAT) Total() float64 {
+	return a.HitDRAM + a.HitNVM + a.Miss + a.MigrationD + a.MigrationN
+}
+
+// Requests returns the non-migration component (the figures' "Read/Write
+// Requests" bars, which include page-fault stalls).
+func (a AMAT) Requests() float64 { return a.HitDRAM + a.HitNVM + a.Miss }
+
+// Migrations returns the migration component of AMAT.
+func (a AMAT) Migrations() float64 { return a.MigrationD + a.MigrationN }
+
+// APPR is the Eq. 2 + Eq. 3 breakdown, in nanojoules per access.
+type APPR struct {
+	DynamicDRAM float64 // hit term for DRAM
+	DynamicNVM  float64 // hit term for NVM
+	FaultDRAM   float64 // PMiss * PDiskToD * PageFactor * PoWDRAM
+	FaultNVM    float64 // PMiss * PDiskToN * PageFactor * PoWNVM
+	MigrationD  float64 // PMigD * PageFactor * (PoRNVM + PoWDRAM)
+	MigrationN  float64 // PMigN * PageFactor * (PoRDRAM + PoWNVM)
+	Static      float64 // Eq. 3: static energy prorated per access
+}
+
+// Total returns the full per-request energy.
+func (p APPR) Total() float64 {
+	return p.DynamicDRAM + p.DynamicNVM + p.FaultDRAM + p.FaultNVM +
+		p.MigrationD + p.MigrationN + p.Static
+}
+
+// Dynamic returns the hit-servicing energy.
+func (p APPR) Dynamic() float64 { return p.DynamicDRAM + p.DynamicNVM }
+
+// PageFault returns the page-load write energy.
+func (p APPR) PageFault() float64 { return p.FaultDRAM + p.FaultNVM }
+
+// Migration returns the migration copy energy.
+func (p APPR) Migration() float64 { return p.MigrationD + p.MigrationN }
+
+// NVMWrites splits the line-granularity writes arriving at NVM by source,
+// the quantity behind the endurance analysis (Figs. 2c and 4b).
+type NVMWrites struct {
+	// Requests are write accesses serviced in place by NVM.
+	Requests int64
+	// PageFault are disk->NVM page loads (PageFactor lines each).
+	PageFault int64
+	// Migration are DRAM->NVM page copies (PageFactor lines each).
+	Migration int64
+}
+
+// Total returns all line writes arriving at NVM.
+func (w NVMWrites) Total() int64 { return w.Requests + w.PageFault + w.Migration }
+
+// Report is the full model evaluation of one simulation run.
+type Report struct {
+	Policy        string
+	Probabilities Probabilities
+	AMAT          AMAT
+	APPR          APPR
+	NVMWrites     NVMWrites
+	// RuntimeNS and Accesses echo the run for downstream normalization.
+	RuntimeNS float64
+	Accesses  int64
+}
+
+// Evaluate applies Eqs. 1-3 to a simulation result.
+func Evaluate(r *sim.Result, spec memspec.Spec) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := probabilitiesFrom(r.Counts)
+	if err != nil {
+		return nil, err
+	}
+	pf := float64(spec.Geometry.PageFactor())
+	d, n := spec.DRAM, spec.NVM
+
+	amat := AMAT{
+		HitDRAM:    p.PHitDRAM * (p.PRDRAM*d.ReadLatencyNS + p.PWDRAM*d.WriteLatencyNS),
+		HitNVM:     p.PHitNVM * (p.PRNVM*n.ReadLatencyNS + p.PWNVM*n.WriteLatencyNS),
+		Miss:       p.PMiss * spec.Disk.AccessLatencyNS,
+		MigrationD: p.PMigD * pf * (n.ReadLatencyNS + d.WriteLatencyNS),
+		MigrationN: p.PMigNStall * pf * (d.ReadLatencyNS + n.WriteLatencyNS),
+	}
+
+	appr := APPR{
+		DynamicDRAM: p.PHitDRAM * (p.PRDRAM*d.ReadEnergyNJ + p.PWDRAM*d.WriteEnergyNJ),
+		DynamicNVM:  p.PHitNVM * (p.PRNVM*n.ReadEnergyNJ + p.PWNVM*n.WriteEnergyNJ),
+		FaultDRAM:   p.PMiss * p.PDiskToD * pf * d.WriteEnergyNJ,
+		FaultNVM:    p.PMiss * p.PDiskToN * pf * n.WriteEnergyNJ,
+		MigrationD:  p.PMigD * pf * (n.ReadEnergyNJ + d.WriteEnergyNJ),
+		MigrationN:  p.PMigN * pf * (d.ReadEnergyNJ + n.WriteEnergyNJ),
+		Static:      staticPerAccess(r, spec),
+	}
+
+	pfLines := int64(spec.Geometry.PageFactor())
+	writes := NVMWrites{
+		Requests:  r.Counts.WritesNVM,
+		PageFault: r.Counts.FaultsToNVM * pfLines,
+		Migration: r.Counts.Demotions * pfLines,
+	}
+
+	return &Report{
+		Policy:        r.Policy,
+		Probabilities: p,
+		AMAT:          amat,
+		APPR:          appr,
+		NVMWrites:     writes,
+		RuntimeNS:     r.RuntimeNS,
+		Accesses:      r.Counts.Accesses,
+	}, nil
+}
+
+// staticPerAccess implements Eq. 3: the static power of the provisioned
+// memory, integrated over the run's wall-clock time and prorated over all
+// requests. StperPage/AccessperPage per page, summed over pages, equals
+// total static energy divided by total accesses.
+func staticPerAccess(r *sim.Result, spec memspec.Spec) float64 {
+	pageBytes := spec.Geometry.PageSizeBytes
+	perSec := float64(r.DRAMPages)*spec.DRAM.StaticPowerNJPerPageSec(pageBytes) +
+		float64(r.NVMPages)*spec.NVM.StaticPowerNJPerPageSec(pageBytes)
+	seconds := r.RuntimeNS * 1e-9
+	return perSec * seconds / float64(r.Counts.Accesses)
+}

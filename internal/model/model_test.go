@@ -1,0 +1,255 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hybridmem/internal/clockdwf"
+	"hybridmem/internal/core"
+	"hybridmem/internal/memspec"
+	"hybridmem/internal/mm"
+	"hybridmem/internal/policy"
+	"hybridmem/internal/sim"
+	"hybridmem/internal/trace"
+)
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// runRandom simulates a skewed random workload on the given policy.
+func runRandom(t *testing.T, p policy.Policy, n int, seed int64) *sim.Result {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		page := uint64(rng.Intn(60))
+		if rng.Intn(10) < 6 {
+			page = uint64(rng.Intn(10))
+		}
+		op := trace.OpRead
+		if rng.Intn(3) == 0 {
+			op = trace.OpWrite
+		}
+		recs[i] = trace.Record{Addr: page * 4096, Op: op, GapNS: uint32(rng.Intn(200))}
+	}
+	r, err := sim.Run(trace.NewSliceSource(recs), p, memspec.Default(), sim.Options{Shadow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func allPolicies(t *testing.T) map[string]policy.Policy {
+	t.Helper()
+	out := map[string]policy.Policy{}
+	d, err := policy.NewDRAMOnly(45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["dram-only"] = d
+	nv, err := policy.NewNVMOnly(45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["nvm-only"] = nv
+	cd, err := clockdwf.New(5, 40, clockdwf.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["clock-dwf"] = cd
+	pr, err := core.New(5, 40, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["proposed"] = pr
+	return out
+}
+
+// TestAMATIdentity checks the central model cross-check: Eq. 1 evaluated on
+// the extracted probabilities equals the simulator's directly accumulated
+// service time per access, for every policy.
+func TestAMATIdentity(t *testing.T) {
+	for name, p := range allPolicies(t) {
+		r := runRandom(t, p, 20000, 7)
+		rep, err := Evaluate(r, memspec.Default())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		direct := r.ServiceNS / float64(r.Counts.Accesses)
+		if !approx(rep.AMAT.Total(), direct, 1e-9) {
+			t.Errorf("%s: AMAT %v != service/access %v", name, rep.AMAT.Total(), direct)
+		}
+	}
+}
+
+// TestNVMWritesMatchWear checks that the model's per-source NVM write split
+// sums to the wear the simulator charged frame by frame.
+func TestNVMWritesMatchWear(t *testing.T) {
+	for name, p := range allPolicies(t) {
+		r := runRandom(t, p, 20000, 8)
+		rep, err := Evaluate(r, memspec.Default())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got, want := rep.NVMWrites.Total(), int64(r.NVMWear.Total); got != want {
+			t.Errorf("%s: modeled NVM writes %d != accumulated wear %d", name, got, want)
+		}
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	for name, p := range allPolicies(t) {
+		r := runRandom(t, p, 15000, 9)
+		rep, err := Evaluate(r, memspec.Default())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		pr := rep.Probabilities
+		if !approx(pr.PHitDRAM+pr.PHitNVM+pr.PMiss, 1, 1e-12) {
+			t.Errorf("%s: hit+miss = %v", name, pr.PHitDRAM+pr.PHitNVM+pr.PMiss)
+		}
+		if pr.PHitDRAM > 0 && !approx(pr.PRDRAM+pr.PWDRAM, 1, 1e-12) {
+			t.Errorf("%s: DRAM r/w split = %v", name, pr.PRDRAM+pr.PWDRAM)
+		}
+		if pr.PMiss > 0 && !approx(pr.PDiskToD+pr.PDiskToN, 1, 1e-12) {
+			t.Errorf("%s: disk split = %v", name, pr.PDiskToD+pr.PDiskToN)
+		}
+	}
+}
+
+func TestAPPRComponentsSum(t *testing.T) {
+	r := runRandom(t, mustCore(t), 10000, 10)
+	rep, err := Evaluate(r, memspec.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := rep.APPR.Dynamic() + rep.APPR.PageFault() + rep.APPR.Migration() + rep.APPR.Static
+	if !approx(sum, rep.APPR.Total(), 1e-12) {
+		t.Errorf("components %v != total %v", sum, rep.APPR.Total())
+	}
+	if rep.APPR.Static <= 0 {
+		t.Error("static component should be positive")
+	}
+}
+
+func mustCore(t *testing.T) policy.Policy {
+	t.Helper()
+	p, err := core.New(5, 40, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCLOCKDWFNeverWritesNVMRequests(t *testing.T) {
+	cd, _ := clockdwf.New(5, 40, clockdwf.DefaultConfig())
+	r := runRandom(t, cd, 20000, 11)
+	rep, _ := Evaluate(r, memspec.Default())
+	// Section III: "no write access will be responded by NVM".
+	if rep.NVMWrites.Requests != 0 {
+		t.Errorf("CLOCK-DWF serviced %d writes in NVM", rep.NVMWrites.Requests)
+	}
+	if rep.Probabilities.PWNVM != 0 {
+		t.Errorf("PWNVM = %v, want 0", rep.Probabilities.PWNVM)
+	}
+}
+
+func TestDRAMOnlyHasNoNVMTerms(t *testing.T) {
+	d, _ := policy.NewDRAMOnly(45)
+	r := runRandom(t, d, 10000, 12)
+	rep, _ := Evaluate(r, memspec.Default())
+	if rep.AMAT.HitNVM != 0 || rep.AMAT.Migrations() != 0 {
+		t.Error("DRAM-only should have no NVM or migration AMAT")
+	}
+	if rep.APPR.DynamicNVM != 0 || rep.APPR.Migration() != 0 || rep.APPR.FaultNVM != 0 {
+		t.Error("DRAM-only should have no NVM energy")
+	}
+	if rep.NVMWrites.Total() != 0 {
+		t.Error("DRAM-only should have no NVM writes")
+	}
+}
+
+func TestEvaluateEmptyRunErrors(t *testing.T) {
+	r := &sim.Result{}
+	if _, err := Evaluate(r, memspec.Default()); err == nil {
+		t.Error("empty run should error")
+	}
+}
+
+func TestStaticProrationScalesWithMemoryAndTime(t *testing.T) {
+	// Two synthetic runs identical except runtime: static per access must
+	// scale linearly with runtime (Eq. 3).
+	base := &sim.Result{
+		DRAMPages: 100, NVMPages: 900,
+		RuntimeNS: 1e9,
+	}
+	base.Counts.Accesses = 1000
+	base.Counts.ReadsDRAM = 1000
+	repA, err := Evaluate(base, memspec.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubled := *base
+	doubled.RuntimeNS = 2e9
+	repB, _ := Evaluate(&doubled, memspec.Default())
+	if !approx(repB.APPR.Static, 2*repA.APPR.Static, 1e-12) {
+		t.Errorf("static did not scale with runtime: %v vs %v", repB.APPR.Static, repA.APPR.Static)
+	}
+	// Known value: 100 DRAM pages at 4KB * 1 W/GB for 1 s over 1000 accesses,
+	// plus 900 NVM pages at 0.1 W/GB.
+	wantPerSec := 100*1e9*4096/float64(memspec.BytesPerGB) +
+		900*0.1*1e9*4096/float64(memspec.BytesPerGB)
+	want := wantPerSec * 1.0 / 1000
+	if !approx(repA.APPR.Static, want, 1e-9) {
+		t.Errorf("static = %v, want %v", repA.APPR.Static, want)
+	}
+}
+
+func TestEndurance(t *testing.T) {
+	pr, _ := core.New(5, 40, core.DefaultConfig())
+	r := runRandom(t, pr, 20000, 13)
+	e, err := EvaluateEndurance(r, memspec.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TotalLineWrites != int64(r.NVMWear.Total) {
+		t.Errorf("total = %d, want %d", e.TotalLineWrites, r.NVMWear.Total)
+	}
+	if e.LifetimeYearsLeveled <= 0 {
+		t.Error("leveled lifetime should be positive")
+	}
+	if e.LifetimeYearsWorstFrame <= 0 {
+		t.Error("worst-frame lifetime should be positive")
+	}
+	if e.LifetimeYearsWorstFrame > e.LifetimeYearsLeveled {
+		t.Error("worst frame cannot outlive the leveled estimate")
+	}
+}
+
+func TestEnduranceErrors(t *testing.T) {
+	if _, err := EvaluateEndurance(&sim.Result{NVMPages: 0, RuntimeNS: 1}, memspec.Default()); err == nil {
+		t.Error("no NVM zone should error")
+	}
+	spec := memspec.Default()
+	spec.NVM.WriteEnduranceCycles = 0
+	if _, err := EvaluateEndurance(&sim.Result{NVMPages: 1, RuntimeNS: 1}, spec); err == nil {
+		t.Error("no endurance spec should error")
+	}
+	if _, err := EvaluateEndurance(&sim.Result{NVMPages: 1, RuntimeNS: 0}, memspec.Default()); err == nil {
+		t.Error("zero runtime should error")
+	}
+}
+
+func TestWearImbalance(t *testing.T) {
+	if got := WearImbalance(mm.WearStats{Total: 100, Max: 10}, 10); !approx(got, 1.0, 1e-12) {
+		t.Errorf("imbalance = %v, want 1.0", got)
+	}
+	if got := WearImbalance(mm.WearStats{Total: 100, Max: 50}, 10); !approx(got, 5.0, 1e-12) {
+		t.Errorf("imbalance = %v, want 5.0", got)
+	}
+	if WearImbalance(mm.WearStats{}, 10) != 0 {
+		t.Error("zero wear should give 0")
+	}
+}

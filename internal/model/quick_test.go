@@ -1,0 +1,111 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hybridmem/internal/memspec"
+	"hybridmem/internal/sim"
+)
+
+// arbitraryCounts builds a consistent Counts from quick-generated raw
+// numbers: hit/fault splits always sum correctly.
+func arbitraryCounts(rd, wd, rn, wn, fd, fn, promo, demoF, demoP uint16) sim.Counts {
+	c := sim.Counts{
+		ReadsDRAM: int64(rd), WritesDRAM: int64(wd),
+		ReadsNVM: int64(rn), WritesNVM: int64(wn),
+		FaultsToDRAM: int64(fd), FaultsToNVM: int64(fn),
+		Promotions:     int64(promo),
+		DemotionsFault: int64(demoF), DemotionsPromo: int64(demoP),
+	}
+	c.Faults = c.FaultsToDRAM + c.FaultsToNVM
+	c.Demotions = c.DemotionsFault + c.DemotionsPromo
+	c.Accesses = c.Hits() + c.Faults
+	return c
+}
+
+// TestQuickModelIdentities checks, over arbitrary consistent event counts:
+//  1. Eq. 1 evaluated on the extracted probabilities equals the per-access
+//     costs computed directly from the counts;
+//  2. the probability splits are normalized;
+//  3. the NVM write sources match the count-based formula.
+func TestQuickModelIdentities(t *testing.T) {
+	spec := memspec.Default()
+	pf := float64(spec.Geometry.PageFactor())
+	f := func(rd, wd, rn, wn, fd, fn, promo, demoF, demoP uint16) bool {
+		c := arbitraryCounts(rd, wd, rn, wn, fd, fn, promo, demoF, demoP)
+		if c.Accesses == 0 {
+			return true
+		}
+		res := &sim.Result{Counts: c, DRAMPages: 10, NVMPages: 90, RuntimeNS: 1e6}
+		rep, err := Evaluate(res, spec)
+		if err != nil {
+			return false
+		}
+
+		// (1) direct per-access cost.
+		n := float64(c.Accesses)
+		direct := (float64(c.ReadsDRAM)*50 + float64(c.WritesDRAM)*50 +
+			float64(c.ReadsNVM)*100 + float64(c.WritesNVM)*350 +
+			float64(c.Faults)*5e6 +
+			float64(c.Promotions)*pf*(100+50) +
+			float64(c.DemotionsPromo)*pf*(50+350)) / n
+		if math.Abs(rep.AMAT.Total()-direct) > 1e-6*math.Max(1, direct) {
+			return false
+		}
+
+		// (2) normalization.
+		p := rep.Probabilities
+		if math.Abs(p.PHitDRAM+p.PHitNVM+p.PMiss-1) > 1e-9 {
+			return false
+		}
+		if c.HitsNVM() > 0 && math.Abs(p.PRNVM+p.PWNVM-1) > 1e-9 {
+			return false
+		}
+
+		// (3) write sources.
+		w := rep.NVMWrites
+		if w.Requests != c.WritesNVM ||
+			w.PageFault != c.FaultsToNVM*int64(pf) ||
+			w.Migration != c.Demotions*int64(pf) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStaticMonotone checks that static energy per access grows with
+// runtime and with memory size, for arbitrary positive inputs.
+func TestQuickStaticMonotone(t *testing.T) {
+	spec := memspec.Default()
+	f := func(dramPages, nvmPages uint8, runtimeMS uint16) bool {
+		d := int(dramPages)%100 + 1
+		nv := int(nvmPages)%1000 + 1
+		rt := (float64(runtimeMS) + 1) * 1e6
+		mk := func(d, n int, rt float64) float64 {
+			res := &sim.Result{DRAMPages: d, NVMPages: n, RuntimeNS: rt}
+			res.Counts.Accesses = 1000
+			res.Counts.ReadsDRAM = 1000
+			rep, err := Evaluate(res, spec)
+			if err != nil {
+				return math.NaN()
+			}
+			return rep.APPR.Static
+		}
+		base := mk(d, nv, rt)
+		if !(mk(d, nv, 2*rt) > base) {
+			return false
+		}
+		if !(mk(2*d, nv, rt) > base) {
+			return false
+		}
+		return mk(d, 2*nv, rt) > base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"hybridmem/internal/mm"
+	"hybridmem/internal/trace"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := NewDRAMOnly(0); err == nil {
+		t.Error("0-frame DRAM-only should error")
+	}
+	if _, err := NewNVMOnly(-1); err == nil {
+		t.Error("negative NVM-only should error")
+	}
+}
+
+func TestDRAMOnlyHitAndFault(t *testing.T) {
+	p, err := NewDRAMOnly(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "dram-only" {
+		t.Errorf("name = %q", p.Name())
+	}
+	res, err := p.Access(1, trace.OpRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fault || res.ServedFrom != mm.LocDRAM {
+		t.Errorf("first access: %+v", res)
+	}
+	if len(res.Moves) != 1 || res.Moves[0].Reason != ReasonFault ||
+		res.Moves[0].From != mm.LocDisk || res.Moves[0].To != mm.LocDRAM {
+		t.Errorf("fault moves = %v", res.Moves)
+	}
+	res, _ = p.Access(1, trace.OpWrite)
+	if res.Fault || len(res.Moves) != 0 {
+		t.Errorf("hit should have no moves: %+v", res)
+	}
+}
+
+func TestDRAMOnlyLRUEviction(t *testing.T) {
+	p, _ := NewDRAMOnly(2)
+	p.Access(1, trace.OpRead)
+	p.Access(2, trace.OpRead)
+	p.Access(1, trace.OpRead) // 1 is MRU now
+	res, _ := p.Access(3, trace.OpRead)
+	if len(res.Moves) != 2 {
+		t.Fatalf("moves = %v", res.Moves)
+	}
+	if res.Moves[0].Reason != ReasonEvict || res.Moves[0].Page != 2 {
+		t.Errorf("evicted %v, want page 2", res.Moves[0])
+	}
+	if res.Moves[1].Reason != ReasonFault || res.Moves[1].Page != 3 {
+		t.Errorf("fault move %v", res.Moves[1])
+	}
+	// Page 2 must fault again.
+	res, _ = p.Access(2, trace.OpRead)
+	if !res.Fault {
+		t.Error("evicted page should fault")
+	}
+}
+
+func TestNVMOnlyServesFromNVM(t *testing.T) {
+	p, err := NewNVMOnly(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := p.Access(7, trace.OpWrite)
+	if res.ServedFrom != mm.LocNVM || !res.Fault {
+		t.Errorf("%+v", res)
+	}
+	if p.System().Loc(7) != mm.LocNVM {
+		t.Error("page not in NVM")
+	}
+	res, _ = p.Access(8, trace.OpRead)
+	if res.Moves[0].From != mm.LocNVM || res.Moves[0].To != mm.LocDisk {
+		t.Errorf("eviction edge wrong: %v", res.Moves[0])
+	}
+}
+
+func TestReasonString(t *testing.T) {
+	for r, want := range map[Reason]string{
+		ReasonFault: "fault", ReasonPromotion: "promotion",
+		ReasonDemoteFault: "demote-fault", ReasonDemotePromo: "demote-promotion",
+		ReasonEvict: "evict", Reason(42): "reason(42)",
+	} {
+		if r.String() != want {
+			t.Errorf("Reason(%d) = %q, want %q", r, r, want)
+		}
+	}
+}
+
+// TestSingleZoneMatchesMM drives a random workload and cross-checks the LRU
+// list against the physical memory map plus basic conservation properties.
+func TestSingleZoneMatchesMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p, _ := NewDRAMOnly(16)
+	faults := 0
+	for i := 0; i < 5000; i++ {
+		page := uint64(rng.Intn(64))
+		res, err := p.Access(page, trace.Op(rng.Intn(2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Fault {
+			faults++
+		}
+		if got := p.System().Loc(page); got != mm.LocDRAM {
+			t.Fatalf("accessed page %d at %v", page, got)
+		}
+		if err := p.System().CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if r := p.System().Residents(mm.LocDRAM); r > 16 {
+			t.Fatalf("over capacity: %d", r)
+		}
+	}
+	if faults < 64 {
+		t.Errorf("faults = %d, want at least one per distinct page", faults)
+	}
+}

@@ -1,0 +1,80 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"hybridmem/internal/mm"
+	"hybridmem/internal/trace"
+)
+
+func TestStaticPartitionValidation(t *testing.T) {
+	if _, err := NewStaticPartition(0, 4); err == nil {
+		t.Error("zero DRAM should error")
+	}
+	if _, err := NewStaticPartition(4, 0); err == nil {
+		t.Error("zero NVM should error")
+	}
+}
+
+func TestStaticPartitionFirstTouch(t *testing.T) {
+	p, err := NewStaticPartition(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First two faults fill DRAM, the next three fill NVM.
+	for i := uint64(1); i <= 5; i++ {
+		res, err := p.Access(i, trace.OpRead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := mm.LocDRAM
+		if i > 2 {
+			want = mm.LocNVM
+		}
+		if res.ServedFrom != want {
+			t.Errorf("page %d placed in %v, want %v", i, res.ServedFrom, want)
+		}
+	}
+	// No page ever migrates: hit page 3 (NVM) with writes, stays in NVM.
+	for i := 0; i < 200; i++ {
+		res, _ := p.Access(3, trace.OpWrite)
+		if res.ServedFrom != mm.LocNVM || len(res.Moves) != 0 {
+			t.Fatalf("static partition migrated: %+v", res)
+		}
+	}
+}
+
+func TestStaticPartitionEvictsWithinNVM(t *testing.T) {
+	p, _ := NewStaticPartition(1, 2)
+	p.Access(1, trace.OpRead) // DRAM
+	p.Access(2, trace.OpRead) // NVM
+	p.Access(3, trace.OpRead) // NVM
+	res, _ := p.Access(4, trace.OpRead)
+	if len(res.Moves) != 2 || res.Moves[0].Reason != ReasonEvict || res.Moves[0].Page != 2 {
+		t.Errorf("moves = %v", res.Moves)
+	}
+	// The DRAM page is never displaced by NVM pressure.
+	if p.sys.Loc(1) != mm.LocDRAM {
+		t.Error("DRAM resident displaced")
+	}
+}
+
+func TestStaticPartitionInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	p, _ := NewStaticPartition(8, 24)
+	for i := 0; i < 10000; i++ {
+		page := uint64(rng.Intn(60))
+		if _, err := p.Access(page, trace.Op(rng.Intn(2))); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if i%1000 == 0 {
+			if err := p.System().CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	if got := p.System().Residents(mm.LocDRAM); got != 8 {
+		t.Errorf("DRAM residents = %d, want full 8", got)
+	}
+}

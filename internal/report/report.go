@@ -1,0 +1,191 @@
+// Package report renders experiment results as ASCII tables, stacked-bar
+// text charts and CSV, so every figure and table of the paper can be
+// regenerated on a terminal and diffed in CI.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row (padded or truncated to the header width).
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// Write renders the table to w.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV (comma-separated, quotes around cells
+// containing commas).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// StackedBars renders grouped stacked bars as text, one row per column.
+// Each group's components are drawn with distinct fill runes, scaled so the
+// largest total spans width characters.
+type StackedBars struct {
+	Title   string
+	YLabel  string
+	Columns []string
+	Groups  []BarGroup
+	// Width is the maximum bar width in characters (default 60).
+	Width int
+}
+
+// BarGroup is one bar per column.
+type BarGroup struct {
+	Name       string
+	Components []BarComponent
+}
+
+// BarComponent is one stacked segment across all columns.
+type BarComponent struct {
+	Label  string
+	Values []float64
+}
+
+// fills are the component fill runes, in order.
+var fills = []rune{'#', '=', '.', '+', '~', 'o'}
+
+// Write renders the chart to w.
+func (s *StackedBars) Write(w io.Writer) error {
+	width := s.Width
+	if width <= 0 {
+		width = 60
+	}
+	maxTotal := 0.0
+	for _, g := range s.Groups {
+		for c := range s.Columns {
+			t := 0.0
+			for _, comp := range g.Components {
+				t += comp.Values[c]
+			}
+			if t > maxTotal {
+				maxTotal = t
+			}
+		}
+	}
+	if maxTotal == 0 {
+		maxTotal = 1
+	}
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "%s\n", s.Title)
+	}
+	if s.YLabel != "" {
+		fmt.Fprintf(&b, "(%s; full width = %.3g)\n", s.YLabel, maxTotal)
+	}
+	// Legend.
+	for gi, g := range s.Groups {
+		if len(s.Groups) > 1 {
+			fmt.Fprintf(&b, "group %q: ", g.Name)
+		} else {
+			_ = gi
+			b.WriteString("legend: ")
+		}
+		for ci, comp := range g.Components {
+			if ci > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%c=%s", fills[ci%len(fills)], comp.Label)
+		}
+		b.WriteString("\n")
+	}
+	nameW := 0
+	for _, c := range s.Columns {
+		if len(c) > nameW {
+			nameW = len(c)
+		}
+	}
+	for c, col := range s.Columns {
+		for gi, g := range s.Groups {
+			label := col
+			if gi > 0 {
+				label = ""
+			}
+			total := 0.0
+			var bar strings.Builder
+			for ci, comp := range g.Components {
+				v := comp.Values[c]
+				total += v
+				n := int(v/maxTotal*float64(width) + 0.5)
+				for i := 0; i < n; i++ {
+					bar.WriteRune(fills[ci%len(fills)])
+				}
+			}
+			tag := ""
+			if len(s.Groups) > 1 {
+				tag = fmt.Sprintf(" [%s]", g.Name)
+			}
+			fmt.Fprintf(&b, "%-*s %8.3f |%s%s\n", nameW, label, total, bar.String(), tag)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,137 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableWrite(t *testing.T) {
+	tab := &Table{
+		Title:   "Memory Characteristics",
+		Headers: []string{"Memory", "Latency", "Power"},
+	}
+	tab.AddRow("DRAM", "50/50", "3.2/3.2")
+	tab.AddRow("NVM (PCM)", "100/350", "6.4/32")
+	var b strings.Builder
+	if err := tab.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Memory", "NVM (PCM)", "100/350", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title + header + sep + 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tab := &Table{Headers: []string{"a", "b", "c"}}
+	tab.AddRow("x") // padded
+	var b strings.Builder
+	if err := tab.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "x") {
+		t.Error("row lost")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Headers: []string{"name", "value"}}
+	tab.AddRow("plain", "1")
+	tab.AddRow("with,comma", "2")
+	tab.AddRow(`with"quote`, "3")
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "name,value\n") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `"with,comma",2`) {
+		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, `"with""quote",3`) {
+		t.Errorf("quote cell not escaped:\n%s", out)
+	}
+}
+
+func TestStackedBars(t *testing.T) {
+	chart := &StackedBars{
+		Title:   "Test Figure",
+		YLabel:  "normalized",
+		Columns: []string{"wl-a", "wl-b"},
+		Width:   20,
+		Groups: []BarGroup{{
+			Name: "policy",
+			Components: []BarComponent{
+				{Label: "static", Values: []float64{0.5, 1.0}},
+				{Label: "dynamic", Values: []float64{0.5, 1.0}},
+			},
+		}},
+	}
+	var b strings.Builder
+	if err := chart.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "#=static") && !strings.Contains(out, "#=") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	// wl-b total (2.0) is the max: its bar should be ~20 chars; wl-a ~10.
+	lines := strings.Split(out, "\n")
+	var aBar, bBar string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "wl-a") {
+			aBar = l[strings.Index(l, "|")+1:]
+		}
+		if strings.HasPrefix(l, "wl-b") {
+			bBar = l[strings.Index(l, "|")+1:]
+		}
+	}
+	if len(bBar) < 19 || len(bBar) > 21 {
+		t.Errorf("wl-b bar length %d, want ~20: %q", len(bBar), bBar)
+	}
+	if len(aBar) < 9 || len(aBar) > 11 {
+		t.Errorf("wl-a bar length %d, want ~10: %q", len(aBar), aBar)
+	}
+	if !strings.Contains(out, "2.000") {
+		t.Errorf("totals missing:\n%s", out)
+	}
+}
+
+func TestStackedBarsMultiGroup(t *testing.T) {
+	chart := &StackedBars{
+		Columns: []string{"w"},
+		Groups: []BarGroup{
+			{Name: "clock-dwf", Components: []BarComponent{{Label: "x", Values: []float64{1}}}},
+			{Name: "proposed", Components: []BarComponent{{Label: "x", Values: []float64{0.5}}}},
+		},
+	}
+	var b strings.Builder
+	if err := chart.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "[clock-dwf]") || !strings.Contains(out, "[proposed]") {
+		t.Errorf("group tags missing:\n%s", out)
+	}
+}
+
+func TestStackedBarsZeroValues(t *testing.T) {
+	chart := &StackedBars{
+		Columns: []string{"w"},
+		Groups: []BarGroup{{Name: "g", Components: []BarComponent{
+			{Label: "x", Values: []float64{0}},
+		}}},
+	}
+	var b strings.Builder
+	if err := chart.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+}

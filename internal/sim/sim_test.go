@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hybridmem/internal/clockdwf"
+	"hybridmem/internal/core"
+	"hybridmem/internal/memspec"
+	"hybridmem/internal/policy"
+	"hybridmem/internal/trace"
+)
+
+// addr returns a line-aligned address inside the given page.
+func addr(page uint64) uint64 { return page*4096 + 64 }
+
+func rec(page uint64, op trace.Op, gap uint32) trace.Record {
+	return trace.Record{Addr: addr(page), Op: op, GapNS: gap}
+}
+
+func TestRunRejectsBadSpec(t *testing.T) {
+	p, _ := policy.NewDRAMOnly(2)
+	spec := memspec.Default()
+	spec.Geometry.LineSizeBytes = 0
+	if _, err := Run(trace.NewSliceSource(nil), p, spec, Options{}); err == nil {
+		t.Error("invalid spec should error")
+	}
+}
+
+func TestCountsDRAMOnly(t *testing.T) {
+	p, _ := policy.NewDRAMOnly(2)
+	spec := memspec.Default()
+	recs := []trace.Record{
+		rec(1, trace.OpRead, 100), // fault
+		rec(1, trace.OpWrite, 50), // DRAM write hit
+		rec(2, trace.OpRead, 0),   // fault
+		rec(1, trace.OpRead, 25),  // DRAM read hit
+		rec(3, trace.OpRead, 0),   // fault, evicts 2
+	}
+	r, err := Run(trace.NewSliceSource(recs), p, spec, Options{Shadow: true, CheckEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := r.Counts
+	if c.Accesses != 5 || c.Faults != 3 || c.FaultsToDRAM != 3 {
+		t.Errorf("accesses/faults = %d/%d/%d", c.Accesses, c.Faults, c.FaultsToDRAM)
+	}
+	if c.ReadsDRAM != 1 || c.WritesDRAM != 1 {
+		t.Errorf("DRAM hits = %d/%d", c.ReadsDRAM, c.WritesDRAM)
+	}
+	if c.EvictionsDRAM != 1 {
+		t.Errorf("evictions = %d", c.EvictionsDRAM)
+	}
+	if c.TotalGapNS != 175 {
+		t.Errorf("gap = %v", c.TotalGapNS)
+	}
+	// Service time: 3 faults * 5ms + 1 read * 50 + 1 write * 50.
+	want := 3*5e6 + 100.0
+	if math.Abs(r.ServiceNS-want) > 1e-9 {
+		t.Errorf("service = %v, want %v", r.ServiceNS, want)
+	}
+	if r.RuntimeNS != r.ServiceNS+175 {
+		t.Errorf("runtime = %v", r.RuntimeNS)
+	}
+}
+
+func TestCountsHybridMigration(t *testing.T) {
+	// Proposed scheme with write threshold 1 and full-queue windows:
+	// the 2nd write to an NVM page promotes it.
+	s, err := core.New(1, 2, core.Config{ReadPerc: 1, WritePerc: 1, ReadThreshold: 100, WriteThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := memspec.Default()
+	recs := []trace.Record{
+		rec(1, trace.OpRead, 0),  // fault -> DRAM
+		rec(2, trace.OpRead, 0),  // fault -> DRAM, 1 demoted to NVM
+		rec(1, trace.OpWrite, 0), // NVM write hit (counter 1)
+		rec(1, trace.OpWrite, 0), // NVM write hit (counter 2 > 1): promote, demote 2
+	}
+	r, err := Run(trace.NewSliceSource(recs), s, spec, Options{Shadow: true, CheckEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := r.Counts
+	if c.WritesNVM != 2 {
+		t.Errorf("NVM writes = %d, want 2", c.WritesNVM)
+	}
+	if c.Promotions != 1 || c.Demotions != 2 || c.DemotionsFault != 1 || c.DemotionsPromo != 1 {
+		t.Errorf("moves = P%d D%d (f%d p%d)", c.Promotions, c.Demotions, c.DemotionsFault, c.DemotionsPromo)
+	}
+	// Wear: 2 NVM write hits + 2 page copies into NVM * 64 lines.
+	if r.NVMWear.Total != 2+2*64 {
+		t.Errorf("wear = %d, want %d", r.NVMWear.Total, 2+2*64)
+	}
+	// Service: 2 faults*5ms + 2 NVM writes*350 + 1 promo*64*(100+50) +
+	// 1 promotion-forced demotion*64*(50+350); the fault-forced demotion
+	// overlaps the disk DMA and adds no time.
+	want := 2*5e6 + 2*350 + 1*64*150 + 1*64*400.0
+	if math.Abs(r.ServiceNS-want) > 1e-6 {
+		t.Errorf("service = %v, want %v", r.ServiceNS, want)
+	}
+}
+
+func TestHitsPlusFaultsEqualsAccesses(t *testing.T) {
+	policies := map[string]policy.Policy{}
+	if p, err := policy.NewDRAMOnly(30); err == nil {
+		policies["dram"] = p
+	}
+	if p, err := policy.NewNVMOnly(30); err == nil {
+		policies["nvm"] = p
+	}
+	if p, err := clockdwf.New(3, 27, clockdwf.DefaultConfig()); err == nil {
+		policies["clockdwf"] = p
+	}
+	if p, err := core.New(3, 27, core.DefaultConfig()); err == nil {
+		policies["core"] = p
+	}
+	for name, p := range policies {
+		rng := rand.New(rand.NewSource(1))
+		recs := make([]trace.Record, 4000)
+		for i := range recs {
+			recs[i] = rec(uint64(rng.Intn(40)), trace.Op(rng.Intn(2)), uint32(rng.Intn(100)))
+		}
+		r, err := Run(trace.NewSliceSource(recs), p, memspec.Default(),
+			Options{Shadow: true, CheckEvery: 100})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		c := r.Counts
+		if c.Hits()+c.Faults != c.Accesses {
+			t.Errorf("%s: hits %d + faults %d != accesses %d", name, c.Hits(), c.Faults, c.Accesses)
+		}
+		if c.FaultsToDRAM+c.FaultsToNVM != c.Faults {
+			t.Errorf("%s: fault split broken", name)
+		}
+		if c.DemotionsFault+c.DemotionsPromo != c.Demotions {
+			t.Errorf("%s: demotion split broken", name)
+		}
+	}
+}
+
+func TestShadowCatchesNothingOnHealthyPolicies(t *testing.T) {
+	// The shadow map plus per-access checks passing over a long random run
+	// is the integration-level proof that policies report truthful moves.
+	s, _ := core.New(4, 16, core.DefaultConfig())
+	rng := rand.New(rand.NewSource(2))
+	recs := make([]trace.Record, 20000)
+	for i := range recs {
+		page := uint64(rng.Intn(30))
+		if rng.Intn(10) < 7 {
+			page = uint64(rng.Intn(8))
+		}
+		recs[i] = rec(page, trace.Op(rng.Intn(2)), 0)
+	}
+	if _, err := Run(trace.NewSliceSource(recs), s, memspec.Default(),
+		Options{Shadow: true, CheckEvery: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyTraceRuns(t *testing.T) {
+	p, _ := policy.NewDRAMOnly(2)
+	r, err := Run(trace.NewSliceSource(nil), p, memspec.Default(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Counts.Accesses != 0 || r.RuntimeNS != 0 {
+		t.Errorf("empty run: %+v", r)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	p, _ := policy.NewDRAMOnly(16)
+	rng := rand.New(rand.NewSource(8))
+	recs := make([]trace.Record, 1000)
+	for i := range recs {
+		recs[i] = rec(uint64(rng.Intn(20)), trace.OpRead, 0)
+	}
+	r, err := Run(trace.NewSliceSource(recs), p, memspec.Default(),
+		Options{SampleEvery: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Samples) != 4 {
+		t.Fatalf("samples = %d, want 4", len(r.Samples))
+	}
+	for i, s := range r.Samples {
+		if s.Accesses != int64(250*(i+1)) {
+			t.Errorf("sample %d at %d accesses", i, s.Accesses)
+		}
+		if i > 0 {
+			prev := r.Samples[i-1]
+			if s.Faults < prev.Faults || s.HitsDRAM < prev.HitsDRAM {
+				t.Error("cumulative counters went backwards")
+			}
+		}
+	}
+	// No sampling requested -> no samples.
+	p2, _ := policy.NewDRAMOnly(16)
+	r2, _ := Run(trace.NewSliceSource(recs), p2, memspec.Default(), Options{})
+	if r2.Samples != nil {
+		t.Error("unexpected samples")
+	}
+}
+
+func TestStaticPartitionThroughSim(t *testing.T) {
+	p, err := policy.NewStaticPartition(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	recs := make([]trace.Record, 5000)
+	for i := range recs {
+		recs[i] = rec(uint64(rng.Intn(30)), trace.Op(rng.Intn(2)), 0)
+	}
+	r, err := Run(trace.NewSliceSource(recs), p, memspec.Default(),
+		Options{Shadow: true, CheckEvery: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Counts.Promotions != 0 || r.Counts.Demotions != 0 {
+		t.Error("static partition must never migrate")
+	}
+}

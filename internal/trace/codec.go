@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace format:
+//
+//	8-byte magic "HMEMTRC1"
+//	repeated 14-byte little-endian records:
+//	  addr uint64 | gapNS uint32 | op uint8 | cpu uint8
+//
+// The format is stream-oriented (no record count in the header) so traces can
+// be produced and consumed incrementally.
+var magic = [8]byte{'H', 'M', 'E', 'M', 'T', 'R', 'C', '1'}
+
+const recordSize = 14
+
+// Writer encodes records to an io.Writer in the binary trace format.
+type Writer struct {
+	w     *bufio.Writer
+	wrote bool
+	buf   [recordSize]byte
+}
+
+// NewWriter returns a Writer targeting w. The header is written lazily on the
+// first record (or on Flush).
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+func (w *Writer) header() error {
+	if w.wrote {
+		return nil
+	}
+	w.wrote = true
+	_, err := w.w.Write(magic[:])
+	return err
+}
+
+// Write encodes one record.
+func (w *Writer) Write(r Record) error {
+	if err := w.header(); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(w.buf[0:8], r.Addr)
+	binary.LittleEndian.PutUint32(w.buf[8:12], r.GapNS)
+	w.buf[12] = byte(r.Op)
+	w.buf[13] = r.CPU
+	_, err := w.w.Write(w.buf[:])
+	return err
+}
+
+// Flush writes any buffered data (and the header, if nothing was written).
+func (w *Writer) Flush() error {
+	if err := w.header(); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Reader decodes records from an io.Reader in the binary trace format.
+// It implements Source via Next.
+type Reader struct {
+	r      *bufio.Reader
+	parsed bool
+	err    error
+	buf    [recordSize]byte
+}
+
+// NewReader returns a Reader over r. The header is validated on first read.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Read returns the next record, or io.EOF at end of stream.
+func (r *Reader) Read() (Record, error) {
+	if r.err != nil {
+		return Record{}, r.err
+	}
+	if !r.parsed {
+		r.parsed = true
+		var got [8]byte
+		if _, err := io.ReadFull(r.r, got[:]); err != nil {
+			r.err = fmt.Errorf("trace: reading header: %w", err)
+			return Record{}, r.err
+		}
+		if got != magic {
+			r.err = fmt.Errorf("trace: bad magic %q", got[:])
+			return Record{}, r.err
+		}
+	}
+	if _, err := io.ReadFull(r.r, r.buf[:]); err != nil {
+		if err == io.EOF {
+			r.err = io.EOF
+		} else {
+			r.err = fmt.Errorf("trace: reading record: %w", err)
+		}
+		return Record{}, r.err
+	}
+	return Record{
+		Addr:  binary.LittleEndian.Uint64(r.buf[0:8]),
+		GapNS: binary.LittleEndian.Uint32(r.buf[8:12]),
+		Op:    Op(r.buf[12]),
+		CPU:   r.buf[13],
+	}, nil
+}
+
+// Next implements Source. Decode errors terminate the stream; check Err.
+func (r *Reader) Next() (Record, bool) {
+	rec, err := r.Read()
+	return rec, err == nil
+}
+
+// Err returns the error that terminated the stream, or nil. io.EOF is
+// reported as nil (normal end of trace).
+func (r *Reader) Err() error {
+	if r.err == io.EOF {
+		return nil
+	}
+	return r.err
+}
+
+// WriteAll drains src into w and returns the number of records written.
+func WriteAll(w *Writer, src Source) (int, error) {
+	n := 0
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			return n, w.Flush()
+		}
+		if err := w.Write(rec); err != nil {
+			return n, err
+		}
+		n++
+	}
+}

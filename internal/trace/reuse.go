@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ReuseAnalyzer measures page-level LRU stack distances (reuse distances):
+// for each access, the number of distinct pages touched since the previous
+// access to the same page. The distribution determines every LRU-family
+// policy's hit ratio directly — an access hits a memory of C frames exactly
+// when its reuse distance is < C — so it is the locality ground truth the
+// workload generators are calibrated against.
+type ReuseAnalyzer struct {
+	pageSize int
+	// stack is the LRU ordering of pages (front = MRU); index = distance.
+	stack *stackList
+	// hist counts reuse distances into power-of-two buckets; the last
+	// bucket collects cold (first-touch) accesses.
+	hist   []int64
+	total  int64
+	colds  int64
+	maxBkt int
+}
+
+// stackList is a doubly-linked list with a position-counting walk.
+type stackList struct {
+	nodes map[uint64]*stackNode
+	head  *stackNode
+}
+
+type stackNode struct {
+	page       uint64
+	prev, next *stackNode
+}
+
+// NewReuseAnalyzer creates an analyzer with 2^maxBucket as the largest
+// distinguished distance.
+func NewReuseAnalyzer(pageSizeBytes, maxBucket int) (*ReuseAnalyzer, error) {
+	if pageSizeBytes <= 0 {
+		return nil, fmt.Errorf("trace: page size %d", pageSizeBytes)
+	}
+	if maxBucket < 1 || maxBucket > 40 {
+		return nil, fmt.Errorf("trace: maxBucket %d outside [1,40]", maxBucket)
+	}
+	return &ReuseAnalyzer{
+		pageSize: pageSizeBytes,
+		stack:    &stackList{nodes: make(map[uint64]*stackNode)},
+		hist:     make([]int64, maxBucket+1),
+		maxBkt:   maxBucket,
+	}, nil
+}
+
+// Observe processes one access and returns its reuse distance
+// (-1 for a cold first touch).
+func (r *ReuseAnalyzer) Observe(rec Record) int {
+	page := rec.Page(r.pageSize)
+	r.total++
+	d := r.stack.moveToFront(page)
+	if d < 0 {
+		r.colds++
+		return -1
+	}
+	b := bucketOf(d)
+	if b > r.maxBkt {
+		b = r.maxBkt
+	}
+	r.hist[b]++
+	return d
+}
+
+// bucketOf maps a distance to its power-of-two bucket: 0 -> 0, 1 -> 1,
+// 2..3 -> 2, 4..7 -> 3, ...
+func bucketOf(d int) int {
+	b := 0
+	for v := d; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// moveToFront returns the page's current stack depth (distinct pages above
+// it) and moves it to the front; -1 if the page was never seen.
+//
+// The walk makes Observe O(distance); across a trace this is bounded by
+// O(n * footprint) worst case but is far cheaper on local workloads, and it
+// is exact — the tool is for offline characterization, not the simulation
+// hot path.
+func (s *stackList) moveToFront(page uint64) int {
+	n, ok := s.nodes[page]
+	if !ok {
+		n = &stackNode{page: page}
+		s.nodes[page] = n
+		if s.head != nil {
+			n.next = s.head
+			s.head.prev = n
+		}
+		s.head = n
+		return -1
+	}
+	d := 0
+	for cur := s.head; cur != n; cur = cur.next {
+		d++
+	}
+	if n != s.head {
+		n.prev.next = n.next
+		if n.next != nil {
+			n.next.prev = n.prev
+		}
+		n.prev = nil
+		n.next = s.head
+		s.head.prev = n
+		s.head = n
+	}
+	return d
+}
+
+// Total returns the number of accesses observed.
+func (r *ReuseAnalyzer) Total() int64 { return r.total }
+
+// ColdFraction returns the share of first-touch accesses.
+func (r *ReuseAnalyzer) ColdFraction() float64 {
+	if r.total == 0 {
+		return 0
+	}
+	return float64(r.colds) / float64(r.total)
+}
+
+// HitRatioAt returns the fraction of accesses whose reuse distance is below
+// the given frame count: the exact LRU hit ratio of a memory that large.
+func (r *ReuseAnalyzer) HitRatioAt(frames int) float64 {
+	if r.total == 0 || frames <= 0 {
+		return 0
+	}
+	// Buckets fully below `frames` count entirely; the straddling bucket is
+	// interpolated linearly.
+	var hits float64
+	for b, n := range r.hist {
+		lo, hi := bucketRange(b)
+		switch {
+		case hi < frames:
+			hits += float64(n)
+		case lo >= frames:
+			// beyond
+		default:
+			span := float64(hi - lo + 1)
+			hits += float64(n) * float64(frames-lo) / span
+		}
+	}
+	return hits / float64(r.total)
+}
+
+// bucketRange returns the inclusive distance range of bucket b.
+func bucketRange(b int) (lo, hi int) {
+	if b == 0 {
+		return 0, 0
+	}
+	return 1 << (b - 1), 1<<b - 1
+}
+
+// Buckets returns (loDistance, count) pairs for non-empty buckets in order.
+type ReuseBucket struct {
+	LoDistance, HiDistance int
+	Count                  int64
+}
+
+// Histogram returns the non-empty buckets in ascending distance order.
+func (r *ReuseAnalyzer) Histogram() []ReuseBucket {
+	var out []ReuseBucket
+	for b, n := range r.hist {
+		if n == 0 {
+			continue
+		}
+		lo, hi := bucketRange(b)
+		out = append(out, ReuseBucket{LoDistance: lo, HiDistance: hi, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LoDistance < out[j].LoDistance })
+	return out
+}
+
+// AnalyzeReuse drains a source through a fresh analyzer.
+func AnalyzeReuse(src Source, pageSizeBytes, maxBucket int) (*ReuseAnalyzer, error) {
+	r, err := NewReuseAnalyzer(pageSizeBytes, maxBucket)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			return r, nil
+		}
+		r.Observe(rec)
+	}
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func pageRec(page uint64) Record { return Record{Addr: page * 4096} }
+
+func TestReuseAnalyzerValidation(t *testing.T) {
+	if _, err := NewReuseAnalyzer(0, 10); err == nil {
+		t.Error("zero page size should error")
+	}
+	if _, err := NewReuseAnalyzer(4096, 0); err == nil {
+		t.Error("zero buckets should error")
+	}
+	if _, err := NewReuseAnalyzer(4096, 64); err == nil {
+		t.Error("oversized buckets should error")
+	}
+}
+
+func TestReuseDistancesExact(t *testing.T) {
+	r, err := NewReuseAnalyzer(4096, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Access pattern: A B C A A C. The first reuse of A has distance 2
+	// (B and C in between); the immediate repeat has distance 0; the reuse
+	// of C sees only the distinct page A above it, distance 1.
+	want := []int{-1, -1, -1, 2, 0, 1}
+	pages := []uint64{1, 2, 3, 1, 1, 3}
+	for i, p := range pages {
+		if got := r.Observe(pageRec(p)); got != want[i] {
+			t.Errorf("access %d (page %d): distance %d, want %d", i, p, got, want[i])
+		}
+	}
+	if r.Total() != 6 {
+		t.Errorf("total = %d", r.Total())
+	}
+	if got := r.ColdFraction(); got != 0.5 {
+		t.Errorf("cold fraction = %v, want 0.5", got)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 1023: 10, 1024: 11}
+	for d, want := range cases {
+		if got := bucketOf(d); got != want {
+			t.Errorf("bucketOf(%d) = %d, want %d", d, got, want)
+		}
+	}
+}
+
+func TestBucketRangesPartition(t *testing.T) {
+	// Property: every distance lands in exactly the bucket whose range
+	// contains it.
+	f := func(raw uint16) bool {
+		d := int(raw)
+		b := bucketOf(d)
+		lo, hi := bucketRange(b)
+		return lo <= d && d <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHitRatioMatchesLRUSimulation cross-validates the analyzer against a
+// direct LRU simulation: HitRatioAt(C) must approximate the hit ratio of a
+// C-frame LRU memory (exactly on bucket boundaries, interpolated inside).
+func TestHitRatioMatchesLRUSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var recs []Record
+	for i := 0; i < 20000; i++ {
+		var p uint64
+		if rng.Intn(10) < 7 {
+			p = uint64(rng.Intn(16))
+		} else {
+			p = uint64(16 + rng.Intn(200))
+		}
+		recs = append(recs, pageRec(p))
+	}
+	r, err := AnalyzeReuse(NewSliceSource(recs), 4096, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct LRU simulation at power-of-two capacities (bucket boundaries,
+	// where the analyzer is exact).
+	for _, frames := range []int{16, 32, 64, 128} {
+		type node struct{ page uint64 }
+		_ = node{}
+		order := []uint64{}
+		pos := map[uint64]int{}
+		hits := 0
+		for _, rec := range recs {
+			p := rec.Page(4096)
+			if i, ok := pos[p]; ok && i < frames {
+				hits++
+			}
+			// Move to front of `order`.
+			if i, ok := pos[p]; ok {
+				order = append(order[:i], order[i+1:]...)
+			}
+			order = append([]uint64{p}, order...)
+			for i, q := range order {
+				pos[q] = i
+			}
+		}
+		want := float64(hits) / float64(len(recs))
+		got := r.HitRatioAt(frames)
+		if got < want-0.01 || got > want+0.01 {
+			t.Errorf("HitRatioAt(%d) = %v, LRU simulation %v", frames, got, want)
+		}
+	}
+}
+
+func TestHistogramOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	r, _ := NewReuseAnalyzer(4096, 16)
+	for i := 0; i < 5000; i++ {
+		r.Observe(pageRec(uint64(rng.Intn(100))))
+	}
+	buckets := r.Histogram()
+	if len(buckets) == 0 {
+		t.Fatal("no buckets")
+	}
+	total := int64(0)
+	for i, b := range buckets {
+		if i > 0 && b.LoDistance <= buckets[i-1].LoDistance {
+			t.Error("buckets out of order")
+		}
+		if b.Count <= 0 {
+			t.Error("empty bucket reported")
+		}
+		total += b.Count
+	}
+	// Histogram counts warm accesses only.
+	if total != r.Total()-int64(float64(r.Total())*r.ColdFraction()) {
+		t.Errorf("histogram total %d inconsistent with %d accesses", total, r.Total())
+	}
+}
+
+func TestReuseEmpty(t *testing.T) {
+	r, _ := NewReuseAnalyzer(4096, 8)
+	if r.ColdFraction() != 0 || r.HitRatioAt(10) != 0 {
+		t.Error("empty analyzer should be zero")
+	}
+}

@@ -1,0 +1,67 @@
+package trace
+
+// Stats accumulates the characterization statistics the paper reports in
+// Table III: request counts by kind, the distinct-page footprint, and the
+// total CPU gap time (used by the timing model).
+type Stats struct {
+	Reads, Writes int64
+	TotalGapNS    float64
+	pages         map[uint64]struct{}
+	pageSizeBytes int
+}
+
+// NewStats returns a Stats accumulator for the given page size.
+func NewStats(pageSizeBytes int) *Stats {
+	return &Stats{pages: make(map[uint64]struct{}), pageSizeBytes: pageSizeBytes}
+}
+
+// Observe records one access.
+func (s *Stats) Observe(r Record) {
+	if r.Op == OpWrite {
+		s.Writes++
+	} else {
+		s.Reads++
+	}
+	s.TotalGapNS += float64(r.GapNS)
+	s.pages[r.Page(s.pageSizeBytes)] = struct{}{}
+}
+
+// Total returns the total number of accesses observed.
+func (s *Stats) Total() int64 { return s.Reads + s.Writes }
+
+// FootprintPages returns the number of distinct pages touched.
+func (s *Stats) FootprintPages() int { return len(s.pages) }
+
+// WorkingSetKB returns the footprint in kilobytes (Table III "Working Set
+// Size (KB)").
+func (s *Stats) WorkingSetKB() int {
+	return len(s.pages) * s.pageSizeBytes / 1024
+}
+
+// ReadFraction returns reads / total (0 for an empty trace).
+func (s *Stats) ReadFraction() float64 {
+	if t := s.Total(); t > 0 {
+		return float64(s.Reads) / float64(t)
+	}
+	return 0
+}
+
+// WriteFraction returns writes / total (0 for an empty trace).
+func (s *Stats) WriteFraction() float64 {
+	if t := s.Total(); t > 0 {
+		return float64(s.Writes) / float64(t)
+	}
+	return 0
+}
+
+// CollectStats drains src and returns its characterization.
+func CollectStats(src Source, pageSizeBytes int) *Stats {
+	s := NewStats(pageSizeBytes)
+	for {
+		r, ok := src.Next()
+		if !ok {
+			return s
+		}
+		s.Observe(r)
+	}
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteText renders records from src to w in a human-readable line format:
+//
+//	R 0x00001000 gap=120 cpu=0
+//	W 0x00002040 gap=0 cpu=2
+//
+// It returns the number of records written.
+func WriteText(w io.Writer, src Source) (int, error) {
+	bw := bufio.NewWriter(w)
+	n := 0
+	for {
+		r, ok := src.Next()
+		if !ok {
+			return n, bw.Flush()
+		}
+		if _, err := fmt.Fprintf(bw, "%s 0x%08x gap=%d cpu=%d\n",
+			r.Op, r.Addr, r.GapNS, r.CPU); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// ParseTextLine parses one line of the text format.
+func ParseTextLine(line string) (Record, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 4 {
+		return Record{}, fmt.Errorf("trace: want 4 fields, got %d in %q", len(fields), line)
+	}
+	var rec Record
+	switch fields[0] {
+	case "R":
+		rec.Op = OpRead
+	case "W":
+		rec.Op = OpWrite
+	default:
+		return Record{}, fmt.Errorf("trace: bad op %q", fields[0])
+	}
+	if _, err := fmt.Sscanf(fields[1], "0x%x", &rec.Addr); err != nil {
+		return Record{}, fmt.Errorf("trace: bad address %q: %w", fields[1], err)
+	}
+	if _, err := fmt.Sscanf(fields[2], "gap=%d", &rec.GapNS); err != nil {
+		return Record{}, fmt.Errorf("trace: bad gap %q: %w", fields[2], err)
+	}
+	if _, err := fmt.Sscanf(fields[3], "cpu=%d", &rec.CPU); err != nil {
+		return Record{}, fmt.Errorf("trace: bad cpu %q: %w", fields[3], err)
+	}
+	return rec, nil
+}
+
+// TextReader streams records from the text format, skipping blank lines and
+// '#' comments. It implements Source.
+type TextReader struct {
+	sc  *bufio.Scanner
+	err error
+}
+
+// NewTextReader returns a TextReader over r.
+func NewTextReader(r io.Reader) *TextReader {
+	return &TextReader{sc: bufio.NewScanner(r)}
+}
+
+// Next implements Source.
+func (t *TextReader) Next() (Record, bool) {
+	if t.err != nil {
+		return Record{}, false
+	}
+	for t.sc.Scan() {
+		line := strings.TrimSpace(t.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := ParseTextLine(line)
+		if err != nil {
+			t.err = err
+			return Record{}, false
+		}
+		return rec, true
+	}
+	t.err = t.sc.Err()
+	return Record{}, false
+}
+
+// Err returns the error that terminated the stream, if any.
+func (t *TextReader) Err() error { return t.err }

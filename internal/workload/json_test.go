@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSpecsJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveSpecs(&buf, PARSEC()); err != nil {
+		t.Fatal(err)
+	}
+	specs, err := LoadSpecs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 12 {
+		t.Fatalf("round-trip lost specs: %d", len(specs))
+	}
+	orig := PARSEC()
+	for i := range specs {
+		if specs[i] != orig[i] {
+			t.Errorf("spec %s changed in round-trip:\n got %+v\nwant %+v",
+				orig[i].Name, specs[i], orig[i])
+		}
+	}
+}
+
+func TestLoadSpecsValidation(t *testing.T) {
+	cases := map[string]string{
+		"empty array":   `[]`,
+		"bad json":      `{`,
+		"unknown field": `[{"name":"x","working_set_kb":64,"reads":100,"writes":0,"bogus":1,"pattern":{"resident_fraction":0.7,"hot_fraction":0.1,"hot_bias":0.5,"seq_run_len":1,"repeat_burst":1,"write_hot_fraction":0.05,"write_hot_bias":0.5,"roi_archive_visits":1,"mean_gap_ns":10}}]`,
+		"invalid spec":  `[{"name":"x","working_set_kb":64,"reads":100,"writes":0,"pattern":{"resident_fraction":2.0,"hot_fraction":0.1,"hot_bias":0.5,"seq_run_len":1,"repeat_burst":1,"write_hot_fraction":0.05,"write_hot_bias":0.5,"roi_archive_visits":1,"mean_gap_ns":10}}]`,
+	}
+	for name, input := range cases {
+		if _, err := LoadSpecs(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	dup := `[
+	  {"name":"x","working_set_kb":64,"reads":100,"writes":0,"pattern":{"resident_fraction":0.7,"hot_fraction":0.1,"hot_bias":0.5,"seq_run_len":1,"repeat_burst":1,"write_hot_fraction":0.05,"write_hot_bias":0.5,"roi_archive_visits":1,"mean_gap_ns":10}},
+	  {"name":"x","working_set_kb":64,"reads":100,"writes":0,"pattern":{"resident_fraction":0.7,"hot_fraction":0.1,"hot_bias":0.5,"seq_run_len":1,"repeat_burst":1,"write_hot_fraction":0.05,"write_hot_bias":0.5,"roi_archive_visits":1,"mean_gap_ns":10}}
+	]`
+	if _, err := LoadSpecs(strings.NewReader(dup)); err == nil {
+		t.Error("duplicate names should error")
+	}
+}
+
+func TestLoadedSpecGenerates(t *testing.T) {
+	input := `[{"name":"custom","working_set_kb":512,"reads":5000,"writes":2000,
+	  "pattern":{"resident_fraction":0.7,"hot_fraction":0.06,"hot_bias":0.8,
+	  "seq_run_len":4,"repeat_burst":2,"write_hot_fraction":0.03,
+	  "write_hot_bias":0.9,"roi_archive_visits":0.5,"mean_gap_ns":100}}]`
+	specs, err := LoadSpecs(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(specs[0], 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, ok := g.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 7000 {
+		t.Errorf("generated %d accesses, want 7000", n)
+	}
+}
