@@ -1,0 +1,40 @@
+# Local and CI entry points. CI (.github/workflows/ci.yml) invokes exactly
+# these targets, so a green `make ci` locally predicts a green pipeline.
+
+GO ?= go
+
+# Packages fast enough for the -race pass: everything except the
+# full-evaluation integration tests in internal/experiments (~15s without
+# -race, several minutes with it).
+FAST_PKGS = $$($(GO) list ./... | grep -v internal/experiments)
+
+.PHONY: all build vet test race bench fmt fmt-check ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(FAST_PKGS)
+
+# One-iteration benchmark smoke: catches benchmarks that no longer compile
+# or crash without paying for stable measurements.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+ci: fmt-check build vet test race bench

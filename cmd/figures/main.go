@@ -4,16 +4,21 @@
 //
 // Usage:
 //
-//	figures [-id all|table2|table3|table4|fig1|fig2a|fig2b|fig2c|fig4a|fig4b|fig4c|claims|fullsys|replacement]
+//	figures [-id all|table2|table3|table4|fig1|fig2a|fig2b|fig2c|fig4a|fig4b|fig4c|claims|fullsys|replacement|arch]
 //	        [-scale 0.02] [-seed 1] [-csv] [-adaptive]
+//	        [-parallel N] [-json] [-out FILE]
 //
 // Figures print as stacked text bars (or CSV with -csv); tables print as
-// aligned text.
+// aligned text. -json instead runs the full evaluation grid and emits the
+// stable machine-readable artifact (hybridmem.results/v1); -out redirects
+// any output to a file; -parallel bounds the worker pool (0 = all CPUs)
+// without changing a single output byte.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"hybridmem/internal/experiments"
@@ -21,7 +26,7 @@ import (
 	"hybridmem/internal/memspec"
 	"hybridmem/internal/model"
 	"hybridmem/internal/report"
-	"hybridmem/internal/workload"
+	"hybridmem/internal/runner"
 )
 
 func main() {
@@ -30,21 +35,45 @@ func main() {
 	seed := flag.Int64("seed", 1, "trace generation seed")
 	csv := flag.Bool("csv", false, "emit figures as CSV instead of text bars")
 	adaptive := flag.Bool("adaptive", false, "use the adaptive-threshold variant of the proposed scheme")
+	parallel := flag.Int("parallel", 0, "worker-pool width (0 = all CPUs)")
+	jsonOut := flag.Bool("json", false, "emit the machine-readable grid artifact instead of figures")
+	outPath := flag.String("out", "", "write output to this file instead of stdout")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Seed = *seed
 	cfg.Adaptive = *adaptive
+	cfg.Parallel = *parallel
+	// One cache per invocation: the grid, tables and ablations all replay
+	// the same materialized traces.
+	cfg.Cache = runner.NewTraceCache()
 
-	if err := run(*id, cfg, *csv); err != nil {
+	if *jsonOut && (*id != "all" || *csv) {
+		fmt.Fprintln(os.Stderr, "figures: -json emits the full grid artifact and cannot be combined with -id or -csv")
+		os.Exit(2)
+	}
+
+	if err := run(*id, cfg, *csv, *jsonOut, *outPath); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id string, cfg experiments.Config, csv bool) error {
-	out := os.Stdout
+func run(id string, cfg experiments.Config, csv, jsonOut bool, outPath string) error {
+	return report.WithOutput(outPath, func(out io.Writer) error {
+		return emitAll(out, id, cfg, csv, jsonOut)
+	})
+}
+
+func emitAll(out io.Writer, id string, cfg experiments.Config, csv, jsonOut bool) error {
+	if jsonOut {
+		runs, err := experiments.RunAll(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.GridArtifact("figures", cfg, runs).Write(out)
+	}
 
 	needsRuns := id == "all"
 	for _, f := range experiments.FigureIDs() {
@@ -126,7 +155,7 @@ func run(id string, cfg experiments.Config, csv bool) error {
 	return nil
 }
 
-func emitFullsys(out *os.File, cfg experiments.Config) error {
+func emitFullsys(out io.Writer, cfg experiments.Config) error {
 	t := &report.Table{
 		Title: "Trace-methodology ablation: direct calibrated traces vs cache-filtered (COTSon-substitute) traces",
 		Headers: []string{"Workload", "CPU accesses", "Post-LLC", "Filter ratio",
@@ -152,19 +181,19 @@ func emitFullsys(out *os.File, cfg experiments.Config) error {
 	return t.Write(out)
 }
 
-func emitArch(out *os.File, cfg experiments.Config) error {
+func emitArch(out io.Writer, cfg experiments.Config) error {
 	t := &report.Table{
 		Title: "Architecture comparison (Section III): exclusive migration vs DRAM-as-cache",
 		Headers: []string{"Workload", "Arch", "AMAT hits+mig (ns)", "Power (nJ)",
 			"NVM writes", "DRAM hit ratio"},
 	}
-	for _, name := range []string{"ferret", "streamcluster", "canneal", "vips"} {
-		row, err := experiments.ArchComparison(name, cfg)
-		if err != nil {
-			return err
-		}
+	rows, err := experiments.ArchAll([]string{"ferret", "streamcluster", "canneal", "vips"}, cfg)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
 		add := func(arch string, r *model.Report) {
-			t.AddRow(name, arch,
+			t.AddRow(row.Workload, arch,
 				fmt.Sprintf("%.1f", r.AMAT.HitDRAM+r.AMAT.HitNVM+r.AMAT.Migrations()),
 				fmt.Sprintf("%.2f", r.APPR.Total()),
 				fmt.Sprintf("%d", r.NVMWrites.Total()),
@@ -179,17 +208,17 @@ func emitArch(out *os.File, cfg experiments.Config) error {
 	return t.Write(out)
 }
 
-func emitReplacement(out *os.File, cfg experiments.Config) error {
+func emitReplacement(out io.Writer, cfg experiments.Config) error {
 	t := &report.Table{
 		Title:   "Replacement-quality comparison (hit ratios; memory = 75% of footprint)",
 		Headers: []string{"Workload", "Frames", "LRU", "CLOCK", "CLOCK-Pro"},
 	}
-	for _, name := range workload.Names() {
-		row, err := experiments.ReplacementComparison(name, cfg)
-		if err != nil {
-			return err
-		}
-		t.AddRow(name, fmt.Sprintf("%d", row.Frames),
+	rows, err := experiments.ReplacementAll(cfg)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		t.AddRow(row.Workload, fmt.Sprintf("%d", row.Frames),
 			fmt.Sprintf("%.4f", row.LRU),
 			fmt.Sprintf("%.4f", row.Clock),
 			fmt.Sprintf("%.4f", row.ClockPro))

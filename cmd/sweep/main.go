@@ -1,22 +1,33 @@
 // Command sweep runs the sensitivity studies around the paper's design
 // choices: migration thresholds (the Section V-B raytrace discussion),
 // the DRAM share of the hybrid memory, the access-granularity PageFactor
-// (Section II), and the fixed-vs-adaptive threshold ablation (the paper's
-// stated future work).
+// (Section II), the fixed-vs-adaptive threshold ablation (the paper's
+// stated future work), Start-Gap wear leveling, consolidated-server mixes
+// and seed sensitivity.
 //
 // Usage:
 //
-//	sweep -kind threshold [-workload raytrace] [-scale 0.02]
-//	sweep -kind dram      [-workload ferret]
+//	sweep -kind threshold  [-workload raytrace] [-scale 0.02]
+//	sweep -kind dram       [-workload ferret]
 //	sweep -kind pagefactor [-workload freqmine]
-//	sweep -kind adaptive  [-workload raytrace]
-//	sweep -kind wearlevel [-workload vips]
-//	sweep -kind mix       [-workload bodytrack,ferret,canneal]
+//	sweep -kind adaptive   [-workload raytrace]
+//	sweep -kind wearlevel  [-workload vips]
+//	sweep -kind mix        [-workload bodytrack,ferret,canneal]
+//	sweep -kind seeds      [-seeds 5]
+//
+// Execution flags (all kinds):
+//
+//	-parallel N   worker-pool width (0 = all CPUs); results are identical
+//	              at any width
+//	-json         emit the stable machine-readable result artifact
+//	              (hybridmem.results/v1) instead of text tables
+//	-out FILE     write output to FILE instead of stdout
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -24,46 +35,64 @@ import (
 	"hybridmem/internal/memspec"
 	"hybridmem/internal/model"
 	"hybridmem/internal/report"
+	"hybridmem/internal/runner"
 )
 
 func main() {
-	kind := flag.String("kind", "threshold", "threshold, dram, pagefactor, adaptive, wearlevel or mix (workload=a,b,...)")
+	kind := flag.String("kind", "threshold", "threshold, dram, pagefactor, adaptive, wearlevel, seeds or mix (workload=a,b,...)")
 	wl := flag.String("workload", "raytrace", "Table III workload name")
 	scale := flag.Float64("scale", 0.02, "trace scale")
 	seed := flag.Int64("seed", 1, "trace seed")
+	parallel := flag.Int("parallel", 0, "worker-pool width (0 = all CPUs)")
+	jsonOut := flag.Bool("json", false, "emit the machine-readable result artifact instead of text")
+	outPath := flag.String("out", "", "write output to this file instead of stdout")
+	seedCount := flag.Int("seeds", 5, "number of derived seeds for -kind seeds")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Seed = *seed
+	cfg.Parallel = *parallel
+	// One cache per invocation: every stage of a sweep replays the same
+	// materialized traces.
+	cfg.Cache = runner.NewTraceCache()
 
-	var err error
-	switch *kind {
-	case "threshold":
-		err = sweepThreshold(*wl, cfg)
-	case "dram":
-		err = sweepDRAM(*wl, cfg)
-	case "pagefactor":
-		err = sweepPageFactor(*wl, cfg)
-	case "adaptive":
-		err = sweepAdaptive(*wl, cfg)
-	case "wearlevel":
-		err = sweepWearLevel(*wl, cfg)
-	case "mix":
-		err = sweepMix(*wl, cfg)
-	default:
-		err = fmt.Errorf("unknown kind %q", *kind)
-	}
-	if err != nil {
+	if err := run(*kind, *wl, cfg, *jsonOut, *outPath, *seedCount); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func sweepThreshold(wl string, cfg experiments.Config) error {
+func run(kind, wl string, cfg experiments.Config, jsonOut bool, outPath string, seedCount int) error {
+	return report.WithOutput(outPath, func(w io.Writer) error {
+		switch kind {
+		case "threshold":
+			return sweepThreshold(w, wl, cfg, jsonOut)
+		case "dram":
+			return sweepDRAM(w, wl, cfg, jsonOut)
+		case "pagefactor":
+			return sweepPageFactor(w, wl, cfg, jsonOut)
+		case "adaptive":
+			return sweepAdaptive(w, wl, cfg, jsonOut)
+		case "wearlevel":
+			return sweepWearLevel(w, wl, cfg, jsonOut)
+		case "mix":
+			return sweepMix(w, wl, cfg, jsonOut)
+		case "seeds":
+			return sweepSeeds(w, cfg, seedCount, jsonOut)
+		default:
+			return fmt.Errorf("unknown kind %q", kind)
+		}
+	})
+}
+
+func sweepThreshold(w io.Writer, wl string, cfg experiments.Config, jsonOut bool) error {
 	points, err := experiments.ThresholdSweep(wl, cfg, experiments.DefaultThresholdPairs())
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		return experiments.ThresholdArtifact("sweep", wl, cfg, points).Write(w)
 	}
 	t := &report.Table{
 		Title: fmt.Sprintf("Threshold sensitivity on %s (Section V-B)", wl),
@@ -79,14 +108,17 @@ func sweepThreshold(wl string, cfg experiments.Config) error {
 			fmt.Sprintf("%.3f", p.AMATVsDWF),
 			fmt.Sprintf("%.3f", p.WritesVsNVMOnly))
 	}
-	return t.Write(os.Stdout)
+	return t.Write(w)
 }
 
-func sweepDRAM(wl string, cfg experiments.Config) error {
+func sweepDRAM(w io.Writer, wl string, cfg experiments.Config, jsonOut bool) error {
 	points, err := experiments.DRAMSweep(wl, cfg,
 		[]float64{0.05, 0.10, 0.20, 0.30, 0.50})
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		return experiments.DRAMArtifact("sweep", wl, cfg, points).Write(w)
 	}
 	t := &report.Table{
 		Title:   fmt.Sprintf("DRAM share sweep on %s (paper fixes 10%%)", wl),
@@ -99,10 +131,10 @@ func sweepDRAM(wl string, cfg experiments.Config) error {
 			fmt.Sprintf("%.3f", p.PowerVsDRAM),
 			fmt.Sprintf("%.3f", p.AMATVsDWF))
 	}
-	return t.Write(os.Stdout)
+	return t.Write(w)
 }
 
-func sweepPageFactor(wl string, cfg experiments.Config) error {
+func sweepPageFactor(w io.Writer, wl string, cfg experiments.Config, jsonOut bool) error {
 	points, err := experiments.PageFactorSweep(wl, cfg, []memspec.Geometry{
 		{PageSizeBytes: 4096, LineSizeBytes: 64},
 		{PageSizeBytes: 4096, LineSizeBytes: 16},
@@ -111,6 +143,9 @@ func sweepPageFactor(wl string, cfg experiments.Config) error {
 	})
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		return experiments.PageFactorArtifact("sweep", wl, cfg, points).Write(w)
 	}
 	t := &report.Table{
 		Title:   fmt.Sprintf("Access-granularity (PageFactor) sweep on %s (Section II)", wl),
@@ -124,13 +159,16 @@ func sweepPageFactor(wl string, cfg experiments.Config) error {
 			fmt.Sprintf("%.3f", p.PowerVsDRAM),
 			fmt.Sprintf("%.3f", p.AMATVsDWF))
 	}
-	return t.Write(os.Stdout)
+	return t.Write(w)
 }
 
-func sweepAdaptive(wl string, cfg experiments.Config) error {
+func sweepAdaptive(w io.Writer, wl string, cfg experiments.Config, jsonOut bool) error {
 	cmp, err := experiments.CompareAdaptive(wl, cfg)
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		return experiments.AdaptiveArtifact("sweep", wl, cfg, cmp).Write(w)
 	}
 	t := &report.Table{
 		Title:   fmt.Sprintf("Fixed vs adaptive thresholds on %s (paper's future work)", wl),
@@ -149,53 +187,57 @@ func sweepAdaptive(wl string, cfg experiments.Config) error {
 			fmt.Sprintf("%d", v.rep.NVMWrites.Total()),
 			fmt.Sprintf("%.6f", v.rep.Probabilities.PMigD))
 	}
-	if err := t.Write(os.Stdout); err != nil {
+	if err := t.Write(w); err != nil {
 		return err
 	}
-	fmt.Printf("adaptive controller settled at thresholds %d/%d\n",
+	fmt.Fprintf(w, "adaptive controller settled at thresholds %d/%d\n",
 		cmp.FinalReadThreshold, cmp.FinalWriteThreshold)
 	return nil
 }
 
-func sweepWearLevel(wl string, cfg experiments.Config) error {
-	t := &report.Table{
-		Title:   fmt.Sprintf("Start-Gap wear leveling on %s (NVM-only placement)", wl),
-		Headers: []string{"period (lines)", "imbalance", "worst-frame lifetime (y)", "gap moves"},
-	}
-	plainDone := false
-	for _, period := range []int{64, 16, 4} {
+func sweepWearLevel(w io.Writer, wl string, cfg experiments.Config, jsonOut bool) error {
+	periods := []int{64, 16, 4}
+	results := make([]*experiments.WearLevelResult, 0, len(periods))
+	for _, period := range periods {
 		res, err := experiments.WearLevelAblation(wl, cfg, period)
 		if err != nil {
 			return err
 		}
-		if !plainDone {
-			t.AddRow("off", fmt.Sprintf("%.2f", res.PlainImbalance),
-				fmt.Sprintf("%.2f", res.PlainWorstYears), "0")
-			plainDone = true
-		}
-		t.AddRow(fmt.Sprintf("%d", period),
-			fmt.Sprintf("%.2f", res.LeveledImbalance),
-			fmt.Sprintf("%.2f", res.LeveledWorstYears),
-			fmt.Sprintf("%d", res.GapMoves))
+		results = append(results, res)
 	}
-	return t.Write(os.Stdout)
+	if jsonOut {
+		return experiments.WearLevelArtifact("sweep", wl, cfg, periods, results).Write(w)
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("Start-Gap wear leveling on %s (NVM-only placement)", wl),
+		Headers: []string{"period (lines)", "imbalance", "worst-frame lifetime (y)", "gap moves"},
+	}
+	t.AddRow("off", fmt.Sprintf("%.2f", results[0].PlainImbalance),
+		fmt.Sprintf("%.2f", results[0].PlainWorstYears), "0")
+	for i, period := range periods {
+		t.AddRow(fmt.Sprintf("%d", period),
+			fmt.Sprintf("%.2f", results[i].LeveledImbalance),
+			fmt.Sprintf("%.2f", results[i].LeveledWorstYears),
+			fmt.Sprintf("%d", results[i].GapMoves))
+	}
+	return t.Write(w)
 }
 
-func sweepMix(wl string, cfg experiments.Config) error {
+func sweepMix(w io.Writer, wl string, cfg experiments.Config, jsonOut bool) error {
 	names := strings.Split(wl, ",")
 	run, err := experiments.RunMixed(names, cfg)
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		return experiments.MixArtifact("sweep", cfg, run).Write(w)
 	}
 	t := &report.Table{
 		Title: fmt.Sprintf("Consolidated-server mix %s (DRAM %d + NVM %d frames)",
 			run.Label(), run.DRAMPages, run.NVMPages),
 		Headers: []string{"policy", "AMAT hits+mig (ns)", "power (nJ)", "NVM writes", "DRAM hit ratio"},
 	}
-	for _, id := range []experiments.PolicyID{
-		experiments.DRAMOnly, experiments.NVMOnly,
-		experiments.ClockDWF, experiments.Proposed,
-	} {
+	for _, id := range experiments.StandardPolicies() {
 		r := run.Reports[id]
 		t.AddRow(string(id),
 			fmt.Sprintf("%.1f", r.AMAT.HitDRAM+r.AMAT.HitNVM+r.AMAT.Migrations()),
@@ -203,5 +245,32 @@ func sweepMix(wl string, cfg experiments.Config) error {
 			fmt.Sprintf("%d", r.NVMWrites.Total()),
 			fmt.Sprintf("%.3f", r.Probabilities.PHitDRAM))
 	}
-	return t.Write(os.Stdout)
+	return t.Write(w)
+}
+
+func sweepSeeds(w io.Writer, cfg experiments.Config, count int, jsonOut bool) error {
+	// Derive the study's seeds deterministically from the base seed, so
+	// one -seed value names the whole experiment.
+	if count < 0 {
+		count = 0
+	}
+	seeds := make([]int64, count)
+	for i := range seeds {
+		seeds[i] = runner.DeriveSeed(cfg.Seed, fmt.Sprintf("seed-study/%d", i))
+	}
+	study, err := experiments.RunSeeds(cfg, seeds)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return experiments.SeedsArtifact("sweep", cfg, seeds, study).Write(w)
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("Seed sensitivity of the G-Mean headline ratios (%d derived seeds)", count),
+		Headers: []string{"metric", "mean ± stddev [min, max]"},
+	}
+	t.AddRow("power vs DRAM-only", study.PowerVsDRAM.String())
+	t.AddRow("AMAT vs CLOCK-DWF", study.AMATVsDWF.String())
+	t.AddRow("NVM writes vs NVM-only", study.WritesVsNVMOnly.String())
+	return t.Write(w)
 }

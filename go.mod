@@ -1,0 +1,3 @@
+module hybridmem
+
+go 1.24

@@ -6,8 +6,8 @@ import (
 	"hybridmem/internal/dramcache"
 	"hybridmem/internal/model"
 	"hybridmem/internal/policy"
+	"hybridmem/internal/runner"
 	"hybridmem/internal/sim"
-	"hybridmem/internal/trace"
 	"hybridmem/internal/workload"
 )
 
@@ -25,71 +25,87 @@ type ArchRow struct {
 	CacheCleanDrops int64
 }
 
+// archJobs builds one workload's comparison set: the standard four
+// policies plus the cache and static-partition architectures, six jobs
+// replaying one cached trace.
+func archJobs(name string, cfg Config, tr *runner.Traces) []runner.Job {
+	opts := sim.Options{CheckEvery: cfg.CheckEvery}
+	// Same silicon budget as the migration architecture: the DRAM frames
+	// become cache, the NVM frames are the sole main memory.
+	zoned := func(build func(dram, nvm int) (policy.Policy, error)) func() (policy.Policy, error) {
+		return func() (policy.Policy, error) {
+			_, _, pages, err := tr.Materialize()
+			if err != nil {
+				return nil, err
+			}
+			dram, nvm := cfg.Sizing.Partition(pages)
+			return build(dram, nvm)
+		}
+	}
+	return append(policyJobs(cfg, tr, name+"/"),
+		runner.Job{
+			ID: name + "/dram-cache", Seed: cfg.Seed, Trace: tr, Spec: cfg.Spec, Opts: opts,
+			Build: zoned(func(dram, nvm int) (policy.Policy, error) {
+				return dramcache.New(dram, nvm, dramcache.DefaultConfig())
+			}),
+		},
+		runner.Job{
+			ID: name + "/static-partition", Seed: cfg.Seed, Trace: tr, Spec: cfg.Spec, Opts: opts,
+			Build: zoned(func(dram, nvm int) (policy.Policy, error) {
+				return policy.NewStaticPartition(dram, nvm)
+			}),
+		})
+}
+
 // ArchComparison runs the comparison for one workload under the standard
 // provisioning.
 func ArchComparison(name string, cfg Config) (*ArchRow, error) {
-	run, err := RunWorkload(name, cfg)
+	rows, err := ArchAll([]string{name}, cfg)
 	if err != nil {
 		return nil, err
 	}
-	spec, _ := workload.ByName(name)
-	gen, err := workload.NewGenerator(spec, cfg.effectiveScale(spec), cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	warm, err := trace.Materialize(gen.WarmupSource(cfg.Seed+1), 0)
-	if err != nil {
-		return nil, err
-	}
-	roi, err := trace.Materialize(gen, 0)
-	if err != nil {
-		return nil, err
-	}
-	dram, nvm := cfg.Sizing.Partition(gen.Pages())
-	opts := sim.Options{CheckEvery: cfg.CheckEvery}
+	return rows[0], nil
+}
 
-	evaluate := func(pol policy.Policy, label string) (*model.Report, *sim.Result, error) {
-		if _, err := sim.Run(trace.NewSliceSource(warm), pol, cfg.Spec, opts); err != nil {
-			return nil, nil, fmt.Errorf("experiments: %s warmup on %s: %w", label, name, err)
+// ArchAll runs the architecture comparison for several workloads as one
+// pool invocation, so trace generation and simulation overlap across
+// workloads.
+func ArchAll(names []string, cfg Config) ([]*ArchRow, error) {
+	tc := cfg.traceCache()
+	specs := make([]workload.Spec, len(names))
+	trs := make([]*runner.Traces, len(names))
+	var jobs []runner.Job
+	for i, name := range names {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			return nil, errUnknownWorkload(name)
 		}
-		res, err := sim.Run(trace.NewSliceSource(roi), pol, cfg.Spec, opts)
+		specs[i] = spec
+		trs[i] = cfg.traces(tc, spec)
+		jobs = append(jobs, archJobs(name, cfg, trs[i])...)
+	}
+	rs, err := cfg.pool().RunJobs(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: architecture comparison: %w", err)
+	}
+	width := len(StandardPolicies()) + 2
+	rows := make([]*ArchRow, len(names))
+	for i, name := range names {
+		slot := rs[i*width : (i+1)*width]
+		run, err := assembleRun(specs[i], cfg, trs[i], slot[:len(StandardPolicies())])
 		if err != nil {
-			return nil, nil, fmt.Errorf("experiments: %s on %s: %w", label, name, err)
+			return nil, err
 		}
-		rep, err := model.Evaluate(res, cfg.Spec)
-		if err != nil {
-			return nil, nil, err
+		cacheRes, staticRes := slot[width-2], slot[width-1]
+		rows[i] = &ArchRow{
+			Workload:        name,
+			Proposed:        run.Report(Proposed),
+			Cache:           cacheRes.Report,
+			Static:          staticRes.Report,
+			DWF:             run.Report(ClockDWF),
+			DRAM:            run.Report(DRAMOnly),
+			CacheCleanDrops: cacheRes.Result.Counts.DemotionsClean,
 		}
-		return rep, res, nil
 	}
-
-	// Same silicon budget as the migration architecture: the DRAM frames
-	// become cache, the NVM frames are the sole main memory.
-	cachePol, err := dramcache.New(dram, nvm, dramcache.DefaultConfig())
-	if err != nil {
-		return nil, err
-	}
-	cacheRep, cacheRes, err := evaluate(cachePol, "dram-cache")
-	if err != nil {
-		return nil, err
-	}
-
-	staticPol, err := policy.NewStaticPartition(dram, nvm)
-	if err != nil {
-		return nil, err
-	}
-	staticRep, _, err := evaluate(staticPol, "static-partition")
-	if err != nil {
-		return nil, err
-	}
-
-	return &ArchRow{
-		Workload:        name,
-		Proposed:        run.Report(Proposed),
-		Cache:           cacheRep,
-		Static:          staticRep,
-		DWF:             run.Report(ClockDWF),
-		DRAM:            run.Report(DRAMOnly),
-		CacheCleanDrops: cacheRes.Counts.DemotionsClean,
-	}, nil
+	return rows, nil
 }

@@ -11,19 +11,24 @@
 //     the pre-ROI initialization) whose statistics are discarded, then the
 //     measured ROI stream;
 //   - all four policies replay bit-identical traces.
+//
+// Execution goes through internal/runner: grids and sweeps decompose into
+// one runner.Job per (workload, configuration, policy), traces are
+// generated once per (workload, scale, seed) and replayed read-only into
+// every policy, and results assemble positionally so output is identical
+// at any parallelism.
 package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"hybridmem/internal/clockdwf"
 	"hybridmem/internal/core"
 	"hybridmem/internal/memspec"
 	"hybridmem/internal/model"
 	"hybridmem/internal/policy"
+	"hybridmem/internal/runner"
 	"hybridmem/internal/sim"
-	"hybridmem/internal/trace"
 	"hybridmem/internal/workload"
 )
 
@@ -53,6 +58,13 @@ type Config struct {
 	// (blackscholes) are scaled less aggressively so zone sizes and counter
 	// windows stay meaningful.
 	MinPages int
+	// Parallel is the worker-pool width for grid and sweep execution
+	// (0 = GOMAXPROCS, 1 = serial). Results are identical at any width.
+	Parallel int
+	// Cache, when set, shares materialized traces across calls (one
+	// figures/sweep invocation reuses each workload trace everywhere).
+	// Nil gives each call a private cache.
+	Cache *runner.TraceCache
 }
 
 // effectiveScale returns the per-workload scale after the MinPages floor.
@@ -65,6 +77,22 @@ func (c Config) effectiveScale(spec workload.Spec) float64 {
 		s = 1
 	}
 	return s
+}
+
+// pool returns the worker pool the configuration selects.
+func (c Config) pool() *runner.Pool { return runner.New(c.Parallel) }
+
+// traceCache returns the shared cache, or a private one per call.
+func (c Config) traceCache() *runner.TraceCache {
+	if c.Cache != nil {
+		return c.Cache
+	}
+	return runner.NewTraceCache()
+}
+
+// traces returns the (cached) trace handle for spec under this config.
+func (c Config) traces(tc *runner.TraceCache, spec workload.Spec) *runner.Traces {
+	return tc.Get(spec, c.effectiveScale(spec), c.Seed)
 }
 
 // DefaultConfig returns the reproduction settings.
@@ -92,6 +120,11 @@ const (
 	Proposed PolicyID = "proposed"
 )
 
+// StandardPolicies lists the evaluation's policy set in canonical order.
+func StandardPolicies() []PolicyID {
+	return []PolicyID{DRAMOnly, NVMOnly, ClockDWF, Proposed}
+}
+
 // WorkloadRun holds one workload's results across all policies.
 type WorkloadRun struct {
 	Workload  workload.Spec
@@ -106,106 +139,131 @@ type WorkloadRun struct {
 // Report returns the named policy's model evaluation.
 func (w *WorkloadRun) Report(id PolicyID) *model.Report { return w.Reports[id] }
 
+// buildPolicy constructs one policy instance for a footprint of pages.
+func buildPolicy(id PolicyID, cfg Config, pages int) (policy.Policy, error) {
+	total := cfg.Sizing.TotalPages(pages)
+	dram, nvm := cfg.Sizing.Partition(pages)
+	switch id {
+	case DRAMOnly:
+		return policy.NewDRAMOnly(total)
+	case NVMOnly:
+		return policy.NewNVMOnly(total)
+	case ClockDWF:
+		return clockdwf.New(dram, nvm, cfg.DWF)
+	case Proposed:
+		if cfg.Adaptive {
+			return core.NewAdaptive(dram, nvm, cfg.Core, cfg.AdaptiveCfg)
+		}
+		return core.New(dram, nvm, cfg.Core)
+	default:
+		return nil, fmt.Errorf("experiments: unknown policy %q", id)
+	}
+}
+
+// policyJob builds the runner job for one policy replaying tr under cfg.
+func policyJob(id PolicyID, cfg Config, tr *runner.Traces, idPrefix string) runner.Job {
+	return runner.Job{
+		ID:    idPrefix + string(id),
+		Seed:  cfg.Seed,
+		Trace: tr,
+		Spec:  cfg.Spec,
+		Opts:  sim.Options{CheckEvery: cfg.CheckEvery},
+		Build: func() (policy.Policy, error) {
+			_, _, pages, err := tr.Materialize()
+			if err != nil {
+				return nil, err
+			}
+			return buildPolicy(id, cfg, pages)
+		},
+	}
+}
+
+// policyJobs builds the standard four-policy job set for one configuration.
+func policyJobs(cfg Config, tr *runner.Traces, idPrefix string) []runner.Job {
+	ids := StandardPolicies()
+	jobs := make([]runner.Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, policyJob(id, cfg, tr, idPrefix))
+	}
+	return jobs
+}
+
+// assembleRun collects the standard four policy results into a WorkloadRun.
+// Results arrive positionally in StandardPolicies order.
+func assembleRun(spec workload.Spec, cfg Config, tr *runner.Traces, rs []runner.JobResult) (*WorkloadRun, error) {
+	_, _, pages, err := tr.Materialize()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: trace for %s: %w", spec.Name, err)
+	}
+	dram, nvm := cfg.Sizing.Partition(pages)
+	run := &WorkloadRun{
+		Workload:  spec,
+		Pages:     pages,
+		DRAMPages: dram,
+		NVMPages:  nvm,
+		Reports:   make(map[PolicyID]*model.Report, len(rs)),
+		Results:   make(map[PolicyID]*sim.Result, len(rs)),
+		Policies:  make(map[PolicyID]policy.Policy, len(rs)),
+	}
+	for i, id := range StandardPolicies() {
+		r := rs[i]
+		if r.Err != nil {
+			return nil, fmt.Errorf("experiments: %s on %s: %w", id, spec.Name, r.Err)
+		}
+		run.Results[id] = r.Result
+		run.Reports[id] = r.Report
+		run.Policies[id] = r.Policy
+	}
+	return run, nil
+}
+
 // RunWorkload evaluates one Table III workload under all four policies.
 func RunWorkload(name string, cfg Config) (*WorkloadRun, error) {
 	spec, ok := workload.ByName(name)
 	if !ok {
-		return nil, fmt.Errorf("experiments: unknown workload %q", name)
+		return nil, errUnknownWorkload(name)
 	}
 	return RunSpec(spec, cfg)
 }
 
 // RunSpec evaluates an arbitrary workload spec under all four policies.
 func RunSpec(spec workload.Spec, cfg Config) (*WorkloadRun, error) {
-	gen, err := workload.NewGenerator(spec, cfg.effectiveScale(spec), cfg.Seed)
+	tr := cfg.traces(cfg.traceCache(), spec)
+	rs, err := cfg.pool().RunJobs(policyJobs(cfg, tr, spec.Name+"/"))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	warm, err := trace.Materialize(gen.WarmupSource(cfg.Seed+1), 0)
-	if err != nil {
-		return nil, err
-	}
-	roi, err := trace.Materialize(gen, 0)
-	if err != nil {
-		return nil, err
-	}
-
-	pages := gen.Pages()
-	total := cfg.Sizing.TotalPages(pages)
-	dram, nvm := cfg.Sizing.Partition(pages)
-
-	run := &WorkloadRun{
-		Workload:  spec,
-		Pages:     pages,
-		DRAMPages: dram,
-		NVMPages:  nvm,
-		Reports:   make(map[PolicyID]*model.Report, 4),
-		Results:   make(map[PolicyID]*sim.Result, 4),
-		Policies:  make(map[PolicyID]policy.Policy, 4),
-	}
-
-	build := func(id PolicyID) (policy.Policy, error) {
-		switch id {
-		case DRAMOnly:
-			return policy.NewDRAMOnly(total)
-		case NVMOnly:
-			return policy.NewNVMOnly(total)
-		case ClockDWF:
-			return clockdwf.New(dram, nvm, cfg.DWF)
-		case Proposed:
-			if cfg.Adaptive {
-				return core.NewAdaptive(dram, nvm, cfg.Core, cfg.AdaptiveCfg)
-			}
-			return core.New(dram, nvm, cfg.Core)
-		default:
-			return nil, fmt.Errorf("experiments: unknown policy %q", id)
-		}
-	}
-
-	for _, id := range []PolicyID{DRAMOnly, NVMOnly, ClockDWF, Proposed} {
-		pol, err := build(id)
-		if err != nil {
-			return nil, err
-		}
-		opts := sim.Options{CheckEvery: cfg.CheckEvery}
-		// Warmup pass: fills memory, statistics discarded.
-		if _, err := sim.Run(trace.NewSliceSource(warm), pol, cfg.Spec, opts); err != nil {
-			return nil, fmt.Errorf("experiments: %s warmup on %s: %w", id, spec.Name, err)
-		}
-		res, err := sim.Run(trace.NewSliceSource(roi), pol, cfg.Spec, opts)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s on %s: %w", id, spec.Name, err)
-		}
-		rep, err := model.Evaluate(res, cfg.Spec)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: evaluating %s on %s: %w", id, spec.Name, err)
-		}
-		run.Results[id] = res
-		run.Reports[id] = rep
-		run.Policies[id] = pol
-	}
-	return run, nil
+	return assembleRun(spec, cfg, tr, rs)
 }
 
 // RunAll evaluates every Table III workload, in parallel, returning runs in
-// workload name order.
+// workload name order. The whole grid — every (workload, policy) pair — is
+// one runner invocation, so work balances across the pool at job (not
+// workload) granularity.
 func RunAll(cfg Config) ([]*WorkloadRun, error) {
 	names := workload.Names()
-	runs := make([]*WorkloadRun, len(names))
-	errs := make([]error, len(names))
-	var wg sync.WaitGroup
+	tc := cfg.traceCache()
+	specs := make([]workload.Spec, len(names))
+	trs := make([]*runner.Traces, len(names))
+	jobs := make([]runner.Job, 0, 4*len(names))
 	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			runs[i], errs[i] = RunWorkload(name, cfg)
-		}(i, name)
+		spec, _ := workload.ByName(name)
+		specs[i] = spec
+		trs[i] = cfg.traces(tc, spec)
+		jobs = append(jobs, policyJobs(cfg, trs[i], name+"/")...)
 	}
-	wg.Wait()
-	for i, err := range errs {
+	rs, err := cfg.pool().RunJobs(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	width := len(StandardPolicies())
+	runs := make([]*WorkloadRun, len(names))
+	for i := range names {
+		run, err := assembleRun(specs[i], cfg, trs[i], rs[i*width:(i+1)*width])
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", names[i], err)
+			return nil, err
 		}
+		runs[i] = run
 	}
 	return runs, nil
 }

@@ -4,12 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"hybridmem/internal/clockdwf"
-	"hybridmem/internal/core"
 	"hybridmem/internal/model"
-	"hybridmem/internal/policy"
-	"hybridmem/internal/sim"
-	"hybridmem/internal/trace"
+	"hybridmem/internal/runner"
 	"hybridmem/internal/workload"
 )
 
@@ -26,7 +22,10 @@ type MixedRun struct {
 	Reports   map[PolicyID]*model.Report
 }
 
-// RunMixed runs the standard four policies on the interleaved mix.
+// RunMixed runs the standard four policies on the interleaved mix. The mix
+// trace is materialized once (an uncached runner handle, since mixes fall
+// outside the per-workload cache key) and replayed into all four policies
+// through the pool.
 func RunMixed(names []string, cfg Config) (*MixedRun, error) {
 	if len(names) < 2 {
 		return nil, fmt.Errorf("experiments: mix needs >= 2 workloads")
@@ -44,56 +43,30 @@ func RunMixed(names []string, cfg Config) (*MixedRun, error) {
 		}
 	}
 	// All tenants run at one scale so their relative intensities match the
-	// paper's characterization.
-	mix, err := workload.NewMix(specs, minScale, cfg.Seed)
+	// paper's characterization. The mix's adaptive flag is pinned off: the
+	// consolidated-server scenario evaluates the paper's fixed scheme.
+	c := cfg
+	c.Adaptive = false
+	c.CheckEvery = 0
+	tr := runner.NewTraces(cfg.Seed, func() (runner.TraceGen, error) {
+		return workload.NewMix(specs, minScale, cfg.Seed)
+	})
+	label := strings.Join(names, "+")
+	rs, err := c.pool().RunJobs(policyJobs(c, tr, label+"/"))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: mix: %w", err)
+	}
+	_, _, pages, err := tr.Materialize()
 	if err != nil {
 		return nil, err
 	}
-	warm, err := trace.Materialize(mix.WarmupSource(cfg.Seed+1), 0)
-	if err != nil {
-		return nil, err
-	}
-	roi, err := trace.Materialize(mix, 0)
-	if err != nil {
-		return nil, err
-	}
-
-	pages := mix.Pages()
-	total := cfg.Sizing.TotalPages(pages)
 	dram, nvm := cfg.Sizing.Partition(pages)
 	run := &MixedRun{
 		Names: names, Pages: pages, DRAMPages: dram, NVMPages: nvm,
-		Reports: make(map[PolicyID]*model.Report, 4),
+		Reports: make(map[PolicyID]*model.Report, len(rs)),
 	}
-
-	for _, id := range []PolicyID{DRAMOnly, NVMOnly, ClockDWF, Proposed} {
-		var pol policy.Policy
-		var err error
-		switch id {
-		case DRAMOnly:
-			pol, err = policy.NewDRAMOnly(total)
-		case NVMOnly:
-			pol, err = policy.NewNVMOnly(total)
-		case ClockDWF:
-			pol, err = clockdwf.New(dram, nvm, cfg.DWF)
-		case Proposed:
-			pol, err = core.New(dram, nvm, cfg.Core)
-		}
-		if err != nil {
-			return nil, err
-		}
-		if _, err := sim.Run(trace.NewSliceSource(warm), pol, cfg.Spec, sim.Options{}); err != nil {
-			return nil, fmt.Errorf("experiments: mix warmup %s: %w", id, err)
-		}
-		res, err := sim.Run(trace.NewSliceSource(roi), pol, cfg.Spec, sim.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: mix %s: %w", id, err)
-		}
-		rep, err := model.Evaluate(res, cfg.Spec)
-		if err != nil {
-			return nil, err
-		}
-		run.Reports[id] = rep
+	for i, id := range StandardPolicies() {
+		run.Reports[id] = rs[i].Report
 	}
 	return run, nil
 }

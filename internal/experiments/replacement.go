@@ -4,6 +4,7 @@ import (
 	"hybridmem/internal/clockalg"
 	"hybridmem/internal/clockpro"
 	"hybridmem/internal/lru"
+	"hybridmem/internal/runner"
 	"hybridmem/internal/workload"
 )
 
@@ -20,17 +21,18 @@ type ReplacementRow struct {
 }
 
 // ReplacementComparison measures hit ratios over one workload's ROI stream
-// with memory sized by the usual 75% rule.
+// with memory sized by the usual 75% rule. The stream replays from the
+// shared trace cache.
 func ReplacementComparison(name string, cfg Config) (*ReplacementRow, error) {
 	spec, ok := workload.ByName(name)
 	if !ok {
 		return nil, errUnknownWorkload(name)
 	}
-	gen, err := workload.NewGenerator(spec, cfg.effectiveScale(spec), cfg.Seed)
+	_, gen, pages, err := cfg.traces(cfg.traceCache(), spec).Sources()
 	if err != nil {
 		return nil, err
 	}
-	frames := cfg.Sizing.TotalPages(gen.Pages())
+	frames := cfg.Sizing.TotalPages(pages)
 
 	lruList := lru.New[struct{}]()
 	ring := clockalg.New[struct{}]()
@@ -82,6 +84,14 @@ func ReplacementComparison(name string, cfg Config) (*ReplacementRow, error) {
 		ClockPro: pro.HitRatio(),
 		Accesses: accesses,
 	}, nil
+}
+
+// ReplacementAll measures every Table III workload across the pool.
+func ReplacementAll(cfg Config) ([]*ReplacementRow, error) {
+	names := workload.Names()
+	return runner.Map(cfg.pool(), len(names), func(i int) (*ReplacementRow, error) {
+		return ReplacementComparison(names[i], cfg)
+	})
 }
 
 func errUnknownWorkload(name string) error {

@@ -45,6 +45,10 @@ func RunSeeds(cfg Config, seeds []int64) (*SeedStudy, error) {
 	for _, seed := range seeds {
 		c := cfg
 		c.Seed = seed
+		// A private cache per seed: each seed's traces are distinct, and
+		// dropping the cache between seeds keeps the study's footprint at
+		// one grid's worth of materialized traces.
+		c.Cache = nil
 		runs, err := RunAll(c)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: seed %d: %w", seed, err)

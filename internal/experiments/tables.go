@@ -2,10 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"hybridmem/internal/memspec"
 	"hybridmem/internal/report"
+	"hybridmem/internal/runner"
 	"hybridmem/internal/trace"
 	"hybridmem/internal/workload"
 )
@@ -42,40 +42,29 @@ type Table3Row struct {
 // characterizing every workload at the configured scale. Request counts come
 // from the measured (ROI) stream; the working set covers the whole trace
 // (warmup + ROI), matching how the paper characterizes the benchmarks.
+// Traces the grid already materialized into the shared cache are reused;
+// otherwise each workload streams through the stats collector in constant
+// memory (characterization needs only counters, not record slices).
 func Table3Measure(cfg Config) ([]Table3Row, error) {
 	names := workload.Names()
-	rows := make([]Table3Row, len(names))
-	errs := make([]error, len(names))
-	var wg sync.WaitGroup
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			spec, _ := workload.ByName(name)
-			g, err := workload.NewGenerator(spec, cfg.effectiveScale(spec), cfg.Seed)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			warm := trace.CollectStats(g.WarmupSource(cfg.Seed+1), workload.PageSizeBytes)
-			roi := trace.CollectStats(g, workload.PageSizeBytes)
-			rows[i] = Table3Row{
-				Name: name,
-				// Warmup and ROI touch the same page range; the union's
-				// footprint is the warmup's (it covers every page).
-				WorkingSetKB: warm.WorkingSetKB(),
-				Reads:        roi.Reads,
-				Writes:       roi.Writes,
-			}
-		}(i, name)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	tc := cfg.traceCache()
+	return runner.Map(cfg.pool(), len(names), func(i int) (Table3Row, error) {
+		spec, _ := workload.ByName(names[i])
+		warmSrc, roiSrc, _, err := cfg.traces(tc, spec).Sources()
 		if err != nil {
-			return nil, err
+			return Table3Row{}, err
 		}
-	}
-	return rows, nil
+		ws := trace.CollectStats(warmSrc, workload.PageSizeBytes)
+		rs := trace.CollectStats(roiSrc, workload.PageSizeBytes)
+		return Table3Row{
+			Name: names[i],
+			// Warmup and ROI touch the same page range; the union's
+			// footprint is the warmup's (it covers every page).
+			WorkingSetKB: ws.WorkingSetKB(),
+			Reads:        rs.Reads,
+			Writes:       rs.Writes,
+		}, nil
+	})
 }
 
 // Table3 renders the measured characterization alongside the paper's values.

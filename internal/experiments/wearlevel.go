@@ -42,19 +42,11 @@ func WearLevelAblation(name string, cfg Config, period int) (*WearLevelResult, e
 	if !ok {
 		return nil, errUnknownWorkload(name)
 	}
-	gen, err := workload.NewGenerator(spec, cfg.effectiveScale(spec), cfg.Seed)
+	warm, roi, pages, err := cfg.traces(cfg.traceCache(), spec).Materialize()
 	if err != nil {
 		return nil, err
 	}
-	warm, err := trace.Materialize(gen.WarmupSource(cfg.Seed+1), 0)
-	if err != nil {
-		return nil, err
-	}
-	roi, err := trace.Materialize(gen, 0)
-	if err != nil {
-		return nil, err
-	}
-	dram, nvm := cfg.Sizing.Partition(gen.Pages())
+	dram, nvm := cfg.Sizing.Partition(pages)
 
 	run := func(level bool) (*sim.Result, policy.Policy, error) {
 		pol, err := policy.NewNVMOnly(dram + nvm)

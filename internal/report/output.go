@@ -1,0 +1,24 @@
+package report
+
+import (
+	"io"
+	"os"
+)
+
+// WithOutput runs emit against the named output: stdout when path is ""
+// or "-", otherwise a created/truncated file. File close errors are
+// reported — a full disk must not look like a successful run.
+func WithOutput(path string, emit func(io.Writer) error) error {
+	if path == "" || path == "-" {
+		return emit(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = emit(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,48 @@
+package runner
+
+import (
+	"fmt"
+	"testing"
+
+	"hybridmem/internal/memspec"
+	"hybridmem/internal/policy"
+)
+
+// BenchmarkRunJobs measures worker-pool scheduling plus simulation over a
+// cached trace at serial and parallel widths.
+func BenchmarkRunJobs(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			tr := newFakeTraces(64, 20000, nil)
+			if _, _, _, err := tr.Materialize(); err != nil {
+				b.Fatal(err)
+			}
+			pool := New(workers)
+			jobs := make([]Job, 8)
+			for j := range jobs {
+				jobs[j] = Job{
+					ID:    fmt.Sprintf("bench/job%d", j),
+					Trace: tr,
+					Spec:  memspec.Default(),
+					Build: func() (policy.Policy, error) {
+						_, _, pages, err := tr.Materialize()
+						if err != nil {
+							return nil, err
+						}
+						return policy.NewDRAMOnly(pages)
+					},
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pool.RunJobs(jobs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,127 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolWidths(t *testing.T) {
+	if got := New(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(0) = %d workers, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := New(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(-3) = %d workers, want GOMAXPROCS", got)
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Errorf("New(7) = %d workers", got)
+	}
+}
+
+func TestDoRunsEveryIndexAtAnyWidth(t *testing.T) {
+	for _, workers := range []int{1, 2, 16, 100} {
+		var hits [57]atomic.Int64
+		err := New(workers).Do(len(hits), func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if n := hits[i].Load(); n != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+func TestDoEmpty(t *testing.T) {
+	if err := New(4).Do(0, func(int) error { t.Fatal("fn called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoReturnsLowestIndexError(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 8} {
+		var ran atomic.Int64
+		err := New(workers).Do(20, func(i int) error {
+			ran.Add(1)
+			if i == 3 || i == 17 {
+				return fmt.Errorf("index %d: %w", i, sentinel)
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want wrapped sentinel", workers, err)
+		}
+		// The reported failure is the lowest failing index, so error
+		// output is deterministic regardless of scheduling.
+		if want := "runner: job 3:"; err == nil || len(err.Error()) < len(want) || err.Error()[:len(want)] != want {
+			t.Errorf("workers=%d: err = %q, want prefix %q", workers, err, want)
+		}
+		// All indices still ran despite the failures.
+		if n := ran.Load(); n != 20 {
+			t.Errorf("workers=%d: ran %d of 20 indices", workers, n)
+		}
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 4, 32} {
+		out, err := Map(New(workers), 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapPartialResultsOnError(t *testing.T) {
+	out, err := Map(New(4), 10, func(i int) (string, error) {
+		if i == 5 {
+			return "", errors.New("nope")
+		}
+		return fmt.Sprintf("v%d", i), nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if out[4] != "v4" || out[6] != "v6" {
+		t.Errorf("successful slots not populated: %q %q", out[4], out[6])
+	}
+	if out[5] != "" {
+		t.Errorf("failed slot = %q, want zero value", out[5])
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	a := DeriveSeed(1, "job/a")
+	if b := DeriveSeed(1, "job/a"); b != a {
+		t.Errorf("not deterministic: %d vs %d", a, b)
+	}
+	if b := DeriveSeed(1, "job/b"); b == a {
+		t.Errorf("identity collision: %d", b)
+	}
+	if b := DeriveSeed(2, "job/a"); b == a {
+		t.Errorf("base seed ignored: %d", b)
+	}
+	seen := make(map[int64]bool)
+	for i := 0; i < 1000; i++ {
+		s := DeriveSeed(42, fmt.Sprintf("seed-study/%d", i))
+		if s < 0 {
+			t.Fatalf("negative seed %d", s)
+		}
+		if seen[s] {
+			t.Fatalf("collision at %d", i)
+		}
+		seen[s] = true
+	}
+}
