@@ -5,10 +5,12 @@ GO ?= go
 
 # Packages fast enough for the -race pass: everything except the
 # full-evaluation integration tests in internal/experiments (~15s without
-# -race, several minutes with it).
+# -race, several minutes with it). internal/tiered is deliberately in this
+# set: its concurrent serve + migration-daemon stress tests are the whole
+# point of running under the race detector.
 FAST_PKGS = $$($(GO) list ./... | grep -v internal/experiments)
 
-.PHONY: all build vet test race bench fmt fmt-check ci
+.PHONY: all build vet test race bench fmt fmt-check tierd-smoke ci
 
 all: build test
 
@@ -29,6 +31,12 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
+# Online-engine smoke: verify single-goroutine equivalence against the
+# reference simulator, then serve a short concurrent closed-loop run and
+# emit the results artifact.
+tierd-smoke:
+	$(GO) run ./cmd/tierd -workload bodytrack -scale 0.05 -goroutines 4 -ops 300000 -verify -json -out tierd.json
+
 fmt:
 	gofmt -w .
 
@@ -37,4 +45,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check build vet test race bench
+ci: fmt-check build vet test race bench tierd-smoke

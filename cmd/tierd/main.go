@@ -1,0 +1,207 @@
+// Command tierd benchmarks the online tiered-memory engine under
+// concurrent closed-loop load: it replays a Table III workload trace from
+// many goroutines into internal/tiered and reports throughput, service
+// latency percentiles and migration activity.
+//
+//	go run ./cmd/tierd -workload bodytrack -goroutines 16 -duration 2s
+//	go run ./cmd/tierd -workload ferret -policy clock-dwf -shards 1 -ops 500000 -json
+//	go run ./cmd/tierd -verify -goroutines 1       # equivalence gate vs internal/sim
+//
+// With -verify, tierd first replays the trace through a single-goroutine
+// synchronous engine and the reference simulator and fails unless every
+// hit/fault/promotion/demotion count matches — the subsystem's equivalence
+// guarantee, also enforced in CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"hybridmem/internal/memspec"
+	"hybridmem/internal/runner"
+	"hybridmem/internal/tiered"
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tierd: ")
+
+	var (
+		workloadName = flag.String("workload", "bodytrack", "Table III workload to replay")
+		policyName   = flag.String("policy", string(tiered.Proposed), "migration policy (proposed, proposed-adaptive, clock-dwf)")
+		scale        = flag.Float64("scale", 0.05, "trace scale (1.0 = the paper's full trace sizes)")
+		seed         = flag.Int64("seed", 1, "trace generation seed")
+		goroutines   = flag.Int("goroutines", runtime.GOMAXPROCS(0), "closed-loop load goroutines")
+		duration     = flag.Duration("duration", 2*time.Second, "wall-clock budget (ignored when -ops is set)")
+		ops          = flag.Int64("ops", 0, "total access budget (0 = run for -duration)")
+		shards       = flag.Int("shards", 0, "page-table shards, rounded up to a power of two (0 = 4x GOMAXPROCS, 1 = single lock)")
+		sync         = flag.Bool("sync", false, "run the reference policy inline under one lock (deterministic, no daemon)")
+		verify       = flag.Bool("verify", false, "check single-goroutine equivalence against internal/sim before the run")
+		jsonOut      = flag.Bool("json", false, "emit a hybridmem.results/v1 artifact instead of text")
+		outPath      = flag.String("out", "", "write output to a file instead of stdout")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments %v", flag.Args())
+	}
+
+	spec, ok := workload.ByName(*workloadName)
+	if !ok {
+		log.Fatalf("unknown workload %q (have %v)", *workloadName, workload.Names())
+	}
+	gen, err := workload.NewGenerator(spec, *scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	warm, err := trace.Materialize(gen.WarmupSource(*seed+1), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	roi, err := trace.Materialize(gen, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dram, nvm := memspec.DefaultSizing().Partition(gen.Pages())
+
+	cfg := tiered.Config{
+		Policy:      tiered.Kind(*policyName),
+		DRAMPages:   dram,
+		NVMPages:    nvm,
+		Shards:      *shards,
+		Synchronous: *sync,
+	}
+
+	if *verify {
+		if _, err := tiered.VerifyAgainstSim(cfg, append(append([]trace.Record{}, warm...), roi...)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tierd: equivalence vs internal/sim: ok (%s, %d accesses)\n",
+			*policyName, len(warm)+len(roi))
+	}
+
+	engine, err := tiered.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := engine.Start(); err != nil {
+		log.Fatal(err)
+	}
+	// Warm serially so the measured phase starts from a populated table,
+	// then snapshot the counters: the report covers only the load phase.
+	for _, r := range warm {
+		if _, err := engine.Serve(r.Addr, r.Op); err != nil {
+			log.Fatal(err)
+		}
+	}
+	base := engine.Stats()
+
+	loadCfg := tiered.LoadConfig{Goroutines: *goroutines, Ops: *ops}
+	if *ops <= 0 {
+		loadCfg.Duration = *duration
+	}
+	rep, err := tiered.RunLoad(engine, roi, loadCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := engine.Stop(); err != nil {
+		log.Fatal(err)
+	}
+	st := engine.Stats().Sub(base)
+
+	w := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	if *jsonOut {
+		err = writeArtifact(w, engine, rep, st, *workloadName, *scale, *seed, *goroutines, *sync)
+	} else {
+		err = writeText(w, engine, rep, st, *workloadName, dram, nvm, *goroutines)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writeText(w io.Writer, e *tiered.Engine, rep *tiered.LoadReport, st tiered.Stats,
+	name string, dram, nvm, goroutines int) error {
+	shards := e.Config().Shards
+	_, err := fmt.Fprintf(w, `tierd: %s under %s, DRAM %d + NVM %d frames, %d shards, %d goroutines
+throughput: %12.0f ops/s (%d ops in %v)
+latency:    p50 %v, p95 %v, p99 %v, max %v
+placement:  %.1f%% DRAM hits, %.1f%% NVM hits, %d faults
+migration:  %d promotions, %d demotions (%d fault, %d promo), %d evictions
+daemon:     %d scans, %d batches, %d queue drops
+`,
+		name, e.PolicyName(), dram, nvm, shards, goroutines,
+		rep.OpsPerSec, rep.Ops, rep.Elapsed.Round(time.Millisecond),
+		rep.P50, rep.P95, rep.P99, rep.Max,
+		pct(st.HitsDRAM(), st.Accesses), pct(st.HitsNVM(), st.Accesses), st.Faults,
+		st.Promotions, st.Demotions, st.DemotionsFault, st.DemotionsPromo, st.Evictions,
+		st.Scans, st.Batches, st.QueueDrops)
+	return err
+}
+
+func pct(part, whole int64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+func writeArtifact(w io.Writer, e *tiered.Engine, rep *tiered.LoadReport, st tiered.Stats,
+	name string, scale float64, seed int64, goroutines int, sync bool) error {
+	a := runner.NewArtifact("tierd", "serve", scale, seed)
+	cfg := e.Config()
+	syncVal := 0.0
+	if sync {
+		syncVal = 1
+	}
+	a.Add(runner.Result{
+		ID:        fmt.Sprintf("%s/%s/g%d", name, e.PolicyName(), goroutines),
+		Workload:  name,
+		Policy:    e.PolicyName(),
+		Seed:      seed,
+		DRAMPages: cfg.DRAMPages,
+		NVMPages:  cfg.NVMPages,
+		Params: map[string]float64{
+			"goroutines": float64(goroutines),
+			"shards":     float64(cfg.Shards),
+			"sync":       syncVal,
+		},
+		Values: map[string]float64{
+			"ops":            float64(rep.Ops),
+			"ops_per_sec":    rep.OpsPerSec,
+			"p50_ns":         float64(rep.P50.Nanoseconds()),
+			"p95_ns":         float64(rep.P95.Nanoseconds()),
+			"p99_ns":         float64(rep.P99.Nanoseconds()),
+			"max_ns":         float64(rep.Max.Nanoseconds()),
+			"hits_dram":      float64(st.HitsDRAM()),
+			"hits_nvm":       float64(st.HitsNVM()),
+			"faults":         float64(st.Faults),
+			"promotions":     float64(st.Promotions),
+			"demotions":      float64(st.Demotions),
+			"evictions":      float64(st.Evictions),
+			"scans":          float64(st.Scans),
+			"batches":        float64(st.Batches),
+			"queue_drops":    float64(st.QueueDrops),
+			"break_even_hit": float64(tiered.BreakEvenHits(cfg.Spec)),
+		},
+	})
+	return a.Write(w)
+}

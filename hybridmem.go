@@ -8,12 +8,21 @@
 // This package is the public facade. It exposes:
 //
 //   - System: a hybrid memory under one of the six management policies
-//     (the proposed scheme, its adaptive variant, CLOCK-DWF, DRAM-as-cache,
-//     and the single-technology baselines), fed with line-sized accesses
-//     and evaluated with the paper's models;
+//     exported as PolicyKind constants — Proposed, ProposedAdaptive,
+//     ClockDWF, DRAMCache, DRAMOnly and NVMOnly — fed with line-sized
+//     accesses and evaluated with the paper's models (a seventh policy,
+//     the static-partition ablation, lives in internal/policy and is used
+//     only by the architecture experiments);
 //   - GenerateWorkload: the twelve synthetic PARSEC-like traces calibrated
 //     to the paper's Table III;
 //   - the policy kinds and tuning knobs of the proposed scheme.
+//
+// System is single-threaded: it is the reference implementation the
+// evaluation replays traces through. To serve concurrent traffic, use the
+// online engine instead — internal/tiered runs Proposed, ProposedAdaptive
+// and ClockDWF behind a sharded page table with a background migration
+// daemon (cmd/tierd benchmarks it), and is equivalence-tested against this
+// facade's accounting at one goroutine.
 //
 // The full evaluation machinery (figure regeneration, sweeps, claims
 // extraction) lives in the cmd/ tools; see README.md.

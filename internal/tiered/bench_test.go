@@ -1,0 +1,122 @@
+package tiered
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hybridmem/internal/mm"
+	"hybridmem/internal/trace"
+)
+
+// benchGoroutines are the fan-outs the ISSUE's scaling story is told at.
+var benchGoroutines = []int{1, 4, 16}
+
+// benchShards compares the single-lock baseline against a sharded table.
+var benchShards = []int{1, 64}
+
+// BenchmarkShardedTable measures the hit path (lookup + atomic counter
+// update) on a pre-populated table, sharded vs single-lock, across
+// goroutine counts. b.N operations total, split across the goroutines.
+func BenchmarkShardedTable(b *testing.B) {
+	const pages = 1 << 14
+	for _, shards := range benchShards {
+		for _, g := range benchGoroutines {
+			b.Run(fmt.Sprintf("shards=%d/goroutines=%d", shards, g), func(b *testing.B) {
+				tbl, err := NewTable(shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for p := uint64(0); p < pages; p++ {
+					tbl.Insert(p, mm.LocNVM)
+				}
+				// Per-worker pseudorandom page sequences, generated off
+				// the clock.
+				seqs := make([][]uint64, g)
+				for w := range seqs {
+					rng := rand.New(rand.NewSource(int64(w) + 1))
+					seqs[w] = make([]uint64, 4096)
+					for i := range seqs[w] {
+						seqs[w][i] = uint64(rng.Intn(pages))
+					}
+				}
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < g; w++ {
+					ops := b.N / g
+					if w < b.N%g {
+						ops++
+					}
+					wg.Add(1)
+					go func(w, ops int) {
+						defer wg.Done()
+						seq := seqs[w]
+						for i := 0; i < ops; i++ {
+							tbl.Touch(seq[i%len(seq)], trace.OpRead)
+						}
+					}(w, ops)
+				}
+				wg.Wait()
+			})
+		}
+	}
+}
+
+// BenchmarkTieredServe measures the full online serve path — sharded
+// lookup, fault cascade, background daemon live — replaying a real
+// workload trace closed-loop, sharded vs single-lock, across goroutine
+// counts.
+func BenchmarkTieredServe(b *testing.B) {
+	recs, dram, nvm := genTrace(b, "bodytrack", 0.05, 1)
+	for _, shards := range benchShards {
+		for _, g := range benchGoroutines {
+			b.Run(fmt.Sprintf("shards=%d/goroutines=%d", shards, g), func(b *testing.B) {
+				e, err := New(Config{DRAMPages: dram, NVMPages: nvm, Shards: shards})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := e.Start(); err != nil {
+					b.Fatal(err)
+				}
+				defer func() {
+					if err := e.Stop(); err != nil {
+						b.Fatal(err)
+					}
+				}()
+				// Warm pass so the steady state, not initial faulting,
+				// dominates the measurement.
+				for _, r := range recs {
+					if _, err := e.Serve(r.Addr, r.Op); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < g; w++ {
+					ops := b.N / g
+					if w < b.N%g {
+						ops++
+					}
+					wg.Add(1)
+					go func(w, ops int) {
+						defer wg.Done()
+						i := len(recs) * w / g
+						for n := 0; n < ops; n++ {
+							r := recs[i]
+							i++
+							if i == len(recs) {
+								i = 0
+							}
+							if _, err := e.Serve(r.Addr, r.Op); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w, ops)
+				}
+				wg.Wait()
+			})
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package tiered
+
+import (
+	"fmt"
+	"time"
+
+	"hybridmem/internal/mm"
+)
+
+// Start brings the engine online. In asynchronous mode it launches the
+// migration daemon: one scanner that sweeps the shards for hot NVM pages
+// every ScanInterval and batches them onto the promotion queue, plus
+// Workers goroutines that drain the queue and apply the migrations. In
+// synchronous mode there is no daemon (migrations happen inline) and Start
+// only flips the lifecycle state.
+func (e *Engine) Start() error {
+	if !e.state.CompareAndSwap(stateNew, stateStarted) {
+		return fmt.Errorf("tiered: engine already started")
+	}
+	if e.backing != nil {
+		return nil
+	}
+	e.stopCh = make(chan struct{})
+	e.batchCh = make(chan []uint64, e.cfg.QueueLen)
+	e.scanWG.Add(1)
+	go e.scanLoop()
+	e.workerWG.Add(e.cfg.Workers)
+	for i := 0; i < e.cfg.Workers; i++ {
+		go e.workerLoop()
+	}
+	return nil
+}
+
+// Stop shuts the engine down gracefully: new Serve calls are rejected, the
+// scanner exits, and the workers drain every batch already enqueued before
+// returning. Stop is idempotent, and every Stop call — including one that
+// loses the race to a concurrent Stop — only returns after the daemon has
+// fully quiesced. Stopping an engine that never started is an error.
+func (e *Engine) Stop() error {
+	if e.state.CompareAndSwap(stateStarted, stateStopped) {
+		if e.backing == nil {
+			close(e.stopCh)
+			e.scanWG.Wait() // scanner exits and closes the batch channel
+			e.workerWG.Wait()
+			// Barrier against a concurrent ScanOnce: any scan that won
+			// scanMu before this point finishes its inline work here; any
+			// that acquires it later sees the stopped state and does
+			// nothing. Either way no migration mutates the table after
+			// Stop returns.
+			e.scanMu.Lock()
+			e.scanMu.Unlock() //nolint:staticcheck // empty section is the barrier
+		}
+		close(e.drained)
+		return nil
+	}
+	if e.state.Load() == stateStopped {
+		<-e.drained
+		return nil
+	}
+	return fmt.Errorf("tiered: engine never started")
+}
+
+// scanLoop is the daemon's scanner goroutine.
+func (e *Engine) scanLoop() {
+	defer func() {
+		close(e.batchCh)
+		e.scanWG.Done()
+	}()
+	ticker := time.NewTicker(e.cfg.ScanInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stopCh:
+			return
+		case <-ticker.C:
+			e.scanEpoch(false)
+		}
+	}
+}
+
+// workerLoop drains promotion batches until the channel closes.
+func (e *Engine) workerLoop() {
+	defer e.workerWG.Done()
+	for batch := range e.batchCh {
+		for _, page := range batch {
+			e.applyPromotion(page)
+		}
+	}
+}
+
+// ScanOnce runs one hotness scan immediately and applies the resulting
+// promotions inline before returning, giving tests and embedders a
+// deterministic migration point. Only meaningful in asynchronous mode (the
+// synchronous engine migrates inline on every access already).
+func (e *Engine) ScanOnce() error {
+	if e.state.Load() != stateStarted {
+		return ErrNotStarted
+	}
+	if e.backing != nil {
+		return nil
+	}
+	e.scanEpoch(true)
+	return nil
+}
+
+// scanEpoch sweeps every shard for NVM pages whose windowed counters the
+// policy judges hot, batches them onto the promotion queue (or applies them
+// inline), resets the counter windows, and gives the policy its epoch
+// hook. Serialized by scanMu so a ticker epoch and a ScanOnce never
+// interleave their window resets.
+func (e *Engine) scanEpoch(inline bool) {
+	e.scanMu.Lock()
+	defer e.scanMu.Unlock()
+	// Re-check under the lock: a ScanOnce that passed the lifecycle check
+	// just before Stop must not mutate anything after Stop's barrier.
+	if e.state.Load() != stateStarted {
+		return
+	}
+
+	batch := make([]uint64, 0, e.cfg.BatchSize)
+	flush := func(b []uint64) {
+		if len(b) == 0 {
+			return
+		}
+		if inline {
+			for _, page := range b {
+				e.applyPromotion(page)
+			}
+			e.c.batches.Add(1)
+			return
+		}
+		select {
+		case e.batchCh <- b:
+			e.c.batches.Add(1)
+		default:
+			// Queue full: drop the batch. Promotion is advisory — a page
+			// that stays hot re-qualifies next epoch — so shedding load
+			// here keeps the scanner from ever blocking on the workers.
+			e.c.queueDrops.Add(1)
+		}
+	}
+
+	for i := 0; i < e.tbl.NumShards(); i++ {
+		// Only collect inside the scan: applying a migration takes shard
+		// write locks, which must never happen under this shard's read
+		// lock. Batches flush between shards.
+		e.tbl.ScanShard(i, true, func(page uint64, loc mm.Location, reads, writes uint64) {
+			if loc == mm.LocNVM && e.pol.Hot(reads, writes) {
+				batch = append(batch, page)
+			}
+		})
+		for len(batch) >= e.cfg.BatchSize {
+			flush(batch[:e.cfg.BatchSize:e.cfg.BatchSize])
+			batch = append(make([]uint64, 0, e.cfg.BatchSize), batch[e.cfg.BatchSize:]...)
+		}
+	}
+	flush(batch)
+
+	cur := EpochStats{
+		Accesses:   e.c.accesses.Load(),
+		HitsDRAM:   e.c.readsDRAM.Load() + e.c.writesDRAM.Load(),
+		Promotions: e.c.promotions.Load(),
+	}
+	e.pol.Epoch(EpochStats{
+		Accesses:   cur.Accesses - e.lastEpoch.Accesses,
+		HitsDRAM:   cur.HitsDRAM - e.lastEpoch.HitsDRAM,
+		Promotions: cur.Promotions - e.lastEpoch.Promotions,
+	})
+	e.lastEpoch = cur
+	e.c.scans.Add(1)
+}

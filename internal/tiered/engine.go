@@ -1,0 +1,579 @@
+package tiered
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridmem/internal/clockdwf"
+	"hybridmem/internal/core"
+	"hybridmem/internal/memspec"
+	"hybridmem/internal/mm"
+	"hybridmem/internal/policy"
+	"hybridmem/internal/trace"
+)
+
+// Engine lifecycle errors.
+var (
+	// ErrNotStarted is returned by Serve before Start.
+	ErrNotStarted = errors.New("tiered: engine not started")
+	// ErrStopped is returned by Serve after Stop.
+	ErrStopped = errors.New("tiered: engine stopped")
+)
+
+// maxFaultRetries bounds the reserve/insert retry loops on the fault path.
+// Each retry means another goroutine won a race; hitting the bound would
+// take adversarial scheduling, so it is treated as a bug, not backpressure.
+const maxFaultRetries = 256
+
+// Config describes an online engine.
+type Config struct {
+	// Policy selects the migration algorithm (default Proposed).
+	Policy Kind
+	// DRAMPages and NVMPages are the zone capacities in frames; both must
+	// be at least 1.
+	DRAMPages, NVMPages int
+	// Shards is the page-table shard count, rounded up to a power of two.
+	// 0 picks 4x GOMAXPROCS; 1 is the single-lock baseline.
+	Shards int
+	// Core carries the proposed scheme's thresholds and windows (zero
+	// value = core.DefaultConfig()).
+	Core core.Config
+	// Adaptive tunes the adaptive controller (zero value =
+	// core.DefaultAdaptiveConfig(); only used by Kind Adaptive).
+	Adaptive core.AdaptiveConfig
+	// DWF tunes the CLOCK-DWF baseline (zero value =
+	// clockdwf.DefaultConfig(); only used in Synchronous mode).
+	DWF clockdwf.Config
+	// Spec supplies the technology parameters the thresholds are costed
+	// against (zero value = memspec.Default()).
+	Spec memspec.Spec
+	// Synchronous runs the single-threaded reference policy inline under
+	// one lock instead of the sharded fast path + daemon: every access
+	// produces exactly the counts internal/sim would. This is the
+	// deterministic mode the equivalence check uses.
+	Synchronous bool
+	// ScanInterval is the daemon's hotness-scan period (default 2ms).
+	ScanInterval time.Duration
+	// BatchSize caps the pages per promotion batch (default 128).
+	BatchSize int
+	// Workers is the number of migration worker goroutines (default 1).
+	Workers int
+	// QueueLen is the promotion-queue depth in batches (default 16).
+	// When the queue is full, batches are dropped and counted: migration
+	// is a hint, and a page that stays hot is re-found next epoch.
+	QueueLen int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Policy == "" {
+		c.Policy = Proposed
+	}
+	if c.Shards == 0 {
+		c.Shards = 4 * runtime.GOMAXPROCS(0)
+	}
+	if (c.Core == core.Config{}) {
+		c.Core = core.DefaultConfig()
+	}
+	if (c.Adaptive == core.AdaptiveConfig{}) {
+		c.Adaptive = core.DefaultAdaptiveConfig()
+	}
+	if (c.DWF == clockdwf.Config{}) {
+		c.DWF = clockdwf.DefaultConfig()
+	}
+	if c.Spec.Geometry.PageSizeBytes == 0 {
+		c.Spec = memspec.Default()
+	}
+	if c.ScanInterval == 0 {
+		c.ScanInterval = 2 * time.Millisecond
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 128
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.QueueLen == 0 {
+		c.QueueLen = 16
+	}
+	return c
+}
+
+// ServeResult is the outcome of one access.
+type ServeResult struct {
+	// ServedFrom is the zone that serviced the request (for a fault, the
+	// zone the page was loaded into).
+	ServedFrom mm.Location
+	// Fault reports that the page was not resident.
+	Fault bool
+}
+
+// Stats is a snapshot of the engine's event counters. The access counters
+// mirror sim.Counts so the two accountings are directly comparable.
+type Stats struct {
+	Accesses                                                  int64
+	ReadsDRAM, WritesDRAM, ReadsNVM, WritesNVM                int64
+	Faults, FaultsToDRAM, FaultsToNVM                         int64
+	Promotions                                                int64
+	Demotions, DemotionsFault, DemotionsPromo, DemotionsClean int64
+	Evictions                                                 int64
+	// Daemon counters: scan epochs run, promotion batches enqueued, and
+	// batches dropped on a full queue.
+	Scans, Batches, QueueDrops int64
+	// ResidentDRAM and ResidentNVM are the current zone occupancies.
+	ResidentDRAM, ResidentNVM int64
+}
+
+// Hits returns the number of non-faulting accesses.
+func (s Stats) Hits() int64 { return s.ReadsDRAM + s.WritesDRAM + s.ReadsNVM + s.WritesNVM }
+
+// HitsDRAM returns hits serviced by DRAM.
+func (s Stats) HitsDRAM() int64 { return s.ReadsDRAM + s.WritesDRAM }
+
+// HitsNVM returns hits serviced by NVM.
+func (s Stats) HitsNVM() int64 { return s.ReadsNVM + s.WritesNVM }
+
+// Sub returns the event-count deltas since prev. The occupancy fields are
+// levels, not counts, and are carried over unchanged.
+func (s Stats) Sub(prev Stats) Stats {
+	d := Stats{
+		Accesses:       s.Accesses - prev.Accesses,
+		ReadsDRAM:      s.ReadsDRAM - prev.ReadsDRAM,
+		WritesDRAM:     s.WritesDRAM - prev.WritesDRAM,
+		ReadsNVM:       s.ReadsNVM - prev.ReadsNVM,
+		WritesNVM:      s.WritesNVM - prev.WritesNVM,
+		Faults:         s.Faults - prev.Faults,
+		FaultsToDRAM:   s.FaultsToDRAM - prev.FaultsToDRAM,
+		FaultsToNVM:    s.FaultsToNVM - prev.FaultsToNVM,
+		Promotions:     s.Promotions - prev.Promotions,
+		Demotions:      s.Demotions - prev.Demotions,
+		DemotionsFault: s.DemotionsFault - prev.DemotionsFault,
+		DemotionsPromo: s.DemotionsPromo - prev.DemotionsPromo,
+		DemotionsClean: s.DemotionsClean - prev.DemotionsClean,
+		Evictions:      s.Evictions - prev.Evictions,
+		Scans:          s.Scans - prev.Scans,
+		Batches:        s.Batches - prev.Batches,
+		QueueDrops:     s.QueueDrops - prev.QueueDrops,
+		ResidentDRAM:   s.ResidentDRAM,
+		ResidentNVM:    s.ResidentNVM,
+	}
+	return d
+}
+
+// counters is the engine's atomic tally block.
+type counters struct {
+	accesses                                                  atomic.Int64
+	readsDRAM, writesDRAM, readsNVM, writesNVM                atomic.Int64
+	faults, faultsToDRAM, faultsToNVM                         atomic.Int64
+	promotions                                                atomic.Int64
+	demotions, demotionsFault, demotionsPromo, demotionsClean atomic.Int64
+	evictions                                                 atomic.Int64
+	scans, batches, queueDrops                                atomic.Int64
+}
+
+// Engine lifecycle states.
+const (
+	stateNew int32 = iota
+	stateStarted
+	stateStopped
+)
+
+// Engine is the online tiered-memory engine. Serve is safe for concurrent
+// use by any number of goroutines once Start has returned; Stop shuts the
+// migration daemon down gracefully (in-flight batches drain first).
+type Engine struct {
+	cfg      Config
+	tbl      *Table
+	pol      OnlinePolicy
+	pageSize uint64
+
+	dramCap, nvmCap   int64
+	dramUsed, nvmUsed atomic.Int64
+
+	c     counters
+	state atomic.Int32
+
+	// Synchronous mode: the reference policy behind one lock.
+	mu      sync.Mutex
+	backing policy.Policy
+
+	// Daemon plumbing (asynchronous mode).
+	stopCh    chan struct{}
+	batchCh   chan []uint64
+	scanWG    sync.WaitGroup
+	workerWG  sync.WaitGroup
+	scanMu    sync.Mutex
+	lastEpoch EpochStats
+	// drained closes once the winning Stop has fully quiesced the daemon,
+	// so a Stop that loses the race still waits for the drain guarantee.
+	drained chan struct{}
+}
+
+// New builds an engine. Call Start before Serve.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DRAMPages < 1 || cfg.NVMPages < 1 {
+		return nil, fmt.Errorf("tiered: both zones need frames, got %d/%d", cfg.DRAMPages, cfg.NVMPages)
+	}
+	if err := cfg.Core.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BatchSize < 1 || cfg.Workers < 1 || cfg.QueueLen < 1 || cfg.ScanInterval < 0 {
+		return nil, fmt.Errorf("tiered: invalid daemon config (batch %d, workers %d, queue %d, interval %v)",
+			cfg.BatchSize, cfg.Workers, cfg.QueueLen, cfg.ScanInterval)
+	}
+	tbl, err := NewTable(cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	// Record the rounded-up shard count: Config() reports what the table
+	// actually uses, and tierd's artifact must attribute results to it.
+	cfg.Shards = tbl.NumShards()
+	e := &Engine{
+		cfg:      cfg,
+		tbl:      tbl,
+		pageSize: uint64(cfg.Spec.Geometry.PageSizeBytes),
+		dramCap:  int64(cfg.DRAMPages),
+		nvmCap:   int64(cfg.NVMPages),
+		drained:  make(chan struct{}),
+	}
+	if cfg.Synchronous {
+		e.backing, err = newBackingPolicy(cfg.Policy, cfg.DRAMPages, cfg.NVMPages, cfg.Core, cfg.Adaptive, cfg.DWF)
+	} else {
+		e.pol, err = newOnlinePolicy(cfg.Policy, cfg.Core, cfg.Adaptive)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Config returns the engine's effective (default-filled) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// PolicyName returns the name of the policy the engine runs.
+func (e *Engine) PolicyName() string {
+	if e.backing != nil {
+		return e.backing.Name()
+	}
+	return e.pol.Name()
+}
+
+// Stats returns a snapshot of the engine's counters. Safe to call
+// concurrently with Serve; the fields are read individually, so a snapshot
+// taken mid-traffic is approximate across fields but each field is exact.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Accesses:       e.c.accesses.Load(),
+		ReadsDRAM:      e.c.readsDRAM.Load(),
+		WritesDRAM:     e.c.writesDRAM.Load(),
+		ReadsNVM:       e.c.readsNVM.Load(),
+		WritesNVM:      e.c.writesNVM.Load(),
+		Faults:         e.c.faults.Load(),
+		FaultsToDRAM:   e.c.faultsToDRAM.Load(),
+		FaultsToNVM:    e.c.faultsToNVM.Load(),
+		Promotions:     e.c.promotions.Load(),
+		Demotions:      e.c.demotions.Load(),
+		DemotionsFault: e.c.demotionsFault.Load(),
+		DemotionsPromo: e.c.demotionsPromo.Load(),
+		DemotionsClean: e.c.demotionsClean.Load(),
+		Evictions:      e.c.evictions.Load(),
+		Scans:          e.c.scans.Load(),
+		Batches:        e.c.batches.Load(),
+		QueueDrops:     e.c.queueDrops.Load(),
+		ResidentDRAM:   e.dramUsed.Load(),
+		ResidentNVM:    e.nvmUsed.Load(),
+	}
+}
+
+// Serve services one line-sized access. Hot path: one sharded lookup plus
+// atomic counter updates; faults and migrations take shard write locks.
+func (e *Engine) Serve(addr uint64, op trace.Op) (ServeResult, error) {
+	switch e.state.Load() {
+	case stateStarted:
+	case stateNew:
+		return ServeResult{}, ErrNotStarted
+	default:
+		return ServeResult{}, ErrStopped
+	}
+	page := addr / e.pageSize
+	e.c.accesses.Add(1)
+	if e.backing != nil {
+		return e.serveSync(page, op)
+	}
+	if loc, ok := e.tbl.Touch(page, op); ok {
+		e.tallyHit(loc, op)
+		return ServeResult{ServedFrom: loc}, nil
+	}
+	return e.serveFault(page, op)
+}
+
+// tallyHit records a non-faulting access, mirroring sim.Run's accounting.
+func (e *Engine) tallyHit(loc mm.Location, op trace.Op) {
+	switch {
+	case loc == mm.LocDRAM && op == trace.OpRead:
+		e.c.readsDRAM.Add(1)
+	case loc == mm.LocDRAM:
+		e.c.writesDRAM.Add(1)
+	case op == trace.OpRead:
+		e.c.readsNVM.Add(1)
+	default:
+		e.c.writesNVM.Add(1)
+	}
+}
+
+// usedOf returns the occupancy counter and capacity of a zone.
+func (e *Engine) usedOf(loc mm.Location) (*atomic.Int64, int64) {
+	if loc == mm.LocDRAM {
+		return &e.dramUsed, e.dramCap
+	}
+	return &e.nvmUsed, e.nvmCap
+}
+
+// reserve claims one free frame in a zone, or reports that it is full.
+// Capacity is enforced by the occupancy counter, not a free list: a
+// successful reserve is a promise that an Insert/MoveIf will follow (or the
+// reservation is released), so occupancy never exceeds capacity.
+func (e *Engine) reserve(loc mm.Location) bool {
+	used, capacity := e.usedOf(loc)
+	for {
+		u := used.Load()
+		if u >= capacity {
+			return false
+		}
+		if used.CompareAndSwap(u, u+1) {
+			return true
+		}
+	}
+}
+
+// release returns a reserved frame.
+func (e *Engine) release(loc mm.Location) {
+	used, _ := e.usedOf(loc)
+	used.Add(-1)
+}
+
+// serveFault loads a non-resident page into the zone the policy chooses,
+// demoting and evicting colder pages as capacity requires.
+func (e *Engine) serveFault(page uint64, op trace.Op) (ServeResult, error) {
+	zone := e.pol.FaultZone(op)
+	for attempt := 0; attempt < maxFaultRetries; attempt++ {
+		if !e.reserve(zone) {
+			if err := e.makeRoom(zone, false); err != nil {
+				return ServeResult{}, err
+			}
+			continue
+		}
+		if e.tbl.Insert(page, zone) {
+			e.c.faults.Add(1)
+			if zone == mm.LocDRAM {
+				e.c.faultsToDRAM.Add(1)
+			} else {
+				e.c.faultsToNVM.Add(1)
+			}
+			return ServeResult{ServedFrom: zone, Fault: true}, nil
+		}
+		// Another goroutine faulted the page in first: this access is a
+		// hit on wherever it landed.
+		e.release(zone)
+		if loc, ok := e.tbl.Touch(page, op); ok {
+			e.tallyHit(loc, op)
+			return ServeResult{ServedFrom: loc}, nil
+		}
+		// Inserted and already evicted again: fault anew.
+	}
+	return ServeResult{}, fmt.Errorf("tiered: page %d fault retries exhausted", page)
+}
+
+// makeRoom frees one frame in a zone: a DRAM demotion (which may cascade
+// into an NVM eviction) or an NVM eviction to disk. forPromotion only
+// labels the demotion's reason in the stats.
+func (e *Engine) makeRoom(zone mm.Location, forPromotion bool) error {
+	if zone == mm.LocNVM {
+		return e.evictOne()
+	}
+	// Demote a cold DRAM page into NVM. Reserve the NVM frame first so the
+	// victim always has somewhere to land.
+	for attempt := 0; attempt < maxFaultRetries; attempt++ {
+		if !e.reserve(mm.LocNVM) {
+			if err := e.evictOne(); err != nil {
+				return err
+			}
+			continue
+		}
+		victim, ok := e.tbl.ClockVictim(mm.LocDRAM)
+		if !ok {
+			// DRAM drained concurrently; the caller's reserve will now
+			// succeed.
+			e.release(mm.LocNVM)
+			return nil
+		}
+		if e.tbl.MoveIf(victim, mm.LocDRAM, mm.LocNVM) {
+			e.release(mm.LocDRAM)
+			e.c.demotions.Add(1)
+			if forPromotion {
+				e.c.demotionsPromo.Add(1)
+			} else {
+				e.c.demotionsFault.Add(1)
+			}
+			return nil
+		}
+		// The victim moved or vanished under us; retry with a fresh one.
+		e.release(mm.LocNVM)
+	}
+	return errors.New("tiered: demotion retries exhausted")
+}
+
+// evictOne removes one cold NVM page from memory (the online engine's
+// page-out: data pages carry no content here, so eviction is pure
+// bookkeeping and the next access to the page faults).
+func (e *Engine) evictOne() error {
+	for attempt := 0; attempt < maxFaultRetries; attempt++ {
+		victim, ok := e.tbl.ClockVictim(mm.LocNVM)
+		if !ok {
+			return nil // zone drained concurrently
+		}
+		if e.tbl.RemoveIf(victim, mm.LocNVM) {
+			e.release(mm.LocNVM)
+			e.c.evictions.Add(1)
+			return nil
+		}
+	}
+	return errors.New("tiered: eviction retries exhausted")
+}
+
+// applyPromotion moves one scan-identified hot page to DRAM, verifying the
+// scan's observation still holds at apply time.
+func (e *Engine) applyPromotion(page uint64) {
+	if loc, ok := e.tbl.Peek(page); !ok || loc != mm.LocNVM {
+		return // stale hint: the page moved or was evicted since the scan
+	}
+	for attempt := 0; attempt < maxFaultRetries; attempt++ {
+		if !e.reserve(mm.LocDRAM) {
+			if e.makeRoom(mm.LocDRAM, true) != nil {
+				return
+			}
+			continue
+		}
+		if e.tbl.MoveIf(page, mm.LocNVM, mm.LocDRAM) {
+			e.release(mm.LocNVM)
+			e.c.promotions.Add(1)
+		} else {
+			e.release(mm.LocDRAM)
+		}
+		return
+	}
+}
+
+// serveSync routes one access through the single-threaded reference policy
+// and mirrors its moves into the sharded table, tallying exactly what
+// sim.Run would tally for the same access.
+func (e *Engine) serveSync(page uint64, op trace.Op) (ServeResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, err := e.backing.Access(page, op)
+	if err != nil {
+		return ServeResult{}, fmt.Errorf("tiered: %w", err)
+	}
+	if r.Fault {
+		e.c.faults.Add(1)
+		switch r.ServedFrom {
+		case mm.LocDRAM:
+			e.c.faultsToDRAM.Add(1)
+		case mm.LocNVM:
+			e.c.faultsToNVM.Add(1)
+		default:
+			return ServeResult{}, fmt.Errorf("tiered: fault served from %v", r.ServedFrom)
+		}
+	} else {
+		e.tallyHit(r.ServedFrom, op)
+	}
+	for _, m := range r.Moves {
+		if err := e.mirrorMove(m); err != nil {
+			return ServeResult{}, err
+		}
+	}
+	return ServeResult{ServedFrom: r.ServedFrom, Fault: r.Fault}, nil
+}
+
+// mirrorMove applies one reference-policy move to the sharded table and the
+// occupancy counters, with the same classification sim.Run uses.
+func (e *Engine) mirrorMove(m policy.Move) error {
+	fail := func() error {
+		return fmt.Errorf("tiered: table out of sync applying %+v", m)
+	}
+	switch {
+	case m.From == mm.LocNVM && m.To == mm.LocDRAM:
+		if !e.tbl.MoveIf(m.Page, mm.LocNVM, mm.LocDRAM) {
+			return fail()
+		}
+		e.nvmUsed.Add(-1)
+		e.dramUsed.Add(1)
+		e.c.promotions.Add(1)
+	case m.From == mm.LocDRAM && m.To == mm.LocNVM:
+		if !e.tbl.MoveIf(m.Page, mm.LocDRAM, mm.LocNVM) {
+			return fail()
+		}
+		e.dramUsed.Add(-1)
+		e.nvmUsed.Add(1)
+		switch m.Reason {
+		case policy.ReasonDemoteClean:
+			e.c.demotionsClean.Add(1)
+		case policy.ReasonDemoteFault:
+			e.c.demotions.Add(1)
+			e.c.demotionsFault.Add(1)
+		default:
+			e.c.demotions.Add(1)
+			e.c.demotionsPromo.Add(1)
+		}
+	case m.From == mm.LocDisk && m.To.IsMemory():
+		if !e.tbl.Insert(m.Page, m.To) {
+			return fail()
+		}
+		used, _ := e.usedOf(m.To)
+		used.Add(1)
+	case m.To == mm.LocDisk && m.From.IsMemory():
+		if !e.tbl.RemoveIf(m.Page, m.From) {
+			return fail()
+		}
+		used, _ := e.usedOf(m.From)
+		used.Add(-1)
+		e.c.evictions.Add(1)
+	default:
+		return fmt.Errorf("tiered: unexpected move %+v", m)
+	}
+	return nil
+}
+
+// CheckInvariants validates the table against the occupancy counters and
+// capacities. Call it quiesced (no concurrent Serve); in synchronous mode
+// it additionally cross-checks the reference policy's physical memory.
+func (e *Engine) CheckInvariants() error {
+	dram, nvm := e.tbl.Residents(mm.LocDRAM), e.tbl.Residents(mm.LocNVM)
+	if int64(dram) != e.dramUsed.Load() || int64(nvm) != e.nvmUsed.Load() {
+		return fmt.Errorf("tiered: table holds %d/%d pages but occupancy says %d/%d",
+			dram, nvm, e.dramUsed.Load(), e.nvmUsed.Load())
+	}
+	if int64(dram) > e.dramCap || int64(nvm) > e.nvmCap {
+		return fmt.Errorf("tiered: occupancy %d/%d exceeds capacity %d/%d",
+			dram, nvm, e.dramCap, e.nvmCap)
+	}
+	if e.backing != nil {
+		sys := e.backing.System()
+		if dram != sys.Residents(mm.LocDRAM) || nvm != sys.Residents(mm.LocNVM) {
+			return fmt.Errorf("tiered: table %d/%d pages, reference system %d/%d",
+				dram, nvm, sys.Residents(mm.LocDRAM), sys.Residents(mm.LocNVM))
+		}
+		if err := sys.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package tiered
+
+import (
+	"fmt"
+
+	"hybridmem/internal/mm"
+	"hybridmem/internal/sim"
+	"hybridmem/internal/trace"
+)
+
+// VerifyAgainstSim replays recs through a Synchronous engine and through
+// the single-threaded reference simulator, both built from cfg, and
+// compares every event count and the final zone occupancies. It returns
+// the engine's stats and a nil error when the two accountings are
+// identical — the online engine's equivalence guarantee at one goroutine.
+func VerifyAgainstSim(cfg Config, recs []trace.Record) (Stats, error) {
+	cfg.Synchronous = true
+	cfg = cfg.withDefaults()
+
+	// Reference side: the simulator driving a fresh policy instance.
+	pol, err := newBackingPolicy(cfg.Policy, cfg.DRAMPages, cfg.NVMPages, cfg.Core, cfg.Adaptive, cfg.DWF)
+	if err != nil {
+		return Stats{}, err
+	}
+	res, err := sim.Run(trace.NewSliceSource(recs), pol, cfg.Spec, sim.Options{})
+	if err != nil {
+		return Stats{}, err
+	}
+
+	// Online side: a synchronous engine over its own fresh policy.
+	e, err := New(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	if err := e.Start(); err != nil {
+		return Stats{}, err
+	}
+	for i, r := range recs {
+		if _, err := e.Serve(r.Addr, r.Op); err != nil {
+			return Stats{}, fmt.Errorf("tiered: verify access %d: %w", i, err)
+		}
+	}
+	if err := e.Stop(); err != nil {
+		return Stats{}, err
+	}
+	if err := e.CheckInvariants(); err != nil {
+		return Stats{}, err
+	}
+
+	got := e.Stats()
+	c := res.Counts
+	checks := []struct {
+		name      string
+		got, want int64
+	}{
+		{"accesses", got.Accesses, c.Accesses},
+		{"reads-dram", got.ReadsDRAM, c.ReadsDRAM},
+		{"writes-dram", got.WritesDRAM, c.WritesDRAM},
+		{"reads-nvm", got.ReadsNVM, c.ReadsNVM},
+		{"writes-nvm", got.WritesNVM, c.WritesNVM},
+		{"faults", got.Faults, c.Faults},
+		{"faults-to-dram", got.FaultsToDRAM, c.FaultsToDRAM},
+		{"faults-to-nvm", got.FaultsToNVM, c.FaultsToNVM},
+		{"promotions", got.Promotions, c.Promotions},
+		{"demotions", got.Demotions, c.Demotions},
+		{"demotions-fault", got.DemotionsFault, c.DemotionsFault},
+		{"demotions-promo", got.DemotionsPromo, c.DemotionsPromo},
+		{"demotions-clean", got.DemotionsClean, c.DemotionsClean},
+		{"evictions", got.Evictions, c.EvictionsDRAM + c.EvictionsNVM},
+		{"resident-dram", got.ResidentDRAM, int64(pol.System().Residents(mm.LocDRAM))},
+		{"resident-nvm", got.ResidentNVM, int64(pol.System().Residents(mm.LocNVM))},
+	}
+	for _, ck := range checks {
+		if ck.got != ck.want {
+			return got, fmt.Errorf("tiered: %s policy diverges from sim on %s: engine %d, sim %d",
+				cfg.Policy, ck.name, ck.got, ck.want)
+		}
+	}
+	return got, nil
+}

@@ -1,0 +1,185 @@
+package tiered
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+	"time"
+
+	"hybridmem/internal/trace"
+)
+
+// Hist is a logarithmic latency histogram: bucket i holds durations whose
+// nanosecond count has bit length i, so buckets are powers of two wide.
+// Each load-generator worker owns one (no synchronization on the record
+// path) and the per-worker histograms merge after the run.
+type Hist struct {
+	buckets [65]uint64
+	count   uint64
+	max     time.Duration
+}
+
+// Record adds one observation.
+func (h *Hist) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bits.Len64(uint64(d))]++
+	h.count++
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Add merges another histogram into h.
+func (h *Hist) Add(o *Hist) {
+	for i, n := range o.buckets {
+		h.buckets[i] += n
+	}
+	h.count += o.count
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Max returns the largest observation.
+func (h *Hist) Max() time.Duration { return h.max }
+
+// Quantile estimates the q-quantile (0 < q <= 1) as the geometric middle
+// of the bucket the quantile falls in, so the estimate is within 2x of the
+// true value. Returns 0 on an empty histogram.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, n := range h.buckets {
+		seen += n
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			// Bucket i spans [2^(i-1), 2^i); its geometric middle is
+			// 0.75 * 2^i.
+			return time.Duration(0.75 * math.Pow(2, float64(i)))
+		}
+	}
+	return h.max
+}
+
+// LoadConfig describes one closed-loop load-generation run: Goroutines
+// workers replay a trace into the engine, each issuing its next access as
+// soon as the previous one returns.
+type LoadConfig struct {
+	// Goroutines is the number of concurrent closed-loop workers.
+	Goroutines int
+	// Ops is the total access budget across all workers. 0 means run
+	// until Duration expires.
+	Ops int64
+	// Duration is the wall-clock budget. 0 means run until Ops are done.
+	// With both set, whichever limit is hit first ends the run.
+	Duration time.Duration
+}
+
+// LoadReport is the outcome of one load run.
+type LoadReport struct {
+	// Ops is the number of accesses actually served.
+	Ops int64
+	// Elapsed is the wall-clock time from first to last access.
+	Elapsed time.Duration
+	// OpsPerSec is the aggregate closed-loop throughput.
+	OpsPerSec float64
+	// P50, P95, P99 and Max summarize per-access service latency as
+	// measured at the caller (bucketed; quantiles are within 2x).
+	P50, P95, P99, Max time.Duration
+	// Hist is the merged latency histogram.
+	Hist Hist
+}
+
+// RunLoad drives the engine with cfg.Goroutines closed-loop workers, each
+// replaying recs (circularly, starting at a worker-specific offset so the
+// workers do not march in lockstep) until the op or time budget runs out.
+// The engine must be started. Used by cmd/tierd, the scaling tests and the
+// serve benchmarks, so they all measure the same loop.
+func RunLoad(e *Engine, recs []trace.Record, cfg LoadConfig) (*LoadReport, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("tiered: load needs a non-empty trace")
+	}
+	if cfg.Goroutines < 1 {
+		return nil, fmt.Errorf("tiered: load needs at least 1 goroutine, got %d", cfg.Goroutines)
+	}
+	if cfg.Ops <= 0 && cfg.Duration <= 0 {
+		return nil, fmt.Errorf("tiered: load needs an op or time budget")
+	}
+
+	g := cfg.Goroutines
+	hists := make([]Hist, g)
+	errs := make([]error, g)
+	var deadline time.Time
+	start := time.Now()
+	if cfg.Duration > 0 {
+		deadline = start.Add(cfg.Duration)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(g)
+	for w := 0; w < g; w++ {
+		opsBudget := int64(math.MaxInt64)
+		if cfg.Ops > 0 {
+			opsBudget = cfg.Ops / int64(g)
+			if int64(w) < cfg.Ops%int64(g) {
+				opsBudget++
+			}
+		}
+		go func(w int, budget int64) {
+			defer wg.Done()
+			h := &hists[w]
+			i := len(recs) * w / g
+			prev := time.Now()
+			for n := int64(0); n < budget; n++ {
+				r := recs[i]
+				i++
+				if i == len(recs) {
+					i = 0
+				}
+				if _, err := e.Serve(r.Addr, r.Op); err != nil {
+					errs[w] = err
+					return
+				}
+				now := time.Now()
+				h.Record(now.Sub(prev))
+				prev = now
+				if !deadline.IsZero() && now.After(deadline) {
+					return
+				}
+			}
+		}(w, opsBudget)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &LoadReport{Elapsed: elapsed}
+	for w := range hists {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		rep.Hist.Add(&hists[w])
+	}
+	rep.Ops = int64(rep.Hist.Count())
+	if elapsed > 0 {
+		rep.OpsPerSec = float64(rep.Ops) / elapsed.Seconds()
+	}
+	rep.P50 = rep.Hist.Quantile(0.50)
+	rep.P95 = rep.Hist.Quantile(0.95)
+	rep.P99 = rep.Hist.Quantile(0.99)
+	rep.Max = rep.Hist.Max()
+	return rep, nil
+}

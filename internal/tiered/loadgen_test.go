@@ -1,0 +1,120 @@
+package tiered
+
+import (
+	"testing"
+	"time"
+
+	"hybridmem/internal/trace"
+)
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile not 0")
+	}
+	// 90 observations near 1us, 10 near 1ms: the median lands in the 1us
+	// bucket, the p99 in the 1ms bucket. Log buckets guarantee estimates
+	// within 2x of the recorded values.
+	for i := 0; i < 90; i++ {
+		h.Record(1 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(1 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if p50 := h.Quantile(0.50); p50 < 512*time.Nanosecond || p50 > 2*time.Microsecond {
+		t.Fatalf("P50 = %v, want ~1us", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 512*time.Microsecond || p99 > 2*time.Millisecond {
+		t.Fatalf("P99 = %v, want ~1ms", p99)
+	}
+	if h.Max() != time.Millisecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+
+	// Merging preserves counts and extremes.
+	var a, b Hist
+	a.Record(time.Microsecond)
+	b.Record(time.Second)
+	a.Add(&b)
+	if a.Count() != 2 || a.Max() != time.Second {
+		t.Fatalf("after merge: count=%d max=%v", a.Count(), a.Max())
+	}
+}
+
+func TestRunLoadExactOps(t *testing.T) {
+	e, err := New(Config{DRAMPages: 16, NVMPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Stop()
+
+	recs := make([]trace.Record, 100)
+	for i := range recs {
+		recs[i] = trace.Record{Addr: uint64(i%40) * 4096, Op: trace.OpRead}
+	}
+	// An op budget that does not divide evenly across workers must still
+	// be served exactly.
+	rep, err := RunLoad(e, recs, LoadConfig{Goroutines: 3, Ops: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 1000 {
+		t.Fatalf("Ops = %d, want 1000", rep.Ops)
+	}
+	if got := e.Stats().Accesses; got != 1000 {
+		t.Fatalf("engine saw %d accesses, want 1000", got)
+	}
+	if rep.OpsPerSec <= 0 || rep.Elapsed <= 0 {
+		t.Fatalf("degenerate report: %+v", rep)
+	}
+	if rep.P50 > rep.P99 || rep.P99 > rep.Max && rep.Max > 0 {
+		t.Fatalf("quantiles not monotone: %+v", rep)
+	}
+}
+
+func TestRunLoadDurationBudget(t *testing.T) {
+	e, err := New(Config{DRAMPages: 16, NVMPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Stop()
+
+	recs := []trace.Record{{Addr: 0, Op: trace.OpRead}, {Addr: 4096, Op: trace.OpWrite}}
+	rep, err := RunLoad(e, recs, LoadConfig{Goroutines: 2, Duration: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops == 0 {
+		t.Fatal("duration-bounded run served nothing")
+	}
+}
+
+func TestRunLoadValidation(t *testing.T) {
+	e, err := New(Config{DRAMPages: 2, NVMPages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []trace.Record{{Addr: 0}}
+	if _, err := RunLoad(e, nil, LoadConfig{Goroutines: 1, Ops: 1}); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := RunLoad(e, recs, LoadConfig{Goroutines: 0, Ops: 1}); err == nil {
+		t.Error("zero goroutines accepted")
+	}
+	if _, err := RunLoad(e, recs, LoadConfig{Goroutines: 1}); err == nil {
+		t.Error("missing budget accepted")
+	}
+	// Serving a stopped engine surfaces the lifecycle error.
+	if _, err := RunLoad(e, recs, LoadConfig{Goroutines: 1, Ops: 1}); err == nil {
+		t.Error("unstarted engine accepted")
+	}
+}

@@ -1,0 +1,264 @@
+// Package tiered is the online, concurrent tiered-memory engine: it serves
+// line-sized accesses from many goroutines simultaneously while the paper's
+// migration policy runs continuously in the background.
+//
+// The package decouples the access fast path from migration decisions, the
+// way MigrantStore (Sohail et al.) argues an online hybrid memory must: a
+// hit costs one sharded-map lookup plus two atomic counter updates, and all
+// page movement happens either on the (rare, disk-bound) fault path or in a
+// background daemon that drains a batched promotion queue fed by per-shard
+// hotness scans. The single-threaded reference implementation in
+// internal/sim remains the semantic oracle: an Engine built with
+// Config.Synchronous routes every access through the same policy code the
+// simulator runs, and VerifyAgainstSim asserts count-exact equivalence.
+package tiered
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"hybridmem/internal/mm"
+	"hybridmem/internal/trace"
+)
+
+// maxShards bounds the shard count to something a laptop can allocate.
+const maxShards = 1 << 16
+
+// entry is one resident page's online metadata. The location is guarded by
+// the owning shard's lock; the counters and the CLOCK reference bit are
+// atomics so the hit path can update them under the shared (read) lock.
+type entry struct {
+	reads  atomic.Uint64
+	writes atomic.Uint64
+	ref    atomic.Uint32
+	loc    mm.Location
+}
+
+// shard is one lock domain of the table.
+type shard struct {
+	mu    sync.RWMutex
+	pages map[uint64]*entry
+}
+
+// Table is a sharded concurrent page table: the online replacement for the
+// single-threaded mm residence map. Pages hash onto power-of-two shards;
+// the hit path takes only the owning shard's read lock and updates the
+// page's windowed access counters atomically, so concurrent readers of
+// different (and mostly even the same) shards do not serialize.
+type Table struct {
+	shards []shard
+	shift  uint
+	// cursor is the CLOCK hand for victim selection, in shard granularity.
+	cursor atomic.Uint64
+}
+
+// NewTable returns a table with shardCount shards, rounded up to the next
+// power of two. shardCount 1 is the single-lock baseline the benchmarks
+// compare against.
+func NewTable(shardCount int) (*Table, error) {
+	if shardCount < 1 || shardCount > maxShards {
+		return nil, fmt.Errorf("tiered: shard count %d outside [1,%d]", shardCount, maxShards)
+	}
+	n := 1
+	for n < shardCount {
+		n <<= 1
+	}
+	t := &Table{
+		shards: make([]shard, n),
+		shift:  uint(64 - bits.Len(uint(n-1))),
+	}
+	for i := range t.shards {
+		t.shards[i].pages = make(map[uint64]*entry)
+	}
+	return t, nil
+}
+
+// NumShards returns the (power-of-two) shard count.
+func (t *Table) NumShards() int { return len(t.shards) }
+
+// shardOf maps a page number onto its shard with a Fibonacci hash, so
+// sequential page numbers spread across shards instead of clustering.
+func (t *Table) shardOf(page uint64) *shard {
+	return &t.shards[(page*0x9E3779B97F4A7C15)>>t.shift]
+}
+
+// Touch services a hit: it looks the page up and, when resident, records
+// one access of the given kind in the page's windowed counters and sets
+// its CLOCK reference bit. Only the owning shard's read lock is taken and
+// nothing beyond the increment is read — this is the engine's hot path.
+// The counters are observed by ScanShard.
+func (t *Table) Touch(page uint64, op trace.Op) (loc mm.Location, ok bool) {
+	s := t.shardOf(page)
+	s.mu.RLock()
+	e, ok := s.pages[page]
+	if !ok {
+		s.mu.RUnlock()
+		return 0, false
+	}
+	if op == trace.OpWrite {
+		e.writes.Add(1)
+	} else {
+		e.reads.Add(1)
+	}
+	e.ref.Store(1)
+	loc = e.loc
+	s.mu.RUnlock()
+	return loc, true
+}
+
+// Peek returns a page's location without recording an access.
+func (t *Table) Peek(page uint64) (mm.Location, bool) {
+	s := t.shardOf(page)
+	s.mu.RLock()
+	e, ok := s.pages[page]
+	var loc mm.Location
+	if ok {
+		loc = e.loc
+	}
+	s.mu.RUnlock()
+	return loc, ok
+}
+
+// Insert adds a non-resident page at loc with fresh counters and the
+// reference bit set. It reports false (and changes nothing) if the page is
+// already resident — two goroutines faulting on the same page race here and
+// exactly one wins.
+func (t *Table) Insert(page uint64, loc mm.Location) bool {
+	s := t.shardOf(page)
+	s.mu.Lock()
+	if _, exists := s.pages[page]; exists {
+		s.mu.Unlock()
+		return false
+	}
+	e := &entry{loc: loc}
+	e.ref.Store(1)
+	s.pages[page] = e
+	s.mu.Unlock()
+	return true
+}
+
+// MoveIf relocates a resident page from one zone to the other, but only if
+// it is still where the caller believes: migration decisions are made from
+// scans that may be stale by the time they apply. The move resets the
+// page's counters (it must re-earn hotness in its new zone, mirroring the
+// fresh-counter MRU insertion of the reference policy) and re-arms the
+// reference bit. Reports whether the move happened.
+func (t *Table) MoveIf(page uint64, from, to mm.Location) bool {
+	s := t.shardOf(page)
+	s.mu.Lock()
+	e, ok := s.pages[page]
+	if !ok || e.loc != from {
+		s.mu.Unlock()
+		return false
+	}
+	e.loc = to
+	e.reads.Store(0)
+	e.writes.Store(0)
+	e.ref.Store(1)
+	s.mu.Unlock()
+	return true
+}
+
+// RemoveIf evicts a resident page, but only if it is still in the zone the
+// caller observed. Reports whether the removal happened.
+func (t *Table) RemoveIf(page uint64, from mm.Location) bool {
+	s := t.shardOf(page)
+	s.mu.Lock()
+	e, ok := s.pages[page]
+	if !ok || e.loc != from {
+		s.mu.Unlock()
+		return false
+	}
+	delete(s.pages, page)
+	s.mu.Unlock()
+	return true
+}
+
+// Len returns the total number of resident pages.
+func (t *Table) Len() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		n += len(s.pages)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Residents counts the pages resident in one zone.
+func (t *Table) Residents(loc mm.Location) int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for _, e := range s.pages {
+			if e.loc == loc {
+				n++
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// ScanShard visits every page of shard i under the shard's read lock,
+// reporting each page's location and windowed counters. With reset, the
+// counters are cleared after being read: successive scans then see
+// per-epoch windowed counts, the online approximation of the paper's
+// LRU-position counter windows.
+func (t *Table) ScanShard(i int, reset bool, fn func(page uint64, loc mm.Location, reads, writes uint64)) {
+	s := &t.shards[i]
+	s.mu.RLock()
+	for page, e := range s.pages {
+		var r, w uint64
+		if reset {
+			// Swap, not load-then-store: a concurrent Touch holds the same
+			// shared lock, and its increment must land in exactly one
+			// epoch window.
+			r, w = e.reads.Swap(0), e.writes.Swap(0)
+		} else {
+			r, w = e.reads.Load(), e.writes.Load()
+		}
+		fn(page, e.loc, r, w)
+	}
+	s.mu.RUnlock()
+}
+
+// ClockVictim picks an eviction/demotion victim from the given zone with a
+// second-chance sweep: referenced pages get their bit cleared and are
+// passed over; the first page found with a clear bit is the victim. The
+// hand advances in shard granularity (within a shard the visit order is
+// Go's map order, an acceptable degradation of CLOCK toward
+// random-with-second-chance). A final lap accepts any resident page, so
+// the call only fails when the zone is empty.
+func (t *Table) ClockVictim(loc mm.Location) (uint64, bool) {
+	n := uint64(len(t.shards))
+	for lap := 0; lap < 3; lap++ {
+		ignoreRef := lap == 2
+		for k := uint64(0); k < n; k++ {
+			s := &t.shards[(t.cursor.Add(1)-1)%n]
+			var victim uint64
+			found := false
+			s.mu.RLock()
+			for page, e := range s.pages {
+				if e.loc != loc {
+					continue
+				}
+				if !ignoreRef && e.ref.Load() != 0 {
+					e.ref.Store(0)
+					continue
+				}
+				victim, found = page, true
+				break
+			}
+			s.mu.RUnlock()
+			if found {
+				return victim, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,222 @@
+package tiered
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hybridmem/internal/mm"
+	"hybridmem/internal/trace"
+)
+
+func TestTableShardCountRoundsUp(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {100, 128},
+	}
+	for _, c := range cases {
+		tbl, err := NewTable(c.in)
+		if err != nil {
+			t.Fatalf("NewTable(%d): %v", c.in, err)
+		}
+		if got := tbl.NumShards(); got != c.want {
+			t.Errorf("NewTable(%d).NumShards() = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if _, err := NewTable(0); err == nil {
+		t.Error("NewTable(0) should fail")
+	}
+	if _, err := NewTable(maxShards + 1); err == nil {
+		t.Error("NewTable(maxShards+1) should fail")
+	}
+}
+
+// pageCounters reads a page's windowed counters via a non-resetting scan.
+func pageCounters(tbl *Table, page uint64) (reads, writes uint64) {
+	for i := 0; i < tbl.NumShards(); i++ {
+		tbl.ScanShard(i, false, func(p uint64, _ mm.Location, r, w uint64) {
+			if p == page {
+				reads, writes = r, w
+			}
+		})
+	}
+	return reads, writes
+}
+
+func TestTableBasics(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		tbl, err := NewTable(shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if _, ok := tbl.Touch(42, trace.OpRead); ok {
+			t.Fatal("Touch on empty table reported a hit")
+		}
+		if !tbl.Insert(42, mm.LocNVM) {
+			t.Fatal("Insert of new page failed")
+		}
+		if tbl.Insert(42, mm.LocDRAM) {
+			t.Fatal("double Insert succeeded")
+		}
+		if loc, ok := tbl.Peek(42); !ok || loc != mm.LocNVM {
+			t.Fatalf("Peek(42) = %v, %v; want NVM, true", loc, ok)
+		}
+
+		// Counters accumulate per access kind.
+		for i := 1; i <= 3; i++ {
+			loc, ok := tbl.Touch(42, trace.OpRead)
+			if !ok || loc != mm.LocNVM {
+				t.Fatalf("read %d: got loc=%v ok=%v", i, loc, ok)
+			}
+		}
+		tbl.Touch(42, trace.OpWrite)
+		if r, w := pageCounters(tbl, 42); r != 3 || w != 1 {
+			t.Fatalf("counters r=%d w=%d, want 3/1", r, w)
+		}
+
+		// A move flips the location and resets the counters.
+		if tbl.MoveIf(42, mm.LocDRAM, mm.LocNVM) {
+			t.Fatal("MoveIf with wrong from-zone succeeded")
+		}
+		if !tbl.MoveIf(42, mm.LocNVM, mm.LocDRAM) {
+			t.Fatal("MoveIf failed")
+		}
+		if loc, ok := tbl.Touch(42, trace.OpRead); !ok || loc != mm.LocDRAM {
+			t.Fatalf("after move: loc=%v ok=%v", loc, ok)
+		}
+		if r, w := pageCounters(tbl, 42); r != 1 || w != 0 {
+			t.Fatalf("counters not reset by move: r=%d w=%d", r, w)
+		}
+
+		if tbl.RemoveIf(42, mm.LocNVM) {
+			t.Fatal("RemoveIf with wrong from-zone succeeded")
+		}
+		if !tbl.RemoveIf(42, mm.LocDRAM) {
+			t.Fatal("RemoveIf failed")
+		}
+		if tbl.Len() != 0 {
+			t.Fatalf("Len = %d after removal, want 0", tbl.Len())
+		}
+	}
+}
+
+func TestTableResidents(t *testing.T) {
+	tbl, err := NewTable(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := uint64(0); p < 10; p++ {
+		loc := mm.LocDRAM
+		if p >= 4 {
+			loc = mm.LocNVM
+		}
+		tbl.Insert(p, loc)
+	}
+	if d, n := tbl.Residents(mm.LocDRAM), tbl.Residents(mm.LocNVM); d != 4 || n != 6 {
+		t.Fatalf("Residents = %d/%d, want 4/6", d, n)
+	}
+	if tbl.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", tbl.Len())
+	}
+}
+
+func TestTableScanShardWindows(t *testing.T) {
+	tbl, err := NewTable(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Insert(7, mm.LocNVM)
+	tbl.Touch(7, trace.OpWrite)
+	tbl.Touch(7, trace.OpWrite)
+	tbl.Touch(7, trace.OpRead)
+
+	var scanned int
+	tbl.ScanShard(0, true, func(page uint64, loc mm.Location, reads, writes uint64) {
+		scanned++
+		if page != 7 || loc != mm.LocNVM || reads != 1 || writes != 2 {
+			t.Errorf("scan saw page=%d loc=%v r=%d w=%d", page, loc, reads, writes)
+		}
+	})
+	if scanned != 1 {
+		t.Fatalf("scan visited %d pages, want 1", scanned)
+	}
+	// The reset closed the window: a second scan sees zero counters.
+	tbl.ScanShard(0, false, func(_ uint64, _ mm.Location, reads, writes uint64) {
+		if reads != 0 || writes != 0 {
+			t.Errorf("window not reset: r=%d w=%d", reads, writes)
+		}
+	})
+}
+
+func TestClockVictimPrefersUnreferenced(t *testing.T) {
+	tbl, err := NewTable(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	for _, p := range pages {
+		tbl.Insert(p, mm.LocDRAM)
+	}
+	// First sweep clears every reference bit (all pages were just
+	// inserted) and returns some page.
+	if _, ok := tbl.ClockVictim(mm.LocDRAM); !ok {
+		t.Fatal("ClockVictim found nothing in a populated zone")
+	}
+	// Re-reference everything except page 8: it is now the only page
+	// whose bit is clear, so it must be the next victim.
+	for _, p := range pages[:7] {
+		tbl.Touch(p, trace.OpRead)
+	}
+	v, ok := tbl.ClockVictim(mm.LocDRAM)
+	if !ok || v != 8 {
+		t.Fatalf("ClockVictim = %d, %v; want 8, true", v, ok)
+	}
+
+	if _, ok := tbl.ClockVictim(mm.LocNVM); ok {
+		t.Fatal("ClockVictim found a page in an empty zone")
+	}
+}
+
+// TestTableConcurrent hammers every operation from many goroutines; run
+// under -race it validates the locking discipline.
+func TestTableConcurrent(t *testing.T) {
+	tbl, err := NewTable(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pages = 256
+	for p := uint64(0); p < pages; p++ {
+		tbl.Insert(p, mm.LocNVM)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				p := uint64(rng.Intn(pages))
+				switch rng.Intn(5) {
+				case 0:
+					tbl.MoveIf(p, mm.LocNVM, mm.LocDRAM)
+				case 1:
+					tbl.MoveIf(p, mm.LocDRAM, mm.LocNVM)
+				case 2:
+					tbl.ClockVictim(mm.LocNVM)
+				case 3:
+					tbl.ScanShard(int(p)%tbl.NumShards(), false, func(uint64, mm.Location, uint64, uint64) {})
+				default:
+					tbl.Touch(p, trace.OpWrite)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	// No page was inserted or removed, only moved: the population is intact.
+	if got := tbl.Len(); got != pages {
+		t.Fatalf("Len = %d after concurrent churn, want %d", got, pages)
+	}
+	if d, n := tbl.Residents(mm.LocDRAM), tbl.Residents(mm.LocNVM); d+n != pages {
+		t.Fatalf("Residents %d+%d != %d", d, n, pages)
+	}
+}
