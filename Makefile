@@ -10,7 +10,7 @@ GO ?= go
 # point of running under the race detector.
 FAST_PKGS = $$($(GO) list ./... | grep -v internal/experiments)
 
-.PHONY: all build vet test race bench fmt fmt-check tierd-smoke ci
+.PHONY: all build vet test race bench bench-json fmt fmt-check tierd-smoke tierd-mt-smoke ci
 
 all: build test
 
@@ -27,15 +27,32 @@ race:
 	$(GO) test -race $(FAST_PKGS)
 
 # One-iteration benchmark smoke: catches benchmarks that no longer compile
-# or crash without paying for stable measurements.
+# or crash without paying for stable measurements. internal/tiered is
+# excluded here because bench-json runs (and captures) exactly those
+# suites — running them twice per CI pass buys nothing.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) test -bench=. -benchtime=1x -run='^$$' $$($(GO) list ./... | grep -v internal/tiered)
+
+# Machine-readable benchmark artifact: the sharded-table and tiered-serve
+# ns/op numbers as BENCH_tiered.json (hybridmem.bench/v1), published by CI
+# so the perf trajectory is diffable run over run. Override BENCHTIME
+# (e.g. BENCHTIME=100x) for stabler local measurements.
+BENCHTIME ?= 1x
+bench-json:
+	$(GO) test -bench='BenchmarkShardedTable|BenchmarkTieredServe' -benchtime=$(BENCHTIME) -run='^$$' ./internal/tiered > bench_tiered.txt
+	$(GO) run ./cmd/benchjson -suite tiered -out BENCH_tiered.json < bench_tiered.txt
+	@rm -f bench_tiered.txt
 
 # Online-engine smoke: verify single-goroutine equivalence against the
 # reference simulator, then serve a short concurrent closed-loop run and
 # emit the results artifact.
 tierd-smoke:
 	$(GO) run ./cmd/tierd -workload bodytrack -scale 0.05 -goroutines 4 -ops 300000 -verify -json -out tierd.json
+
+# Multi-tenant smoke: three isolated tenants with DRAM quotas served
+# concurrently, per-tenant results emitted as an artifact.
+tierd-mt-smoke:
+	$(GO) run ./cmd/tierd -tenants 'bodytrack:40,canneal:30,ferret:30' -scale 0.02 -goroutines 4 -ops 200000 -json -out tierd-mt.json
 
 fmt:
 	gofmt -w .
@@ -45,4 +62,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check build vet test race bench tierd-smoke
+ci: fmt-check build vet test race bench bench-json tierd-smoke tierd-mt-smoke

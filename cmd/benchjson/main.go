@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench` text output into a small,
+// stable JSON artifact so CI can publish machine-readable performance
+// trajectories instead of burying ns/op numbers in build logs.
+//
+//	go test -bench='BenchmarkShardedTable|BenchmarkTieredServe' -benchtime=1x -run='^$' ./internal/tiered \
+//	  | go run ./cmd/benchjson -suite tiered -out BENCH_tiered.json
+//
+// Only benchmark result lines are parsed; everything else (pass/fail
+// summaries, logs) is ignored. The run fails if no benchmark line is
+// found, so a benchmark that stops compiling cannot silently produce an
+// empty artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// benchLine matches one `go test -bench` result, e.g.
+// "BenchmarkTieredServe/shards=64/goroutines=16-8  1  52731 ns/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the full benchmark path including sub-benchmark parameters
+	// and the trailing -GOMAXPROCS suffix.
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// Artifact is the emitted document.
+type Artifact struct {
+	Schema     string      `json:"schema"`
+	Suite      string      `json:"suite"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func parse(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count in %q: %v", sc.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %v", sc.Text(), err)
+		}
+		out = append(out, Benchmark{Name: m[1], Iterations: iters, NsPerOp: ns})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	var (
+		suite   = flag.String("suite", "default", "suite label recorded in the artifact")
+		outPath = flag.String("out", "", "write the artifact to a file instead of stdout")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments %v (benchmark output is read from stdin)", flag.Args())
+	}
+
+	benches, err := parse(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(benches) == 0 {
+		log.Fatal("no benchmark result lines on stdin")
+	}
+
+	w := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(Artifact{
+		Schema:     "hybridmem.bench/v1",
+		Suite:      *suite,
+		Benchmarks: benches,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks (suite %s)\n", len(benches), *suite)
+}

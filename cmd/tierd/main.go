@@ -1,16 +1,26 @@
 // Command tierd benchmarks the online tiered-memory engine under
-// concurrent closed-loop load: it replays a Table III workload trace from
+// concurrent closed-loop load: it replays Table III workload traces from
 // many goroutines into internal/tiered and reports throughput, service
 // latency percentiles and migration activity.
 //
 //	go run ./cmd/tierd -workload bodytrack -goroutines 16 -duration 2s
 //	go run ./cmd/tierd -workload ferret -policy clock-dwf -shards 1 -ops 500000 -json
 //	go run ./cmd/tierd -verify -goroutines 1       # equivalence gate vs internal/sim
+//	go run ./cmd/tierd -tenants 'bodytrack:40,canneal:30,ferret:30' -duration 2s
 //
 // With -verify, tierd first replays the trace through a single-goroutine
 // synchronous engine and the reference simulator and fails unless every
 // hit/fault/promotion/demotion count matches — the subsystem's equivalence
 // guarantee, also enforced in CI.
+//
+// With -tenants, tierd serves N isolated tenants concurrently — the live
+// form of the paper's consolidated `mix` study. Each list entry is
+// workload:percent; the percent is the tenant's share of DRAM as its
+// dedicated quota, and any share not covered (the list may total less
+// than 100) becomes the spill pool all tenants may borrow from. Tenants
+// get distinct trace seeds and their own goroutines, and the report (text
+// or artifact) breaks out per-tenant throughput, latency percentiles and
+// quota occupancy.
 package main
 
 import (
@@ -20,6 +30,8 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"hybridmem/internal/memspec"
@@ -34,11 +46,12 @@ func main() {
 	log.SetPrefix("tierd: ")
 
 	var (
-		workloadName = flag.String("workload", "bodytrack", "Table III workload to replay")
+		workloadName = flag.String("workload", "bodytrack", "Table III workload to replay (single-tenant mode)")
+		tenantsSpec  = flag.String("tenants", "", `multi-tenant mode: comma-separated workload:percent list, e.g. "bodytrack:40,canneal:30,ferret:30"; each percent is the tenant's DRAM quota share, the uncovered remainder is the shared spill pool`)
 		policyName   = flag.String("policy", string(tiered.Proposed), "migration policy (proposed, proposed-adaptive, clock-dwf)")
 		scale        = flag.Float64("scale", 0.05, "trace scale (1.0 = the paper's full trace sizes)")
-		seed         = flag.Int64("seed", 1, "trace generation seed")
-		goroutines   = flag.Int("goroutines", runtime.GOMAXPROCS(0), "closed-loop load goroutines")
+		seed         = flag.Int64("seed", 1, "trace generation seed (tenant i uses seed+i)")
+		goroutines   = flag.Int("goroutines", runtime.GOMAXPROCS(0), "closed-loop load goroutines (split across tenants in multi-tenant mode)")
 		duration     = flag.Duration("duration", 2*time.Second, "wall-clock budget (ignored when -ops is set)")
 		ops          = flag.Int64("ops", 0, "total access budget (0 = run for -duration)")
 		shards       = flag.Int("shards", 0, "page-table shards, rounded up to a power of two (0 = 4x GOMAXPROCS, 1 = single lock)")
@@ -51,39 +64,92 @@ func main() {
 	if flag.NArg() > 0 {
 		log.Fatalf("unexpected arguments %v", flag.Args())
 	}
+	if *goroutines <= 0 {
+		log.Fatalf("-goroutines must be positive, got %d", *goroutines)
+	}
+	if *scale <= 0 {
+		log.Fatalf("-scale must be positive, got %g", *scale)
+	}
+	if *ops < 0 {
+		log.Fatalf("-ops must be non-negative, got %d", *ops)
+	}
+	if !tiered.ValidKind(tiered.Kind(*policyName)) {
+		log.Fatalf("unknown -policy %q (have %v)", *policyName, tiered.Kinds())
+	}
 
-	spec, ok := workload.ByName(*workloadName)
+	if *tenantsSpec != "" {
+		if *sync || *verify {
+			log.Fatal("-tenants is incompatible with -sync and -verify (the reference policies are single-tenant)")
+		}
+		runMultiTenant(*outPath, *tenantsSpec, *policyName, *scale, *seed, *goroutines, *duration, *ops, *shards, *jsonOut)
+		return
+	}
+	runSingleTenant(*outPath, *workloadName, *policyName, *scale, *seed, *goroutines, *duration, *ops, *shards, *sync, *verify, *jsonOut)
+}
+
+// writeOut runs write against stdout or the -out file. The file is only
+// created here, after the run has succeeded, so a failed run never
+// truncates a previous artifact.
+func writeOut(outPath string, write func(io.Writer) error) {
+	if outPath == "" {
+		if err := write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// genTenantTrace materializes one workload's warmup and ROI traces.
+func genTenantTrace(name string, scale float64, seed int64) (warm, roi []trace.Record, pages int) {
+	spec, ok := workload.ByName(name)
 	if !ok {
-		log.Fatalf("unknown workload %q (have %v)", *workloadName, workload.Names())
+		log.Fatalf("unknown workload %q (have %v)", name, workload.Names())
 	}
-	gen, err := workload.NewGenerator(spec, *scale, *seed)
+	gen, err := workload.NewGenerator(spec, scale, seed)
 	if err != nil {
 		log.Fatal(err)
 	}
-	warm, err := trace.Materialize(gen.WarmupSource(*seed+1), 0)
+	warm, err = trace.Materialize(gen.WarmupSource(seed+1), 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	roi, err := trace.Materialize(gen, 0)
+	roi, err = trace.Materialize(gen, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	dram, nvm := memspec.DefaultSizing().Partition(gen.Pages())
+	return warm, roi, gen.Pages()
+}
+
+func runSingleTenant(outPath, workloadName, policyName string, scale float64, seed int64,
+	goroutines int, duration time.Duration, ops int64, shards int, sync, verify, jsonOut bool) {
+	warm, roi, pages := genTenantTrace(workloadName, scale, seed)
+	dram, nvm := memspec.DefaultSizing().Partition(pages)
 
 	cfg := tiered.Config{
-		Policy:      tiered.Kind(*policyName),
+		Policy:      tiered.Kind(policyName),
 		DRAMPages:   dram,
 		NVMPages:    nvm,
-		Shards:      *shards,
-		Synchronous: *sync,
+		Shards:      shards,
+		Synchronous: sync,
 	}
 
-	if *verify {
+	if verify {
 		if _, err := tiered.VerifyAgainstSim(cfg, append(append([]trace.Record{}, warm...), roi...)); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "tierd: equivalence vs internal/sim: ok (%s, %d accesses)\n",
-			*policyName, len(warm)+len(roi))
+			policyName, len(warm)+len(roi))
 	}
 
 	engine, err := tiered.New(cfg)
@@ -102,9 +168,9 @@ func main() {
 	}
 	base := engine.Stats()
 
-	loadCfg := tiered.LoadConfig{Goroutines: *goroutines, Ops: *ops}
-	if *ops <= 0 {
-		loadCfg.Duration = *duration
+	loadCfg := tiered.LoadConfig{Goroutines: goroutines, Ops: ops}
+	if ops <= 0 {
+		loadCfg.Duration = duration
 	}
 	rep, err := tiered.RunLoad(engine, roi, loadCfg)
 	if err != nil {
@@ -115,27 +181,157 @@ func main() {
 	}
 	st := engine.Stats().Sub(base)
 
-	w := io.Writer(os.Stdout)
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			log.Fatal(err)
+	writeOut(outPath, func(w io.Writer) error {
+		if jsonOut {
+			return writeArtifact(w, engine, rep, st, workloadName, scale, seed, goroutines, sync)
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
-			}
-		}()
-		w = f
+		return writeText(w, engine, rep, st, workloadName, dram, nvm, goroutines)
+	})
+}
+
+// tenantShare is one parsed -tenants entry.
+type tenantShare struct {
+	workload string
+	percent  int
+}
+
+// parseTenants parses a "workload:percent,..." spec. Percents must be
+// positive and total at most 100; the uncovered remainder becomes the
+// shared spill pool.
+func parseTenants(spec string) ([]tenantShare, error) {
+	var shares []tenantShare
+	sum := 0
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		name, pctStr, ok := strings.Cut(part, ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("tenant entry %q is not workload:percent", part)
+		}
+		pct, err := strconv.Atoi(strings.TrimSuffix(pctStr, "%"))
+		if err != nil {
+			return nil, fmt.Errorf("tenant entry %q: bad percent: %v", part, err)
+		}
+		if pct <= 0 {
+			return nil, fmt.Errorf("tenant entry %q: percent must be positive", part)
+		}
+		sum += pct
+		shares = append(shares, tenantShare{workload: name, percent: pct})
 	}
-	if *jsonOut {
-		err = writeArtifact(w, engine, rep, st, *workloadName, *scale, *seed, *goroutines, *sync)
-	} else {
-		err = writeText(w, engine, rep, st, *workloadName, dram, nvm, *goroutines)
+	if sum > 100 {
+		return nil, fmt.Errorf("tenant quota shares total %d%%, must be at most 100%%", sum)
 	}
+	return shares, nil
+}
+
+// tenantRun is one tenant's full setup and outcome.
+type tenantRun struct {
+	id         tiered.TenantID
+	workload   string
+	percent    int
+	seed       int64
+	goroutines int
+	warm, roi  []trace.Record
+	report     tiered.LoadReport
+	stats      tiered.TenantStats
+}
+
+func runMultiTenant(outPath, spec, policyName string, scale float64, seed int64,
+	goroutines int, duration time.Duration, ops int64, shards int, jsonOut bool) {
+	shares, err := parseTenants(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	runs := make([]*tenantRun, len(shares))
+	totalPages := 0
+	for i, sh := range shares {
+		tenantSeed := seed + int64(i)
+		warm, roi, pages := genTenantTrace(sh.workload, scale, tenantSeed)
+		totalPages += pages
+		runs[i] = &tenantRun{
+			id:       tiered.TenantID(i),
+			workload: sh.workload,
+			percent:  sh.percent,
+			seed:     tenantSeed,
+			warm:     warm,
+			roi:      roi,
+		}
+	}
+	dram, nvm := memspec.DefaultSizing().Partition(totalPages)
+
+	tenants := make([]tiered.TenantConfig, len(runs))
+	for i, r := range runs {
+		tenants[i] = tiered.TenantConfig{
+			ID:        r.id,
+			Name:      fmt.Sprintf("%d:%s", r.id, r.workload),
+			DRAMQuota: dram * r.percent / 100,
+		}
+		// Split the goroutine budget round-robin, at least one each.
+		r.goroutines = goroutines / len(runs)
+		if i < goroutines%len(runs) {
+			r.goroutines++
+		}
+		if r.goroutines == 0 {
+			r.goroutines = 1
+		}
+	}
+
+	engine, err := tiered.New(tiered.Config{
+		Policy:    tiered.Kind(policyName),
+		DRAMPages: dram,
+		NVMPages:  nvm,
+		Shards:    shards,
+		Tenants:   tenants,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := engine.Start(); err != nil {
+		log.Fatal(err)
+	}
+	// Warm each tenant serially, then snapshot: the report covers only
+	// the concurrent load phase.
+	for _, r := range runs {
+		for _, rec := range r.warm {
+			if _, err := engine.ServeTenant(r.id, rec.Addr, rec.Op); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	base := engine.Stats()
+	tenantBase := make([]tiered.TenantStats, len(runs))
+	for i, r := range runs {
+		tenantBase[i], _ = engine.TenantStats(r.id)
+	}
+
+	loads := make([]tiered.TenantLoad, len(runs))
+	for i, r := range runs {
+		loads[i] = tiered.TenantLoad{Tenant: r.id, Recs: r.roi, Goroutines: r.goroutines}
+	}
+	loadCfg := tiered.LoadConfig{Ops: ops}
+	if ops <= 0 {
+		loadCfg.Duration = duration
+	}
+	rep, err := tiered.RunTenantLoad(engine, loads, loadCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := engine.Stop(); err != nil {
+		log.Fatal(err)
+	}
+	st := engine.Stats().Sub(base)
+	for i, r := range runs {
+		cur, _ := engine.TenantStats(r.id)
+		r.stats = cur.Sub(tenantBase[i])
+		r.report = rep.Tenants[i].Report
+	}
+
+	writeOut(outPath, func(w io.Writer) error {
+		if jsonOut {
+			return writeTenantArtifact(w, engine, runs, rep, st, scale, seed)
+		}
+		return writeTenantText(w, engine, runs, rep, st, dram, nvm)
+	})
 }
 
 func writeText(w io.Writer, e *tiered.Engine, rep *tiered.LoadReport, st tiered.Stats,
@@ -155,6 +351,37 @@ daemon:     %d scans, %d batches, %d queue drops
 		st.Promotions, st.Demotions, st.DemotionsFault, st.DemotionsPromo, st.Evictions,
 		st.Scans, st.Batches, st.QueueDrops)
 	return err
+}
+
+func writeTenantText(w io.Writer, e *tiered.Engine, runs []*tenantRun, rep *tiered.MultiLoadReport,
+	st tiered.Stats, dram, nvm int) error {
+	agg := rep.Aggregate
+	_, err := fmt.Fprintf(w, `tierd: %d tenants under %s, DRAM %d + NVM %d frames (%d spill), %d shards
+aggregate:  %12.0f ops/s (%d ops in %v), p50 %v, p99 %v
+migration:  %d promotions, %d demotions, %d evictions; %d scans, %d batches, %d queue drops
+`,
+		len(runs), e.PolicyName(), dram, nvm, e.SpillPool(), e.Config().Shards,
+		agg.OpsPerSec, agg.Ops, agg.Elapsed.Round(time.Millisecond), agg.P50, agg.P99,
+		st.Promotions, st.Demotions, st.Evictions, st.Scans, st.Batches, st.QueueDrops)
+	if err != nil {
+		return err
+	}
+	for _, r := range runs {
+		cur, _ := e.TenantStats(r.id)
+		_, err := fmt.Fprintf(w, `tenant %-16s %2d%% quota (%d frames, cap %d), %d goroutines
+  throughput: %12.0f ops/s, latency p50 %v p95 %v p99 %v
+  placement:  %.1f%% DRAM hits, %d faults, %d promotions, %d demotions
+  occupancy:  %d/%d DRAM frames (%.0f%% of cap)
+`,
+			cur.Name, r.percent, cur.DRAMQuota, cur.DRAMCap, r.goroutines,
+			r.report.OpsPerSec, r.report.P50, r.report.P95, r.report.P99,
+			pct(r.stats.HitsDRAM, r.stats.Accesses), r.stats.Faults, r.stats.Promotions, r.stats.Demotions,
+			cur.ResidentDRAM, cur.DRAMCap, pct(cur.ResidentDRAM, cur.DRAMCap))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func pct(part, whole int64) float64 {
@@ -184,24 +411,85 @@ func writeArtifact(w io.Writer, e *tiered.Engine, rep *tiered.LoadReport, st tie
 			"shards":     float64(cfg.Shards),
 			"sync":       syncVal,
 		},
-		Values: map[string]float64{
-			"ops":            float64(rep.Ops),
-			"ops_per_sec":    rep.OpsPerSec,
-			"p50_ns":         float64(rep.P50.Nanoseconds()),
-			"p95_ns":         float64(rep.P95.Nanoseconds()),
-			"p99_ns":         float64(rep.P99.Nanoseconds()),
-			"max_ns":         float64(rep.Max.Nanoseconds()),
-			"hits_dram":      float64(st.HitsDRAM()),
-			"hits_nvm":       float64(st.HitsNVM()),
-			"faults":         float64(st.Faults),
-			"promotions":     float64(st.Promotions),
-			"demotions":      float64(st.Demotions),
-			"evictions":      float64(st.Evictions),
-			"scans":          float64(st.Scans),
-			"batches":        float64(st.Batches),
-			"queue_drops":    float64(st.QueueDrops),
-			"break_even_hit": float64(tiered.BreakEvenHits(cfg.Spec)),
-		},
+		Values: loadValues(rep, st, cfg),
 	})
+	return a.Write(w)
+}
+
+// loadValues assembles the artifact value map shared by the single- and
+// multi-tenant aggregate rows.
+func loadValues(rep *tiered.LoadReport, st tiered.Stats, cfg tiered.Config) map[string]float64 {
+	return map[string]float64{
+		"ops":            float64(rep.Ops),
+		"ops_per_sec":    rep.OpsPerSec,
+		"p50_ns":         float64(rep.P50.Nanoseconds()),
+		"p95_ns":         float64(rep.P95.Nanoseconds()),
+		"p99_ns":         float64(rep.P99.Nanoseconds()),
+		"max_ns":         float64(rep.Max.Nanoseconds()),
+		"hits_dram":      float64(st.HitsDRAM()),
+		"hits_nvm":       float64(st.HitsNVM()),
+		"faults":         float64(st.Faults),
+		"promotions":     float64(st.Promotions),
+		"demotions":      float64(st.Demotions),
+		"evictions":      float64(st.Evictions),
+		"scans":          float64(st.Scans),
+		"batches":        float64(st.Batches),
+		"queue_drops":    float64(st.QueueDrops),
+		"break_even_hit": float64(tiered.BreakEvenHits(cfg.Spec)),
+	}
+}
+
+func writeTenantArtifact(w io.Writer, e *tiered.Engine, runs []*tenantRun, rep *tiered.MultiLoadReport,
+	st tiered.Stats, scale float64, seed int64) error {
+	a := runner.NewArtifact("tierd", "serve-multitenant", scale, seed)
+	cfg := e.Config()
+	agg := rep.Aggregate
+	a.Add(runner.Result{
+		ID:        fmt.Sprintf("aggregate/%s/t%d", e.PolicyName(), len(runs)),
+		Workload:  "mix",
+		Policy:    e.PolicyName(),
+		Seed:      seed,
+		DRAMPages: cfg.DRAMPages,
+		NVMPages:  cfg.NVMPages,
+		Params: map[string]float64{
+			"tenants": float64(len(runs)),
+			"shards":  float64(cfg.Shards),
+			"spill":   float64(e.SpillPool()),
+		},
+		Values: loadValues(&agg, st, cfg),
+	})
+	for _, r := range runs {
+		cur, _ := e.TenantStats(r.id)
+		a.Add(runner.Result{
+			ID:        fmt.Sprintf("t%d-%s/%s/g%d", r.id, r.workload, e.PolicyName(), r.goroutines),
+			Workload:  r.workload,
+			Policy:    e.PolicyName(),
+			Seed:      r.seed,
+			DRAMPages: int(cur.DRAMQuota),
+			NVMPages:  cfg.NVMPages,
+			Params: map[string]float64{
+				"tenant":     float64(r.id),
+				"quota_pct":  float64(r.percent),
+				"dram_cap":   float64(cur.DRAMCap),
+				"goroutines": float64(r.goroutines),
+			},
+			Values: map[string]float64{
+				"ops":             float64(r.report.Ops),
+				"ops_per_sec":     r.report.OpsPerSec,
+				"p50_ns":          float64(r.report.P50.Nanoseconds()),
+				"p95_ns":          float64(r.report.P95.Nanoseconds()),
+				"p99_ns":          float64(r.report.P99.Nanoseconds()),
+				"max_ns":          float64(r.report.Max.Nanoseconds()),
+				"hits_dram":       float64(r.stats.HitsDRAM),
+				"hits_nvm":        float64(r.stats.HitsNVM),
+				"faults":          float64(r.stats.Faults),
+				"promotions":      float64(r.stats.Promotions),
+				"demotions":       float64(r.stats.Demotions),
+				"evictions":       float64(r.stats.Evictions),
+				"resident_dram":   float64(cur.ResidentDRAM),
+				"quota_occupancy": pct(cur.ResidentDRAM, cur.DRAMCap) / 100,
+			},
+		})
+	}
 	return a.Write(w)
 }

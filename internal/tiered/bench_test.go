@@ -29,7 +29,7 @@ func BenchmarkShardedTable(b *testing.B) {
 					b.Fatal(err)
 				}
 				for p := uint64(0); p < pages; p++ {
-					tbl.Insert(p, mm.LocNVM)
+					tbl.Insert(DefaultTenant, p, mm.LocNVM)
 				}
 				// Per-worker pseudorandom page sequences, generated off
 				// the clock.
@@ -53,7 +53,7 @@ func BenchmarkShardedTable(b *testing.B) {
 						defer wg.Done()
 						seq := seqs[w]
 						for i := 0; i < ops; i++ {
-							tbl.Touch(seq[i%len(seq)], trace.OpRead)
+							tbl.Touch(DefaultTenant, seq[i%len(seq)], trace.OpRead)
 						}
 					}(w, ops)
 				}

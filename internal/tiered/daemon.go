@@ -2,6 +2,7 @@ package tiered
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"hybridmem/internal/mm"
@@ -78,12 +79,15 @@ func (e *Engine) scanLoop() {
 	}
 }
 
-// workerLoop drains promotion batches until the channel closes.
+// workerLoop drains promotion batches until the channel closes. A page's
+// in-flight mark clears only after its promotion has been applied (or
+// found stale), so the scanner cannot re-enqueue it mid-flight.
 func (e *Engine) workerLoop() {
 	defer e.workerWG.Done()
 	for batch := range e.batchCh {
-		for _, page := range batch {
-			e.applyPromotion(page)
+		for _, key := range batch {
+			e.applyPromotion(key)
+			e.unmarkInflight(key)
 		}
 	}
 }
@@ -103,11 +107,79 @@ func (e *Engine) ScanOnce() error {
 	return nil
 }
 
-// scanEpoch sweeps every shard for NVM pages whose windowed counters the
-// policy judges hot, batches them onto the promotion queue (or applies them
-// inline), resets the counter windows, and gives the policy its epoch
-// hook. Serialized by scanMu so a ticker epoch and a ScanOnce never
-// interleave their window resets.
+// markInflight records a page as enqueued for promotion. It reports false
+// — and the caller must skip the page — when a previous epoch's entry is
+// still in flight: the dedupe that keeps a page scanned hot in
+// consecutive epochs from occupying two queue slots.
+func (e *Engine) markInflight(key uint64) bool {
+	e.inflightMu.Lock()
+	defer e.inflightMu.Unlock()
+	if _, dup := e.inflight[key]; dup {
+		return false
+	}
+	e.inflight[key] = struct{}{}
+	return true
+}
+
+// unmarkInflight clears a page's in-flight mark once its promotion has
+// been applied, found stale, or dropped with its batch.
+func (e *Engine) unmarkInflight(key uint64) {
+	e.inflightMu.Lock()
+	delete(e.inflight, key)
+	e.inflightMu.Unlock()
+}
+
+// candidate is one scan-identified hot page: its namespaced key and the
+// windowed counter magnitude the batch ordering ranks by.
+type candidate struct {
+	key   uint64
+	score uint64
+}
+
+// orderCandidates sorts a tenant's candidates by descending counter
+// magnitude (key ascending on ties, for determinism): every candidate
+// already cleared the policy's threshold test, so the magnitude measures
+// how far past break-even the page is, and the daemon's bounded budget
+// goes to the most profitable migrations first.
+func orderCandidates(c []candidate) {
+	sort.Slice(c, func(i, j int) bool {
+		if c[i].score != c[j].score {
+			return c[i].score > c[j].score
+		}
+		return c[i].key < c[j].key
+	})
+}
+
+// interleave merges per-tenant candidate queues round-robin: one candidate
+// from each tenant in ID order, repeating until all queues drain. Batches
+// cut from the result give every tenant an equal share of the promotion
+// budget, so one hot tenant cannot monopolize the queue while another
+// starves.
+func interleave(queues [][]candidate) []candidate {
+	total := 0
+	for _, q := range queues {
+		total += len(q)
+	}
+	out := make([]candidate, 0, total)
+	for len(out) < total {
+		for i := range queues {
+			if len(queues[i]) > 0 {
+				out = append(out, queues[i][0])
+				queues[i] = queues[i][1:]
+			}
+		}
+	}
+	return out
+}
+
+// scanEpoch sweeps every shard for NVM pages whose windowed counters their
+// tenant's policy judges hot, orders each tenant's candidates by counter
+// magnitude, interleaves the tenants round-robin, and cuts the result into
+// batches for the promotion queue (or applies them inline). Pages already
+// in flight from a previous epoch are skipped. The counter windows reset
+// as a side effect of the sweep, and each tenant's policy gets its epoch
+// hook with that tenant's deltas. Serialized by scanMu so a ticker epoch
+// and a ScanOnce never interleave their window resets.
 func (e *Engine) scanEpoch(inline bool) {
 	e.scanMu.Lock()
 	defer e.scanMu.Unlock()
@@ -117,14 +189,38 @@ func (e *Engine) scanEpoch(inline bool) {
 		return
 	}
 
-	batch := make([]uint64, 0, e.cfg.BatchSize)
+	// Collect only inside the sweep: applying a migration takes shard
+	// write locks, which must never happen under a shard's read lock.
+	perTenant := make(map[TenantID][]candidate, len(e.tenantList))
+	for i := 0; i < e.tbl.NumShards(); i++ {
+		e.tbl.ScanShard(i, true, func(tenant TenantID, page uint64, loc mm.Location, reads, writes uint64) {
+			if loc != mm.LocNVM {
+				return
+			}
+			ts := e.tenants[tenant]
+			if ts == nil || !ts.pol.Hot(reads, writes) {
+				return
+			}
+			perTenant[tenant] = append(perTenant[tenant],
+				candidate{key: tableKey(tenant, page), score: reads + writes})
+		})
+	}
+	queues := make([][]candidate, 0, len(e.tenantList))
+	for _, ts := range e.tenantList {
+		if q := perTenant[ts.id]; len(q) > 0 {
+			orderCandidates(q)
+			queues = append(queues, q)
+		}
+	}
+
 	flush := func(b []uint64) {
 		if len(b) == 0 {
 			return
 		}
 		if inline {
-			for _, page := range b {
-				e.applyPromotion(page)
+			for _, key := range b {
+				e.applyPromotion(key)
+				e.unmarkInflight(key)
 			}
 			e.c.batches.Add(1)
 			return
@@ -133,39 +229,42 @@ func (e *Engine) scanEpoch(inline bool) {
 		case e.batchCh <- b:
 			e.c.batches.Add(1)
 		default:
-			// Queue full: drop the batch. Promotion is advisory — a page
-			// that stays hot re-qualifies next epoch — so shedding load
-			// here keeps the scanner from ever blocking on the workers.
+			// Queue full: drop the batch and clear its marks. Promotion is
+			// advisory — a page that stays hot re-qualifies next epoch —
+			// so shedding load here keeps the scanner from ever blocking
+			// on the workers.
+			for _, key := range b {
+				e.unmarkInflight(key)
+			}
 			e.c.queueDrops.Add(1)
 		}
 	}
 
-	for i := 0; i < e.tbl.NumShards(); i++ {
-		// Only collect inside the scan: applying a migration takes shard
-		// write locks, which must never happen under this shard's read
-		// lock. Batches flush between shards.
-		e.tbl.ScanShard(i, true, func(page uint64, loc mm.Location, reads, writes uint64) {
-			if loc == mm.LocNVM && e.pol.Hot(reads, writes) {
-				batch = append(batch, page)
-			}
-		})
-		for len(batch) >= e.cfg.BatchSize {
-			flush(batch[:e.cfg.BatchSize:e.cfg.BatchSize])
-			batch = append(make([]uint64, 0, e.cfg.BatchSize), batch[e.cfg.BatchSize:]...)
+	batch := make([]uint64, 0, e.cfg.BatchSize)
+	for _, cand := range interleave(queues) {
+		if !e.markInflight(cand.key) {
+			continue
+		}
+		batch = append(batch, cand.key)
+		if len(batch) == e.cfg.BatchSize {
+			flush(batch)
+			batch = make([]uint64, 0, e.cfg.BatchSize)
 		}
 	}
 	flush(batch)
 
-	cur := EpochStats{
-		Accesses:   e.c.accesses.Load(),
-		HitsDRAM:   e.c.readsDRAM.Load() + e.c.writesDRAM.Load(),
-		Promotions: e.c.promotions.Load(),
+	for _, ts := range e.tenantList {
+		cur := EpochStats{
+			Accesses:   ts.c.accesses.Load(),
+			HitsDRAM:   ts.c.hitsDRAM.Load(),
+			Promotions: ts.c.promotions.Load(),
+		}
+		ts.pol.Epoch(EpochStats{
+			Accesses:   cur.Accesses - ts.lastEpoch.Accesses,
+			HitsDRAM:   cur.HitsDRAM - ts.lastEpoch.HitsDRAM,
+			Promotions: cur.Promotions - ts.lastEpoch.Promotions,
+		})
+		ts.lastEpoch = cur
 	}
-	e.pol.Epoch(EpochStats{
-		Accesses:   cur.Accesses - e.lastEpoch.Accesses,
-		HitsDRAM:   cur.HitsDRAM - e.lastEpoch.HitsDRAM,
-		Promotions: cur.Promotions - e.lastEpoch.Promotions,
-	})
-	e.lastEpoch = cur
 	e.c.scans.Add(1)
 }

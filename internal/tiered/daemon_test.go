@@ -1,0 +1,224 @@
+package tiered
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hybridmem/internal/mm"
+	"hybridmem/internal/trace"
+)
+
+// TestDaemonLifecycle pins the daemon's lifecycle contract: Start is
+// one-shot, Stop is idempotent (including from multiple goroutines), and
+// a Stop racing in-flight scans never lets a migration mutate the table
+// after Stop returns. Run under -race in CI.
+func TestDaemonLifecycle(t *testing.T) {
+	e, err := New(Config{
+		DRAMPages: 16, NVMPages: 64, Core: smallCore(),
+		ScanInterval: 100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err == nil {
+		t.Fatal("double Start succeeded")
+	}
+
+	// Traffic plus a storm of manual scans, so Stop races in-flight
+	// scanEpoch work in both the ticker and the ScanOnce path.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < 2000; i++ {
+				if _, err := e.Serve(((seed*2000+i)%256)*4096, trace.OpWrite); err != nil {
+					return // ErrStopped once Stop lands
+				}
+				if i%64 == 0 {
+					_ = e.ScanOnce()
+				}
+			}
+		}(uint64(w))
+	}
+	// Concurrent Stops: exactly one wins, every call returns only after
+	// the daemon has quiesced, and none errors.
+	time.Sleep(2 * time.Millisecond)
+	var stopWG sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		stopWG.Add(1)
+		go func() {
+			defer stopWG.Done()
+			if err := e.Stop(); err != nil {
+				t.Errorf("Stop: %v", err)
+			}
+		}()
+	}
+	stopWG.Wait()
+	wg.Wait()
+
+	// Quiesced: a post-Stop snapshot must be stable against another taken
+	// later — no daemon goroutine is still migrating.
+	before := e.Stats()
+	time.Sleep(2 * time.Millisecond)
+	after := e.Stats()
+	if before != after {
+		t.Fatalf("engine still mutating after Stop: %+v vs %+v", before, after)
+	}
+	if err := e.Stop(); err != nil {
+		t.Fatalf("idempotent Stop: %v", err)
+	}
+	if err := e.ScanOnce(); err == nil {
+		t.Fatal("ScanOnce after Stop succeeded")
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStopNeverStartedFails(t *testing.T) {
+	e, err := New(Config{DRAMPages: 2, NVMPages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Stop(); err == nil {
+		t.Fatal("Stop on a never-started engine succeeded")
+	}
+}
+
+// TestInflightDedupe exercises the promotion-queue coalescing: a page
+// marked in flight cannot be marked again until its promotion applies,
+// so a page scanned hot in consecutive epochs occupies one queue slot.
+func TestInflightDedupe(t *testing.T) {
+	e, err := New(Config{DRAMPages: 4, NVMPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := tableKey(DefaultTenant, 7)
+	if !e.markInflight(key) {
+		t.Fatal("first mark rejected")
+	}
+	if e.markInflight(key) {
+		t.Fatal("duplicate mark accepted while in flight")
+	}
+	if !e.markInflight(tableKey(1, 7)) {
+		t.Fatal("same page under another tenant is a distinct in-flight entry")
+	}
+	e.unmarkInflight(key)
+	if !e.markInflight(key) {
+		t.Fatal("mark rejected after unmark")
+	}
+}
+
+// TestScanEpochCoalescesAcrossEpochs drives the integration path: with the
+// promotion queue wedged (no workers draining, queue length 1), a page
+// that stays hot across epochs is enqueued once, and a dropped batch
+// releases its pages for future epochs.
+func TestScanEpochCoalescesAcrossEpochs(t *testing.T) {
+	e, err := New(Config{
+		DRAMPages: 4, NVMPages: 16, Shards: 1, Core: smallCore(),
+		// A long interval so only our manual scanEpoch calls run; queue
+		// of one batch and no chance for the single worker to be sure to
+		// drain it before the next epoch.
+		ScanInterval: time.Hour,
+		QueueLen:     1,
+		BatchSize:    8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Don't Start: drive scanEpoch's queue path directly so the worker
+	// pool can't drain the queue under us.
+	e.state.Store(stateStarted)
+	e.batchCh = make(chan []uint64, e.cfg.QueueLen)
+
+	heat := func() {
+		// An NVM page with counters above the smallCore threshold (3).
+		for i := 0; i < 5; i++ {
+			e.tbl.Touch(DefaultTenant, 99, trace.OpWrite)
+		}
+	}
+	e.tbl.Insert(DefaultTenant, 99, mm.LocNVM)
+	e.nvmUsed.Add(1)
+
+	heat()
+	e.scanEpoch(false) // enqueues the page, marks it in flight
+	heat()
+	e.scanEpoch(false) // still in flight: must not enqueue again
+	st := e.Stats()
+	if st.Batches != 1 || st.QueueDrops != 0 {
+		t.Fatalf("batches=%d drops=%d, want 1/0 (second epoch coalesced)", st.Batches, st.QueueDrops)
+	}
+	if got := len(e.batchCh); got != 1 {
+		t.Fatalf("queue holds %d batches, want 1", got)
+	}
+
+	// A second hot page now overflows the 1-batch queue: the drop must
+	// unmark it so a later epoch can retry it.
+	e.tbl.Insert(DefaultTenant, 100, mm.LocNVM)
+	e.nvmUsed.Add(1)
+	for i := 0; i < 5; i++ {
+		e.tbl.Touch(DefaultTenant, 100, trace.OpWrite)
+	}
+	e.scanEpoch(false)
+	if st := e.Stats(); st.QueueDrops != 1 {
+		t.Fatalf("drops=%d, want 1", st.QueueDrops)
+	}
+	if !e.markInflight(tableKey(DefaultTenant, 100)) {
+		t.Fatal("dropped page still marked in flight")
+	}
+	e.unmarkInflight(tableKey(DefaultTenant, 100))
+
+	// Draining the queued batch applies the promotion and clears the
+	// mark, after which the page may be enqueued again.
+	batch := <-e.batchCh
+	for _, key := range batch {
+		e.applyPromotion(key)
+		e.unmarkInflight(key)
+	}
+	if loc, ok := e.tbl.Peek(DefaultTenant, 99); !ok || loc != mm.LocDRAM {
+		t.Fatalf("page 99 at %v/%v after drain, want DRAM", loc, ok)
+	}
+	if !e.markInflight(tableKey(DefaultTenant, 99)) {
+		t.Fatal("applied page still marked in flight")
+	}
+}
+
+func TestOrderCandidates(t *testing.T) {
+	c := []candidate{
+		{key: 3, score: 5},
+		{key: 1, score: 9},
+		{key: 2, score: 5},
+		{key: 4, score: 20},
+	}
+	orderCandidates(c)
+	wantKeys := []uint64{4, 1, 2, 3} // score desc, key asc on the 5/5 tie
+	for i, w := range wantKeys {
+		if c[i].key != w {
+			t.Fatalf("order[%d] = key %d (score %d), want key %d", i, c[i].key, c[i].score, w)
+		}
+	}
+}
+
+func TestInterleaveRoundRobin(t *testing.T) {
+	a := []candidate{{key: 10}, {key: 11}, {key: 12}}
+	b := []candidate{{key: 20}}
+	c := []candidate{{key: 30}, {key: 31}}
+	got := interleave([][]candidate{a, b, c})
+	want := []uint64{10, 20, 30, 11, 31, 12}
+	if len(got) != len(want) {
+		t.Fatalf("interleave returned %d candidates, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].key != w {
+			t.Fatalf("interleave[%d] = %d, want %d", i, got[i].key, w)
+		}
+	}
+	if len(interleave(nil)) != 0 {
+		t.Fatal("interleave(nil) non-empty")
+	}
+}

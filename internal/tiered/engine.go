@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,6 +23,9 @@ var (
 	ErrNotStarted = errors.New("tiered: engine not started")
 	// ErrStopped is returned by Serve after Stop.
 	ErrStopped = errors.New("tiered: engine stopped")
+	// ErrUnknownTenant is returned by ServeTenant for a tenant the engine
+	// was not configured with.
+	ErrUnknownTenant = errors.New("tiered: unknown tenant")
 )
 
 // maxFaultRetries bounds the reserve/insert retry loops on the fault path.
@@ -31,11 +35,22 @@ const maxFaultRetries = 256
 
 // Config describes an online engine.
 type Config struct {
-	// Policy selects the migration algorithm (default Proposed).
+	// Policy selects the migration algorithm (default Proposed). Every
+	// tenant runs its own instance of the same policy kind, so adaptive
+	// threshold state is independent per tenant.
 	Policy Kind
 	// DRAMPages and NVMPages are the zone capacities in frames; both must
 	// be at least 1.
 	DRAMPages, NVMPages int
+	// Tenants partitions the engine into isolated page namespaces with
+	// per-tenant DRAM quotas. DRAM frames covered by no quota form the
+	// shared spill pool every tenant may borrow from; a tenant's DRAM
+	// residency never exceeds its quota plus the spill pool. Nil means a
+	// single DefaultTenant owning all of DRAM — the engine then behaves
+	// exactly like the pre-tenant, single-namespace engine. Quotas must
+	// total at most DRAMPages, IDs must be unique, and in Synchronous mode
+	// only the single default tenant is allowed.
+	Tenants []TenantConfig
 	// Shards is the page-table shard count, rounded up to a power of two.
 	// 0 picks 4x GOMAXPROCS; 1 is the single-lock baseline.
 	Shards int
@@ -100,6 +115,9 @@ func (c Config) withDefaults() Config {
 	if c.QueueLen == 0 {
 		c.QueueLen = 16
 	}
+	if len(c.Tenants) == 0 {
+		c.Tenants = []TenantConfig{{ID: DefaultTenant, Name: "default", DRAMQuota: c.DRAMPages}}
+	}
 	return c
 }
 
@@ -112,8 +130,9 @@ type ServeResult struct {
 	Fault bool
 }
 
-// Stats is a snapshot of the engine's event counters. The access counters
-// mirror sim.Counts so the two accountings are directly comparable.
+// Stats is a snapshot of the engine's event counters, summed across
+// tenants. The access counters mirror sim.Counts so the two accountings
+// are directly comparable; TenantStats breaks them down per tenant.
 type Stats struct {
 	Accesses                                                  int64
 	ReadsDRAM, WritesDRAM, ReadsNVM, WritesNVM                int64
@@ -164,7 +183,7 @@ func (s Stats) Sub(prev Stats) Stats {
 	return d
 }
 
-// counters is the engine's atomic tally block.
+// counters is the engine's global atomic tally block.
 type counters struct {
 	accesses                                                  atomic.Int64
 	readsDRAM, writesDRAM, readsNVM, writesNVM                atomic.Int64
@@ -182,14 +201,43 @@ const (
 	stateStopped
 )
 
-// Engine is the online tiered-memory engine. Serve is safe for concurrent
-// use by any number of goroutines once Start has returned; Stop shuts the
-// migration daemon down gracefully (in-flight batches drain first).
+// dramReserve is the outcome of a DRAM frame reservation.
+type dramReserve int
+
+const (
+	// dramReserved: one frame claimed (and, above the quota, one spill
+	// token taken).
+	dramReserved dramReserve = iota
+	// dramTenantFull: the tenant is at quota + spill; it must demote one
+	// of its own pages to proceed.
+	dramTenantFull
+	// dramSpillFull: the tenant is at or above its quota and the shared
+	// spill pool is fully borrowed. A tenant with resident DRAM pages
+	// demotes its own coldest; a quota-less tenant falls back to a global
+	// victim (some tenant must be over quota for the pool to be empty).
+	dramSpillFull
+)
+
+// Engine is the online tiered-memory engine. Serve and ServeTenant are
+// safe for concurrent use by any number of goroutines once Start has
+// returned; Stop shuts the migration daemon down gracefully (in-flight
+// batches drain first).
 type Engine struct {
 	cfg      Config
 	tbl      *Table
-	pol      OnlinePolicy
 	pageSize uint64
+
+	// tenants is immutable after New; def caches the DefaultTenant's
+	// state so Serve skips the map lookup on the hot path.
+	tenants map[TenantID]*tenantState
+	// tenantList is ID-sorted, the deterministic iteration order of scans
+	// and reports.
+	tenantList []*tenantState
+	def        *tenantState
+	spill      int64
+	// spillUsed counts the spill-pool frames currently borrowed across
+	// all tenants (every tenant frame above its quota holds one token).
+	spillUsed atomic.Int64
 
 	dramCap, nvmCap   int64
 	dramUsed, nvmUsed atomic.Int64
@@ -202,12 +250,16 @@ type Engine struct {
 	backing policy.Policy
 
 	// Daemon plumbing (asynchronous mode).
-	stopCh    chan struct{}
-	batchCh   chan []uint64
-	scanWG    sync.WaitGroup
-	workerWG  sync.WaitGroup
-	scanMu    sync.Mutex
-	lastEpoch EpochStats
+	stopCh   chan struct{}
+	batchCh  chan []uint64
+	scanWG   sync.WaitGroup
+	workerWG sync.WaitGroup
+	scanMu   sync.Mutex
+	// inflight holds the table keys of pages enqueued for promotion but
+	// not yet applied, so a page scanned hot in consecutive epochs is not
+	// enqueued twice.
+	inflightMu sync.Mutex
+	inflight   map[uint64]struct{}
 	// drained closes once the winning Stop has fully quiesced the daemon,
 	// so a Stop that loses the race still waits for the drain guarantee.
 	drained chan struct{}
@@ -229,6 +281,17 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("tiered: invalid daemon config (batch %d, workers %d, queue %d, interval %v)",
 			cfg.BatchSize, cfg.Workers, cfg.QueueLen, cfg.ScanInterval)
 	}
+	spill, err := validateTenants(cfg.Tenants, cfg.DRAMPages)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Synchronous && (len(cfg.Tenants) != 1 || cfg.Tenants[0].ID != DefaultTenant ||
+		cfg.Tenants[0].DRAMQuota != cfg.DRAMPages) {
+		// The reference policies know nothing about namespaces or quotas:
+		// a partial quota would be silently ignored (and then tripped over
+		// by CheckInvariants' spill accounting), so reject it up front.
+		return nil, fmt.Errorf("tiered: synchronous mode serves only the single default tenant owning all of DRAM")
+	}
 	tbl, err := NewTable(cfg.Shards)
 	if err != nil {
 		return nil, err
@@ -240,17 +303,40 @@ func New(cfg Config) (*Engine, error) {
 		cfg:      cfg,
 		tbl:      tbl,
 		pageSize: uint64(cfg.Spec.Geometry.PageSizeBytes),
+		tenants:  make(map[TenantID]*tenantState, len(cfg.Tenants)),
+		spill:    spill,
 		dramCap:  int64(cfg.DRAMPages),
 		nvmCap:   int64(cfg.NVMPages),
+		inflight: make(map[uint64]struct{}),
 		drained:  make(chan struct{}),
 	}
+	for _, tc := range cfg.Tenants {
+		name := tc.Name
+		if name == "" {
+			name = fmt.Sprintf("tenant-%d", tc.ID)
+		}
+		ts := &tenantState{
+			id:    tc.ID,
+			name:  name,
+			quota: int64(tc.DRAMQuota),
+			cap:   int64(tc.DRAMQuota) + spill,
+		}
+		if !cfg.Synchronous {
+			ts.pol, err = newOnlinePolicy(cfg.Policy, cfg.Core, cfg.Adaptive)
+			if err != nil {
+				return nil, err
+			}
+		}
+		e.tenants[tc.ID] = ts
+		e.tenantList = append(e.tenantList, ts)
+	}
+	sort.Slice(e.tenantList, func(i, j int) bool { return e.tenantList[i].id < e.tenantList[j].id })
+	e.def = e.tenants[DefaultTenant]
 	if cfg.Synchronous {
 		e.backing, err = newBackingPolicy(cfg.Policy, cfg.DRAMPages, cfg.NVMPages, cfg.Core, cfg.Adaptive, cfg.DWF)
-	} else {
-		e.pol, err = newOnlinePolicy(cfg.Policy, cfg.Core, cfg.Adaptive)
-	}
-	if err != nil {
-		return nil, err
+		if err != nil {
+			return nil, err
+		}
 	}
 	return e, nil
 }
@@ -263,7 +349,43 @@ func (e *Engine) PolicyName() string {
 	if e.backing != nil {
 		return e.backing.Name()
 	}
-	return e.pol.Name()
+	return e.tenantList[0].pol.Name()
+}
+
+// SpillPool returns the size of the shared DRAM spill pool: the frames
+// covered by no tenant quota, which any tenant may borrow.
+func (e *Engine) SpillPool() int64 { return e.spill }
+
+// TenantIDs returns the configured tenants in ascending ID order.
+func (e *Engine) TenantIDs() []TenantID {
+	ids := make([]TenantID, len(e.tenantList))
+	for i, ts := range e.tenantList {
+		ids[i] = ts.id
+	}
+	return ids
+}
+
+// TenantStats returns a snapshot of one tenant's counters, or false for an
+// unknown tenant. Safe to call concurrently with Serve.
+func (e *Engine) TenantStats(id TenantID) (TenantStats, bool) {
+	ts, ok := e.tenants[id]
+	if !ok {
+		return TenantStats{}, false
+	}
+	return TenantStats{
+		ID:           ts.id,
+		Name:         ts.name,
+		Accesses:     ts.c.accesses.Load(),
+		HitsDRAM:     ts.c.hitsDRAM.Load(),
+		HitsNVM:      ts.c.hitsNVM.Load(),
+		Faults:       ts.c.faults.Load(),
+		Promotions:   ts.c.promotions.Load(),
+		Demotions:    ts.c.demotions.Load(),
+		Evictions:    ts.c.evictions.Load(),
+		ResidentDRAM: ts.dramUsed.Load(),
+		DRAMQuota:    ts.quota,
+		DRAMCap:      ts.cap,
+	}, true
 }
 
 // Stats returns a snapshot of the engine's counters. Safe to call
@@ -293,9 +415,15 @@ func (e *Engine) Stats() Stats {
 	}
 }
 
-// Serve services one line-sized access. Hot path: one sharded lookup plus
-// atomic counter updates; faults and migrations take shard write locks.
+// Serve services one line-sized access for the default tenant. Hot path:
+// one sharded lookup plus atomic counter updates; faults and migrations
+// take shard write locks.
 func (e *Engine) Serve(addr uint64, op trace.Op) (ServeResult, error) {
+	return e.ServeTenant(DefaultTenant, addr, op)
+}
+
+// ServeTenant services one line-sized access within a tenant's namespace.
+func (e *Engine) ServeTenant(tenant TenantID, addr uint64, op trace.Op) (ServeResult, error) {
 	switch e.state.Load() {
 	case stateStarted:
 	case stateNew:
@@ -303,20 +431,32 @@ func (e *Engine) Serve(addr uint64, op trace.Op) (ServeResult, error) {
 	default:
 		return ServeResult{}, ErrStopped
 	}
-	page := addr / e.pageSize
-	e.c.accesses.Add(1)
-	if e.backing != nil {
-		return e.serveSync(page, op)
+	ts := e.def
+	if tenant != DefaultTenant {
+		ts = e.tenants[tenant]
 	}
-	if loc, ok := e.tbl.Touch(page, op); ok {
-		e.tallyHit(loc, op)
+	if ts == nil {
+		return ServeResult{}, fmt.Errorf("%w: %d", ErrUnknownTenant, tenant)
+	}
+	page := addr / e.pageSize
+	if page > maxTablePage {
+		return ServeResult{}, fmt.Errorf("tiered: page %d exceeds the %d-bit namespaced keyspace", page, pageBits)
+	}
+	e.c.accesses.Add(1)
+	ts.c.accesses.Add(1)
+	if e.backing != nil {
+		return e.serveSync(ts, page, op)
+	}
+	if loc, ok := e.tbl.Touch(tenant, page, op); ok {
+		e.tallyHit(ts, loc, op)
 		return ServeResult{ServedFrom: loc}, nil
 	}
-	return e.serveFault(page, op)
+	return e.serveFault(ts, page, op)
 }
 
-// tallyHit records a non-faulting access, mirroring sim.Run's accounting.
-func (e *Engine) tallyHit(loc mm.Location, op trace.Op) {
+// tallyHit records a non-faulting access, mirroring sim.Run's accounting,
+// in both the global and the tenant's counters.
+func (e *Engine) tallyHit(ts *tenantState, loc mm.Location, op trace.Op) {
 	switch {
 	case loc == mm.LocDRAM && op == trace.OpRead:
 		e.c.readsDRAM.Add(1)
@@ -327,97 +467,195 @@ func (e *Engine) tallyHit(loc mm.Location, op trace.Op) {
 	default:
 		e.c.writesNVM.Add(1)
 	}
-}
-
-// usedOf returns the occupancy counter and capacity of a zone.
-func (e *Engine) usedOf(loc mm.Location) (*atomic.Int64, int64) {
 	if loc == mm.LocDRAM {
-		return &e.dramUsed, e.dramCap
+		ts.c.hitsDRAM.Add(1)
+	} else {
+		ts.c.hitsNVM.Add(1)
 	}
-	return &e.nvmUsed, e.nvmCap
 }
 
-// reserve claims one free frame in a zone, or reports that it is full.
-// Capacity is enforced by the occupancy counter, not a free list: a
-// successful reserve is a promise that an Insert/MoveIf will follow (or the
-// reservation is released), so occupancy never exceeds capacity.
-func (e *Engine) reserve(loc mm.Location) bool {
-	used, capacity := e.usedOf(loc)
+// tallyFault records a fault served into zone.
+func (e *Engine) tallyFault(ts *tenantState, zone mm.Location) {
+	e.c.faults.Add(1)
+	ts.c.faults.Add(1)
+	if zone == mm.LocDRAM {
+		e.c.faultsToDRAM.Add(1)
+	} else {
+		e.c.faultsToNVM.Add(1)
+	}
+}
+
+// reserveDRAM claims one DRAM frame for a tenant. The first DRAMQuota
+// frames come from the tenant's dedicated budget; every frame above the
+// quota must take a token from the shared spill pool, so the tenants'
+// collective borrowing never exceeds the pool and the sum of residencies
+// never exceeds DRAM — which is what makes a quota a guarantee: a tenant
+// within its quota always reserves without demoting anyone. Capacity is
+// enforced by the occupancy counters, not a free list: a successful
+// reserve is a promise that an Insert/MoveIf will follow (or the
+// reservation is released). The tenant's resMu makes the quota-vs-borrow
+// classification of each frame exact.
+func (e *Engine) reserveDRAM(ts *tenantState) dramReserve {
+	ts.resMu.Lock()
+	u := ts.dramUsed.Load()
+	if u >= ts.cap {
+		ts.resMu.Unlock()
+		return dramTenantFull
+	}
+	if u+1 > ts.quota && !e.takeSpill() {
+		ts.resMu.Unlock()
+		return dramSpillFull
+	}
+	ts.dramUsed.Store(u + 1)
+	ts.resMu.Unlock()
+	e.dramUsed.Add(1)
+	return dramReserved
+}
+
+// releaseDRAM returns a tenant's reserved DRAM frame, handing back a spill
+// token when the freed frame was above the quota.
+func (e *Engine) releaseDRAM(ts *tenantState) {
+	ts.resMu.Lock()
+	u := ts.dramUsed.Load()
+	if u > ts.quota {
+		e.returnSpill()
+	}
+	ts.dramUsed.Store(u - 1)
+	ts.resMu.Unlock()
+	e.dramUsed.Add(-1)
+}
+
+// takeSpill borrows one frame from the shared spill pool, or reports that
+// the pool is fully borrowed.
+func (e *Engine) takeSpill() bool {
 	for {
-		u := used.Load()
-		if u >= capacity {
+		s := e.spillUsed.Load()
+		if s >= e.spill {
 			return false
 		}
-		if used.CompareAndSwap(u, u+1) {
+		if e.spillUsed.CompareAndSwap(s, s+1) {
 			return true
 		}
 	}
 }
 
-// release returns a reserved frame.
-func (e *Engine) release(loc mm.Location) {
-	used, _ := e.usedOf(loc)
-	used.Add(-1)
+// returnSpill hands a borrowed frame back to the pool.
+func (e *Engine) returnSpill() {
+	e.spillUsed.Add(-1)
 }
 
-// serveFault loads a non-resident page into the zone the policy chooses,
-// demoting and evicting colder pages as capacity requires.
-func (e *Engine) serveFault(page uint64, op trace.Op) (ServeResult, error) {
-	zone := e.pol.FaultZone(op)
-	for attempt := 0; attempt < maxFaultRetries; attempt++ {
-		if !e.reserve(zone) {
-			if err := e.makeRoom(zone, false); err != nil {
-				return ServeResult{}, err
-			}
-			continue
+// reserveNVM claims one free NVM frame, or reports that the zone is full.
+// NVM is a shared pool: only DRAM, the contended resource, is quota'd.
+func (e *Engine) reserveNVM() bool {
+	for {
+		u := e.nvmUsed.Load()
+		if u >= e.nvmCap {
+			return false
 		}
-		if e.tbl.Insert(page, zone) {
-			e.c.faults.Add(1)
-			if zone == mm.LocDRAM {
-				e.c.faultsToDRAM.Add(1)
-			} else {
-				e.c.faultsToNVM.Add(1)
+		if e.nvmUsed.CompareAndSwap(u, u+1) {
+			return true
+		}
+	}
+}
+
+// releaseNVM returns a reserved NVM frame.
+func (e *Engine) releaseNVM() {
+	e.nvmUsed.Add(-1)
+}
+
+// serveFault loads a non-resident page into the zone the tenant's policy
+// chooses, demoting and evicting colder pages as capacity requires.
+func (e *Engine) serveFault(ts *tenantState, page uint64, op trace.Op) (ServeResult, error) {
+	zone := ts.pol.FaultZone(op)
+	for attempt := 0; attempt < maxFaultRetries; attempt++ {
+		if zone == mm.LocNVM {
+			if !e.reserveNVM() {
+				if err := e.evictOne(); err != nil {
+					return ServeResult{}, err
+				}
+				continue
 			}
+		} else {
+			switch e.reserveDRAM(ts) {
+			case dramTenantFull, dramSpillFull:
+				if err := e.demoteForReserve(ts, false); err != nil {
+					return ServeResult{}, err
+				}
+				continue
+			}
+		}
+		if e.tbl.Insert(ts.id, page, zone) {
+			e.tallyFault(ts, zone)
 			return ServeResult{ServedFrom: zone, Fault: true}, nil
 		}
 		// Another goroutine faulted the page in first: this access is a
 		// hit on wherever it landed.
-		e.release(zone)
-		if loc, ok := e.tbl.Touch(page, op); ok {
-			e.tallyHit(loc, op)
+		e.releaseZone(ts, zone)
+		if loc, ok := e.tbl.Touch(ts.id, page, op); ok {
+			e.tallyHit(ts, loc, op)
 			return ServeResult{ServedFrom: loc}, nil
 		}
 		// Inserted and already evicted again: fault anew.
 	}
-	return ServeResult{}, fmt.Errorf("tiered: page %d fault retries exhausted", page)
+	return ServeResult{}, fmt.Errorf("tiered: tenant %d page %d fault retries exhausted", ts.id, page)
 }
 
-// makeRoom frees one frame in a zone: a DRAM demotion (which may cascade
-// into an NVM eviction) or an NVM eviction to disk. forPromotion only
-// labels the demotion's reason in the stats.
-func (e *Engine) makeRoom(zone mm.Location, forPromotion bool) error {
-	if zone == mm.LocNVM {
-		return e.evictOne()
+// releaseZone returns a reserved frame in either zone.
+func (e *Engine) releaseZone(ts *tenantState, zone mm.Location) {
+	if zone == mm.LocDRAM {
+		e.releaseDRAM(ts)
+	} else {
+		e.releaseNVM()
 	}
-	// Demote a cold DRAM page into NVM. Reserve the NVM frame first so the
-	// victim always has somewhere to land.
+}
+
+// demoteForReserve makes room after a failed DRAM reservation. A tenant
+// blocked at its cap, or at/above its quota with the spill pool fully
+// borrowed, demotes its own coldest page — quota enforcement never
+// victimizes a within-quota neighbor. A tenant with no DRAM pages at all
+// (a quota-less tenant racing for spill) instead demotes within some
+// over-quota tenant: those are the only victims whose demotion releases a
+// spill token, and an exhausted pool implies one exists. Finding none
+// means the borrowers drained concurrently; the caller just retries its
+// reserve.
+func (e *Engine) demoteForReserve(ts *tenantState, forPromotion bool) error {
+	if ts.dramUsed.Load() > 0 {
+		return e.demoteOne(ts, true, forPromotion)
+	}
+	for _, vs := range e.tenantList {
+		if vs.dramUsed.Load() > vs.quota {
+			return e.demoteOne(vs, true, forPromotion)
+		}
+	}
+	return nil
+}
+
+// demoteOne frees one DRAM frame by demoting a cold page into NVM (which
+// may cascade into an NVM eviction). With tenantOnly, the victim must
+// belong to ts — quota enforcement demotes within the over-budget tenant.
+// forPromotion only labels the demotion's reason in the stats.
+func (e *Engine) demoteOne(ts *tenantState, tenantOnly, forPromotion bool) error {
+	// Reserve the NVM frame first so the victim always has somewhere to
+	// land.
 	for attempt := 0; attempt < maxFaultRetries; attempt++ {
-		if !e.reserve(mm.LocNVM) {
+		if !e.reserveNVM() {
 			if err := e.evictOne(); err != nil {
 				return err
 			}
 			continue
 		}
-		victim, ok := e.tbl.ClockVictim(mm.LocDRAM)
+		victimTenant, victim, ok := e.tbl.ClockVictim(mm.LocDRAM, ts.id, tenantOnly)
 		if !ok {
-			// DRAM drained concurrently; the caller's reserve will now
-			// succeed.
-			e.release(mm.LocNVM)
+			// The zone (or the tenant's slice of it) drained concurrently;
+			// the caller's reserve will now succeed.
+			e.releaseNVM()
 			return nil
 		}
-		if e.tbl.MoveIf(victim, mm.LocDRAM, mm.LocNVM) {
-			e.release(mm.LocDRAM)
+		vs := e.tenants[victimTenant]
+		if e.tbl.MoveIf(victimTenant, victim, mm.LocDRAM, mm.LocNVM) {
+			e.releaseDRAM(vs)
 			e.c.demotions.Add(1)
+			vs.c.demotions.Add(1)
 			if forPromotion {
 				e.c.demotionsPromo.Add(1)
 			} else {
@@ -426,7 +664,7 @@ func (e *Engine) makeRoom(zone mm.Location, forPromotion bool) error {
 			return nil
 		}
 		// The victim moved or vanished under us; retry with a fresh one.
-		e.release(mm.LocNVM)
+		e.releaseNVM()
 	}
 	return errors.New("tiered: demotion retries exhausted")
 }
@@ -436,13 +674,14 @@ func (e *Engine) makeRoom(zone mm.Location, forPromotion bool) error {
 // bookkeeping and the next access to the page faults).
 func (e *Engine) evictOne() error {
 	for attempt := 0; attempt < maxFaultRetries; attempt++ {
-		victim, ok := e.tbl.ClockVictim(mm.LocNVM)
+		victimTenant, victim, ok := e.tbl.ClockVictim(mm.LocNVM, 0, false)
 		if !ok {
 			return nil // zone drained concurrently
 		}
-		if e.tbl.RemoveIf(victim, mm.LocNVM) {
-			e.release(mm.LocNVM)
+		if e.tbl.RemoveIf(victimTenant, victim, mm.LocNVM) {
+			e.releaseNVM()
 			e.c.evictions.Add(1)
+			e.tenants[victimTenant].c.evictions.Add(1)
 			return nil
 		}
 	}
@@ -450,23 +689,31 @@ func (e *Engine) evictOne() error {
 }
 
 // applyPromotion moves one scan-identified hot page to DRAM, verifying the
-// scan's observation still holds at apply time.
-func (e *Engine) applyPromotion(page uint64) {
-	if loc, ok := e.tbl.Peek(page); !ok || loc != mm.LocNVM {
+// scan's observation still holds at apply time. The key carries the
+// tenant, and the DRAM frame is charged to that tenant's quota.
+func (e *Engine) applyPromotion(key uint64) {
+	tenant, page := splitKey(key)
+	ts := e.tenants[tenant]
+	if ts == nil {
+		return
+	}
+	if loc, ok := e.tbl.Peek(tenant, page); !ok || loc != mm.LocNVM {
 		return // stale hint: the page moved or was evicted since the scan
 	}
 	for attempt := 0; attempt < maxFaultRetries; attempt++ {
-		if !e.reserve(mm.LocDRAM) {
-			if e.makeRoom(mm.LocDRAM, true) != nil {
+		switch e.reserveDRAM(ts) {
+		case dramTenantFull, dramSpillFull:
+			if e.demoteForReserve(ts, true) != nil {
 				return
 			}
 			continue
 		}
-		if e.tbl.MoveIf(page, mm.LocNVM, mm.LocDRAM) {
-			e.release(mm.LocNVM)
+		if e.tbl.MoveIf(tenant, page, mm.LocNVM, mm.LocDRAM) {
+			e.releaseNVM()
 			e.c.promotions.Add(1)
+			ts.c.promotions.Add(1)
 		} else {
-			e.release(mm.LocDRAM)
+			e.releaseDRAM(ts)
 		}
 		return
 	}
@@ -475,7 +722,7 @@ func (e *Engine) applyPromotion(page uint64) {
 // serveSync routes one access through the single-threaded reference policy
 // and mirrors its moves into the sharded table, tallying exactly what
 // sim.Run would tally for the same access.
-func (e *Engine) serveSync(page uint64, op trace.Op) (ServeResult, error) {
+func (e *Engine) serveSync(ts *tenantState, page uint64, op trace.Op) (ServeResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	r, err := e.backing.Access(page, op)
@@ -483,20 +730,17 @@ func (e *Engine) serveSync(page uint64, op trace.Op) (ServeResult, error) {
 		return ServeResult{}, fmt.Errorf("tiered: %w", err)
 	}
 	if r.Fault {
-		e.c.faults.Add(1)
 		switch r.ServedFrom {
-		case mm.LocDRAM:
-			e.c.faultsToDRAM.Add(1)
-		case mm.LocNVM:
-			e.c.faultsToNVM.Add(1)
+		case mm.LocDRAM, mm.LocNVM:
+			e.tallyFault(ts, r.ServedFrom)
 		default:
 			return ServeResult{}, fmt.Errorf("tiered: fault served from %v", r.ServedFrom)
 		}
 	} else {
-		e.tallyHit(r.ServedFrom, op)
+		e.tallyHit(ts, r.ServedFrom, op)
 	}
 	for _, m := range r.Moves {
-		if err := e.mirrorMove(m); err != nil {
+		if err := e.mirrorMove(ts, m); err != nil {
 			return ServeResult{}, err
 		}
 	}
@@ -505,56 +749,71 @@ func (e *Engine) serveSync(page uint64, op trace.Op) (ServeResult, error) {
 
 // mirrorMove applies one reference-policy move to the sharded table and the
 // occupancy counters, with the same classification sim.Run uses.
-func (e *Engine) mirrorMove(m policy.Move) error {
+func (e *Engine) mirrorMove(ts *tenantState, m policy.Move) error {
 	fail := func() error {
 		return fmt.Errorf("tiered: table out of sync applying %+v", m)
 	}
 	switch {
 	case m.From == mm.LocNVM && m.To == mm.LocDRAM:
-		if !e.tbl.MoveIf(m.Page, mm.LocNVM, mm.LocDRAM) {
+		if !e.tbl.MoveIf(ts.id, m.Page, mm.LocNVM, mm.LocDRAM) {
 			return fail()
 		}
 		e.nvmUsed.Add(-1)
 		e.dramUsed.Add(1)
+		ts.dramUsed.Add(1)
 		e.c.promotions.Add(1)
+		ts.c.promotions.Add(1)
 	case m.From == mm.LocDRAM && m.To == mm.LocNVM:
-		if !e.tbl.MoveIf(m.Page, mm.LocDRAM, mm.LocNVM) {
+		if !e.tbl.MoveIf(ts.id, m.Page, mm.LocDRAM, mm.LocNVM) {
 			return fail()
 		}
 		e.dramUsed.Add(-1)
+		ts.dramUsed.Add(-1)
 		e.nvmUsed.Add(1)
 		switch m.Reason {
 		case policy.ReasonDemoteClean:
 			e.c.demotionsClean.Add(1)
 		case policy.ReasonDemoteFault:
 			e.c.demotions.Add(1)
+			ts.c.demotions.Add(1)
 			e.c.demotionsFault.Add(1)
 		default:
 			e.c.demotions.Add(1)
+			ts.c.demotions.Add(1)
 			e.c.demotionsPromo.Add(1)
 		}
 	case m.From == mm.LocDisk && m.To.IsMemory():
-		if !e.tbl.Insert(m.Page, m.To) {
+		if !e.tbl.Insert(ts.id, m.Page, m.To) {
 			return fail()
 		}
-		used, _ := e.usedOf(m.To)
-		used.Add(1)
+		if m.To == mm.LocDRAM {
+			e.dramUsed.Add(1)
+			ts.dramUsed.Add(1)
+		} else {
+			e.nvmUsed.Add(1)
+		}
 	case m.To == mm.LocDisk && m.From.IsMemory():
-		if !e.tbl.RemoveIf(m.Page, m.From) {
+		if !e.tbl.RemoveIf(ts.id, m.Page, m.From) {
 			return fail()
 		}
-		used, _ := e.usedOf(m.From)
-		used.Add(-1)
+		if m.From == mm.LocDRAM {
+			e.dramUsed.Add(-1)
+			ts.dramUsed.Add(-1)
+		} else {
+			e.nvmUsed.Add(-1)
+		}
 		e.c.evictions.Add(1)
+		ts.c.evictions.Add(1)
 	default:
 		return fmt.Errorf("tiered: unexpected move %+v", m)
 	}
 	return nil
 }
 
-// CheckInvariants validates the table against the occupancy counters and
-// capacities. Call it quiesced (no concurrent Serve); in synchronous mode
-// it additionally cross-checks the reference policy's physical memory.
+// CheckInvariants validates the table against the occupancy counters,
+// capacities and per-tenant quota caps. Call it quiesced (no concurrent
+// Serve); in synchronous mode it additionally cross-checks the reference
+// policy's physical memory.
 func (e *Engine) CheckInvariants() error {
 	dram, nvm := e.tbl.Residents(mm.LocDRAM), e.tbl.Residents(mm.LocNVM)
 	if int64(dram) != e.dramUsed.Load() || int64(nvm) != e.nvmUsed.Load() {
@@ -564,6 +823,38 @@ func (e *Engine) CheckInvariants() error {
 	if int64(dram) > e.dramCap || int64(nvm) > e.nvmCap {
 		return fmt.Errorf("tiered: occupancy %d/%d exceeds capacity %d/%d",
 			dram, nvm, e.dramCap, e.nvmCap)
+	}
+	// One table pass suffices for every tenant's DRAM residency.
+	perTenant := make(map[TenantID]int64, len(e.tenantList))
+	for i := 0; i < e.tbl.NumShards(); i++ {
+		e.tbl.ScanShard(i, false, func(tenant TenantID, _ uint64, loc mm.Location, _, _ uint64) {
+			if loc == mm.LocDRAM {
+				perTenant[tenant]++
+			}
+		})
+	}
+	var tenantSum, borrowed int64
+	for _, ts := range e.tenantList {
+		used := ts.dramUsed.Load()
+		tenantSum += used
+		if got := perTenant[ts.id]; got != used {
+			return fmt.Errorf("tiered: tenant %d holds %d DRAM pages but occupancy says %d",
+				ts.id, got, used)
+		}
+		if used > ts.cap {
+			return fmt.Errorf("tiered: tenant %d DRAM residency %d exceeds quota %d + spill %d",
+				ts.id, used, ts.quota, e.spill)
+		}
+		if over := used - ts.quota; over > 0 {
+			borrowed += over
+		}
+	}
+	if tenantSum != int64(dram) {
+		return fmt.Errorf("tiered: tenant DRAM residencies total %d, table holds %d", tenantSum, dram)
+	}
+	if got := e.spillUsed.Load(); got != borrowed || got > e.spill {
+		return fmt.Errorf("tiered: spill pool accounting says %d borrowed, tenants hold %d over quota (pool %d)",
+			got, borrowed, e.spill)
 	}
 	if e.backing != nil {
 		sys := e.backing.System()

@@ -108,7 +108,7 @@ func TestAsyncFaultDemotionPromotionCycle(t *testing.T) {
 	var hot uint64
 	found := false
 	for _, p := range pages {
-		if loc, ok := e.tbl.Peek(p); ok && loc == mm.LocNVM {
+		if loc, ok := e.tbl.Peek(DefaultTenant, p); ok && loc == mm.LocNVM {
 			hot, found = p, true
 			break
 		}
@@ -131,7 +131,7 @@ func TestAsyncFaultDemotionPromotionCycle(t *testing.T) {
 	if err := e.ScanOnce(); err != nil {
 		t.Fatal(err)
 	}
-	if loc, ok := e.tbl.Peek(hot); !ok || loc != mm.LocDRAM {
+	if loc, ok := e.tbl.Peek(DefaultTenant, hot); !ok || loc != mm.LocDRAM {
 		t.Fatalf("hot page %d at %v/%v after scan, want DRAM", hot, loc, ok)
 	}
 	st = e.Stats()
@@ -174,7 +174,7 @@ func TestClockDWFOnlineFaultZones(t *testing.T) {
 	if err := e.ScanOnce(); err != nil {
 		t.Fatal(err)
 	}
-	if loc, _ := e.tbl.Peek(0); loc != mm.LocDRAM {
+	if loc, _ := e.tbl.Peek(DefaultTenant, 0); loc != mm.LocDRAM {
 		t.Fatalf("written NVM page not promoted, at %v", loc)
 	}
 }

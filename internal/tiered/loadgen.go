@@ -75,21 +75,22 @@ func (h *Hist) Quantile(q float64) time.Duration {
 	return h.max
 }
 
-// LoadConfig describes one closed-loop load-generation run: Goroutines
-// workers replay a trace into the engine, each issuing its next access as
-// soon as the previous one returns.
+// LoadConfig describes one closed-loop load-generation run: workers replay
+// a trace into the engine, each issuing its next access as soon as the
+// previous one returns.
 type LoadConfig struct {
-	// Goroutines is the number of concurrent closed-loop workers.
+	// Goroutines is the number of concurrent closed-loop workers
+	// (single-tenant RunLoad only; RunTenantLoad takes per-tenant counts).
 	Goroutines int
-	// Ops is the total access budget across all workers. 0 means run
-	// until Duration expires.
+	// Ops is the total access budget across all workers and tenants.
+	// 0 means run until Duration expires.
 	Ops int64
 	// Duration is the wall-clock budget. 0 means run until Ops are done.
 	// With both set, whichever limit is hit first ends the run.
 	Duration time.Duration
 }
 
-// LoadReport is the outcome of one load run.
+// LoadReport is the outcome of one load run (or one tenant's share of it).
 type LoadReport struct {
 	// Ops is the number of accesses actually served.
 	Ops int64
@@ -104,76 +105,10 @@ type LoadReport struct {
 	Hist Hist
 }
 
-// RunLoad drives the engine with cfg.Goroutines closed-loop workers, each
-// replaying recs (circularly, starting at a worker-specific offset so the
-// workers do not march in lockstep) until the op or time budget runs out.
-// The engine must be started. Used by cmd/tierd, the scaling tests and the
-// serve benchmarks, so they all measure the same loop.
-func RunLoad(e *Engine, recs []trace.Record, cfg LoadConfig) (*LoadReport, error) {
-	if len(recs) == 0 {
-		return nil, fmt.Errorf("tiered: load needs a non-empty trace")
-	}
-	if cfg.Goroutines < 1 {
-		return nil, fmt.Errorf("tiered: load needs at least 1 goroutine, got %d", cfg.Goroutines)
-	}
-	if cfg.Ops <= 0 && cfg.Duration <= 0 {
-		return nil, fmt.Errorf("tiered: load needs an op or time budget")
-	}
-
-	g := cfg.Goroutines
-	hists := make([]Hist, g)
-	errs := make([]error, g)
-	var deadline time.Time
-	start := time.Now()
-	if cfg.Duration > 0 {
-		deadline = start.Add(cfg.Duration)
-	}
-
-	var wg sync.WaitGroup
-	wg.Add(g)
-	for w := 0; w < g; w++ {
-		opsBudget := int64(math.MaxInt64)
-		if cfg.Ops > 0 {
-			opsBudget = cfg.Ops / int64(g)
-			if int64(w) < cfg.Ops%int64(g) {
-				opsBudget++
-			}
-		}
-		go func(w int, budget int64) {
-			defer wg.Done()
-			h := &hists[w]
-			i := len(recs) * w / g
-			prev := time.Now()
-			for n := int64(0); n < budget; n++ {
-				r := recs[i]
-				i++
-				if i == len(recs) {
-					i = 0
-				}
-				if _, err := e.Serve(r.Addr, r.Op); err != nil {
-					errs[w] = err
-					return
-				}
-				now := time.Now()
-				h.Record(now.Sub(prev))
-				prev = now
-				if !deadline.IsZero() && now.After(deadline) {
-					return
-				}
-			}
-		}(w, opsBudget)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	rep := &LoadReport{Elapsed: elapsed}
-	for w := range hists {
-		if errs[w] != nil {
-			return nil, errs[w]
-		}
-		rep.Hist.Add(&hists[w])
-	}
-	rep.Ops = int64(rep.Hist.Count())
+// reportFrom summarizes a merged histogram over a wall-clock window.
+func reportFrom(h Hist, elapsed time.Duration) LoadReport {
+	rep := LoadReport{Elapsed: elapsed, Hist: h}
+	rep.Ops = int64(h.Count())
 	if elapsed > 0 {
 		rep.OpsPerSec = float64(rep.Ops) / elapsed.Seconds()
 	}
@@ -181,5 +116,152 @@ func RunLoad(e *Engine, recs []trace.Record, cfg LoadConfig) (*LoadReport, error
 	rep.P95 = rep.Hist.Quantile(0.95)
 	rep.P99 = rep.Hist.Quantile(0.99)
 	rep.Max = rep.Hist.Max()
-	return rep, nil
+	return rep
+}
+
+// TenantLoad is one tenant's slice of a multi-tenant load run: its own
+// trace (workload and seed chosen per tenant) replayed by its own
+// closed-loop workers.
+type TenantLoad struct {
+	// Tenant is the namespace the accesses are served under; it must be
+	// configured on the engine.
+	Tenant TenantID
+	// Recs is the trace the tenant's workers replay circularly.
+	Recs []trace.Record
+	// Goroutines is the tenant's closed-loop worker count.
+	Goroutines int
+}
+
+// TenantReport is one tenant's outcome within a multi-tenant run.
+type TenantReport struct {
+	Tenant TenantID
+	Report LoadReport
+}
+
+// MultiLoadReport is the outcome of a multi-tenant load run: the merged
+// aggregate plus each tenant's own throughput and latency distribution.
+type MultiLoadReport struct {
+	Aggregate LoadReport
+	// Tenants is ordered as the loads were given.
+	Tenants []TenantReport
+}
+
+// RunLoad drives the engine with cfg.Goroutines closed-loop workers on the
+// default tenant, each replaying recs (circularly, starting at a
+// worker-specific offset so the workers do not march in lockstep) until
+// the op or time budget runs out. The engine must be started. Used by
+// cmd/tierd, the scaling tests and the serve benchmarks, so they all
+// measure the same loop.
+func RunLoad(e *Engine, recs []trace.Record, cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Goroutines < 1 {
+		return nil, fmt.Errorf("tiered: load needs at least 1 goroutine, got %d", cfg.Goroutines)
+	}
+	m, err := RunTenantLoad(e, []TenantLoad{
+		{Tenant: DefaultTenant, Recs: recs, Goroutines: cfg.Goroutines},
+	}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := m.Aggregate
+	return &rep, nil
+}
+
+// RunTenantLoad drives the engine with several tenants' workers
+// concurrently — the live form of the paper's consolidated `mix` study.
+// cfg.Ops is the total budget, split evenly across tenants (earlier
+// tenants take the remainder) and then across each tenant's workers;
+// cfg.Duration bounds all of them together. The engine must be started.
+func RunTenantLoad(e *Engine, loads []TenantLoad, cfg LoadConfig) (*MultiLoadReport, error) {
+	if len(loads) == 0 {
+		return nil, fmt.Errorf("tiered: load needs at least one tenant")
+	}
+	for _, l := range loads {
+		if len(l.Recs) == 0 {
+			return nil, fmt.Errorf("tiered: load needs a non-empty trace (tenant %d)", l.Tenant)
+		}
+		if l.Goroutines < 1 {
+			return nil, fmt.Errorf("tiered: load needs at least 1 goroutine, got %d (tenant %d)",
+				l.Goroutines, l.Tenant)
+		}
+	}
+	if cfg.Ops <= 0 && cfg.Duration <= 0 {
+		return nil, fmt.Errorf("tiered: load needs an op or time budget")
+	}
+
+	// hists[t][w] is tenant t's worker w histogram; errs aligns with it.
+	hists := make([][]Hist, len(loads))
+	errs := make([][]error, len(loads))
+	for t, l := range loads {
+		hists[t] = make([]Hist, l.Goroutines)
+		errs[t] = make([]error, l.Goroutines)
+	}
+	var deadline time.Time
+	start := time.Now()
+	if cfg.Duration > 0 {
+		deadline = start.Add(cfg.Duration)
+	}
+
+	var wg sync.WaitGroup
+	for t, l := range loads {
+		tenantOps := int64(math.MaxInt64)
+		if cfg.Ops > 0 {
+			tenantOps = cfg.Ops / int64(len(loads))
+			if int64(t) < cfg.Ops%int64(len(loads)) {
+				tenantOps++
+			}
+		}
+		g := l.Goroutines
+		for w := 0; w < g; w++ {
+			opsBudget := tenantOps
+			if cfg.Ops > 0 {
+				opsBudget = tenantOps / int64(g)
+				if int64(w) < tenantOps%int64(g) {
+					opsBudget++
+				}
+			}
+			wg.Add(1)
+			go func(l TenantLoad, t, w int, budget int64) {
+				defer wg.Done()
+				h := &hists[t][w]
+				recs := l.Recs
+				i := len(recs) * w / l.Goroutines
+				prev := time.Now()
+				for n := int64(0); n < budget; n++ {
+					r := recs[i]
+					i++
+					if i == len(recs) {
+						i = 0
+					}
+					if _, err := e.ServeTenant(l.Tenant, r.Addr, r.Op); err != nil {
+						errs[t][w] = err
+						return
+					}
+					now := time.Now()
+					h.Record(now.Sub(prev))
+					prev = now
+					if !deadline.IsZero() && now.After(deadline) {
+						return
+					}
+				}
+			}(l, t, w, opsBudget)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	out := &MultiLoadReport{Tenants: make([]TenantReport, len(loads))}
+	var all Hist
+	for t, l := range loads {
+		var merged Hist
+		for w := range hists[t] {
+			if errs[t][w] != nil {
+				return nil, errs[t][w]
+			}
+			merged.Add(&hists[t][w])
+		}
+		all.Add(&merged)
+		out.Tenants[t] = TenantReport{Tenant: l.Tenant, Report: reportFrom(merged, elapsed)}
+	}
+	out.Aggregate = reportFrom(all, elapsed)
+	return out, nil
 }

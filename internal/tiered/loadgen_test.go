@@ -98,6 +98,74 @@ func TestRunLoadDurationBudget(t *testing.T) {
 	}
 }
 
+func TestRunTenantLoad(t *testing.T) {
+	e, err := New(Config{
+		DRAMPages: 16, NVMPages: 64,
+		Tenants: []TenantConfig{{ID: 0, DRAMQuota: 8}, {ID: 1, DRAMQuota: 6}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Stop()
+
+	mkRecs := func(n int) []trace.Record {
+		recs := make([]trace.Record, n)
+		for i := range recs {
+			recs[i] = trace.Record{Addr: uint64(i%20) * 4096, Op: trace.OpRead}
+		}
+		return recs
+	}
+	loads := []TenantLoad{
+		{Tenant: 0, Recs: mkRecs(50), Goroutines: 2},
+		{Tenant: 1, Recs: mkRecs(80), Goroutines: 3},
+	}
+	// 1001 ops split 501/500 across tenants, then unevenly across each
+	// tenant's workers: every op must still be served exactly once.
+	rep, err := RunTenantLoad(e, loads, LoadConfig{Ops: 1001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Aggregate.Ops != 1001 {
+		t.Fatalf("aggregate ops = %d, want 1001", rep.Aggregate.Ops)
+	}
+	if len(rep.Tenants) != 2 {
+		t.Fatalf("per-tenant reports: %d, want 2", len(rep.Tenants))
+	}
+	if got := rep.Tenants[0].Report.Ops; got != 501 {
+		t.Fatalf("tenant 0 ops = %d, want 501", got)
+	}
+	if got := rep.Tenants[1].Report.Ops; got != 500 {
+		t.Fatalf("tenant 1 ops = %d, want 500", got)
+	}
+	for _, tr := range rep.Tenants {
+		st, ok := e.TenantStats(tr.Tenant)
+		if !ok || st.Accesses != tr.Report.Ops {
+			t.Fatalf("tenant %d engine saw %d accesses, report says %d", tr.Tenant, st.Accesses, tr.Report.Ops)
+		}
+		if tr.Report.OpsPerSec <= 0 {
+			t.Fatalf("tenant %d degenerate throughput: %+v", tr.Tenant, tr.Report)
+		}
+	}
+	if got := e.Stats().Accesses; got != 1001 {
+		t.Fatalf("engine saw %d accesses, want 1001", got)
+	}
+
+	// Validation: unknown tenants surface the serve error, bad loads are
+	// rejected up front.
+	if _, err := RunTenantLoad(e, []TenantLoad{{Tenant: 9, Recs: mkRecs(5), Goroutines: 1}}, LoadConfig{Ops: 1}); err == nil {
+		t.Error("unknown tenant accepted")
+	}
+	if _, err := RunTenantLoad(e, nil, LoadConfig{Ops: 1}); err == nil {
+		t.Error("empty load set accepted")
+	}
+	if _, err := RunTenantLoad(e, []TenantLoad{{Tenant: 0, Recs: mkRecs(5), Goroutines: 0}}, LoadConfig{Ops: 1}); err == nil {
+		t.Error("zero goroutines accepted")
+	}
+}
+
 func TestRunLoadValidation(t *testing.T) {
 	e, err := New(Config{DRAMPages: 2, NVMPages: 2})
 	if err != nil {

@@ -29,6 +29,17 @@ const (
 // Kinds lists every policy the online engine supports.
 func Kinds() []Kind { return []Kind{Proposed, Adaptive, ClockDWF} }
 
+// ValidKind reports whether k names a supported online policy. CLIs use it
+// to reject unknown -policy values before doing any work.
+func ValidKind(k Kind) bool {
+	for _, v := range Kinds() {
+		if v == k {
+			return true
+		}
+	}
+	return false
+}
+
 // EpochStats is what one scan epoch observed, as deltas since the previous
 // epoch. Adaptive policies retune their thresholds from it.
 type EpochStats struct {
@@ -41,7 +52,9 @@ type EpochStats struct {
 // It sees only windowed per-page counters (gathered by the shard scans),
 // never queue positions: the online engine trades the reference policies'
 // exact LRU bookkeeping for a lock-free hit path, and approximates their
-// recency windows with scan epochs.
+// recency windows with scan epochs. The engine builds one instance per
+// tenant, each fed only its own tenant's epoch deltas, so adaptive
+// threshold tuning is independent per tenant.
 type OnlinePolicy interface {
 	// Name identifies the policy in reports.
 	Name() string

@@ -11,6 +11,13 @@
 // internal/sim remains the semantic oracle: an Engine built with
 // Config.Synchronous routes every access through the same policy code the
 // simulator runs, and VerifyAgainstSim asserts count-exact equivalence.
+//
+// The keyspace is multi-tenant: every page belongs to a TenantID whose
+// namespace is folded into the table key, each tenant has a DRAM quota
+// (plus a shared spill pool) and its own policy state, and the daemon
+// apportions its promotion budget round-robin across tenants so one hot
+// tenant cannot monopolize the migration queue. A single-tenant engine is
+// bit-compatible with the pre-tenant one.
 package tiered
 
 import (
@@ -36,16 +43,18 @@ type entry struct {
 	loc    mm.Location
 }
 
-// shard is one lock domain of the table.
+// shard is one lock domain of the table. Maps are keyed by the namespaced
+// tenant+page key, so the same page number under two tenants is two
+// entries.
 type shard struct {
 	mu    sync.RWMutex
 	pages map[uint64]*entry
 }
 
 // Table is a sharded concurrent page table: the online replacement for the
-// single-threaded mm residence map. Pages hash onto power-of-two shards;
-// the hit path takes only the owning shard's read lock and updates the
-// page's windowed access counters atomically, so concurrent readers of
+// single-threaded mm residence map. Namespaced pages hash onto power-of-two
+// shards; the hit path takes only the owning shard's read lock and updates
+// the page's windowed access counters atomically, so concurrent readers of
 // different (and mostly even the same) shards do not serialize.
 type Table struct {
 	shards []shard
@@ -78,21 +87,23 @@ func NewTable(shardCount int) (*Table, error) {
 // NumShards returns the (power-of-two) shard count.
 func (t *Table) NumShards() int { return len(t.shards) }
 
-// shardOf maps a page number onto its shard with a Fibonacci hash, so
-// sequential page numbers spread across shards instead of clustering.
-func (t *Table) shardOf(page uint64) *shard {
-	return &t.shards[(page*0x9E3779B97F4A7C15)>>t.shift]
+// shardOf maps a table key onto its shard with a Fibonacci hash, so
+// sequential page numbers spread across shards instead of clustering (and
+// one tenant's pages spread the same way as every other's).
+func (t *Table) shardOf(key uint64) *shard {
+	return &t.shards[(key*0x9E3779B97F4A7C15)>>t.shift]
 }
 
-// Touch services a hit: it looks the page up and, when resident, records
-// one access of the given kind in the page's windowed counters and sets
-// its CLOCK reference bit. Only the owning shard's read lock is taken and
-// nothing beyond the increment is read — this is the engine's hot path.
-// The counters are observed by ScanShard.
-func (t *Table) Touch(page uint64, op trace.Op) (loc mm.Location, ok bool) {
-	s := t.shardOf(page)
+// Touch services a hit: it looks the tenant's page up and, when resident,
+// records one access of the given kind in the page's windowed counters and
+// sets its CLOCK reference bit. Only the owning shard's read lock is taken
+// and nothing beyond the increment is read — this is the engine's hot
+// path. The counters are observed by ScanShard.
+func (t *Table) Touch(tenant TenantID, page uint64, op trace.Op) (loc mm.Location, ok bool) {
+	key := tableKey(tenant, page)
+	s := t.shardOf(key)
 	s.mu.RLock()
-	e, ok := s.pages[page]
+	e, ok := s.pages[key]
 	if !ok {
 		s.mu.RUnlock()
 		return 0, false
@@ -108,11 +119,12 @@ func (t *Table) Touch(page uint64, op trace.Op) (loc mm.Location, ok bool) {
 	return loc, true
 }
 
-// Peek returns a page's location without recording an access.
-func (t *Table) Peek(page uint64) (mm.Location, bool) {
-	s := t.shardOf(page)
+// Peek returns a tenant's page location without recording an access.
+func (t *Table) Peek(tenant TenantID, page uint64) (mm.Location, bool) {
+	key := tableKey(tenant, page)
+	s := t.shardOf(key)
 	s.mu.RLock()
-	e, ok := s.pages[page]
+	e, ok := s.pages[key]
 	var loc mm.Location
 	if ok {
 		loc = e.loc
@@ -125,16 +137,17 @@ func (t *Table) Peek(page uint64) (mm.Location, bool) {
 // reference bit set. It reports false (and changes nothing) if the page is
 // already resident — two goroutines faulting on the same page race here and
 // exactly one wins.
-func (t *Table) Insert(page uint64, loc mm.Location) bool {
-	s := t.shardOf(page)
+func (t *Table) Insert(tenant TenantID, page uint64, loc mm.Location) bool {
+	key := tableKey(tenant, page)
+	s := t.shardOf(key)
 	s.mu.Lock()
-	if _, exists := s.pages[page]; exists {
+	if _, exists := s.pages[key]; exists {
 		s.mu.Unlock()
 		return false
 	}
 	e := &entry{loc: loc}
 	e.ref.Store(1)
-	s.pages[page] = e
+	s.pages[key] = e
 	s.mu.Unlock()
 	return true
 }
@@ -145,10 +158,11 @@ func (t *Table) Insert(page uint64, loc mm.Location) bool {
 // page's counters (it must re-earn hotness in its new zone, mirroring the
 // fresh-counter MRU insertion of the reference policy) and re-arms the
 // reference bit. Reports whether the move happened.
-func (t *Table) MoveIf(page uint64, from, to mm.Location) bool {
-	s := t.shardOf(page)
+func (t *Table) MoveIf(tenant TenantID, page uint64, from, to mm.Location) bool {
+	key := tableKey(tenant, page)
+	s := t.shardOf(key)
 	s.mu.Lock()
-	e, ok := s.pages[page]
+	e, ok := s.pages[key]
 	if !ok || e.loc != from {
 		s.mu.Unlock()
 		return false
@@ -163,20 +177,21 @@ func (t *Table) MoveIf(page uint64, from, to mm.Location) bool {
 
 // RemoveIf evicts a resident page, but only if it is still in the zone the
 // caller observed. Reports whether the removal happened.
-func (t *Table) RemoveIf(page uint64, from mm.Location) bool {
-	s := t.shardOf(page)
+func (t *Table) RemoveIf(tenant TenantID, page uint64, from mm.Location) bool {
+	key := tableKey(tenant, page)
+	s := t.shardOf(key)
 	s.mu.Lock()
-	e, ok := s.pages[page]
+	e, ok := s.pages[key]
 	if !ok || e.loc != from {
 		s.mu.Unlock()
 		return false
 	}
-	delete(s.pages, page)
+	delete(s.pages, key)
 	s.mu.Unlock()
 	return true
 }
 
-// Len returns the total number of resident pages.
+// Len returns the total number of resident pages across all tenants.
 func (t *Table) Len() int {
 	n := 0
 	for i := range t.shards {
@@ -188,7 +203,7 @@ func (t *Table) Len() int {
 	return n
 }
 
-// Residents counts the pages resident in one zone.
+// Residents counts the pages resident in one zone across all tenants.
 func (t *Table) Residents(loc mm.Location) int {
 	n := 0
 	for i := range t.shards {
@@ -204,15 +219,33 @@ func (t *Table) Residents(loc mm.Location) int {
 	return n
 }
 
+// TenantResidents counts one tenant's pages resident in one zone — the
+// table-side ground truth the engine's per-tenant occupancy counters are
+// checked against.
+func (t *Table) TenantResidents(tenant TenantID, loc mm.Location) int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for key, e := range s.pages {
+			if kt, _ := splitKey(key); kt == tenant && e.loc == loc {
+				n++
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return n
+}
+
 // ScanShard visits every page of shard i under the shard's read lock,
-// reporting each page's location and windowed counters. With reset, the
-// counters are cleared after being read: successive scans then see
-// per-epoch windowed counts, the online approximation of the paper's
-// LRU-position counter windows.
-func (t *Table) ScanShard(i int, reset bool, fn func(page uint64, loc mm.Location, reads, writes uint64)) {
+// reporting each page's tenant, page number, location and windowed
+// counters. With reset, the counters are cleared after being read:
+// successive scans then see per-epoch windowed counts, the online
+// approximation of the paper's LRU-position counter windows.
+func (t *Table) ScanShard(i int, reset bool, fn func(tenant TenantID, page uint64, loc mm.Location, reads, writes uint64)) {
 	s := &t.shards[i]
 	s.mu.RLock()
-	for page, e := range s.pages {
+	for key, e := range s.pages {
 		var r, w uint64
 		if reset {
 			// Swap, not load-then-store: a concurrent Touch holds the same
@@ -222,43 +255,52 @@ func (t *Table) ScanShard(i int, reset bool, fn func(page uint64, loc mm.Locatio
 		} else {
 			r, w = e.reads.Load(), e.writes.Load()
 		}
-		fn(page, e.loc, r, w)
+		tenant, page := splitKey(key)
+		fn(tenant, page, e.loc, r, w)
 	}
 	s.mu.RUnlock()
 }
 
 // ClockVictim picks an eviction/demotion victim from the given zone with a
 // second-chance sweep: referenced pages get their bit cleared and are
-// passed over; the first page found with a clear bit is the victim. The
-// hand advances in shard granularity (within a shard the visit order is
-// Go's map order, an acceptable degradation of CLOCK toward
-// random-with-second-chance). A final lap accepts any resident page, so
-// the call only fails when the zone is empty.
-func (t *Table) ClockVictim(loc mm.Location) (uint64, bool) {
+// passed over; the first page found with a clear bit is the victim. With
+// tenantOnly, only the given tenant's pages are considered (and only their
+// reference bits touched) — the quota-enforcement case, where an
+// over-budget tenant must demote one of its own pages. The hand advances
+// in shard granularity (within a shard the visit order is Go's map order,
+// an acceptable degradation of CLOCK toward random-with-second-chance). A
+// final lap accepts any qualifying resident page, so the call only fails
+// when the zone (or the tenant's slice of it) is empty.
+func (t *Table) ClockVictim(loc mm.Location, tenant TenantID, tenantOnly bool) (TenantID, uint64, bool) {
 	n := uint64(len(t.shards))
 	for lap := 0; lap < 3; lap++ {
 		ignoreRef := lap == 2
 		for k := uint64(0); k < n; k++ {
 			s := &t.shards[(t.cursor.Add(1)-1)%n]
+			var victimTenant TenantID
 			var victim uint64
 			found := false
 			s.mu.RLock()
-			for page, e := range s.pages {
+			for key, e := range s.pages {
 				if e.loc != loc {
+					continue
+				}
+				kt, page := splitKey(key)
+				if tenantOnly && kt != tenant {
 					continue
 				}
 				if !ignoreRef && e.ref.Load() != 0 {
 					e.ref.Store(0)
 					continue
 				}
-				victim, found = page, true
+				victimTenant, victim, found = kt, page, true
 				break
 			}
 			s.mu.RUnlock()
 			if found {
-				return victim, true
+				return victimTenant, victim, true
 			}
 		}
 	}
-	return 0, false
+	return 0, 0, false
 }

@@ -1,0 +1,157 @@
+package tiered
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// TenantID names one tenant of a multi-tenant engine. Tenants are
+// namespaces over the page keyspace: the same page number under two
+// tenants is two distinct pages, so consolidated workloads cannot trample
+// each other's windowed counters or CLOCK reference bits. The ID is folded
+// into the high bits of every table key.
+type TenantID uint16
+
+// DefaultTenant is the tenant a single-tenant engine serves. Serve (as
+// opposed to ServeTenant) always addresses it, and with only the default
+// tenant configured the engine behaves exactly like the pre-tenant,
+// single-namespace engine.
+const DefaultTenant TenantID = 0
+
+const (
+	// pageBits is the page-number width of a table key; the 16 bits above
+	// hold the TenantID. Page numbers must fit: with 4 KiB pages that is a
+	// 1 EiB per-tenant address space.
+	pageBits = 48
+	// maxTablePage is the largest page number a key can carry.
+	maxTablePage = uint64(1)<<pageBits - 1
+)
+
+// tableKey folds a tenant and a page number into one namespaced key.
+// Tenant 0 maps page to itself, so single-tenant keys are bit-identical to
+// the pre-tenant table's.
+func tableKey(t TenantID, page uint64) uint64 {
+	return uint64(t)<<pageBits | page
+}
+
+// splitKey recovers the tenant and page number from a table key.
+func splitKey(k uint64) (TenantID, uint64) {
+	return TenantID(k >> pageBits), k & maxTablePage
+}
+
+// TenantConfig describes one tenant of an engine.
+type TenantConfig struct {
+	// ID is the tenant's namespace; IDs must be unique within an engine.
+	ID TenantID
+	// Name labels the tenant in reports. Empty defaults to "tenant-<ID>".
+	Name string
+	// DRAMQuota is the tenant's dedicated DRAM frame budget. DRAM frames
+	// covered by no quota form the shared spill pool: a tenant's DRAM
+	// residency may grow to DRAMQuota + spill, never beyond. Frames above
+	// the quota are borrowed from the pool one token at a time, so the
+	// tenants' collective borrowing never exceeds the pool either — a
+	// tenant that stays within its quota always gets a frame without
+	// waiting on (or demoting) anyone else.
+	DRAMQuota int
+}
+
+// TenantStats is a snapshot of one tenant's counters: the per-tenant view
+// of the engine-wide Stats. The Resident and quota fields are levels, the
+// rest are cumulative event counts.
+type TenantStats struct {
+	ID   TenantID
+	Name string
+
+	Accesses           int64
+	HitsDRAM, HitsNVM  int64
+	Faults             int64
+	Promotions         int64
+	Demotions          int64
+	Evictions          int64
+	ResidentDRAM       int64
+	DRAMQuota, DRAMCap int64
+}
+
+// Hits returns the tenant's non-faulting accesses.
+func (s TenantStats) Hits() int64 { return s.HitsDRAM + s.HitsNVM }
+
+// Sub returns the event-count deltas since prev. Levels (residency and the
+// quota geometry) are carried over unchanged.
+func (s TenantStats) Sub(prev TenantStats) TenantStats {
+	d := s
+	d.Accesses -= prev.Accesses
+	d.HitsDRAM -= prev.HitsDRAM
+	d.HitsNVM -= prev.HitsNVM
+	d.Faults -= prev.Faults
+	d.Promotions -= prev.Promotions
+	d.Demotions -= prev.Demotions
+	d.Evictions -= prev.Evictions
+	return d
+}
+
+// tenantCounters is one tenant's atomic tally block.
+type tenantCounters struct {
+	accesses              atomic.Int64
+	hitsDRAM, hitsNVM     atomic.Int64
+	faults                atomic.Int64
+	promotions, demotions atomic.Int64
+	evictions             atomic.Int64
+}
+
+// tenantState is the engine's per-tenant bookkeeping: the DRAM quota
+// geometry and occupancy, the tenant's own policy instance (so adaptive
+// threshold tuning is independent per tenant), and the counters the scan
+// epochs and reports read.
+type tenantState struct {
+	id    TenantID
+	name  string
+	quota int64
+	// cap is quota + spill: the hard bound on the tenant's DRAM residency.
+	cap int64
+	// pol is the tenant's migration-decision plug (nil in synchronous
+	// mode, where the single backing policy decides for the one tenant).
+	pol OnlinePolicy
+
+	// resMu serializes the tenant's DRAM reservations and releases so the
+	// quota-vs-borrowed classification of each frame is exact (frames
+	// above the quota hold spill tokens). Only the fault and migration
+	// paths take it; hits never reserve.
+	resMu    sync.Mutex
+	dramUsed atomic.Int64
+	c        tenantCounters
+	// lastEpoch is the previous scan epoch's cumulative counters, guarded
+	// by the engine's scanMu.
+	lastEpoch EpochStats
+}
+
+// validateTenants checks a tenant set against the DRAM capacity and
+// returns the shared spill pool size.
+func validateTenants(tenants []TenantConfig, dramPages int) (spill int64, err error) {
+	if len(tenants) == 0 {
+		return 0, fmt.Errorf("tiered: engine needs at least one tenant")
+	}
+	seen := make(map[TenantID]bool, len(tenants))
+	sum := 0
+	for _, tc := range tenants {
+		if seen[tc.ID] {
+			return 0, fmt.Errorf("tiered: duplicate tenant ID %d", tc.ID)
+		}
+		seen[tc.ID] = true
+		if tc.DRAMQuota < 0 {
+			return 0, fmt.Errorf("tiered: tenant %d has negative DRAM quota %d", tc.ID, tc.DRAMQuota)
+		}
+		sum += tc.DRAMQuota
+	}
+	if sum > dramPages {
+		return 0, fmt.Errorf("tiered: tenant DRAM quotas total %d frames, capacity is %d", sum, dramPages)
+	}
+	spill = int64(dramPages - sum)
+	for _, tc := range tenants {
+		if int64(tc.DRAMQuota)+spill < 1 {
+			return 0, fmt.Errorf("tiered: tenant %d can never hold a DRAM frame (quota %d, spill %d)",
+				tc.ID, tc.DRAMQuota, spill)
+		}
+	}
+	return spill, nil
+}
