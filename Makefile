@@ -10,7 +10,7 @@ GO ?= go
 # point of running under the race detector.
 FAST_PKGS = $$($(GO) list ./... | grep -v internal/experiments)
 
-.PHONY: all build vet test race bench bench-json fmt fmt-check tierd-smoke tierd-mt-smoke ci
+.PHONY: all build vet test race bench bench-json bench-baseline fmt fmt-check tierd-smoke tierd-mt-smoke ci
 
 all: build test
 
@@ -33,14 +33,29 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' $$($(GO) list ./... | grep -v internal/tiered)
 
-# Machine-readable benchmark artifact: the sharded-table and tiered-serve
-# ns/op numbers as BENCH_tiered.json (hybridmem.bench/v1), published by CI
-# so the perf trajectory is diffable run over run. Override BENCHTIME
-# (e.g. BENCHTIME=100x) for stabler local measurements.
-BENCHTIME ?= 1x
+# Machine-readable benchmark artifact + perf gate: the serve-path suites
+# as BENCH_tiered.json (hybridmem.bench/v1), published by CI so the perf
+# trajectory is diffable run over run — and diffed against the committed
+# BENCH_baseline.json: a lockfree BenchmarkServeParallel result more than
+# 25% slower than baseline fails the build. Override BENCHTIME for
+# quicker (noisier) local runs; refresh the baseline deliberately with
+# `make bench-baseline` when a change legitimately shifts the numbers.
+# Each suite runs BENCHCOUNT times and benchjson gates on the per-name
+# minimum — the noise-robust estimator — so one descheduled repetition
+# cannot flip the gate.
+BENCHTIME ?= 300000x
+BENCHCOUNT ?= 3
+BENCH_SUITES = BenchmarkShardedTable|BenchmarkTieredServe|BenchmarkServeParallel
 bench-json:
-	$(GO) test -bench='BenchmarkShardedTable|BenchmarkTieredServe' -benchtime=$(BENCHTIME) -run='^$$' ./internal/tiered > bench_tiered.txt
-	$(GO) run ./cmd/benchjson -suite tiered -out BENCH_tiered.json < bench_tiered.txt
+	$(GO) test -bench='$(BENCH_SUITES)' -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -run='^$$' ./internal/tiered > bench_tiered.txt
+	$(GO) run ./cmd/benchjson -suite tiered -baseline BENCH_baseline.json -out BENCH_tiered.json < bench_tiered.txt
+	@rm -f bench_tiered.txt
+
+# Regenerate the committed perf baseline (run on the machine the gate will
+# compare on; commit the result).
+bench-baseline:
+	$(GO) test -bench='$(BENCH_SUITES)' -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -run='^$$' ./internal/tiered > bench_tiered.txt
+	$(GO) run ./cmd/benchjson -suite tiered-baseline -out BENCH_baseline.json < bench_tiered.txt
 	@rm -f bench_tiered.txt
 
 # Online-engine smoke: verify single-goroutine equivalence against the

@@ -1,14 +1,28 @@
 // Command benchjson converts `go test -bench` text output into a small,
 // stable JSON artifact so CI can publish machine-readable performance
-// trajectories instead of burying ns/op numbers in build logs.
+// trajectories instead of burying ns/op numbers in build logs — and gates
+// serve-path regressions against a committed baseline.
 //
-//	go test -bench='BenchmarkShardedTable|BenchmarkTieredServe' -benchtime=1x -run='^$' ./internal/tiered \
-//	  | go run ./cmd/benchjson -suite tiered -out BENCH_tiered.json
+//	go test -bench='BenchmarkServeParallel' -benchtime=300000x -run='^$' ./internal/tiered \
+//	  | go run ./cmd/benchjson -suite tiered -baseline BENCH_baseline.json -out BENCH_tiered.json
 //
 // Only benchmark result lines are parsed; everything else (pass/fail
 // summaries, logs) is ignored. The run fails if no benchmark line is
 // found, so a benchmark that stops compiling cannot silently produce an
 // empty artifact.
+//
+// With -baseline, every parsed benchmark whose name matches -gate is
+// compared against the same benchmark in the baseline artifact. Names are
+// matched with the -GOMAXPROCS suffix stripped (artifacts from machines
+// with different core counts line up), and when a benchmark appears more
+// than once (`go test -count=N`) both sides compare per-name minima — the
+// noise-robust estimator, so a single descheduled repetition cannot flip
+// the gate. A gated benchmark slower than baseline by more than
+// -max-regress fails the run after the artifact is written. The gate also
+// fails when it matches nothing, and when a gated benchmark is absent
+// from the baseline — a renamed benchmark must not silently disable its
+// own regression check. Refresh the baseline deliberately with
+// `make bench-baseline` when a change legitimately shifts the numbers.
 package main
 
 import (
@@ -20,12 +34,17 @@ import (
 	"log"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 )
 
 // benchLine matches one `go test -bench` result, e.g.
-// "BenchmarkTieredServe/shards=64/goroutines=16-8  1  52731 ns/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
+// "BenchmarkTieredServe/shards=64/goroutines=16-8  1  52731 ns/op  0 B/op  0 allocs/op".
+// The memory columns appear only under -benchmem or b.ReportAllocs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+// procsSuffix is the trailing -GOMAXPROCS benchmark-name decoration.
+var procsSuffix = regexp.MustCompile(`-\d+$`)
 
 // Benchmark is one parsed result line.
 type Benchmark struct {
@@ -34,6 +53,10 @@ type Benchmark struct {
 	Name       string  `json:"name"`
 	Iterations int64   `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp are present when the benchmark reported
+	// allocations (b.ReportAllocs / -benchmem).
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
 }
 
 // Artifact is the emitted document.
@@ -59,7 +82,19 @@ func parse(r io.Reader) ([]Benchmark, error) {
 		if err != nil {
 			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %v", sc.Text(), err)
 		}
-		out = append(out, Benchmark{Name: m[1], Iterations: iters, NsPerOp: ns})
+		b := Benchmark{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			bytes, err := strconv.ParseInt(m[4], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad B/op in %q: %v", sc.Text(), err)
+			}
+			allocs, err := strconv.ParseInt(m[5], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad allocs/op in %q: %v", sc.Text(), err)
+			}
+			b.BytesPerOp, b.AllocsPerOp = &bytes, &allocs
+		}
+		out = append(out, b)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -67,16 +102,90 @@ func parse(r io.Reader) ([]Benchmark, error) {
 	return out, nil
 }
 
+// normalize strips the -GOMAXPROCS suffix so runs from machines with
+// different core counts compare by benchmark identity.
+func normalize(name string) string {
+	return procsSuffix.ReplaceAllString(name, "")
+}
+
+// regression is one gate violation.
+type regression struct {
+	name     string
+	base, ns float64
+}
+
+// minByName folds benchmarks into per-normalized-name minima: with
+// `-count N` each benchmark appears N times, and the minimum is the
+// standard noise-robust estimator (a machine cannot run faster than the
+// code allows, only slower), so one noisy repetition cannot fail — or
+// inflate the baseline of — the gate.
+func minByName(benches []Benchmark) map[string]float64 {
+	m := make(map[string]float64, len(benches))
+	for _, b := range benches {
+		name := normalize(b.Name)
+		if best, ok := m[name]; !ok || b.NsPerOp < best {
+			m[name] = b.NsPerOp
+		}
+	}
+	return m
+}
+
+// gateAgainst compares cur's gated benchmarks (per-name minima) with the
+// baseline artifact, returning the violations, how many gated benchmarks
+// were compared, any gated benchmark the baseline does not know, and any
+// gated baseline benchmark the current run no longer produces. Both
+// mismatch directions must fail loudly: a partially renamed suite must
+// not silently un-gate the renamed entries, and deleting a sub-benchmark
+// must not silently delete its regression check.
+func gateAgainst(cur []Benchmark, baseline Artifact, gate *regexp.Regexp, maxRegress float64) (viol []regression, compared int, missing, vanished []string) {
+	base := minByName(baseline.Benchmarks)
+	curMin := minByName(cur)
+	names := make([]string, 0, len(curMin))
+	for name := range curMin {
+		if gate.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want, ok := base[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		compared++
+		if got := curMin[name]; got > want*(1+maxRegress) {
+			viol = append(viol, regression{name: name, base: want, ns: got})
+		}
+	}
+	for name := range base {
+		if gate.MatchString(name) {
+			if _, ok := curMin[name]; !ok {
+				vanished = append(vanished, name)
+			}
+		}
+	}
+	sort.Strings(vanished)
+	return viol, compared, missing, vanished
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	var (
-		suite   = flag.String("suite", "default", "suite label recorded in the artifact")
-		outPath = flag.String("out", "", "write the artifact to a file instead of stdout")
+		suite      = flag.String("suite", "default", "suite label recorded in the artifact")
+		outPath    = flag.String("out", "", "write the artifact to a file instead of stdout")
+		baseline   = flag.String("baseline", "", "baseline artifact to diff against (empty = no gate)")
+		gateExpr   = flag.String("gate", `^BenchmarkServeParallel/impl=lockfree/`, "regexp of benchmark names the regression gate applies to")
+		maxRegress = flag.Float64("max-regress", 0.25, "fail when a gated benchmark is slower than baseline by more than this fraction")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		log.Fatalf("unexpected arguments %v (benchmark output is read from stdin)", flag.Args())
+	}
+	gate, err := regexp.Compile(*gateExpr)
+	if err != nil {
+		log.Fatalf("bad -gate: %v", err)
 	}
 
 	benches, err := parse(os.Stdin)
@@ -110,4 +219,39 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks (suite %s)\n", len(benches), *suite)
+
+	if *baseline == "" {
+		return
+	}
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		log.Fatalf("baseline: %v", err)
+	}
+	var base Artifact
+	if err := json.Unmarshal(raw, &base); err != nil {
+		log.Fatalf("baseline %s: %v", *baseline, err)
+	}
+	viol, compared, missing, vanished := gateAgainst(benches, base, gate, *maxRegress)
+	if len(missing) > 0 {
+		log.Fatalf("perf gate: %d gated benchmark(s) absent from baseline %s (%v) — refresh with `make bench-baseline` so they are gated too",
+			len(missing), *baseline, missing)
+	}
+	if len(vanished) > 0 {
+		log.Fatalf("perf gate: %d baseline benchmark(s) missing from this run (%v) — deleted or renamed without refreshing %s?",
+			len(vanished), vanished, *baseline)
+	}
+	if compared == 0 {
+		log.Fatalf("perf gate matched no benchmarks (gate %q vs baseline %s) — renamed without refreshing the baseline?",
+			*gateExpr, *baseline)
+	}
+	for _, v := range viol {
+		fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.1f ns/op vs baseline %.1f (+%.0f%%, budget %.0f%%)\n",
+			v.name, v.ns, v.base, 100*(v.ns/v.base-1), 100**maxRegress)
+	}
+	if len(viol) > 0 {
+		log.Fatalf("%d of %d gated benchmarks regressed past %.0f%%; if intentional, refresh with `make bench-baseline`",
+			len(viol), compared, 100**maxRegress)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: perf gate ok (%d gated benchmarks within %.0f%% of baseline)\n",
+		compared, 100**maxRegress)
 }

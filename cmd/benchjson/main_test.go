@@ -1,0 +1,108 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: hybridmem/internal/tiered
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkServeParallel/impl=lockfree/goroutines=16-4         	  300000	        33.26 ns/op	       0 B/op	       0 allocs/op
+BenchmarkServeParallel/impl=locked/goroutines=16-4           	  300000	        75.41 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTieredServe/shards=64/goroutines=16-4               	       1	     52731 ns/op
+PASS
+ok  	hybridmem/internal/tiered	0.457s
+`
+
+func TestParse(t *testing.T) {
+	benches, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(benches))
+	}
+	b := benches[0]
+	if b.Name != "BenchmarkServeParallel/impl=lockfree/goroutines=16-4" ||
+		b.Iterations != 300000 || b.NsPerOp != 33.26 {
+		t.Fatalf("first benchmark parsed as %+v", b)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 0 || b.BytesPerOp == nil || *b.BytesPerOp != 0 {
+		t.Fatalf("memory columns not parsed: %+v", b)
+	}
+	// The plain line (no -benchmem columns) leaves the pointers nil.
+	if benches[2].AllocsPerOp != nil || benches[2].BytesPerOp != nil {
+		t.Fatalf("memory columns invented for %+v", benches[2])
+	}
+}
+
+func TestNormalizeStripsProcsSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkServeParallel/impl=lockfree/goroutines=16-8": "BenchmarkServeParallel/impl=lockfree/goroutines=16",
+		"BenchmarkServeParallel/impl=lockfree/goroutines=16":   "BenchmarkServeParallel/impl=lockfree/goroutines=16",
+		"BenchmarkFoo-64": "BenchmarkFoo",
+	}
+	for in, want := range cases {
+		if got := normalize(in); got != want {
+			t.Errorf("normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGateAgainst(t *testing.T) {
+	gate := regexp.MustCompile(`^BenchmarkServeParallel/impl=lockfree/`)
+	baseline := Artifact{Benchmarks: []Benchmark{
+		{Name: "BenchmarkServeParallel/impl=lockfree/goroutines=16-8", NsPerOp: 130},
+		{Name: "BenchmarkServeParallel/impl=lockfree/goroutines=16-8", NsPerOp: 100}, // -count rep: min wins
+		{Name: "BenchmarkServeParallel/impl=lockfree/goroutines=64-8", NsPerOp: 100},
+		{Name: "BenchmarkServeParallel/impl=locked/goroutines=16-8", NsPerOp: 100},
+	}}
+
+	// Within budget (and a different -procs suffix): no violations. One
+	// noisy repetition does not trip the gate — the per-name minimum is
+	// compared. The locked impl is not gated.
+	cur := []Benchmark{
+		{Name: "BenchmarkServeParallel/impl=lockfree/goroutines=16-4", NsPerOp: 400}, // noisy rep
+		{Name: "BenchmarkServeParallel/impl=lockfree/goroutines=16-4", NsPerOp: 120},
+		{Name: "BenchmarkServeParallel/impl=lockfree/goroutines=64-4", NsPerOp: 124.9},
+		{Name: "BenchmarkServeParallel/impl=locked/goroutines=16-4", NsPerOp: 900},
+	}
+	viol, compared, missing, vanished := gateAgainst(cur, baseline, gate, 0.25)
+	if len(viol) != 0 || compared != 2 || len(missing) != 0 || len(vanished) != 0 {
+		t.Fatalf("viol=%v compared=%d missing=%v vanished=%v, want none/2/none/none",
+			viol, compared, missing, vanished)
+	}
+
+	// Past budget on every repetition: flagged with the right identity.
+	cur[2].NsPerOp = 126
+	viol, compared, _, _ = gateAgainst(cur, baseline, gate, 0.25)
+	if compared != 2 || len(viol) != 1 ||
+		viol[0].name != "BenchmarkServeParallel/impl=lockfree/goroutines=64" {
+		t.Fatalf("viol=%+v compared=%d, want one on goroutines=64", viol, compared)
+	}
+
+	// A gated benchmark the baseline does not know must be reported, not
+	// silently skipped: a partial rename cannot un-gate itself.
+	cur = append(cur, Benchmark{Name: "BenchmarkServeParallel/impl=lockfree/goroutines=128-4", NsPerOp: 1})
+	_, _, missing, _ = gateAgainst(cur, baseline, gate, 0.25)
+	if len(missing) != 1 || missing[0] != "BenchmarkServeParallel/impl=lockfree/goroutines=128" {
+		t.Fatalf("missing=%v, want the goroutines=128 entry", missing)
+	}
+
+	// A gated baseline benchmark the current run no longer produces must
+	// be reported too: deleting a sub-benchmark cannot delete its gate.
+	shrunk := []Benchmark{cur[0], cur[1]} // goroutines=16 reps only
+	_, _, _, vanished = gateAgainst(shrunk, baseline, gate, 0.25)
+	if len(vanished) != 1 || vanished[0] != "BenchmarkServeParallel/impl=lockfree/goroutines=64" {
+		t.Fatalf("vanished=%v, want the goroutines=64 entry", vanished)
+	}
+
+	// A gate that matches nothing reports zero comparisons (main fails).
+	_, compared, missing, _ = gateAgainst(cur, baseline, regexp.MustCompile(`^BenchmarkRenamed`), 0.25)
+	if compared != 0 || len(missing) != 0 {
+		t.Fatalf("compared=%d missing=%v for unmatched gate, want 0/none", compared, missing)
+	}
+}

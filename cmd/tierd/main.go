@@ -21,6 +21,16 @@
 // get distinct trace seeds and their own goroutines, and the report (text
 // or artifact) breaks out per-tenant throughput, latency percentiles and
 // quota occupancy.
+//
+// With -memstats (on by default), tierd snapshots runtime.MemStats around
+// the measured load phase and reports the process-wide allocation rate
+// (allocs/op and B/op across every access served) and the GC activity the
+// load induced (cycles and total stop-the-world pause). The serve hit path
+// is allocation-free by design, so a non-trivial allocs/op here is a
+// regression signal; the numbers ride along in the results/v1 artifact
+// (allocs_per_op, alloc_bytes_per_op, gc_cycles, gc_pause_total_ns) so CI
+// load runs expose allocation creep, not just latency creep. -memstats=false
+// drops the collection (two runtime.ReadMemStats stop-the-world points).
 package main
 
 import (
@@ -59,6 +69,7 @@ func main() {
 		verify       = flag.Bool("verify", false, "check single-goroutine equivalence against internal/sim before the run")
 		jsonOut      = flag.Bool("json", false, "emit a hybridmem.results/v1 artifact instead of text")
 		outPath      = flag.String("out", "", "write output to a file instead of stdout")
+		memStats     = flag.Bool("memstats", true, "report load-phase allocs/op and GC pause totals (runtime.ReadMemStats deltas)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -81,10 +92,57 @@ func main() {
 		if *sync || *verify {
 			log.Fatal("-tenants is incompatible with -sync and -verify (the reference policies are single-tenant)")
 		}
-		runMultiTenant(*outPath, *tenantsSpec, *policyName, *scale, *seed, *goroutines, *duration, *ops, *shards, *jsonOut)
+		runMultiTenant(*outPath, *tenantsSpec, *policyName, *scale, *seed, *goroutines, *duration, *ops, *shards, *jsonOut, *memStats)
 		return
 	}
-	runSingleTenant(*outPath, *workloadName, *policyName, *scale, *seed, *goroutines, *duration, *ops, *shards, *sync, *verify, *jsonOut)
+	runSingleTenant(*outPath, *workloadName, *policyName, *scale, *seed, *goroutines, *duration, *ops, *shards, *sync, *verify, *jsonOut, *memStats)
+}
+
+// memReport is the load phase's process-wide allocation and GC delta,
+// measured as runtime.MemStats differences around the measured window.
+// The serve hit path allocates nothing, so AllocsPerOp on a healthy run is
+// a small fraction (daemon batches, histograms, fault-path entries).
+type memReport struct {
+	enabled     bool
+	allocsPerOp float64
+	bytesPerOp  float64
+	gcCycles    uint32
+	gcPause     time.Duration
+}
+
+// memDelta summarizes the load window between two MemStats snapshots.
+func memDelta(before, after runtime.MemStats, ops int64) memReport {
+	m := memReport{
+		enabled:  true,
+		gcCycles: after.NumGC - before.NumGC,
+		gcPause:  time.Duration(after.PauseTotalNs - before.PauseTotalNs),
+	}
+	if ops > 0 {
+		m.allocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(ops)
+		m.bytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(ops)
+	}
+	return m
+}
+
+// values folds the memory report into an artifact value map.
+func (m memReport) values(v map[string]float64) map[string]float64 {
+	if !m.enabled {
+		return v
+	}
+	v["allocs_per_op"] = m.allocsPerOp
+	v["alloc_bytes_per_op"] = m.bytesPerOp
+	v["gc_cycles"] = float64(m.gcCycles)
+	v["gc_pause_total_ns"] = float64(m.gcPause.Nanoseconds())
+	return v
+}
+
+// text renders the memory report's human line (empty when disabled).
+func (m memReport) text() string {
+	if !m.enabled {
+		return ""
+	}
+	return fmt.Sprintf("memory:     %.3f allocs/op, %.1f B/op, GC %d cycles, %v total pause\n",
+		m.allocsPerOp, m.bytesPerOp, m.gcCycles, m.gcPause)
 }
 
 // writeOut runs write against stdout or the -out file. The file is only
@@ -132,7 +190,7 @@ func genTenantTrace(name string, scale float64, seed int64) (warm, roi []trace.R
 }
 
 func runSingleTenant(outPath, workloadName, policyName string, scale float64, seed int64,
-	goroutines int, duration time.Duration, ops int64, shards int, sync, verify, jsonOut bool) {
+	goroutines int, duration time.Duration, ops int64, shards int, sync, verify, jsonOut, memStats bool) {
 	warm, roi, pages := genTenantTrace(workloadName, scale, seed)
 	dram, nvm := memspec.DefaultSizing().Partition(pages)
 
@@ -172,20 +230,31 @@ func runSingleTenant(outPath, workloadName, policyName string, scale float64, se
 	if ops <= 0 {
 		loadCfg.Duration = duration
 	}
+	var msBefore, msAfter runtime.MemStats
+	if memStats {
+		runtime.ReadMemStats(&msBefore)
+	}
 	rep, err := tiered.RunLoad(engine, roi, loadCfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if memStats {
+		runtime.ReadMemStats(&msAfter)
 	}
 	if err := engine.Stop(); err != nil {
 		log.Fatal(err)
 	}
 	st := engine.Stats().Sub(base)
+	var mem memReport
+	if memStats {
+		mem = memDelta(msBefore, msAfter, rep.Ops)
+	}
 
 	writeOut(outPath, func(w io.Writer) error {
 		if jsonOut {
-			return writeArtifact(w, engine, rep, st, workloadName, scale, seed, goroutines, sync)
+			return writeArtifact(w, engine, rep, st, mem, workloadName, scale, seed, goroutines, sync)
 		}
-		return writeText(w, engine, rep, st, workloadName, dram, nvm, goroutines)
+		return writeText(w, engine, rep, st, mem, workloadName, dram, nvm, goroutines)
 	})
 }
 
@@ -236,7 +305,7 @@ type tenantRun struct {
 }
 
 func runMultiTenant(outPath, spec, policyName string, scale float64, seed int64,
-	goroutines int, duration time.Duration, ops int64, shards int, jsonOut bool) {
+	goroutines int, duration time.Duration, ops int64, shards int, jsonOut, memStats bool) {
 	shares, err := parseTenants(spec)
 	if err != nil {
 		log.Fatal(err)
@@ -312,14 +381,25 @@ func runMultiTenant(outPath, spec, policyName string, scale float64, seed int64,
 	if ops <= 0 {
 		loadCfg.Duration = duration
 	}
+	var msBefore, msAfter runtime.MemStats
+	if memStats {
+		runtime.ReadMemStats(&msBefore)
+	}
 	rep, err := tiered.RunTenantLoad(engine, loads, loadCfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if memStats {
+		runtime.ReadMemStats(&msAfter)
 	}
 	if err := engine.Stop(); err != nil {
 		log.Fatal(err)
 	}
 	st := engine.Stats().Sub(base)
+	var mem memReport
+	if memStats {
+		mem = memDelta(msBefore, msAfter, rep.Aggregate.Ops)
+	}
 	for i, r := range runs {
 		cur, _ := engine.TenantStats(r.id)
 		r.stats = cur.Sub(tenantBase[i])
@@ -328,13 +408,13 @@ func runMultiTenant(outPath, spec, policyName string, scale float64, seed int64,
 
 	writeOut(outPath, func(w io.Writer) error {
 		if jsonOut {
-			return writeTenantArtifact(w, engine, runs, rep, st, scale, seed)
+			return writeTenantArtifact(w, engine, runs, rep, st, mem, scale, seed)
 		}
-		return writeTenantText(w, engine, runs, rep, st, dram, nvm)
+		return writeTenantText(w, engine, runs, rep, st, mem, dram, nvm)
 	})
 }
 
-func writeText(w io.Writer, e *tiered.Engine, rep *tiered.LoadReport, st tiered.Stats,
+func writeText(w io.Writer, e *tiered.Engine, rep *tiered.LoadReport, st tiered.Stats, mem memReport,
 	name string, dram, nvm, goroutines int) error {
 	shards := e.Config().Shards
 	_, err := fmt.Fprintf(w, `tierd: %s under %s, DRAM %d + NVM %d frames, %d shards, %d goroutines
@@ -343,26 +423,26 @@ latency:    p50 %v, p95 %v, p99 %v, max %v
 placement:  %.1f%% DRAM hits, %.1f%% NVM hits, %d faults
 migration:  %d promotions, %d demotions (%d fault, %d promo), %d evictions
 daemon:     %d scans, %d batches, %d queue drops
-`,
+%s`,
 		name, e.PolicyName(), dram, nvm, shards, goroutines,
 		rep.OpsPerSec, rep.Ops, rep.Elapsed.Round(time.Millisecond),
 		rep.P50, rep.P95, rep.P99, rep.Max,
 		pct(st.HitsDRAM(), st.Accesses), pct(st.HitsNVM(), st.Accesses), st.Faults,
 		st.Promotions, st.Demotions, st.DemotionsFault, st.DemotionsPromo, st.Evictions,
-		st.Scans, st.Batches, st.QueueDrops)
+		st.Scans, st.Batches, st.QueueDrops, mem.text())
 	return err
 }
 
 func writeTenantText(w io.Writer, e *tiered.Engine, runs []*tenantRun, rep *tiered.MultiLoadReport,
-	st tiered.Stats, dram, nvm int) error {
+	st tiered.Stats, mem memReport, dram, nvm int) error {
 	agg := rep.Aggregate
 	_, err := fmt.Fprintf(w, `tierd: %d tenants under %s, DRAM %d + NVM %d frames (%d spill), %d shards
 aggregate:  %12.0f ops/s (%d ops in %v), p50 %v, p99 %v
 migration:  %d promotions, %d demotions, %d evictions; %d scans, %d batches, %d queue drops
-`,
+%s`,
 		len(runs), e.PolicyName(), dram, nvm, e.SpillPool(), e.Config().Shards,
 		agg.OpsPerSec, agg.Ops, agg.Elapsed.Round(time.Millisecond), agg.P50, agg.P99,
-		st.Promotions, st.Demotions, st.Evictions, st.Scans, st.Batches, st.QueueDrops)
+		st.Promotions, st.Demotions, st.Evictions, st.Scans, st.Batches, st.QueueDrops, mem.text())
 	if err != nil {
 		return err
 	}
@@ -391,7 +471,7 @@ func pct(part, whole int64) float64 {
 	return 100 * float64(part) / float64(whole)
 }
 
-func writeArtifact(w io.Writer, e *tiered.Engine, rep *tiered.LoadReport, st tiered.Stats,
+func writeArtifact(w io.Writer, e *tiered.Engine, rep *tiered.LoadReport, st tiered.Stats, mem memReport,
 	name string, scale float64, seed int64, goroutines int, sync bool) error {
 	a := runner.NewArtifact("tierd", "serve", scale, seed)
 	cfg := e.Config()
@@ -411,7 +491,7 @@ func writeArtifact(w io.Writer, e *tiered.Engine, rep *tiered.LoadReport, st tie
 			"shards":     float64(cfg.Shards),
 			"sync":       syncVal,
 		},
-		Values: loadValues(rep, st, cfg),
+		Values: mem.values(loadValues(rep, st, cfg)),
 	})
 	return a.Write(w)
 }
@@ -440,7 +520,7 @@ func loadValues(rep *tiered.LoadReport, st tiered.Stats, cfg tiered.Config) map[
 }
 
 func writeTenantArtifact(w io.Writer, e *tiered.Engine, runs []*tenantRun, rep *tiered.MultiLoadReport,
-	st tiered.Stats, scale float64, seed int64) error {
+	st tiered.Stats, mem memReport, scale float64, seed int64) error {
 	a := runner.NewArtifact("tierd", "serve-multitenant", scale, seed)
 	cfg := e.Config()
 	agg := rep.Aggregate
@@ -456,7 +536,7 @@ func writeTenantArtifact(w io.Writer, e *tiered.Engine, runs []*tenantRun, rep *
 			"shards":  float64(cfg.Shards),
 			"spill":   float64(e.SpillPool()),
 		},
-		Values: loadValues(&agg, st, cfg),
+		Values: mem.values(loadValues(&agg, st, cfg)),
 	})
 	for _, r := range runs {
 		cur, _ := e.TenantStats(r.id)

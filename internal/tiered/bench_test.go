@@ -3,7 +3,9 @@ package tiered
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"hybridmem/internal/mm"
@@ -116,6 +118,65 @@ func BenchmarkTieredServe(b *testing.B) {
 					}(w, ops)
 				}
 				wg.Wait()
+			})
+		}
+	}
+}
+
+// touchTable is the hit-path surface BenchmarkServeParallel drives, so the
+// lock-free table and the locked reference (table_test.go) are selectable
+// per sub-benchmark: -bench 'BenchmarkServeParallel/impl=lockfree' vs
+// 'impl=locked'.
+type touchTable interface {
+	Insert(TenantID, uint64, mm.Location) bool
+	Touch(TenantID, uint64, trace.Op) (mm.Location, bool)
+}
+
+// BenchmarkServeParallel measures the table hit path under b.RunParallel
+// at 1/4/16/64 goroutines (GOMAXPROCS is raised to the goroutine count for
+// the duration of each sub-benchmark), lock-free vs the pre-PR locked
+// reference implementation, with allocations reported. This is the CI
+// perf-gated suite: cmd/benchjson diffs the lockfree numbers against
+// BENCH_baseline.json.
+func BenchmarkServeParallel(b *testing.B) {
+	const pages = 1 << 14
+	impls := []struct {
+		name string
+		make func() touchTable
+	}{
+		{"lockfree", func() touchTable {
+			tbl, err := NewTable(64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return tbl
+		}},
+		{"locked", func() touchTable { return newLockedTable(64) }},
+	}
+	for _, impl := range impls {
+		for _, g := range []int{1, 4, 16, 64} {
+			b.Run(fmt.Sprintf("impl=%s/goroutines=%d", impl.name, g), func(b *testing.B) {
+				tbl := impl.make()
+				for p := uint64(0); p < pages; p++ {
+					tbl.Insert(DefaultTenant, p, mm.LocNVM)
+				}
+				prev := runtime.GOMAXPROCS(g)
+				defer runtime.GOMAXPROCS(prev)
+				var worker atomic.Uint64
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					// Per-goroutine pseudorandom page walk, no shared state.
+					x := worker.Add(1) * 0x9E3779B97F4A7C15
+					op := trace.OpRead
+					if x&1 == 0 {
+						op = trace.OpWrite
+					}
+					for pb.Next() {
+						x = x*6364136223846793005 + 1442695040888963407
+						tbl.Touch(DefaultTenant, (x>>33)&(pages-1), op)
+					}
+				})
 			})
 		}
 	}

@@ -1,8 +1,9 @@
 package tiered
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"hybridmem/internal/mm"
@@ -22,7 +23,7 @@ func (e *Engine) Start() error {
 		return nil
 	}
 	e.stopCh = make(chan struct{})
-	e.batchCh = make(chan []uint64, e.cfg.QueueLen)
+	e.batchCh = make(chan *[]uint64, e.cfg.QueueLen)
 	e.scanWG.Add(1)
 	go e.scanLoop()
 	e.workerWG.Add(e.cfg.Workers)
@@ -79,17 +80,35 @@ func (e *Engine) scanLoop() {
 	}
 }
 
-// workerLoop drains promotion batches until the channel closes. A page's
-// in-flight mark clears only after its promotion has been applied (or
-// found stale), so the scanner cannot re-enqueue it mid-flight.
+// workerLoop drains promotion batches until the channel closes, returning
+// each drained buffer to the batch pool. A page's in-flight mark clears
+// only after its promotion has been applied (or found stale), so the
+// scanner cannot re-enqueue it mid-flight.
 func (e *Engine) workerLoop() {
 	defer e.workerWG.Done()
-	for batch := range e.batchCh {
-		for _, key := range batch {
+	for bp := range e.batchCh {
+		for _, key := range *bp {
 			e.applyPromotion(key)
 			e.unmarkInflight(key)
 		}
+		e.putBatch(bp)
 	}
+}
+
+// newBatch takes a promotion buffer from the pool (or allocates the pool's
+// first few).
+func (e *Engine) newBatch() *[]uint64 {
+	if bp, ok := e.batchPool.Get().(*[]uint64); ok {
+		return bp
+	}
+	b := make([]uint64, 0, e.cfg.BatchSize)
+	return &b
+}
+
+// putBatch resets a buffer and returns it to the pool.
+func (e *Engine) putBatch(bp *[]uint64) {
+	*bp = (*bp)[:0]
+	e.batchPool.Put(bp)
 }
 
 // ScanOnce runs one hotness scan immediately and applies the resulting
@@ -142,34 +161,36 @@ type candidate struct {
 // how far past break-even the page is, and the daemon's bounded budget
 // goes to the most profitable migrations first.
 func orderCandidates(c []candidate) {
-	sort.Slice(c, func(i, j int) bool {
-		if c[i].score != c[j].score {
-			return c[i].score > c[j].score
-		}
-		return c[i].key < c[j].key
+	slices.SortFunc(c, func(a, b candidate) int {
+		return cmp.Or(cmp.Compare(b.score, a.score), cmp.Compare(a.key, b.key))
 	})
 }
 
-// interleave merges per-tenant candidate queues round-robin: one candidate
-// from each tenant in ID order, repeating until all queues drain. Batches
-// cut from the result give every tenant an equal share of the promotion
-// budget, so one hot tenant cannot monopolize the queue while another
-// starves.
-func interleave(queues [][]candidate) []candidate {
+// interleaveInto merges per-tenant candidate queues round-robin into dst:
+// one candidate from each tenant in ID order, repeating until all queues
+// drain. Batches cut from the result give every tenant an equal share of
+// the promotion budget, so one hot tenant cannot monopolize the queue
+// while another starves. The queue headers are consumed; the backing
+// arrays are untouched.
+func interleaveInto(dst []candidate, queues [][]candidate) []candidate {
 	total := 0
 	for _, q := range queues {
 		total += len(q)
 	}
-	out := make([]candidate, 0, total)
-	for len(out) < total {
+	for len(dst) < total {
 		for i := range queues {
 			if len(queues[i]) > 0 {
-				out = append(out, queues[i][0])
+				dst = append(dst, queues[i][0])
 				queues[i] = queues[i][1:]
 			}
 		}
 	}
-	return out
+	return dst
+}
+
+// interleave is interleaveInto from scratch, for tests and one-shot use.
+func interleave(queues [][]candidate) []candidate {
+	return interleaveInto(nil, queues)
 }
 
 // scanEpoch sweeps every shard for NVM pages whose windowed counters their
@@ -179,7 +200,11 @@ func interleave(queues [][]candidate) []candidate {
 // in flight from a previous epoch are skipped. The counter windows reset
 // as a side effect of the sweep, and each tenant's policy gets its epoch
 // hook with that tenant's deltas. Serialized by scanMu so a ticker epoch
-// and a ScanOnce never interleave their window resets.
+// and a ScanOnce never interleave their window resets. The sweep holds no
+// table lock (it walks the published shard snapshots) and recycles all of
+// its buffers — per-tenant candidate lists, the interleave order and the
+// promotion batches — so a steady-state epoch allocates nothing and never
+// blocks the serve path.
 func (e *Engine) scanEpoch(inline bool) {
 	e.scanMu.Lock()
 	defer e.scanMu.Unlock()
@@ -189,9 +214,11 @@ func (e *Engine) scanEpoch(inline bool) {
 		return
 	}
 
-	// Collect only inside the sweep: applying a migration takes shard
-	// write locks, which must never happen under a shard's read lock.
-	perTenant := make(map[TenantID][]candidate, len(e.tenantList))
+	// Collect only inside the sweep; promotions apply after it, so a
+	// migration's table write never races the sweep's own shard visit.
+	for _, ts := range e.tenantList {
+		ts.scanBuf = ts.scanBuf[:0]
+	}
 	for i := 0; i < e.tbl.NumShards(); i++ {
 		e.tbl.ScanShard(i, true, func(tenant TenantID, page uint64, loc mm.Location, reads, writes uint64) {
 			if loc != mm.LocNVM {
@@ -201,21 +228,26 @@ func (e *Engine) scanEpoch(inline bool) {
 			if ts == nil || !ts.pol.Hot(reads, writes) {
 				return
 			}
-			perTenant[tenant] = append(perTenant[tenant],
+			ts.scanBuf = append(ts.scanBuf,
 				candidate{key: tableKey(tenant, page), score: reads + writes})
 		})
 	}
-	queues := make([][]candidate, 0, len(e.tenantList))
+	e.scanQueues = e.scanQueues[:0]
 	for _, ts := range e.tenantList {
-		if q := perTenant[ts.id]; len(q) > 0 {
-			orderCandidates(q)
-			queues = append(queues, q)
+		if len(ts.scanBuf) > 0 {
+			orderCandidates(ts.scanBuf)
+			e.scanQueues = append(e.scanQueues, ts.scanBuf)
 		}
 	}
+	e.scanOrder = interleaveInto(e.scanOrder[:0], e.scanQueues)
 
-	flush := func(b []uint64) {
+	// flush hands the batch off (queue mode) or applies it inline, and
+	// returns the buffer to fill next — a fresh one when the queue took
+	// ownership, the same one (reset) otherwise.
+	flush := func(bp *[]uint64) *[]uint64 {
+		b := *bp
 		if len(b) == 0 {
-			return
+			return bp
 		}
 		if inline {
 			for _, key := range b {
@@ -223,11 +255,13 @@ func (e *Engine) scanEpoch(inline bool) {
 				e.unmarkInflight(key)
 			}
 			e.c.batches.Add(1)
-			return
+			*bp = b[:0]
+			return bp
 		}
 		select {
-		case e.batchCh <- b:
+		case e.batchCh <- bp:
 			e.c.batches.Add(1)
+			return e.newBatch()
 		default:
 			// Queue full: drop the batch and clear its marks. Promotion is
 			// advisory — a page that stays hot re-qualifies next epoch —
@@ -237,26 +271,29 @@ func (e *Engine) scanEpoch(inline bool) {
 				e.unmarkInflight(key)
 			}
 			e.c.queueDrops.Add(1)
+			*bp = b[:0]
+			return bp
 		}
 	}
 
-	batch := make([]uint64, 0, e.cfg.BatchSize)
-	for _, cand := range interleave(queues) {
+	bp := e.newBatch()
+	for _, cand := range e.scanOrder {
 		if !e.markInflight(cand.key) {
 			continue
 		}
-		batch = append(batch, cand.key)
-		if len(batch) == e.cfg.BatchSize {
-			flush(batch)
-			batch = make([]uint64, 0, e.cfg.BatchSize)
+		*bp = append(*bp, cand.key)
+		if len(*bp) == e.cfg.BatchSize {
+			bp = flush(bp)
 		}
 	}
-	flush(batch)
+	bp = flush(bp)
+	e.putBatch(bp)
 
 	for _, ts := range e.tenantList {
+		accesses, hitsDRAM, _ := ts.serveTotals()
 		cur := EpochStats{
-			Accesses:   ts.c.accesses.Load(),
-			HitsDRAM:   ts.c.hitsDRAM.Load(),
+			Accesses:   accesses,
+			HitsDRAM:   hitsDRAM,
 			Promotions: ts.c.promotions.Load(),
 		}
 		ts.pol.Epoch(EpochStats{

@@ -134,7 +134,7 @@ func TestScanEpochCoalescesAcrossEpochs(t *testing.T) {
 	// Don't Start: drive scanEpoch's queue path directly so the worker
 	// pool can't drain the queue under us.
 	e.state.Store(stateStarted)
-	e.batchCh = make(chan []uint64, e.cfg.QueueLen)
+	e.batchCh = make(chan *[]uint64, e.cfg.QueueLen)
 
 	heat := func() {
 		// An NVM page with counters above the smallCore threshold (3).
@@ -176,7 +176,7 @@ func TestScanEpochCoalescesAcrossEpochs(t *testing.T) {
 	// Draining the queued batch applies the promotion and clears the
 	// mark, after which the page may be enqueued again.
 	batch := <-e.batchCh
-	for _, key := range batch {
+	for _, key := range *batch {
 		e.applyPromotion(key)
 		e.unmarkInflight(key)
 	}

@@ -183,15 +183,45 @@ func (s Stats) Sub(prev Stats) Stats {
 	return d
 }
 
-// counters is the engine's global atomic tally block.
+// cacheLine is the padding unit the counter blocks are laid out in.
+const cacheLine = 64
+
+// padCounter is an atomic counter alone on its cache line: fields that
+// stay engine-global (they are off the hit path) still must not share a
+// line, or a fault burst would invalidate every counter next to it on
+// every core.
+type padCounter struct {
+	atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// serveCell is one stripe of the engine's per-access counters: the five
+// fields every hit touches, together on one line, padded two lines apart
+// so the adjacent-line prefetcher cannot couple neighboring stripes. The
+// hit path picks a stripe from the page key, so cores serving different
+// pages tally on different lines and never contend.
+type serveCell struct {
+	accesses   atomic.Int64
+	readsDRAM  atomic.Int64
+	writesDRAM atomic.Int64
+	readsNVM   atomic.Int64
+	writesNVM  atomic.Int64
+	_          [2*cacheLine - 5*8]byte
+}
+
+// maxStripes caps the serve-cell count (per engine and per tenant): beyond
+// this, more stripes buy no contention relief, only summing work.
+const maxStripes = 64
+
+// counters is the engine's rare-path tally block: everything the fault,
+// migration and daemon paths count. The per-access counters live in the
+// striped serve cells instead and are aggregated lazily by Stats.
 type counters struct {
-	accesses                                                  atomic.Int64
-	readsDRAM, writesDRAM, readsNVM, writesNVM                atomic.Int64
-	faults, faultsToDRAM, faultsToNVM                         atomic.Int64
-	promotions                                                atomic.Int64
-	demotions, demotionsFault, demotionsPromo, demotionsClean atomic.Int64
-	evictions                                                 atomic.Int64
-	scans, batches, queueDrops                                atomic.Int64
+	faults, faultsToDRAM, faultsToNVM                         padCounter
+	promotions                                                padCounter
+	demotions, demotionsFault, demotionsPromo, demotionsClean padCounter
+	evictions                                                 padCounter
+	scans, batches, queueDrops                                padCounter
 }
 
 // Engine lifecycle states.
@@ -237,10 +267,24 @@ type Engine struct {
 	spill      int64
 	// spillUsed counts the spill-pool frames currently borrowed across
 	// all tenants (every tenant frame above its quota holds one token).
+	// It and the occupancy levels below each get their own cache line:
+	// they stay exact CAS-maintained levels (quota enforcement needs a
+	// precise value, and hits never touch them), but a reservation on one
+	// must not invalidate the others.
+	_         [cacheLine]byte
 	spillUsed atomic.Int64
+	_         [cacheLine - 8]byte
 
-	dramCap, nvmCap   int64
-	dramUsed, nvmUsed atomic.Int64
+	dramCap, nvmCap int64
+	dramUsed        atomic.Int64
+	_               [cacheLine - 8]byte
+	nvmUsed         atomic.Int64
+	_               [cacheLine - 8]byte
+
+	// serveCells stripes the per-access counters by page key; Stats sums
+	// them lazily. stripeMask is len(serveCells)-1 (a power of two).
+	serveCells []serveCell
+	stripeMask uint64
 
 	c     counters
 	state atomic.Int32
@@ -249,12 +293,19 @@ type Engine struct {
 	mu      sync.Mutex
 	backing policy.Policy
 
-	// Daemon plumbing (asynchronous mode).
-	stopCh   chan struct{}
-	batchCh  chan []uint64
-	scanWG   sync.WaitGroup
-	workerWG sync.WaitGroup
-	scanMu   sync.Mutex
+	// Daemon plumbing (asynchronous mode). Batches are pooled: the scanner
+	// takes buffers from batchPool and the workers return them after
+	// draining, so steady-state epochs allocate nothing.
+	stopCh    chan struct{}
+	batchCh   chan *[]uint64
+	batchPool sync.Pool
+	scanWG    sync.WaitGroup
+	workerWG  sync.WaitGroup
+	scanMu    sync.Mutex
+	// scanQueues and scanOrder are the scanner's reusable scratch for the
+	// per-tenant queues and their round-robin interleave (scanMu-guarded).
+	scanQueues [][]candidate
+	scanOrder  []candidate
 	// inflight holds the table keys of pages enqueued for promotion but
 	// not yet applied, so a page scanned hot in consecutive epochs is not
 	// enqueued twice.
@@ -299,16 +350,22 @@ func New(cfg Config) (*Engine, error) {
 	// Record the rounded-up shard count: Config() reports what the table
 	// actually uses, and tierd's artifact must attribute results to it.
 	cfg.Shards = tbl.NumShards()
+	stripes := cfg.Shards
+	if stripes > maxStripes {
+		stripes = maxStripes
+	}
 	e := &Engine{
-		cfg:      cfg,
-		tbl:      tbl,
-		pageSize: uint64(cfg.Spec.Geometry.PageSizeBytes),
-		tenants:  make(map[TenantID]*tenantState, len(cfg.Tenants)),
-		spill:    spill,
-		dramCap:  int64(cfg.DRAMPages),
-		nvmCap:   int64(cfg.NVMPages),
-		inflight: make(map[uint64]struct{}),
-		drained:  make(chan struct{}),
+		cfg:        cfg,
+		tbl:        tbl,
+		pageSize:   uint64(cfg.Spec.Geometry.PageSizeBytes),
+		tenants:    make(map[TenantID]*tenantState, len(cfg.Tenants)),
+		spill:      spill,
+		dramCap:    int64(cfg.DRAMPages),
+		nvmCap:     int64(cfg.NVMPages),
+		serveCells: make([]serveCell, stripes),
+		stripeMask: uint64(stripes - 1),
+		inflight:   make(map[uint64]struct{}),
+		drained:    make(chan struct{}),
 	}
 	for _, tc := range cfg.Tenants {
 		name := tc.Name
@@ -320,6 +377,7 @@ func New(cfg Config) (*Engine, error) {
 			name:  name,
 			quota: int64(tc.DRAMQuota),
 			cap:   int64(tc.DRAMQuota) + spill,
+			cells: make([]tenantCell, stripes),
 		}
 		if !cfg.Synchronous {
 			ts.pol, err = newOnlinePolicy(cfg.Policy, cfg.Core, cfg.Adaptive)
@@ -372,12 +430,13 @@ func (e *Engine) TenantStats(id TenantID) (TenantStats, bool) {
 	if !ok {
 		return TenantStats{}, false
 	}
+	accesses, hitsDRAM, hitsNVM := ts.serveTotals()
 	return TenantStats{
 		ID:           ts.id,
 		Name:         ts.name,
-		Accesses:     ts.c.accesses.Load(),
-		HitsDRAM:     ts.c.hitsDRAM.Load(),
-		HitsNVM:      ts.c.hitsNVM.Load(),
+		Accesses:     accesses,
+		HitsDRAM:     hitsDRAM,
+		HitsNVM:      hitsNVM,
 		Faults:       ts.c.faults.Load(),
 		Promotions:   ts.c.promotions.Load(),
 		Demotions:    ts.c.demotions.Load(),
@@ -388,16 +447,13 @@ func (e *Engine) TenantStats(id TenantID) (TenantStats, bool) {
 	}, true
 }
 
-// Stats returns a snapshot of the engine's counters. Safe to call
-// concurrently with Serve; the fields are read individually, so a snapshot
-// taken mid-traffic is approximate across fields but each field is exact.
+// Stats returns a snapshot of the engine's counters, aggregating the
+// striped per-access cells lazily — the hit path never touches a shared
+// line for them. Safe to call concurrently with Serve; the fields are read
+// individually, so a snapshot taken mid-traffic is approximate across
+// fields but each field is exact.
 func (e *Engine) Stats() Stats {
-	return Stats{
-		Accesses:       e.c.accesses.Load(),
-		ReadsDRAM:      e.c.readsDRAM.Load(),
-		WritesDRAM:     e.c.writesDRAM.Load(),
-		ReadsNVM:       e.c.readsNVM.Load(),
-		WritesNVM:      e.c.writesNVM.Load(),
+	st := Stats{
 		Faults:         e.c.faults.Load(),
 		FaultsToDRAM:   e.c.faultsToDRAM.Load(),
 		FaultsToNVM:    e.c.faultsToNVM.Load(),
@@ -413,11 +469,20 @@ func (e *Engine) Stats() Stats {
 		ResidentDRAM:   e.dramUsed.Load(),
 		ResidentNVM:    e.nvmUsed.Load(),
 	}
+	for i := range e.serveCells {
+		c := &e.serveCells[i]
+		st.Accesses += c.accesses.Load()
+		st.ReadsDRAM += c.readsDRAM.Load()
+		st.WritesDRAM += c.writesDRAM.Load()
+		st.ReadsNVM += c.readsNVM.Load()
+		st.WritesNVM += c.writesNVM.Load()
+	}
+	return st
 }
 
 // Serve services one line-sized access for the default tenant. Hot path:
-// one sharded lookup plus atomic counter updates; faults and migrations
-// take shard write locks.
+// one lock-free table probe plus striped atomic counter updates — no mutex
+// word is written; faults and migrations take per-shard writer locks.
 func (e *Engine) Serve(addr uint64, op trace.Op) (ServeResult, error) {
 	return e.ServeTenant(DefaultTenant, addr, op)
 }
@@ -442,35 +507,42 @@ func (e *Engine) ServeTenant(tenant TenantID, addr uint64, op trace.Op) (ServeRe
 	if page > maxTablePage {
 		return ServeResult{}, fmt.Errorf("tiered: page %d exceeds the %d-bit namespaced keyspace", page, pageBits)
 	}
-	e.c.accesses.Add(1)
-	ts.c.accesses.Add(1)
+	// The key doubles as the counter stripe selector: accesses to different
+	// pages tally on different cache lines, so the hot path's only shared
+	// writes are the page's own entry and its stripe.
+	key := tableKey(ts.id, page)
+	cell := key & e.stripeMask
+	e.serveCells[cell].accesses.Add(1)
+	ts.cells[cell].accesses.Add(1)
 	if e.backing != nil {
-		return e.serveSync(ts, page, op)
+		return e.serveSync(ts, cell, page, op)
 	}
-	if loc, ok := e.tbl.Touch(tenant, page, op); ok {
-		e.tallyHit(ts, loc, op)
+	if loc, ok := e.tbl.TouchKey(key, op); ok {
+		e.tallyHit(ts, cell, loc, op)
 		return ServeResult{ServedFrom: loc}, nil
 	}
-	return e.serveFault(ts, page, op)
+	return e.serveFault(ts, cell, key, page, op)
 }
 
 // tallyHit records a non-faulting access, mirroring sim.Run's accounting,
-// in both the global and the tenant's counters.
-func (e *Engine) tallyHit(ts *tenantState, loc mm.Location, op trace.Op) {
+// in the given stripe of both the global and the tenant's cells.
+func (e *Engine) tallyHit(ts *tenantState, cell uint64, loc mm.Location, op trace.Op) {
+	c := &e.serveCells[cell]
 	switch {
 	case loc == mm.LocDRAM && op == trace.OpRead:
-		e.c.readsDRAM.Add(1)
+		c.readsDRAM.Add(1)
 	case loc == mm.LocDRAM:
-		e.c.writesDRAM.Add(1)
+		c.writesDRAM.Add(1)
 	case op == trace.OpRead:
-		e.c.readsNVM.Add(1)
+		c.readsNVM.Add(1)
 	default:
-		e.c.writesNVM.Add(1)
+		c.writesNVM.Add(1)
 	}
+	tc := &ts.cells[cell]
 	if loc == mm.LocDRAM {
-		ts.c.hitsDRAM.Add(1)
+		tc.hitsDRAM.Add(1)
 	} else {
-		ts.c.hitsNVM.Add(1)
+		tc.hitsNVM.Add(1)
 	}
 }
 
@@ -565,7 +637,7 @@ func (e *Engine) releaseNVM() {
 
 // serveFault loads a non-resident page into the zone the tenant's policy
 // chooses, demoting and evicting colder pages as capacity requires.
-func (e *Engine) serveFault(ts *tenantState, page uint64, op trace.Op) (ServeResult, error) {
+func (e *Engine) serveFault(ts *tenantState, cell, key, page uint64, op trace.Op) (ServeResult, error) {
 	zone := ts.pol.FaultZone(op)
 	for attempt := 0; attempt < maxFaultRetries; attempt++ {
 		if zone == mm.LocNVM {
@@ -591,8 +663,8 @@ func (e *Engine) serveFault(ts *tenantState, page uint64, op trace.Op) (ServeRes
 		// Another goroutine faulted the page in first: this access is a
 		// hit on wherever it landed.
 		e.releaseZone(ts, zone)
-		if loc, ok := e.tbl.Touch(ts.id, page, op); ok {
-			e.tallyHit(ts, loc, op)
+		if loc, ok := e.tbl.TouchKey(key, op); ok {
+			e.tallyHit(ts, cell, loc, op)
 			return ServeResult{ServedFrom: loc}, nil
 		}
 		// Inserted and already evicted again: fault anew.
@@ -722,7 +794,7 @@ func (e *Engine) applyPromotion(key uint64) {
 // serveSync routes one access through the single-threaded reference policy
 // and mirrors its moves into the sharded table, tallying exactly what
 // sim.Run would tally for the same access.
-func (e *Engine) serveSync(ts *tenantState, page uint64, op trace.Op) (ServeResult, error) {
+func (e *Engine) serveSync(ts *tenantState, cell, page uint64, op trace.Op) (ServeResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	r, err := e.backing.Access(page, op)
@@ -737,7 +809,7 @@ func (e *Engine) serveSync(ts *tenantState, page uint64, op trace.Op) (ServeResu
 			return ServeResult{}, fmt.Errorf("tiered: fault served from %v", r.ServedFrom)
 		}
 	} else {
-		e.tallyHit(ts, r.ServedFrom, op)
+		e.tallyHit(ts, cell, r.ServedFrom, op)
 	}
 	for _, m := range r.Moves {
 		if err := e.mirrorMove(ts, m); err != nil {

@@ -55,6 +55,15 @@ type EpochStats struct {
 // recency windows with scan epochs. The engine builds one instance per
 // tenant, each fed only its own tenant's epoch deltas, so adaptive
 // threshold tuning is independent per tenant.
+//
+// Concurrency contract: Hot and Epoch are only ever called under the
+// engine's scan lock, so implementations may keep plain (non-atomic)
+// mutable threshold state. Hot runs once per swept page inside the
+// lock-free shard sweep of every epoch, so it must be cheap and must not
+// allocate — the daemon's steady state performs zero allocations per
+// epoch, and a policy that allocates in Hot would break that (there is a
+// regression test). FaultZone is called from concurrent Serve goroutines
+// and must be pure.
 type OnlinePolicy interface {
 	// Name identifies the policy in reports.
 	Name() string

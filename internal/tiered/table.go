@@ -4,10 +4,11 @@
 //
 // The package decouples the access fast path from migration decisions, the
 // way MigrantStore (Sohail et al.) argues an online hybrid memory must: a
-// hit costs one sharded-map lookup plus two atomic counter updates, and all
-// page movement happens either on the (rare, disk-bound) fault path or in a
-// background daemon that drains a batched promotion queue fed by per-shard
-// hotness scans. The single-threaded reference implementation in
+// hit is entirely lock-free — an atomic snapshot load, an open-addressing
+// probe and two atomic counter updates, with no shared mutex word written —
+// and all page movement happens either on the (rare, disk-bound) fault path
+// or in a background daemon that drains a batched promotion queue fed by
+// per-shard hotness scans. The single-threaded reference implementation in
 // internal/sim remains the semantic oracle: an Engine built with
 // Config.Synchronous routes every access through the same policy code the
 // simulator runs, and VerifyAgainstSim asserts count-exact equivalence.
@@ -33,38 +34,153 @@ import (
 // maxShards bounds the shard count to something a laptop can allocate.
 const maxShards = 1 << 16
 
-// entry is one resident page's online metadata. The location is guarded by
-// the owning shard's lock; the counters and the CLOCK reference bit are
-// atomics so the hit path can update them under the shared (read) lock.
+// minSlots is the smallest bucket array a shard starts with.
+const minSlots = 16
+
+// entry is one resident page's online metadata. Entries are shared by
+// pointer between successive bucket arrays of a shard, so a state change
+// (move, removal) is visible even to a reader probing a snapshot taken
+// before the array was rebuilt. The struct is padded to a full cache line:
+// two hot pages' counters never share one.
 type entry struct {
+	// key is the namespaced tenant+page key, immutable after the entry is
+	// published into a slot.
+	key    uint64
 	reads  atomic.Uint64
 	writes atomic.Uint64
 	ref    atomic.Uint32
-	loc    mm.Location
+	// state holds the page's mm.Location. LocDisk (the zero value, never a
+	// resident location) marks the entry removed: stale-snapshot readers
+	// that still reach the entry treat it as a miss.
+	state atomic.Uint32
+	_     [24]byte
 }
 
-// shard is one lock domain of the table. Maps are keyed by the namespaced
-// tenant+page key, so the same page number under two tenants is two
-// entries.
+// tombstone marks a vacated slot. Probes skip it and keep going (the key
+// they want may live further down the chain); inserts may reuse the slot.
+// It is recognized by pointer identity — its key field (zero) must never be
+// compared, because 0 is a valid table key (tenant 0, page 0).
+var tombstone = new(entry)
+
+// buckets is one published open-addressing array. The slot pointers are the
+// only mutable parts: readers load them atomically and probe linearly;
+// writers (serialized by the shard mutex) fill empty slots, tombstone
+// removed ones, and publish a whole new array when the load factor demands.
+type buckets struct {
+	slots []atomic.Pointer[entry]
+	mask  uint64
+}
+
+func newBuckets(n int) *buckets {
+	return &buckets{slots: make([]atomic.Pointer[entry], n), mask: uint64(n - 1)}
+}
+
+// find probes for key, returning the entry and its slot when resident. When
+// absent, insertAt is the first reusable slot (a tombstone on the probe
+// path, else the terminating empty slot); -1 means the array has no room on
+// this chain and must be rebuilt. Callers that mutate must hold the shard
+// mutex; the loads are atomic so concurrent lock-free readers are safe.
+func (b *buckets) find(key, h uint64) (e *entry, slot, insertAt int) {
+	free := -1
+	for i := uint64(0); i <= b.mask; i++ {
+		idx := int((h + i) & b.mask)
+		p := b.slots[idx].Load()
+		if p == nil {
+			if free < 0 {
+				free = idx
+			}
+			return nil, -1, free
+		}
+		if p == tombstone {
+			if free < 0 {
+				free = idx
+			}
+			continue
+		}
+		if p.key == key {
+			return p, idx, -1
+		}
+	}
+	return nil, -1, free
+}
+
+// shard is one write-serialization domain of the table. Readers never take
+// the mutex: they load the published bucket array and probe it. The struct
+// is padded so adjacent shards' mutexes and pointers sit on separate cache
+// lines.
 type shard struct {
-	mu    sync.RWMutex
-	pages map[uint64]*entry
+	mu sync.Mutex
+	b  atomic.Pointer[buckets]
+	// live and dead count resident entries and tombstones in the current
+	// array (writer-guarded); their sum drives the rebuild threshold.
+	live int
+	dead int
+	_    [88]byte
 }
 
-// Table is a sharded concurrent page table: the online replacement for the
-// single-threaded mm residence map. Namespaced pages hash onto power-of-two
-// shards; the hit path takes only the owning shard's read lock and updates
-// the page's windowed access counters atomically, so concurrent readers of
-// different (and mostly even the same) shards do not serialize.
+// grow rebuilds the shard's bucket array sized for the live population,
+// copying live entry pointers (counters travel with the entry, so no access
+// history is lost) and dropping tombstones, then publishes it. Returns the
+// new array. Caller holds the shard mutex.
+func (s *shard) grow() *buckets {
+	n := minSlots
+	for n < (s.live+1)*2 {
+		n <<= 1
+	}
+	nb := newBuckets(n)
+	old := s.b.Load()
+	for i := range old.slots {
+		e := old.slots[i].Load()
+		if e == nil || e == tombstone {
+			continue
+		}
+		h := mix(e.key)
+		for j := uint64(0); ; j++ {
+			idx := int((h + j) & nb.mask)
+			if nb.slots[idx].Load() == nil {
+				nb.slots[idx].Store(e)
+				break
+			}
+		}
+	}
+	s.dead = 0
+	s.b.Store(nb)
+	return nb
+}
+
+// Table is a sharded concurrent page table with a lock-free read path: the
+// online replacement for the single-threaded mm residence map. Namespaced
+// pages hash onto power-of-two shards; each shard publishes an immutable-
+// shape open-addressing array via an atomic pointer (the RCU-style snapshot
+// pattern), so Touch and Peek never block — they probe the snapshot with
+// atomic loads and bump the entry's counters in place. Writers (insert,
+// move, remove, rebuild) serialize on a per-shard mutex that readers never
+// touch.
 type Table struct {
 	shards []shard
 	shift  uint
-	// cursor is the CLOCK hand for victim selection, in shard granularity.
+	// cursor is the CLOCK hand for victim selection, in shard granularity,
+	// padded onto its own line so demotion-path contention on it never
+	// dirties the shard metadata.
 	cursor atomic.Uint64
+	_      [56]byte
+}
+
+// mix is the splitmix64 finalizer: the table's hash. Its high bits pick the
+// shard and its low bits the probe start, so sequential page numbers spread
+// across shards and within each bucket array (and one tenant's pages spread
+// the same way as every other's).
+func mix(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xBF58476D1CE4E5B9
+	k ^= k >> 27
+	k *= 0x94D049BB133111EB
+	k ^= k >> 31
+	return k
 }
 
 // NewTable returns a table with shardCount shards, rounded up to the next
-// power of two. shardCount 1 is the single-lock baseline the benchmarks
+// power of two. shardCount 1 is the single-shard baseline the benchmarks
 // compare against.
 func NewTable(shardCount int) (*Table, error) {
 	if shardCount < 1 || shardCount > maxShards {
@@ -79,7 +195,7 @@ func NewTable(shardCount int) (*Table, error) {
 		shift:  uint(64 - bits.Len(uint(n-1))),
 	}
 	for i := range t.shards {
-		t.shards[i].pages = make(map[uint64]*entry)
+		t.shards[i].b.Store(newBuckets(minSlots))
 	}
 	return t, nil
 }
@@ -87,25 +203,53 @@ func NewTable(shardCount int) (*Table, error) {
 // NumShards returns the (power-of-two) shard count.
 func (t *Table) NumShards() int { return len(t.shards) }
 
-// shardOf maps a table key onto its shard with a Fibonacci hash, so
-// sequential page numbers spread across shards instead of clustering (and
-// one tenant's pages spread the same way as every other's).
-func (t *Table) shardOf(key uint64) *shard {
-	return &t.shards[(key*0x9E3779B97F4A7C15)>>t.shift]
+// shardFor returns the owning shard and the key's hash.
+func (t *Table) shardFor(key uint64) (*shard, uint64) {
+	h := mix(key)
+	return &t.shards[h>>t.shift], h
+}
+
+// lookup probes the owning shard's published snapshot for key, lock-free.
+// It returns the entry whether live or freshly removed; callers check the
+// state. A nil return means the key is absent from the snapshot — possibly
+// a stale miss during a concurrent insert, which callers resolve on the
+// fault path under the writer mutex.
+func (t *Table) lookup(key uint64) *entry {
+	s, h := t.shardFor(key)
+	slots := s.b.Load().slots
+	// Indexing with &(len-1) lets the compiler prove the access in bounds:
+	// no bounds check in the probe loop.
+	mask := uint64(len(slots) - 1)
+	for i := uint64(0); i <= mask; i++ {
+		e := slots[(h+i)&mask].Load()
+		if e == nil {
+			return nil
+		}
+		if e.key == key && e != tombstone {
+			return e
+		}
+	}
+	return nil
 }
 
 // Touch services a hit: it looks the tenant's page up and, when resident,
 // records one access of the given kind in the page's windowed counters and
-// sets its CLOCK reference bit. Only the owning shard's read lock is taken
-// and nothing beyond the increment is read — this is the engine's hot
-// path. The counters are observed by ScanShard.
-func (t *Table) Touch(tenant TenantID, page uint64, op trace.Op) (loc mm.Location, ok bool) {
-	key := tableKey(tenant, page)
-	s := t.shardOf(key)
-	s.mu.RLock()
-	e, ok := s.pages[key]
-	if !ok {
-		s.mu.RUnlock()
+// sets its CLOCK reference bit. The whole operation is lock-free — no
+// mutex word is written, only the page's own cache line — and this is the
+// engine's hot path. The counters are observed by ScanShard.
+func (t *Table) Touch(tenant TenantID, page uint64, op trace.Op) (mm.Location, bool) {
+	return t.TouchKey(tableKey(tenant, page), op)
+}
+
+// TouchKey is Touch for a pre-computed table key: the engine folds the
+// tenant in once and reuses the key for counter striping.
+func (t *Table) TouchKey(key uint64, op trace.Op) (mm.Location, bool) {
+	e := t.lookup(key)
+	if e == nil {
+		return 0, false
+	}
+	loc := mm.Location(e.state.Load())
+	if !loc.IsMemory() {
 		return 0, false
 	}
 	if op == trace.OpWrite {
@@ -113,24 +257,23 @@ func (t *Table) Touch(tenant TenantID, page uint64, op trace.Op) (loc mm.Locatio
 	} else {
 		e.reads.Add(1)
 	}
-	e.ref.Store(1)
-	loc = e.loc
-	s.mu.RUnlock()
+	// Check-then-set: re-arming an already-set bit would bounce the cache
+	// line exclusive on every hit.
+	if e.ref.Load() == 0 {
+		e.ref.Store(1)
+	}
 	return loc, true
 }
 
 // Peek returns a tenant's page location without recording an access.
+// Lock-free, like Touch.
 func (t *Table) Peek(tenant TenantID, page uint64) (mm.Location, bool) {
-	key := tableKey(tenant, page)
-	s := t.shardOf(key)
-	s.mu.RLock()
-	e, ok := s.pages[key]
-	var loc mm.Location
-	if ok {
-		loc = e.loc
+	e := t.lookup(tableKey(tenant, page))
+	if e == nil {
+		return 0, false
 	}
-	s.mu.RUnlock()
-	return loc, ok
+	loc := mm.Location(e.state.Load())
+	return loc, loc.IsMemory()
 }
 
 // Insert adds a non-resident page at loc with fresh counters and the
@@ -139,16 +282,30 @@ func (t *Table) Peek(tenant TenantID, page uint64) (mm.Location, bool) {
 // exactly one wins.
 func (t *Table) Insert(tenant TenantID, page uint64, loc mm.Location) bool {
 	key := tableKey(tenant, page)
-	s := t.shardOf(key)
+	s, h := t.shardFor(key)
 	s.mu.Lock()
-	if _, exists := s.pages[key]; exists {
-		s.mu.Unlock()
+	defer s.mu.Unlock()
+	b := s.b.Load()
+	e, _, at := b.find(key, h)
+	if e != nil {
 		return false
 	}
-	e := &entry{loc: loc}
-	e.ref.Store(1)
-	s.pages[key] = e
-	s.mu.Unlock()
+	// Rebuild before the array gets past 3/4 full (tombstones included), so
+	// probes stay short and always terminate at an empty slot.
+	if at < 0 || (s.live+s.dead+1)*4 > len(b.slots)*3 {
+		b = s.grow()
+		_, _, at = b.find(key, h)
+	}
+	ne := &entry{key: key}
+	ne.ref.Store(1)
+	ne.state.Store(uint32(loc))
+	if b.slots[at].Load() == tombstone {
+		s.dead--
+	}
+	// Publishing the pointer is the release: a reader that loads the slot
+	// sees the fully initialized entry.
+	b.slots[at].Store(ne)
+	s.live++
 	return true
 }
 
@@ -160,45 +317,55 @@ func (t *Table) Insert(tenant TenantID, page uint64, loc mm.Location) bool {
 // reference bit. Reports whether the move happened.
 func (t *Table) MoveIf(tenant TenantID, page uint64, from, to mm.Location) bool {
 	key := tableKey(tenant, page)
-	s := t.shardOf(key)
+	s, h := t.shardFor(key)
 	s.mu.Lock()
-	e, ok := s.pages[key]
-	if !ok || e.loc != from {
-		s.mu.Unlock()
+	defer s.mu.Unlock()
+	e, _, _ := s.b.Load().find(key, h)
+	if e == nil || mm.Location(e.state.Load()) != from {
 		return false
 	}
-	e.loc = to
 	e.reads.Store(0)
 	e.writes.Store(0)
 	e.ref.Store(1)
-	s.mu.Unlock()
+	e.state.Store(uint32(to))
 	return true
 }
 
 // RemoveIf evicts a resident page, but only if it is still in the zone the
-// caller observed. Reports whether the removal happened.
+// caller observed. Reports whether the removal happened. The entry is
+// marked dead before its slot is tombstoned, so a reader probing an older
+// snapshot of the shard (which still references the entry) also observes
+// the removal.
 func (t *Table) RemoveIf(tenant TenantID, page uint64, from mm.Location) bool {
 	key := tableKey(tenant, page)
-	s := t.shardOf(key)
+	s, h := t.shardFor(key)
 	s.mu.Lock()
-	e, ok := s.pages[key]
-	if !ok || e.loc != from {
-		s.mu.Unlock()
+	defer s.mu.Unlock()
+	b := s.b.Load()
+	e, slot, _ := b.find(key, h)
+	if e == nil || mm.Location(e.state.Load()) != from {
 		return false
 	}
-	delete(s.pages, key)
-	s.mu.Unlock()
+	e.state.Store(uint32(mm.LocDisk))
+	b.slots[slot].Store(tombstone)
+	s.live--
+	s.dead++
 	return true
 }
 
-// Len returns the total number of resident pages across all tenants.
+// Len returns the total number of resident pages across all tenants. Taken
+// lock-free over the published snapshots: exact when quiesced, a consistent
+// approximation under concurrent churn.
 func (t *Table) Len() int {
 	n := 0
 	for i := range t.shards {
-		s := &t.shards[i]
-		s.mu.RLock()
-		n += len(s.pages)
-		s.mu.RUnlock()
+		b := t.shards[i].b.Load()
+		for j := range b.slots {
+			if e := b.slots[j].Load(); e != nil && e != tombstone &&
+				mm.Location(e.state.Load()).IsMemory() {
+				n++
+			}
+		}
 	}
 	return n
 }
@@ -207,14 +374,13 @@ func (t *Table) Len() int {
 func (t *Table) Residents(loc mm.Location) int {
 	n := 0
 	for i := range t.shards {
-		s := &t.shards[i]
-		s.mu.RLock()
-		for _, e := range s.pages {
-			if e.loc == loc {
+		b := t.shards[i].b.Load()
+		for j := range b.slots {
+			if e := b.slots[j].Load(); e != nil && e != tombstone &&
+				mm.Location(e.state.Load()) == loc {
 				n++
 			}
 		}
-		s.mu.RUnlock()
 	}
 	return n
 }
@@ -225,40 +391,49 @@ func (t *Table) Residents(loc mm.Location) int {
 func (t *Table) TenantResidents(tenant TenantID, loc mm.Location) int {
 	n := 0
 	for i := range t.shards {
-		s := &t.shards[i]
-		s.mu.RLock()
-		for key, e := range s.pages {
-			if kt, _ := splitKey(key); kt == tenant && e.loc == loc {
+		b := t.shards[i].b.Load()
+		for j := range b.slots {
+			e := b.slots[j].Load()
+			if e == nil || e == tombstone || mm.Location(e.state.Load()) != loc {
+				continue
+			}
+			if kt, _ := splitKey(e.key); kt == tenant {
 				n++
 			}
 		}
-		s.mu.RUnlock()
 	}
 	return n
 }
 
-// ScanShard visits every page of shard i under the shard's read lock,
-// reporting each page's tenant, page number, location and windowed
-// counters. With reset, the counters are cleared after being read:
-// successive scans then see per-epoch windowed counts, the online
-// approximation of the paper's LRU-position counter windows.
+// ScanShard visits every page of shard i, reporting each page's tenant,
+// page number, location and windowed counters. With reset, the counters are
+// atomically swapped to zero as they are read: successive scans then see
+// per-epoch windowed counts, the online approximation of the paper's LRU
+// windows, and every concurrent Touch lands in exactly one window. The scan
+// walks the published snapshot without taking any lock, so it never stalls
+// the serve or migration paths; a page moved or removed mid-scan may be
+// reported with a mix of old and new state, which is fine for an advisory
+// hotness sweep (the daemon re-verifies locations at apply time).
 func (t *Table) ScanShard(i int, reset bool, fn func(tenant TenantID, page uint64, loc mm.Location, reads, writes uint64)) {
-	s := &t.shards[i]
-	s.mu.RLock()
-	for key, e := range s.pages {
+	b := t.shards[i].b.Load()
+	for j := range b.slots {
+		e := b.slots[j].Load()
+		if e == nil || e == tombstone {
+			continue
+		}
+		loc := mm.Location(e.state.Load())
+		if !loc.IsMemory() {
+			continue
+		}
 		var r, w uint64
 		if reset {
-			// Swap, not load-then-store: a concurrent Touch holds the same
-			// shared lock, and its increment must land in exactly one
-			// epoch window.
 			r, w = e.reads.Swap(0), e.writes.Swap(0)
 		} else {
 			r, w = e.reads.Load(), e.writes.Load()
 		}
-		tenant, page := splitKey(key)
-		fn(tenant, page, e.loc, r, w)
+		tenant, page := splitKey(e.key)
+		fn(tenant, page, loc, r, w)
 	}
-	s.mu.RUnlock()
 }
 
 // ClockVictim picks an eviction/demotion victim from the given zone with a
@@ -267,25 +442,22 @@ func (t *Table) ScanShard(i int, reset bool, fn func(tenant TenantID, page uint6
 // tenantOnly, only the given tenant's pages are considered (and only their
 // reference bits touched) — the quota-enforcement case, where an
 // over-budget tenant must demote one of its own pages. The hand advances
-// in shard granularity (within a shard the visit order is Go's map order,
-// an acceptable degradation of CLOCK toward random-with-second-chance). A
-// final lap accepts any qualifying resident page, so the call only fails
-// when the zone (or the tenant's slice of it) is empty.
+// in shard granularity and each shard is swept in slot order over its
+// published snapshot, lock-free. A final lap accepts any qualifying
+// resident page, so the call only fails when the zone (or the tenant's
+// slice of it) is empty.
 func (t *Table) ClockVictim(loc mm.Location, tenant TenantID, tenantOnly bool) (TenantID, uint64, bool) {
 	n := uint64(len(t.shards))
 	for lap := 0; lap < 3; lap++ {
 		ignoreRef := lap == 2
 		for k := uint64(0); k < n; k++ {
-			s := &t.shards[(t.cursor.Add(1)-1)%n]
-			var victimTenant TenantID
-			var victim uint64
-			found := false
-			s.mu.RLock()
-			for key, e := range s.pages {
-				if e.loc != loc {
+			b := t.shards[(t.cursor.Add(1)-1)%n].b.Load()
+			for j := range b.slots {
+				e := b.slots[j].Load()
+				if e == nil || e == tombstone || mm.Location(e.state.Load()) != loc {
 					continue
 				}
-				kt, page := splitKey(key)
+				kt, page := splitKey(e.key)
 				if tenantOnly && kt != tenant {
 					continue
 				}
@@ -293,12 +465,7 @@ func (t *Table) ClockVictim(loc mm.Location, tenant TenantID, tenantOnly bool) (
 					e.ref.Store(0)
 					continue
 				}
-				victimTenant, victim, found = kt, page, true
-				break
-			}
-			s.mu.RUnlock()
-			if found {
-				return victimTenant, victim, true
+				return kt, page, true
 			}
 		}
 	}

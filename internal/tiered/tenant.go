@@ -90,13 +90,25 @@ func (s TenantStats) Sub(prev TenantStats) TenantStats {
 	return d
 }
 
-// tenantCounters is one tenant's atomic tally block.
+// tenantCell is one stripe of a tenant's per-access counters. Serves
+// within the same stripe share the line; stripes are padded apart so cores
+// serving different pages never contend on tenant accounting.
+type tenantCell struct {
+	accesses atomic.Int64
+	hitsDRAM atomic.Int64
+	hitsNVM  atomic.Int64
+	_        [104]byte
+}
+
+// tenantCounters is one tenant's rare-path atomic tally block. Each field
+// sits alone on a cache line (padCounter) so a burst of faults on one
+// tenant does not invalidate its neighbors' lines; the per-access counters
+// live in the striped cells instead.
 type tenantCounters struct {
-	accesses              atomic.Int64
-	hitsDRAM, hitsNVM     atomic.Int64
-	faults                atomic.Int64
-	promotions, demotions atomic.Int64
-	evictions             atomic.Int64
+	faults     padCounter
+	promotions padCounter
+	demotions  padCounter
+	evictions  padCounter
 }
 
 // tenantState is the engine's per-tenant bookkeeping: the DRAM quota
@@ -118,11 +130,32 @@ type tenantState struct {
 	// above the quota hold spill tokens). Only the fault and migration
 	// paths take it; hits never reserve.
 	resMu    sync.Mutex
+	_        [48]byte
 	dramUsed atomic.Int64
-	c        tenantCounters
+	_        [56]byte
+	// cells stripes the tenant's per-access counters; the engine indexes
+	// them by the same key-derived stripe as its own serve cells and
+	// serveTotals sums them lazily for reports.
+	cells []tenantCell
+	c     tenantCounters
+	// scanBuf is the tenant's reusable candidate buffer, guarded by the
+	// engine's scanMu; reused across epochs so steady-state scans allocate
+	// nothing.
+	scanBuf []candidate
 	// lastEpoch is the previous scan epoch's cumulative counters, guarded
 	// by the engine's scanMu.
 	lastEpoch EpochStats
+}
+
+// serveTotals sums the tenant's striped per-access counters.
+func (ts *tenantState) serveTotals() (accesses, hitsDRAM, hitsNVM int64) {
+	for i := range ts.cells {
+		c := &ts.cells[i]
+		accesses += c.accesses.Load()
+		hitsDRAM += c.hitsDRAM.Load()
+		hitsNVM += c.hitsNVM.Load()
+	}
+	return accesses, hitsDRAM, hitsNVM
 }
 
 // validateTenants checks a tenant set against the DRAM capacity and
