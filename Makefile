@@ -10,7 +10,7 @@ GO ?= go
 # point of running under the race detector.
 FAST_PKGS = $$($(GO) list ./... | grep -v internal/experiments)
 
-.PHONY: all build vet test race bench bench-json bench-baseline fmt fmt-check tierd-smoke tierd-mt-smoke ci
+.PHONY: all build vet test race bench bench-json bench-baseline fmt fmt-check tierd-smoke tierd-mt-smoke tierd-numa-smoke ci
 
 all: build test
 
@@ -36,8 +36,10 @@ bench:
 # Machine-readable benchmark artifact + perf gate: the serve-path suites
 # as BENCH_tiered.json (hybridmem.bench/v1), published by CI so the perf
 # trajectory is diffable run over run — and diffed against the committed
-# BENCH_baseline.json: a lockfree BenchmarkServeParallel result more than
-# 25% slower than baseline fails the build. Override BENCHTIME for
+# BENCH_baseline.json: a BenchmarkServeParallel result on a gated path
+# (the lockfree table probe, or the full engine serve path on the
+# single-node topology) more than 25% slower than baseline fails the
+# build. Override BENCHTIME for
 # quicker (noisier) local runs; refresh the baseline deliberately with
 # `make bench-baseline` when a change legitimately shifts the numbers.
 # Each suite runs BENCHCOUNT times and benchjson gates on the per-name
@@ -69,6 +71,23 @@ tierd-smoke:
 tierd-mt-smoke:
 	$(GO) run ./cmd/tierd -tenants 'bodytrack:40,canneal:30,ferret:30' -scale 0.02 -goroutines 4 -ops 200000 -json -out tierd-mt.json
 
+# NUMA smoke: two emulated nodes with per-node DRAM/NVM pools. The
+# artifact must contain one row per node and nonzero local AND remote
+# migration counts (home-node preference with remote fallback) — checked,
+# not just emitted, so a regression that stops cross-node fallback (or
+# drops the per-node rows) fails CI.
+tierd-numa-smoke:
+	$(GO) run ./cmd/tierd -workload bodytrack -scale 0.02 -goroutines 4 -ops 200000 -numa nodes=2,remote-penalty=1.8 -json -out tierd-numa.json
+	@python3 -c "\
+	import json; a = json.load(open('tierd-numa.json')); \
+	rows = [r for r in a['results'] if r['id'].startswith('node')]; \
+	assert len(rows) == 2, 'expected 2 per-node rows, got %d' % len(rows); \
+	v = a['results'][0]['values']; \
+	remote = v['remote_promotions'] + v['remote_demotions']; \
+	local = v['promotions'] + v['demotions'] - remote; \
+	assert local > 0 and remote > 0, 'migrations local=%d remote=%d, both must be nonzero' % (local, remote); \
+	print('tierd-numa-smoke: ok (%d local / %d remote migrations, %d node rows)' % (local, remote, len(rows)))"
+
 fmt:
 	gofmt -w .
 
@@ -77,4 +96,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check build vet test race bench bench-json tierd-smoke tierd-mt-smoke
+ci: fmt-check build vet test race bench bench-json tierd-smoke tierd-mt-smoke tierd-numa-smoke

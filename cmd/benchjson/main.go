@@ -12,7 +12,10 @@
 // empty artifact.
 //
 // With -baseline, every parsed benchmark whose name matches -gate is
-// compared against the same benchmark in the baseline artifact. Names are
+// compared against the same benchmark in the baseline artifact. The
+// default gate covers the lockfree table probe and the single-node
+// engine serve path (impl=engine/nodes=1); the multi-node variants are
+// recorded but ungated, since their cost is the feature under study. Names are
 // matched with the -GOMAXPROCS suffix stripped (artifacts from machines
 // with different core counts line up), and when a benchmark appears more
 // than once (`go test -count=N`) both sides compare per-name minima — the
@@ -176,7 +179,7 @@ func main() {
 		suite      = flag.String("suite", "default", "suite label recorded in the artifact")
 		outPath    = flag.String("out", "", "write the artifact to a file instead of stdout")
 		baseline   = flag.String("baseline", "", "baseline artifact to diff against (empty = no gate)")
-		gateExpr   = flag.String("gate", `^BenchmarkServeParallel/impl=lockfree/`, "regexp of benchmark names the regression gate applies to")
+		gateExpr   = flag.String("gate", `^BenchmarkServeParallel/impl=(lockfree|engine/nodes=1)/`, "regexp of benchmark names the regression gate applies to")
 		maxRegress = flag.Float64("max-regress", 0.25, "fail when a gated benchmark is slower than baseline by more than this fraction")
 	)
 	flag.Parse()

@@ -106,3 +106,26 @@ func TestGateAgainst(t *testing.T) {
 		t.Fatalf("compared=%d missing=%v for unmatched gate, want 0/none", compared, missing)
 	}
 }
+
+// TestDefaultGateCoversSingleNodeEnginePath pins what the default gate
+// regex protects: the lock-free table probe and the single-node engine
+// serve path are gated; the locked reference and the multi-node engine
+// variants (whose cost is the feature under study) are not.
+func TestDefaultGateCoversSingleNodeEnginePath(t *testing.T) {
+	gate := regexp.MustCompile(`^BenchmarkServeParallel/impl=(lockfree|engine/nodes=1)/`)
+	cases := []struct {
+		name  string
+		gated bool
+	}{
+		{"BenchmarkServeParallel/impl=lockfree/goroutines=16", true},
+		{"BenchmarkServeParallel/impl=engine/nodes=1/goroutines=16", true},
+		{"BenchmarkServeParallel/impl=engine/nodes=2/goroutines=16", false},
+		{"BenchmarkServeParallel/impl=locked/goroutines=16", false},
+		{"BenchmarkTieredServe/shards=1/goroutines=1", false},
+	}
+	for _, tc := range cases {
+		if got := gate.MatchString(tc.name); got != tc.gated {
+			t.Errorf("gate match %q = %v, want %v", tc.name, got, tc.gated)
+		}
+	}
+}

@@ -7,6 +7,7 @@
 //	go run ./cmd/tierd -workload ferret -policy clock-dwf -shards 1 -ops 500000 -json
 //	go run ./cmd/tierd -verify -goroutines 1       # equivalence gate vs internal/sim
 //	go run ./cmd/tierd -tenants 'bodytrack:40,canneal:30,ferret:30' -duration 2s
+//	go run ./cmd/tierd -numa nodes=2,remote-penalty=1.8 -duration 2s
 //
 // With -verify, tierd first replays the trace through a single-goroutine
 // synchronous engine and the reference simulator and fails unless every
@@ -21,6 +22,15 @@
 // get distinct trace seeds and their own goroutines, and the report (text
 // or artifact) breaks out per-tenant throughput, latency percentiles and
 // quota occupancy.
+//
+// With -numa, tierd emulates an N-socket machine: DRAM and NVM split into
+// per-node pools (even shares), shard groups homed per node, one migration
+// pipeline per node, and placement that prefers a page's home node —
+// going remote only when the home pool is exhausted. The report adds a
+// per-node breakdown (ops for pages homed there, DRAM/NVM occupancy,
+// local-vs-remote faults/promotions/demotions) plus the local and remote
+// migration break-even figures derived from the remote penalty, and the
+// artifact gains one row per node.
 //
 // With -memstats (on by default), tierd snapshots runtime.MemStats around
 // the measured load phase and reports the process-wide allocation rate
@@ -65,6 +75,7 @@ func main() {
 		duration     = flag.Duration("duration", 2*time.Second, "wall-clock budget (ignored when -ops is set)")
 		ops          = flag.Int64("ops", 0, "total access budget (0 = run for -duration)")
 		shards       = flag.Int("shards", 0, "page-table shards, rounded up to a power of two (0 = 4x GOMAXPROCS, 1 = single lock)")
+		numaSpec     = flag.String("numa", "", `NUMA emulation: "nodes=N[,remote-penalty=X]" splits DRAM and NVM into N per-node pools (even split, shard groups homed per node) and reports per-node ops, occupancy and local-vs-remote migrations`)
 		sync         = flag.Bool("sync", false, "run the reference policy inline under one lock (deterministic, no daemon)")
 		verify       = flag.Bool("verify", false, "check single-goroutine equivalence against internal/sim before the run")
 		jsonOut      = flag.Bool("json", false, "emit a hybridmem.results/v1 artifact instead of text")
@@ -87,15 +98,140 @@ func main() {
 	if !tiered.ValidKind(tiered.Kind(*policyName)) {
 		log.Fatalf("unknown -policy %q (have %v)", *policyName, tiered.Kinds())
 	}
+	numa, err := parseNUMA(*numaSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if numa.nodes > 1 && (*sync || *verify) {
+		log.Fatal("-numa is incompatible with -sync and -verify (sim equivalence is defined on the single-node machine)")
+	}
 
 	if *tenantsSpec != "" {
 		if *sync || *verify {
 			log.Fatal("-tenants is incompatible with -sync and -verify (the reference policies are single-tenant)")
 		}
-		runMultiTenant(*outPath, *tenantsSpec, *policyName, *scale, *seed, *goroutines, *duration, *ops, *shards, *jsonOut, *memStats)
+		runMultiTenant(*outPath, *tenantsSpec, *policyName, *scale, *seed, *goroutines, *duration, *ops, *shards, numa, *jsonOut, *memStats)
 		return
 	}
-	runSingleTenant(*outPath, *workloadName, *policyName, *scale, *seed, *goroutines, *duration, *ops, *shards, *sync, *verify, *jsonOut, *memStats)
+	runSingleTenant(*outPath, *workloadName, *policyName, *scale, *seed, *goroutines, *duration, *ops, *shards, numa, *sync, *verify, *jsonOut, *memStats)
+}
+
+// numaFlags is the parsed -numa emulation spec.
+type numaFlags struct {
+	nodes   int
+	penalty float64
+}
+
+// parseNUMA parses "nodes=N[,remote-penalty=X]". Empty means a single
+// uniform node (the paper's machine).
+func parseNUMA(spec string) (numaFlags, error) {
+	n := numaFlags{nodes: 1}
+	if spec == "" {
+		return n, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return n, fmt.Errorf("-numa entry %q is not key=value", part)
+		}
+		switch k {
+		case "nodes":
+			nodes, err := strconv.Atoi(v)
+			if err != nil || nodes < 1 {
+				return n, fmt.Errorf("-numa nodes=%q: need a positive integer", v)
+			}
+			n.nodes = nodes
+		case "remote-penalty":
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil || p < 1 {
+				return n, fmt.Errorf("-numa remote-penalty=%q: need a factor >= 1", v)
+			}
+			n.penalty = p
+		default:
+			return n, fmt.Errorf("-numa key %q unknown (have nodes, remote-penalty)", k)
+		}
+	}
+	return n, nil
+}
+
+// topology builds the engine topology for the parsed flags: an even
+// per-node split of the zone capacities.
+func (n numaFlags) topology(dram, nvm int) tiered.Topology {
+	if n.nodes <= 1 && n.penalty == 0 {
+		return tiered.Topology{} // the single-node default
+	}
+	t := tiered.EvenTopology(n.nodes, dram, nvm)
+	t.RemotePenalty = n.penalty
+	return t
+}
+
+// nodeDeltas subtracts a baseline NodeStats snapshot, so reports cover
+// only the measured load phase.
+func nodeDeltas(after, before []tiered.NodeStats) []tiered.NodeStats {
+	out := make([]tiered.NodeStats, len(after))
+	for i := range after {
+		out[i] = after[i].Sub(before[i])
+	}
+	return out
+}
+
+// writeNodeText renders the per-node report lines (nothing on a single
+// node, where the aggregate lines already tell the whole story).
+func writeNodeText(w io.Writer, e *tiered.Engine, nodes []tiered.NodeStats) error {
+	if e.NumNodes() <= 1 {
+		return nil
+	}
+	topo := e.Topology()
+	spec := e.Config().Spec
+	if _, err := fmt.Fprintf(w, "numa:       %d nodes, remote penalty %.2fx, break-even %d local / %d remote hits\n",
+		e.NumNodes(), topo.RemotePenalty, tiered.BreakEvenHits(spec), topo.BreakEvenHitsRemote(spec)); err != nil {
+		return err
+	}
+	for _, ns := range nodes {
+		_, err := fmt.Fprintf(w, "node %d:     %d/%d DRAM, %d/%d NVM frames; %d ops; faults %d local / %d remote; promotions %d/%d; demotions %d/%d\n",
+			ns.ID, ns.ResidentDRAM, ns.DRAMPages, ns.ResidentNVM, ns.NVMPages, ns.Accesses,
+			ns.FaultsLocal, ns.FaultsRemote,
+			ns.PromotionsLocal, ns.PromotionsRemote,
+			ns.DemotionsLocal, ns.DemotionsRemote)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addNodeResults appends one artifact row per node (multi-node runs only).
+func addNodeResults(a *runner.Artifact, e *tiered.Engine, nodes []tiered.NodeStats, seed int64) {
+	if e.NumNodes() <= 1 {
+		return
+	}
+	cfg := e.Config()
+	for _, ns := range nodes {
+		a.Add(runner.Result{
+			ID:        fmt.Sprintf("node%d/%s", ns.ID, e.PolicyName()),
+			Workload:  "node",
+			Policy:    e.PolicyName(),
+			Seed:      seed,
+			DRAMPages: int(ns.DRAMPages),
+			NVMPages:  int(ns.NVMPages),
+			Params: map[string]float64{
+				"node":           float64(ns.ID),
+				"nodes":          float64(e.NumNodes()),
+				"remote_penalty": cfg.Topology.RemotePenalty,
+			},
+			Values: map[string]float64{
+				"ops":               float64(ns.Accesses),
+				"resident_dram":     float64(ns.ResidentDRAM),
+				"resident_nvm":      float64(ns.ResidentNVM),
+				"faults_local":      float64(ns.FaultsLocal),
+				"faults_remote":     float64(ns.FaultsRemote),
+				"promotions_local":  float64(ns.PromotionsLocal),
+				"promotions_remote": float64(ns.PromotionsRemote),
+				"demotions_local":   float64(ns.DemotionsLocal),
+				"demotions_remote":  float64(ns.DemotionsRemote),
+			},
+		})
+	}
 }
 
 // memReport is the load phase's process-wide allocation and GC delta,
@@ -190,7 +326,8 @@ func genTenantTrace(name string, scale float64, seed int64) (warm, roi []trace.R
 }
 
 func runSingleTenant(outPath, workloadName, policyName string, scale float64, seed int64,
-	goroutines int, duration time.Duration, ops int64, shards int, sync, verify, jsonOut, memStats bool) {
+	goroutines int, duration time.Duration, ops int64, shards int, numa numaFlags,
+	sync, verify, jsonOut, memStats bool) {
 	warm, roi, pages := genTenantTrace(workloadName, scale, seed)
 	dram, nvm := memspec.DefaultSizing().Partition(pages)
 
@@ -199,6 +336,7 @@ func runSingleTenant(outPath, workloadName, policyName string, scale float64, se
 		DRAMPages:   dram,
 		NVMPages:    nvm,
 		Shards:      shards,
+		Topology:    numa.topology(dram, nvm),
 		Synchronous: sync,
 	}
 
@@ -225,6 +363,7 @@ func runSingleTenant(outPath, workloadName, policyName string, scale float64, se
 		}
 	}
 	base := engine.Stats()
+	nodeBase := engine.NodeStats()
 
 	loadCfg := tiered.LoadConfig{Goroutines: goroutines, Ops: ops}
 	if ops <= 0 {
@@ -245,6 +384,7 @@ func runSingleTenant(outPath, workloadName, policyName string, scale float64, se
 		log.Fatal(err)
 	}
 	st := engine.Stats().Sub(base)
+	nodes := nodeDeltas(engine.NodeStats(), nodeBase)
 	var mem memReport
 	if memStats {
 		mem = memDelta(msBefore, msAfter, rep.Ops)
@@ -252,9 +392,9 @@ func runSingleTenant(outPath, workloadName, policyName string, scale float64, se
 
 	writeOut(outPath, func(w io.Writer) error {
 		if jsonOut {
-			return writeArtifact(w, engine, rep, st, mem, workloadName, scale, seed, goroutines, sync)
+			return writeArtifact(w, engine, rep, st, nodes, mem, workloadName, scale, seed, goroutines, sync)
 		}
-		return writeText(w, engine, rep, st, mem, workloadName, dram, nvm, goroutines)
+		return writeText(w, engine, rep, st, nodes, mem, workloadName, dram, nvm, goroutines)
 	})
 }
 
@@ -305,7 +445,7 @@ type tenantRun struct {
 }
 
 func runMultiTenant(outPath, spec, policyName string, scale float64, seed int64,
-	goroutines int, duration time.Duration, ops int64, shards int, jsonOut, memStats bool) {
+	goroutines int, duration time.Duration, ops int64, shards int, numa numaFlags, jsonOut, memStats bool) {
 	shares, err := parseTenants(spec)
 	if err != nil {
 		log.Fatal(err)
@@ -350,6 +490,7 @@ func runMultiTenant(outPath, spec, policyName string, scale float64, seed int64,
 		DRAMPages: dram,
 		NVMPages:  nvm,
 		Shards:    shards,
+		Topology:  numa.topology(dram, nvm),
 		Tenants:   tenants,
 	})
 	if err != nil {
@@ -368,6 +509,7 @@ func runMultiTenant(outPath, spec, policyName string, scale float64, seed int64,
 		}
 	}
 	base := engine.Stats()
+	nodeBase := engine.NodeStats()
 	tenantBase := make([]tiered.TenantStats, len(runs))
 	for i, r := range runs {
 		tenantBase[i], _ = engine.TenantStats(r.id)
@@ -396,6 +538,7 @@ func runMultiTenant(outPath, spec, policyName string, scale float64, seed int64,
 		log.Fatal(err)
 	}
 	st := engine.Stats().Sub(base)
+	nodes := nodeDeltas(engine.NodeStats(), nodeBase)
 	var mem memReport
 	if memStats {
 		mem = memDelta(msBefore, msAfter, rep.Aggregate.Ops)
@@ -408,14 +551,14 @@ func runMultiTenant(outPath, spec, policyName string, scale float64, seed int64,
 
 	writeOut(outPath, func(w io.Writer) error {
 		if jsonOut {
-			return writeTenantArtifact(w, engine, runs, rep, st, mem, scale, seed)
+			return writeTenantArtifact(w, engine, runs, rep, st, nodes, mem, scale, seed)
 		}
-		return writeTenantText(w, engine, runs, rep, st, mem, dram, nvm)
+		return writeTenantText(w, engine, runs, rep, st, nodes, mem, dram, nvm)
 	})
 }
 
-func writeText(w io.Writer, e *tiered.Engine, rep *tiered.LoadReport, st tiered.Stats, mem memReport,
-	name string, dram, nvm, goroutines int) error {
+func writeText(w io.Writer, e *tiered.Engine, rep *tiered.LoadReport, st tiered.Stats,
+	nodes []tiered.NodeStats, mem memReport, name string, dram, nvm, goroutines int) error {
 	shards := e.Config().Shards
 	_, err := fmt.Fprintf(w, `tierd: %s under %s, DRAM %d + NVM %d frames, %d shards, %d goroutines
 throughput: %12.0f ops/s (%d ops in %v)
@@ -430,11 +573,14 @@ daemon:     %d scans, %d batches, %d queue drops
 		pct(st.HitsDRAM(), st.Accesses), pct(st.HitsNVM(), st.Accesses), st.Faults,
 		st.Promotions, st.Demotions, st.DemotionsFault, st.DemotionsPromo, st.Evictions,
 		st.Scans, st.Batches, st.QueueDrops, mem.text())
-	return err
+	if err != nil {
+		return err
+	}
+	return writeNodeText(w, e, nodes)
 }
 
 func writeTenantText(w io.Writer, e *tiered.Engine, runs []*tenantRun, rep *tiered.MultiLoadReport,
-	st tiered.Stats, mem memReport, dram, nvm int) error {
+	st tiered.Stats, nodes []tiered.NodeStats, mem memReport, dram, nvm int) error {
 	agg := rep.Aggregate
 	_, err := fmt.Fprintf(w, `tierd: %d tenants under %s, DRAM %d + NVM %d frames (%d spill), %d shards
 aggregate:  %12.0f ops/s (%d ops in %v), p50 %v, p99 %v
@@ -444,6 +590,9 @@ migration:  %d promotions, %d demotions, %d evictions; %d scans, %d batches, %d 
 		agg.OpsPerSec, agg.Ops, agg.Elapsed.Round(time.Millisecond), agg.P50, agg.P99,
 		st.Promotions, st.Demotions, st.Evictions, st.Scans, st.Batches, st.QueueDrops, mem.text())
 	if err != nil {
+		return err
+	}
+	if err := writeNodeText(w, e, nodes); err != nil {
 		return err
 	}
 	for _, r := range runs {
@@ -471,8 +620,9 @@ func pct(part, whole int64) float64 {
 	return 100 * float64(part) / float64(whole)
 }
 
-func writeArtifact(w io.Writer, e *tiered.Engine, rep *tiered.LoadReport, st tiered.Stats, mem memReport,
-	name string, scale float64, seed int64, goroutines int, sync bool) error {
+func writeArtifact(w io.Writer, e *tiered.Engine, rep *tiered.LoadReport, st tiered.Stats,
+	nodes []tiered.NodeStats, mem memReport, name string, scale float64, seed int64,
+	goroutines int, sync bool) error {
 	a := runner.NewArtifact("tierd", "serve", scale, seed)
 	cfg := e.Config()
 	syncVal := 0.0
@@ -489,10 +639,12 @@ func writeArtifact(w io.Writer, e *tiered.Engine, rep *tiered.LoadReport, st tie
 		Params: map[string]float64{
 			"goroutines": float64(goroutines),
 			"shards":     float64(cfg.Shards),
+			"nodes":      float64(e.NumNodes()),
 			"sync":       syncVal,
 		},
 		Values: mem.values(loadValues(rep, st, cfg)),
 	})
+	addNodeResults(a, e, nodes, seed)
 	return a.Write(w)
 }
 
@@ -500,27 +652,31 @@ func writeArtifact(w io.Writer, e *tiered.Engine, rep *tiered.LoadReport, st tie
 // multi-tenant aggregate rows.
 func loadValues(rep *tiered.LoadReport, st tiered.Stats, cfg tiered.Config) map[string]float64 {
 	return map[string]float64{
-		"ops":            float64(rep.Ops),
-		"ops_per_sec":    rep.OpsPerSec,
-		"p50_ns":         float64(rep.P50.Nanoseconds()),
-		"p95_ns":         float64(rep.P95.Nanoseconds()),
-		"p99_ns":         float64(rep.P99.Nanoseconds()),
-		"max_ns":         float64(rep.Max.Nanoseconds()),
-		"hits_dram":      float64(st.HitsDRAM()),
-		"hits_nvm":       float64(st.HitsNVM()),
-		"faults":         float64(st.Faults),
-		"promotions":     float64(st.Promotions),
-		"demotions":      float64(st.Demotions),
-		"evictions":      float64(st.Evictions),
-		"scans":          float64(st.Scans),
-		"batches":        float64(st.Batches),
-		"queue_drops":    float64(st.QueueDrops),
-		"break_even_hit": float64(tiered.BreakEvenHits(cfg.Spec)),
+		"ops":                   float64(rep.Ops),
+		"ops_per_sec":           rep.OpsPerSec,
+		"p50_ns":                float64(rep.P50.Nanoseconds()),
+		"p95_ns":                float64(rep.P95.Nanoseconds()),
+		"p99_ns":                float64(rep.P99.Nanoseconds()),
+		"max_ns":                float64(rep.Max.Nanoseconds()),
+		"hits_dram":             float64(st.HitsDRAM()),
+		"hits_nvm":              float64(st.HitsNVM()),
+		"faults":                float64(st.Faults),
+		"promotions":            float64(st.Promotions),
+		"demotions":             float64(st.Demotions),
+		"evictions":             float64(st.Evictions),
+		"scans":                 float64(st.Scans),
+		"batches":               float64(st.Batches),
+		"queue_drops":           float64(st.QueueDrops),
+		"remote_faults":         float64(st.RemoteFaults),
+		"remote_promotions":     float64(st.RemotePromotions),
+		"remote_demotions":      float64(st.RemoteDemotions),
+		"break_even_hit":        float64(tiered.BreakEvenHits(cfg.Spec)),
+		"break_even_hit_remote": float64(cfg.Topology.BreakEvenHitsRemote(cfg.Spec)),
 	}
 }
 
 func writeTenantArtifact(w io.Writer, e *tiered.Engine, runs []*tenantRun, rep *tiered.MultiLoadReport,
-	st tiered.Stats, mem memReport, scale float64, seed int64) error {
+	st tiered.Stats, nodes []tiered.NodeStats, mem memReport, scale float64, seed int64) error {
 	a := runner.NewArtifact("tierd", "serve-multitenant", scale, seed)
 	cfg := e.Config()
 	agg := rep.Aggregate
@@ -534,10 +690,12 @@ func writeTenantArtifact(w io.Writer, e *tiered.Engine, runs []*tenantRun, rep *
 		Params: map[string]float64{
 			"tenants": float64(len(runs)),
 			"shards":  float64(cfg.Shards),
+			"nodes":   float64(e.NumNodes()),
 			"spill":   float64(e.SpillPool()),
 		},
 		Values: mem.values(loadValues(&agg, st, cfg)),
 	})
+	addNodeResults(a, e, nodes, seed)
 	for _, r := range runs {
 		cur, _ := e.TenantStats(r.id)
 		a.Add(runner.Result{

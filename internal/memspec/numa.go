@@ -1,0 +1,59 @@
+package memspec
+
+import "fmt"
+
+// NUMA models the socket topology of a hybrid-memory machine: how many
+// nodes the DRAM and NVM pools are split across, and how much more a
+// cross-node (remote) access costs than a node-local one. The paper's
+// experimental machine is a single uniform node; production DRAM-NVM
+// systems (Memos, and the asymmetry study of Song et al.) expose one
+// DRAM+NVM pool per socket, where a remote access traverses the
+// interconnect and pays a multiplicative latency penalty.
+type NUMA struct {
+	// Nodes is the socket count. 1 reproduces the paper's uniform machine.
+	Nodes int
+	// RemoteFactor is the multiplier a cross-node access pays on top of the
+	// local access latency (>= 1). Typical QPI/UPI-class interconnects land
+	// in the 1.3-2.0 range.
+	RemoteFactor float64
+}
+
+// DefaultNUMA returns the paper's configuration: one uniform node. The
+// remote factor is still populated (1.5, a mid-range interconnect penalty)
+// so multi-node emulations that start from the default only override Nodes.
+func DefaultNUMA() NUMA { return NUMA{Nodes: 1, RemoteFactor: 1.5} }
+
+// Validate reports whether the topology parameters are physically
+// meaningful.
+func (n NUMA) Validate() error {
+	if n.Nodes < 1 {
+		return fmt.Errorf("memspec: NUMA needs at least 1 node, got %d", n.Nodes)
+	}
+	if n.RemoteFactor < 1 {
+		return fmt.Errorf("memspec: NUMA remote factor %g below 1 (remote cannot be cheaper than local)", n.RemoteFactor)
+	}
+	return nil
+}
+
+// Remote returns the technology as seen from a different node: the same
+// cell parameters with access latencies scaled by the remote factor.
+// Energies and static power are per-cell properties and do not change with
+// the requester's distance.
+func (n NUMA) Remote(t Tech) Tech {
+	t.ReadLatencyNS *= n.RemoteFactor
+	t.WriteLatencyNS *= n.RemoteFactor
+	return t
+}
+
+// MigrationCostNS returns the latency cost of migrating one page between
+// the given technologies when the destination is remote×(the remote
+// factor applies to the writes into the destination and the reads out of
+// the source's far side). With remote=false this is the paper's local
+// migration cost: PageFactor line reads from src plus line writes to dst.
+func (n NUMA) MigrationCostNS(spec Spec, src, dst Tech, remote bool) float64 {
+	read, write := src.ReadLatencyNS, dst.WriteLatencyNS
+	if remote {
+		read, write = n.Remote(src).ReadLatencyNS, n.Remote(dst).WriteLatencyNS
+	}
+	return float64(spec.Geometry.PageFactor()) * (read + write)
+}

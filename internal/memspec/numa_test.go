@@ -1,0 +1,42 @@
+package memspec
+
+import "testing"
+
+func TestNUMAValidate(t *testing.T) {
+	if err := DefaultNUMA().Validate(); err != nil {
+		t.Fatalf("default NUMA invalid: %v", err)
+	}
+	if err := (NUMA{Nodes: 0, RemoteFactor: 1.5}).Validate(); err == nil {
+		t.Fatal("0 nodes accepted")
+	}
+	if err := (NUMA{Nodes: 2, RemoteFactor: 0.9}).Validate(); err == nil {
+		t.Fatal("sub-unity remote factor accepted")
+	}
+}
+
+func TestNUMARemoteScalesLatenciesOnly(t *testing.T) {
+	n := NUMA{Nodes: 2, RemoteFactor: 2}
+	local := PCM()
+	remote := n.Remote(local)
+	if remote.ReadLatencyNS != 2*local.ReadLatencyNS || remote.WriteLatencyNS != 2*local.WriteLatencyNS {
+		t.Fatalf("remote latencies %g/%g, want doubled %g/%g",
+			remote.ReadLatencyNS, remote.WriteLatencyNS, 2*local.ReadLatencyNS, 2*local.WriteLatencyNS)
+	}
+	if remote.ReadEnergyNJ != local.ReadEnergyNJ || remote.StaticPowerWPerGB != local.StaticPowerWPerGB {
+		t.Fatal("remote access changed per-cell energy/static parameters")
+	}
+}
+
+func TestNUMAMigrationCost(t *testing.T) {
+	spec := Default()
+	n := NUMA{Nodes: 2, RemoteFactor: 1.5}
+	local := n.MigrationCostNS(spec, spec.NVM, spec.DRAM, false)
+	remote := n.MigrationCostNS(spec, spec.NVM, spec.DRAM, true)
+	wantLocal := float64(spec.Geometry.PageFactor()) * (spec.NVM.ReadLatencyNS + spec.DRAM.WriteLatencyNS)
+	if local != wantLocal {
+		t.Fatalf("local migration cost %g, want %g", local, wantLocal)
+	}
+	if remote != 1.5*local {
+		t.Fatalf("remote migration cost %g, want %g", remote, 1.5*local)
+	}
+}

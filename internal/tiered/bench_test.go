@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"hybridmem/internal/mm"
 	"hybridmem/internal/trace"
@@ -135,9 +136,13 @@ type touchTable interface {
 // BenchmarkServeParallel measures the table hit path under b.RunParallel
 // at 1/4/16/64 goroutines (GOMAXPROCS is raised to the goroutine count for
 // the duration of each sub-benchmark), lock-free vs the pre-PR locked
-// reference implementation, with allocations reported. This is the CI
-// perf-gated suite: cmd/benchjson diffs the lockfree numbers against
-// BENCH_baseline.json.
+// reference implementation, with allocations reported — plus the full
+// engine serve path on a single-node vs a two-node topology, so the cost
+// of the per-node pools and home-node attribution is tracked run over
+// run. This is the CI perf-gated suite: cmd/benchjson diffs the lockfree
+// and engine/nodes=1 numbers against BENCH_baseline.json, so the
+// single-node serve path (table probe and full engine) must stay within
+// the regression budget; the nodes=2 variants are recorded but ungated.
 func BenchmarkServeParallel(b *testing.B) {
 	const pages = 1 << 14
 	impls := []struct {
@@ -175,6 +180,63 @@ func BenchmarkServeParallel(b *testing.B) {
 					for pb.Next() {
 						x = x*6364136223846793005 + 1442695040888963407
 						tbl.Touch(DefaultTenant, (x>>33)&(pages-1), op)
+					}
+				})
+			})
+		}
+	}
+
+	// Engine hit path, single-node vs two-node topology. DRAM holds the
+	// whole working set (the proposed policy faults into DRAM) and the
+	// daemon is quiesced, so the measurement is the steady-state serve
+	// path: lock-free probe, striped tallies, and — on the two-node
+	// engine — the per-node access attribution.
+	const enginePages = 1 << 12
+	for _, nodes := range []int{1, 2} {
+		for _, g := range []int{1, 16} {
+			b.Run(fmt.Sprintf("impl=engine/nodes=%d/goroutines=%d", nodes, g), func(b *testing.B) {
+				dram, nvm := enginePages+64, 64
+				cfg := Config{
+					DRAMPages: dram, NVMPages: nvm, Shards: 64,
+					ScanInterval: time.Hour,
+				}
+				if nodes > 1 {
+					cfg.Topology = EvenTopology(nodes, dram, nvm)
+				}
+				e, err := New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := e.Start(); err != nil {
+					b.Fatal(err)
+				}
+				defer func() {
+					if err := e.Stop(); err != nil {
+						b.Fatal(err)
+					}
+				}()
+				for p := uint64(0); p < enginePages; p++ {
+					if _, err := e.Serve(p*4096, trace.OpRead); err != nil {
+						b.Fatal(err)
+					}
+				}
+				prev := runtime.GOMAXPROCS(g)
+				defer runtime.GOMAXPROCS(prev)
+				var worker atomic.Uint64
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					x := worker.Add(1) * 0x9E3779B97F4A7C15
+					op := trace.OpRead
+					if x&1 == 0 {
+						op = trace.OpWrite
+					}
+					for pb.Next() {
+						x = x*6364136223846793005 + 1442695040888963407
+						if _, err := e.Serve(((x>>33)&(enginePages-1))*4096, op); err != nil {
+							b.Error(err)
+							return
+						}
 					}
 				})
 			})

@@ -11,10 +11,12 @@ import (
 
 // Start brings the engine online. In asynchronous mode it launches the
 // migration daemon: one scanner that sweeps the shards for hot NVM pages
-// every ScanInterval and batches them onto the promotion queue, plus
-// Workers goroutines that drain the queue and apply the migrations. In
-// synchronous mode there is no daemon (migrations happen inline) and Start
-// only flips the lifecycle state.
+// every ScanInterval, driving one scan/promotion pipeline per NUMA node —
+// each node has its own candidate buffers and promotion queue, drained by
+// that node's own Workers goroutines, so migrations for one node's pages
+// are applied by workers pinned to that node's pipeline. In synchronous
+// mode there is no daemon (migrations happen inline) and Start only flips
+// the lifecycle state.
 func (e *Engine) Start() error {
 	if !e.state.CompareAndSwap(stateNew, stateStarted) {
 		return fmt.Errorf("tiered: engine already started")
@@ -23,13 +25,15 @@ func (e *Engine) Start() error {
 		return nil
 	}
 	e.stopCh = make(chan struct{})
-	e.batchCh = make(chan *[]uint64, e.cfg.QueueLen)
+	for _, ns := range e.nodes {
+		ns.batchCh = make(chan *[]uint64, e.cfg.QueueLen)
+		e.workerWG.Add(e.cfg.Workers)
+		for i := 0; i < e.cfg.Workers; i++ {
+			go e.workerLoop(ns)
+		}
+	}
 	e.scanWG.Add(1)
 	go e.scanLoop()
-	e.workerWG.Add(e.cfg.Workers)
-	for i := 0; i < e.cfg.Workers; i++ {
-		go e.workerLoop()
-	}
 	return nil
 }
 
@@ -42,7 +46,7 @@ func (e *Engine) Stop() error {
 	if e.state.CompareAndSwap(stateStarted, stateStopped) {
 		if e.backing == nil {
 			close(e.stopCh)
-			e.scanWG.Wait() // scanner exits and closes the batch channel
+			e.scanWG.Wait() // scanner exits and closes the batch channels
 			e.workerWG.Wait()
 			// Barrier against a concurrent ScanOnce: any scan that won
 			// scanMu before this point finishes its inline work here; any
@@ -65,7 +69,9 @@ func (e *Engine) Stop() error {
 // scanLoop is the daemon's scanner goroutine.
 func (e *Engine) scanLoop() {
 	defer func() {
-		close(e.batchCh)
+		for _, ns := range e.nodes {
+			close(ns.batchCh)
+		}
 		e.scanWG.Done()
 	}()
 	ticker := time.NewTicker(e.cfg.ScanInterval)
@@ -80,13 +86,13 @@ func (e *Engine) scanLoop() {
 	}
 }
 
-// workerLoop drains promotion batches until the channel closes, returning
-// each drained buffer to the batch pool. A page's in-flight mark clears
-// only after its promotion has been applied (or found stale), so the
-// scanner cannot re-enqueue it mid-flight.
-func (e *Engine) workerLoop() {
+// workerLoop drains one node's promotion batches until the channel closes,
+// returning each drained buffer to the batch pool. A page's in-flight mark
+// clears only after its promotion has been applied (or found stale), so
+// the scanner cannot re-enqueue it mid-flight.
+func (e *Engine) workerLoop(ns *nodeState) {
 	defer e.workerWG.Done()
-	for bp := range e.batchCh {
+	for bp := range ns.batchCh {
 		for _, key := range *bp {
 			e.applyPromotion(key)
 			e.unmarkInflight(key)
@@ -166,45 +172,53 @@ func orderCandidates(c []candidate) {
 	})
 }
 
-// interleaveInto merges per-tenant candidate queues round-robin into dst:
-// one candidate from each tenant in ID order, repeating until all queues
-// drain. Batches cut from the result give every tenant an equal share of
-// the promotion budget, so one hot tenant cannot monopolize the queue
-// while another starves. The queue headers are consumed; the backing
-// arrays are untouched.
-func interleaveInto(dst []candidate, queues [][]candidate) []candidate {
+// interleaveInto merges per-tenant candidate queues into dst by weighted
+// round-robin: each round takes up to weights[i] candidates from queue i
+// in order, repeating until all queues drain, so batches cut from the
+// result give tenant i weights[i] promotion-budget slots for every one
+// slot of a weight-1 neighbor while both have candidates left. A nil
+// weights slice means one each — the equal-share round-robin, under which
+// no hot tenant can monopolize the queue while another starves. The queue
+// headers are consumed; the backing arrays are untouched.
+func interleaveInto(dst []candidate, queues [][]candidate, weights []int) []candidate {
 	total := 0
 	for _, q := range queues {
 		total += len(q)
 	}
 	for len(dst) < total {
 		for i := range queues {
-			if len(queues[i]) > 0 {
-				dst = append(dst, queues[i][0])
-				queues[i] = queues[i][1:]
+			w := 1
+			if weights != nil {
+				w = weights[i]
+			}
+			if w > len(queues[i]) {
+				w = len(queues[i])
+			}
+			if w > 0 {
+				dst = append(dst, queues[i][:w]...)
+				queues[i] = queues[i][w:]
 			}
 		}
 	}
 	return dst
 }
 
-// interleave is interleaveInto from scratch, for tests and one-shot use.
+// interleave is equal-share interleaveInto from scratch, for tests and
+// one-shot use.
 func interleave(queues [][]candidate) []candidate {
-	return interleaveInto(nil, queues)
+	return interleaveInto(nil, queues, nil)
 }
 
-// scanEpoch sweeps every shard for NVM pages whose windowed counters their
-// tenant's policy judges hot, orders each tenant's candidates by counter
-// magnitude, interleaves the tenants round-robin, and cuts the result into
-// batches for the promotion queue (or applies them inline). Pages already
-// in flight from a previous epoch are skipped. The counter windows reset
-// as a side effect of the sweep, and each tenant's policy gets its epoch
+// scanEpoch runs one scan/promotion round for every node in turn — each
+// node's pipeline sweeps only the shards homed on that node and feeds only
+// that node's promotion queue — then gives each tenant's policy its epoch
 // hook with that tenant's deltas. Serialized by scanMu so a ticker epoch
-// and a ScanOnce never interleave their window resets. The sweep holds no
-// table lock (it walks the published shard snapshots) and recycles all of
-// its buffers — per-tenant candidate lists, the interleave order and the
-// promotion batches — so a steady-state epoch allocates nothing and never
-// blocks the serve path.
+// and a ScanOnce never interleave their window resets (and so the
+// per-tenant policies' plain threshold state is never touched from two
+// goroutines). The sweeps hold no table lock (they walk the published
+// shard snapshots) and recycle all buffers — per-node per-tenant candidate
+// lists, interleave orders and promotion batches — so a steady-state epoch
+// allocates nothing and never blocks the serve path.
 func (e *Engine) scanEpoch(inline bool) {
 	e.scanMu.Lock()
 	defer e.scanMu.Unlock()
@@ -213,14 +227,42 @@ func (e *Engine) scanEpoch(inline bool) {
 	if e.state.Load() != stateStarted {
 		return
 	}
+	for _, ns := range e.nodes {
+		e.scanNode(ns, inline)
+	}
+	for _, ts := range e.tenantList {
+		accesses, hitsDRAM, _ := ts.serveTotals()
+		cur := EpochStats{
+			Accesses:   accesses,
+			HitsDRAM:   hitsDRAM,
+			Promotions: ts.c.promotions.Load(),
+		}
+		ts.pol.Epoch(EpochStats{
+			Accesses:   cur.Accesses - ts.lastEpoch.Accesses,
+			HitsDRAM:   cur.HitsDRAM - ts.lastEpoch.HitsDRAM,
+			Promotions: cur.Promotions - ts.lastEpoch.Promotions,
+		})
+		ts.lastEpoch = cur
+	}
+	e.c.scans.Add(1)
+}
 
+// scanNode runs one node's slice of the epoch: it sweeps the node's shard
+// range for NVM pages whose windowed counters their tenant's policy judges
+// hot, orders each tenant's candidates by counter magnitude, interleaves
+// the tenants by priority weight, and cuts the result into batches for the
+// node's promotion queue (or applies them inline). Pages already in flight
+// from a previous epoch are skipped; the counter windows of the node's
+// pages reset as a side effect of the sweep. Caller holds scanMu.
+func (e *Engine) scanNode(ns *nodeState, inline bool) {
 	// Collect only inside the sweep; promotions apply after it, so a
 	// migration's table write never races the sweep's own shard visit.
-	for _, ts := range e.tenantList {
-		ts.scanBuf = ts.scanBuf[:0]
+	for i := range ns.scanBufs {
+		ns.scanBufs[i] = ns.scanBufs[i][:0]
 	}
-	for i := 0; i < e.tbl.NumShards(); i++ {
-		e.tbl.ScanShard(i, true, func(tenant TenantID, page uint64, loc mm.Location, reads, writes uint64) {
+	lo, hi := e.tbl.NodeShards(ns.id)
+	for i := lo; i < hi; i++ {
+		e.tbl.ScanShard(i, true, func(tenant TenantID, page uint64, loc mm.Location, _ int, reads, writes uint64) {
 			if loc != mm.LocNVM {
 				return
 			}
@@ -228,18 +270,20 @@ func (e *Engine) scanEpoch(inline bool) {
 			if ts == nil || !ts.pol.Hot(reads, writes) {
 				return
 			}
-			ts.scanBuf = append(ts.scanBuf,
+			ns.scanBufs[ts.idx] = append(ns.scanBufs[ts.idx],
 				candidate{key: tableKey(tenant, page), score: reads + writes})
 		})
 	}
-	e.scanQueues = e.scanQueues[:0]
+	ns.scanQueues = ns.scanQueues[:0]
+	ns.scanWeights = ns.scanWeights[:0]
 	for _, ts := range e.tenantList {
-		if len(ts.scanBuf) > 0 {
-			orderCandidates(ts.scanBuf)
-			e.scanQueues = append(e.scanQueues, ts.scanBuf)
+		if buf := ns.scanBufs[ts.idx]; len(buf) > 0 {
+			orderCandidates(buf)
+			ns.scanQueues = append(ns.scanQueues, buf)
+			ns.scanWeights = append(ns.scanWeights, ts.priority)
 		}
 	}
-	e.scanOrder = interleaveInto(e.scanOrder[:0], e.scanQueues)
+	ns.scanOrder = interleaveInto(ns.scanOrder[:0], ns.scanQueues, ns.scanWeights)
 
 	// flush hands the batch off (queue mode) or applies it inline, and
 	// returns the buffer to fill next — a fresh one when the queue took
@@ -259,7 +303,7 @@ func (e *Engine) scanEpoch(inline bool) {
 			return bp
 		}
 		select {
-		case e.batchCh <- bp:
+		case ns.batchCh <- bp:
 			e.c.batches.Add(1)
 			return e.newBatch()
 		default:
@@ -277,7 +321,7 @@ func (e *Engine) scanEpoch(inline bool) {
 	}
 
 	bp := e.newBatch()
-	for _, cand := range e.scanOrder {
+	for _, cand := range ns.scanOrder {
 		if !e.markInflight(cand.key) {
 			continue
 		}
@@ -288,20 +332,4 @@ func (e *Engine) scanEpoch(inline bool) {
 	}
 	bp = flush(bp)
 	e.putBatch(bp)
-
-	for _, ts := range e.tenantList {
-		accesses, hitsDRAM, _ := ts.serveTotals()
-		cur := EpochStats{
-			Accesses:   accesses,
-			HitsDRAM:   hitsDRAM,
-			Promotions: ts.c.promotions.Load(),
-		}
-		ts.pol.Epoch(EpochStats{
-			Accesses:   cur.Accesses - ts.lastEpoch.Accesses,
-			HitsDRAM:   cur.HitsDRAM - ts.lastEpoch.HitsDRAM,
-			Promotions: cur.Promotions - ts.lastEpoch.Promotions,
-		})
-		ts.lastEpoch = cur
-	}
-	e.c.scans.Add(1)
 }

@@ -134,7 +134,7 @@ func TestScanEpochCoalescesAcrossEpochs(t *testing.T) {
 	// Don't Start: drive scanEpoch's queue path directly so the worker
 	// pool can't drain the queue under us.
 	e.state.Store(stateStarted)
-	e.batchCh = make(chan *[]uint64, e.cfg.QueueLen)
+	e.nodes[0].batchCh = make(chan *[]uint64, e.cfg.QueueLen)
 
 	heat := func() {
 		// An NVM page with counters above the smallCore threshold (3).
@@ -143,7 +143,7 @@ func TestScanEpochCoalescesAcrossEpochs(t *testing.T) {
 		}
 	}
 	e.tbl.Insert(DefaultTenant, 99, mm.LocNVM)
-	e.nvmUsed.Add(1)
+	e.nodes[0].nvmUsed.Add(1)
 
 	heat()
 	e.scanEpoch(false) // enqueues the page, marks it in flight
@@ -153,14 +153,14 @@ func TestScanEpochCoalescesAcrossEpochs(t *testing.T) {
 	if st.Batches != 1 || st.QueueDrops != 0 {
 		t.Fatalf("batches=%d drops=%d, want 1/0 (second epoch coalesced)", st.Batches, st.QueueDrops)
 	}
-	if got := len(e.batchCh); got != 1 {
+	if got := len(e.nodes[0].batchCh); got != 1 {
 		t.Fatalf("queue holds %d batches, want 1", got)
 	}
 
 	// A second hot page now overflows the 1-batch queue: the drop must
 	// unmark it so a later epoch can retry it.
 	e.tbl.Insert(DefaultTenant, 100, mm.LocNVM)
-	e.nvmUsed.Add(1)
+	e.nodes[0].nvmUsed.Add(1)
 	for i := 0; i < 5; i++ {
 		e.tbl.Touch(DefaultTenant, 100, trace.OpWrite)
 	}
@@ -175,7 +175,7 @@ func TestScanEpochCoalescesAcrossEpochs(t *testing.T) {
 
 	// Draining the queued batch applies the promotion and clears the
 	// mark, after which the page may be enqueued again.
-	batch := <-e.batchCh
+	batch := <-e.nodes[0].batchCh
 	for _, key := range *batch {
 		e.applyPromotion(key)
 		e.unmarkInflight(key)
@@ -220,5 +220,96 @@ func TestInterleaveRoundRobin(t *testing.T) {
 	}
 	if len(interleave(nil)) != 0 {
 		t.Fatal("interleave(nil) non-empty")
+	}
+}
+
+// TestInterleaveWeighted pins the priority-weighted promotion interleave:
+// a weight-2 queue contributes two candidates per round to a weight-1
+// neighbor's one, the tail drains in order once the heavy queue empties,
+// and weight 1 everywhere reproduces the equal-share round-robin.
+func TestInterleaveWeighted(t *testing.T) {
+	mk := func(keys ...uint64) []candidate {
+		c := make([]candidate, len(keys))
+		for i, k := range keys {
+			c[i].key = k
+		}
+		return c
+	}
+	got := interleaveInto(nil, [][]candidate{mk(10, 11, 12, 13), mk(20, 21, 22, 23)}, []int{2, 1})
+	want := []uint64{10, 11, 20, 12, 13, 21, 22, 23}
+	if len(got) != len(want) {
+		t.Fatalf("weighted interleave returned %d candidates, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].key != w {
+			t.Fatalf("weighted[%d] = %d, want %d (full order %v)", i, got[i].key, w, got)
+		}
+	}
+	// Equal weights == the unweighted round-robin.
+	a, b := mk(1, 2, 3), mk(7, 8)
+	eq := interleaveInto(nil, [][]candidate{a, b}, []int{1, 1})
+	rr := interleave([][]candidate{mk(1, 2, 3), mk(7, 8)})
+	for i := range rr {
+		if eq[i].key != rr[i].key {
+			t.Fatalf("equal weights diverge from round-robin at %d: %v vs %v", i, eq, rr)
+		}
+	}
+}
+
+// TestScanEpochPriorityWeighting drives the integration path: with two
+// tenants both holding hot NVM pages, the priority-2 tenant's candidates
+// take two slots per round of the promotion order.
+func TestScanEpochPriorityWeighting(t *testing.T) {
+	e, err := New(Config{
+		DRAMPages: 16, NVMPages: 32, Shards: 1, Core: smallCore(),
+		Tenants: []TenantConfig{
+			{ID: 0, DRAMQuota: 8, Priority: 2},
+			{ID: 1, DRAMQuota: 8}, // default priority 1
+		},
+		ScanInterval: time.Hour,
+		QueueLen:     4,
+		BatchSize:    16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive scanEpoch's queue path directly (no worker pool draining).
+	e.state.Store(stateStarted)
+	e.nodes[0].batchCh = make(chan *[]uint64, e.cfg.QueueLen)
+
+	heat := func(tn TenantID, page uint64, touches int) {
+		e.tbl.Insert(tn, page, mm.LocNVM)
+		e.nodes[0].nvmUsed.Add(1)
+		for i := 0; i < touches; i++ {
+			e.tbl.Touch(tn, page, trace.OpWrite)
+		}
+	}
+	// Scores make each tenant's internal order deterministic.
+	for i, p := range []uint64{10, 11, 12, 13} {
+		heat(0, p, 9-i)
+	}
+	for i, p := range []uint64{20, 21, 22, 23} {
+		heat(1, p, 9-i)
+	}
+	e.scanEpoch(false)
+
+	batch := <-e.nodes[0].batchCh
+	want := []uint64{
+		tableKey(0, 10), tableKey(0, 11), tableKey(1, 20),
+		tableKey(0, 12), tableKey(0, 13), tableKey(1, 21),
+		tableKey(1, 22), tableKey(1, 23),
+	}
+	if len(*batch) != len(want) {
+		t.Fatalf("batch holds %d keys, want %d", len(*batch), len(want))
+	}
+	for i, w := range want {
+		if (*batch)[i] != w {
+			tn, p := splitKey((*batch)[i])
+			t.Fatalf("batch[%d] = tenant %d page %d, want tenant %d page %d",
+				i, tn, p, w>>pageBits, w&maxTablePage)
+		}
+	}
+	if ts, _ := e.TenantStats(0); ts.Priority != 2 {
+		t.Fatalf("tenant 0 priority = %d, want 2", ts.Priority)
 	}
 }

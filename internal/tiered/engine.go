@@ -42,6 +42,16 @@ type Config struct {
 	// DRAMPages and NVMPages are the zone capacities in frames; both must
 	// be at least 1.
 	DRAMPages, NVMPages int
+	// Topology splits the zone capacities across NUMA nodes: per-node
+	// DRAM/NVM frame pools, shard groups mapped to home nodes, and one
+	// migration pipeline per node. Placement prefers a page's home node
+	// and goes remote only when the home node cannot hand the tenant a
+	// frame (pool full, or the tenant past its node share with the spill
+	// pool fully borrowed). The zero value is a single uniform
+	// node, which behaves bit-identically to the pre-topology engine.
+	// When Topology.Nodes is set, its pools must sum to DRAMPages and
+	// NVMPages exactly. Synchronous mode requires a single node.
+	Topology Topology
 	// Tenants partitions the engine into isolated page namespaces with
 	// per-tenant DRAM quotas. DRAM frames covered by no quota form the
 	// shared spill pool every tenant may borrow from; a tenant's DRAM
@@ -75,11 +85,14 @@ type Config struct {
 	ScanInterval time.Duration
 	// BatchSize caps the pages per promotion batch (default 128).
 	BatchSize int
-	// Workers is the number of migration worker goroutines (default 1).
+	// Workers is the number of migration worker goroutines per NUMA node
+	// (default 1): every node's promotion pipeline gets its own pinned
+	// worker pool, so an N-node engine runs N*Workers workers in total.
 	Workers int
-	// QueueLen is the promotion-queue depth in batches (default 16).
-	// When the queue is full, batches are dropped and counted: migration
-	// is a hint, and a page that stays hot is re-found next epoch.
+	// QueueLen is the promotion-queue depth in batches, per NUMA node
+	// (default 16) — each node's pipeline has its own queue. When a queue
+	// is full, batches are dropped and counted: migration is a hint, and
+	// a page that stays hot is re-found next epoch.
 	QueueLen int
 }
 
@@ -117,7 +130,17 @@ func (c Config) withDefaults() Config {
 	}
 	if len(c.Tenants) == 0 {
 		c.Tenants = []TenantConfig{{ID: DefaultTenant, Name: "default", DRAMQuota: c.DRAMPages}}
+	} else {
+		// Copy before filling defaults: the caller's slice must not be
+		// mutated as a side effect of New.
+		c.Tenants = append([]TenantConfig(nil), c.Tenants...)
 	}
+	for i := range c.Tenants {
+		if c.Tenants[i].Priority == 0 {
+			c.Tenants[i].Priority = 1
+		}
+	}
+	c.Topology = c.Topology.withDefaults(c.DRAMPages, c.NVMPages)
 	return c
 }
 
@@ -143,6 +166,11 @@ type Stats struct {
 	// Daemon counters: scan epochs run, promotion batches enqueued, and
 	// batches dropped on a full queue.
 	Scans, Batches, QueueDrops int64
+	// Remote placement counters, summed over nodes: faults and promotions
+	// whose frame came from a pool other than the page's home node, and
+	// demotions that crossed nodes on the way to NVM. All zero on a
+	// single-node engine; NodeStats has the per-node breakdown.
+	RemoteFaults, RemotePromotions, RemoteDemotions int64
 	// ResidentDRAM and ResidentNVM are the current zone occupancies.
 	ResidentDRAM, ResidentNVM int64
 }
@@ -160,25 +188,28 @@ func (s Stats) HitsNVM() int64 { return s.ReadsNVM + s.WritesNVM }
 // levels, not counts, and are carried over unchanged.
 func (s Stats) Sub(prev Stats) Stats {
 	d := Stats{
-		Accesses:       s.Accesses - prev.Accesses,
-		ReadsDRAM:      s.ReadsDRAM - prev.ReadsDRAM,
-		WritesDRAM:     s.WritesDRAM - prev.WritesDRAM,
-		ReadsNVM:       s.ReadsNVM - prev.ReadsNVM,
-		WritesNVM:      s.WritesNVM - prev.WritesNVM,
-		Faults:         s.Faults - prev.Faults,
-		FaultsToDRAM:   s.FaultsToDRAM - prev.FaultsToDRAM,
-		FaultsToNVM:    s.FaultsToNVM - prev.FaultsToNVM,
-		Promotions:     s.Promotions - prev.Promotions,
-		Demotions:      s.Demotions - prev.Demotions,
-		DemotionsFault: s.DemotionsFault - prev.DemotionsFault,
-		DemotionsPromo: s.DemotionsPromo - prev.DemotionsPromo,
-		DemotionsClean: s.DemotionsClean - prev.DemotionsClean,
-		Evictions:      s.Evictions - prev.Evictions,
-		Scans:          s.Scans - prev.Scans,
-		Batches:        s.Batches - prev.Batches,
-		QueueDrops:     s.QueueDrops - prev.QueueDrops,
-		ResidentDRAM:   s.ResidentDRAM,
-		ResidentNVM:    s.ResidentNVM,
+		Accesses:         s.Accesses - prev.Accesses,
+		ReadsDRAM:        s.ReadsDRAM - prev.ReadsDRAM,
+		WritesDRAM:       s.WritesDRAM - prev.WritesDRAM,
+		ReadsNVM:         s.ReadsNVM - prev.ReadsNVM,
+		WritesNVM:        s.WritesNVM - prev.WritesNVM,
+		Faults:           s.Faults - prev.Faults,
+		FaultsToDRAM:     s.FaultsToDRAM - prev.FaultsToDRAM,
+		FaultsToNVM:      s.FaultsToNVM - prev.FaultsToNVM,
+		Promotions:       s.Promotions - prev.Promotions,
+		Demotions:        s.Demotions - prev.Demotions,
+		DemotionsFault:   s.DemotionsFault - prev.DemotionsFault,
+		DemotionsPromo:   s.DemotionsPromo - prev.DemotionsPromo,
+		DemotionsClean:   s.DemotionsClean - prev.DemotionsClean,
+		Evictions:        s.Evictions - prev.Evictions,
+		Scans:            s.Scans - prev.Scans,
+		Batches:          s.Batches - prev.Batches,
+		QueueDrops:       s.QueueDrops - prev.QueueDrops,
+		RemoteFaults:     s.RemoteFaults - prev.RemoteFaults,
+		RemotePromotions: s.RemotePromotions - prev.RemotePromotions,
+		RemoteDemotions:  s.RemoteDemotions - prev.RemoteDemotions,
+		ResidentDRAM:     s.ResidentDRAM,
+		ResidentNVM:      s.ResidentNVM,
 	}
 	return d
 }
@@ -235,17 +266,23 @@ const (
 type dramReserve int
 
 const (
-	// dramReserved: one frame claimed (and, above the quota, one spill
-	// token taken).
+	// dramReserved: one frame claimed from some node's pool (and, above
+	// the tenant's share on that node, one spill token taken).
 	dramReserved dramReserve = iota
 	// dramTenantFull: the tenant is at quota + spill; it must demote one
 	// of its own pages to proceed.
 	dramTenantFull
-	// dramSpillFull: the tenant is at or above its quota and the shared
-	// spill pool is fully borrowed. A tenant with resident DRAM pages
-	// demotes its own coldest; a quota-less tenant falls back to a global
-	// victim (some tenant must be over quota for the pool to be empty).
+	// dramSpillFull: every node with physical room would put the tenant
+	// above its apportioned share there, and the shared spill pool is
+	// fully borrowed. A tenant holding DRAM demotes its own coldest
+	// (preferring a node where it is over share, which frees a token); a
+	// quota-less tenant demotes within some token-holding tenant.
 	dramSpillFull
+	// dramNodeFull: every node's DRAM pool is physically full. Handled
+	// like dramSpillFull — freeing any frame (own page first, else a
+	// borrower's) unblocks the retry. Unreachable on a single node, where
+	// the tenant-level checks bound total occupancy below capacity.
+	dramNodeFull
 )
 
 // Engine is the online tiered-memory engine. Serve and ServeTenant are
@@ -265,21 +302,26 @@ type Engine struct {
 	tenantList []*tenantState
 	def        *tenantState
 	spill      int64
+	// nodes is the NUMA topology's runtime state: one CAS-exact DRAM/NVM
+	// frame pool per node (the per-node split of the old global
+	// dramUsed/nvmUsed), plus each node's placement counters and its
+	// slice of the migration daemon. multiNode gates the extra hot-path
+	// work (per-node access attribution), so a single-node engine's serve
+	// path is exactly the flat engine's.
+	nodes     []*nodeState
+	multiNode bool
 	// spillUsed counts the spill-pool frames currently borrowed across
-	// all tenants (every tenant frame above its quota holds one token).
-	// It and the occupancy levels below each get their own cache line:
-	// they stay exact CAS-maintained levels (quota enforcement needs a
-	// precise value, and hits never touch them), but a reservation on one
-	// must not invalidate the others.
+	// all tenants (every tenant frame above its per-node quota share
+	// holds one token; the pool is borrowable from any node). It stays an
+	// exact CAS-maintained level on its own cache line: quota enforcement
+	// needs a precise value, and hits never touch it.
 	_         [cacheLine]byte
 	spillUsed atomic.Int64
 	_         [cacheLine - 8]byte
 
+	// dramCap and nvmCap are the zone totals (the sums of the node
+	// pools), kept for capacity messages and invariant checks.
 	dramCap, nvmCap int64
-	dramUsed        atomic.Int64
-	_               [cacheLine - 8]byte
-	nvmUsed         atomic.Int64
-	_               [cacheLine - 8]byte
 
 	// serveCells stripes the per-access counters by page key; Stats sums
 	// them lazily. stripeMask is len(serveCells)-1 (a power of two).
@@ -293,19 +335,17 @@ type Engine struct {
 	mu      sync.Mutex
 	backing policy.Policy
 
-	// Daemon plumbing (asynchronous mode). Batches are pooled: the scanner
-	// takes buffers from batchPool and the workers return them after
-	// draining, so steady-state epochs allocate nothing.
+	// Daemon plumbing (asynchronous mode). One scanner drives a
+	// scan/promotion pipeline per node — each node has its own candidate
+	// scratch, promotion queue and node-pinned workers (on nodeState) —
+	// and batches are pooled: the scanner takes buffers from batchPool
+	// and the workers return them after draining, so steady-state epochs
+	// allocate nothing.
 	stopCh    chan struct{}
-	batchCh   chan *[]uint64
 	batchPool sync.Pool
 	scanWG    sync.WaitGroup
 	workerWG  sync.WaitGroup
 	scanMu    sync.Mutex
-	// scanQueues and scanOrder are the scanner's reusable scratch for the
-	// per-tenant queues and their round-robin interleave (scanMu-guarded).
-	scanQueues [][]candidate
-	scanOrder  []candidate
 	// inflight holds the table keys of pages enqueued for promotion but
 	// not yet applied, so a page scanned hot in consecutive epochs is not
 	// enqueued twice.
@@ -321,6 +361,9 @@ func New(cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	if cfg.DRAMPages < 1 || cfg.NVMPages < 1 {
 		return nil, fmt.Errorf("tiered: both zones need frames, got %d/%d", cfg.DRAMPages, cfg.NVMPages)
+	}
+	if err := cfg.Topology.validate(cfg.DRAMPages, cfg.NVMPages); err != nil {
+		return nil, err
 	}
 	if err := cfg.Core.Validate(); err != nil {
 		return nil, err
@@ -343,7 +386,13 @@ func New(cfg Config) (*Engine, error) {
 		// by CheckInvariants' spill accounting), so reject it up front.
 		return nil, fmt.Errorf("tiered: synchronous mode serves only the single default tenant owning all of DRAM")
 	}
-	tbl, err := NewTable(cfg.Shards)
+	numNodes := cfg.Topology.NumNodes()
+	if cfg.Synchronous && numNodes != 1 {
+		// Same reasoning as quotas: the reference policies model one
+		// uniform machine, and sim equivalence is defined on it.
+		return nil, fmt.Errorf("tiered: synchronous mode runs on a single-node topology, got %d nodes", numNodes)
+	}
+	tbl, err := NewTableNUMA(cfg.Shards, numNodes)
 	if err != nil {
 		return nil, err
 	}
@@ -360,6 +409,7 @@ func New(cfg Config) (*Engine, error) {
 		pageSize:   uint64(cfg.Spec.Geometry.PageSizeBytes),
 		tenants:    make(map[TenantID]*tenantState, len(cfg.Tenants)),
 		spill:      spill,
+		multiNode:  numNodes > 1,
 		dramCap:    int64(cfg.DRAMPages),
 		nvmCap:     int64(cfg.NVMPages),
 		serveCells: make([]serveCell, stripes),
@@ -367,17 +417,30 @@ func New(cfg Config) (*Engine, error) {
 		inflight:   make(map[uint64]struct{}),
 		drained:    make(chan struct{}),
 	}
+	for n, nc := range cfg.Topology.Nodes {
+		ns := &nodeState{
+			id:      n,
+			dramCap: int64(nc.DRAMPages),
+			nvmCap:  int64(nc.NVMPages),
+		}
+		if e.multiNode {
+			ns.accesses = make([]padCounter, stripes)
+		}
+		e.nodes = append(e.nodes, ns)
+	}
 	for _, tc := range cfg.Tenants {
 		name := tc.Name
 		if name == "" {
 			name = fmt.Sprintf("tenant-%d", tc.ID)
 		}
 		ts := &tenantState{
-			id:    tc.ID,
-			name:  name,
-			quota: int64(tc.DRAMQuota),
-			cap:   int64(tc.DRAMQuota) + spill,
-			cells: make([]tenantCell, stripes),
+			id:       tc.ID,
+			name:     name,
+			quota:    int64(tc.DRAMQuota),
+			cap:      int64(tc.DRAMQuota) + spill,
+			priority: tc.Priority,
+			nodeUsed: make([]atomic.Int64, numNodes),
+			cells:    make([]tenantCell, stripes),
 		}
 		if !cfg.Synchronous {
 			ts.pol, err = newOnlinePolicy(cfg.Policy, cfg.Core, cfg.Adaptive)
@@ -389,6 +452,19 @@ func New(cfg Config) (*Engine, error) {
 		e.tenantList = append(e.tenantList, ts)
 	}
 	sort.Slice(e.tenantList, func(i, j int) bool { return e.tenantList[i].id < e.tenantList[j].id })
+	// Apportion the quotas jointly, in ID order, so no node backs more
+	// guaranteed shares than its pool holds.
+	quotas := make([]int64, len(e.tenantList))
+	for i, ts := range e.tenantList {
+		ts.idx = i
+		quotas[i] = ts.quota
+	}
+	for i, shares := range apportionQuotas(quotas, cfg.Topology.Nodes, e.dramCap) {
+		e.tenantList[i].nodeQuota = shares
+	}
+	for _, ns := range e.nodes {
+		ns.scanBufs = make([][]candidate, len(e.tenantList))
+	}
 	e.def = e.tenants[DefaultTenant]
 	if cfg.Synchronous {
 		e.backing, err = newBackingPolicy(cfg.Policy, cfg.DRAMPages, cfg.NVMPages, cfg.Core, cfg.Adaptive, cfg.DWF)
@@ -431,20 +507,27 @@ func (e *Engine) TenantStats(id TenantID) (TenantStats, bool) {
 		return TenantStats{}, false
 	}
 	accesses, hitsDRAM, hitsNVM := ts.serveTotals()
-	return TenantStats{
-		ID:           ts.id,
-		Name:         ts.name,
-		Accesses:     accesses,
-		HitsDRAM:     hitsDRAM,
-		HitsNVM:      hitsNVM,
-		Faults:       ts.c.faults.Load(),
-		Promotions:   ts.c.promotions.Load(),
-		Demotions:    ts.c.demotions.Load(),
-		Evictions:    ts.c.evictions.Load(),
-		ResidentDRAM: ts.dramUsed.Load(),
-		DRAMQuota:    ts.quota,
-		DRAMCap:      ts.cap,
-	}, true
+	st := TenantStats{
+		ID:               ts.id,
+		Name:             ts.name,
+		Accesses:         accesses,
+		HitsDRAM:         hitsDRAM,
+		HitsNVM:          hitsNVM,
+		Faults:           ts.c.faults.Load(),
+		Promotions:       ts.c.promotions.Load(),
+		Demotions:        ts.c.demotions.Load(),
+		Evictions:        ts.c.evictions.Load(),
+		ResidentDRAM:     ts.dramUsed.Load(),
+		DRAMQuota:        ts.quota,
+		DRAMCap:          ts.cap,
+		Priority:         ts.priority,
+		NodeQuota:        append([]int64(nil), ts.nodeQuota...),
+		NodeResidentDRAM: make([]int64, len(ts.nodeUsed)),
+	}
+	for n := range ts.nodeUsed {
+		st.NodeResidentDRAM[n] = ts.nodeUsed[n].Load()
+	}
+	return st, true
 }
 
 // Stats returns a snapshot of the engine's counters, aggregating the
@@ -466,8 +549,13 @@ func (e *Engine) Stats() Stats {
 		Scans:          e.c.scans.Load(),
 		Batches:        e.c.batches.Load(),
 		QueueDrops:     e.c.queueDrops.Load(),
-		ResidentDRAM:   e.dramUsed.Load(),
-		ResidentNVM:    e.nvmUsed.Load(),
+	}
+	for _, ns := range e.nodes {
+		st.ResidentDRAM += ns.dramUsed.Load()
+		st.ResidentNVM += ns.nvmUsed.Load()
+		st.RemoteFaults += ns.faultsRemote.Load()
+		st.RemotePromotions += ns.promosRemote.Load()
+		st.RemoteDemotions += ns.demosRemote.Load()
 	}
 	for i := range e.serveCells {
 		c := &e.serveCells[i]
@@ -509,19 +597,30 @@ func (e *Engine) ServeTenant(tenant TenantID, addr uint64, op trace.Op) (ServeRe
 	}
 	// The key doubles as the counter stripe selector: accesses to different
 	// pages tally on different cache lines, so the hot path's only shared
-	// writes are the page's own entry and its stripe.
+	// writes are the page's own entry and its stripe. The key is hashed
+	// exactly once per access — the probe and the home-node lookup share
+	// the mix.
 	key := tableKey(ts.id, page)
 	cell := key & e.stripeMask
+	h := mix(key)
 	e.serveCells[cell].accesses.Add(1)
 	ts.cells[cell].accesses.Add(1)
+	home := 0
+	if e.multiNode {
+		// Per-node ops attribution, striped like the serve cells. Only
+		// multi-node engines pay for it: the single-node hot path is
+		// exactly the flat engine's.
+		home = e.tbl.HomeNodeHash(h)
+		e.nodes[home].accesses[cell].Add(1)
+	}
 	if e.backing != nil {
 		return e.serveSync(ts, cell, page, op)
 	}
-	if loc, ok := e.tbl.TouchKey(key, op); ok {
+	if loc, ok := e.tbl.TouchHash(key, h, op); ok {
 		e.tallyHit(ts, cell, loc, op)
 		return ServeResult{ServedFrom: loc}, nil
 	}
-	return e.serveFault(ts, cell, key, page, op)
+	return e.serveFault(ts, cell, key, h, page, home, op)
 }
 
 // tallyHit records a non-faulting access, mirroring sim.Run's accounting,
@@ -546,8 +645,9 @@ func (e *Engine) tallyHit(ts *tenantState, cell uint64, loc mm.Location, op trac
 	}
 }
 
-// tallyFault records a fault served into zone.
-func (e *Engine) tallyFault(ts *tenantState, zone mm.Location) {
+// tallyFault records a fault of a page homed on node home, served into
+// zone by a frame from node's pool.
+func (e *Engine) tallyFault(ts *tenantState, zone mm.Location, home, node int) {
 	e.c.faults.Add(1)
 	ts.c.faults.Add(1)
 	if zone == mm.LocDRAM {
@@ -555,60 +655,106 @@ func (e *Engine) tallyFault(ts *tenantState, zone mm.Location) {
 	} else {
 		e.c.faultsToNVM.Add(1)
 	}
+	ns := e.nodes[home]
+	if node == home {
+		ns.faultsLocal.Add(1)
+	} else {
+		ns.faultsRemote.Add(1)
+	}
 }
 
-// reserveDRAM claims one DRAM frame for a tenant. The first DRAMQuota
-// frames come from the tenant's dedicated budget; every frame above the
-// quota must take a token from the shared spill pool, so the tenants'
-// collective borrowing never exceeds the pool and the sum of residencies
-// never exceeds DRAM — which is what makes a quota a guarantee: a tenant
-// within its quota always reserves without demoting anyone. Capacity is
-// enforced by the occupancy counters, not a free list: a successful
-// reserve is a promise that an Insert/MoveIf will follow (or the
-// reservation is released). The tenant's resMu makes the quota-vs-borrow
-// classification of each frame exact.
-func (e *Engine) reserveDRAM(ts *tenantState) dramReserve {
+// takeFrame claims one free frame from a CAS-exact pool level bounded by
+// cap, or reports that the pool is full — the per-node capacity gate for
+// both zones.
+func takeFrame(pool *atomic.Int64, cap int64) bool {
+	for {
+		u := pool.Load()
+		if u >= cap {
+			return false
+		}
+		if pool.CompareAndSwap(u, u+1) {
+			return true
+		}
+	}
+}
+
+// takeNodeDRAM claims one free frame from a node's DRAM pool.
+func (e *Engine) takeNodeDRAM(n int) bool {
+	ns := e.nodes[n]
+	return takeFrame(&ns.dramUsed, ns.dramCap)
+}
+
+// reserveDRAM claims one DRAM frame for a tenant, preferring the page's
+// home node and falling back to remote nodes only when the home pool
+// cannot hold it. On each node, the first nodeQuota frames come from the
+// tenant's apportioned budget; every frame above the node share must take
+// a token from the shared spill pool (borrowable cross-node), so the
+// tenants' collective borrowing never exceeds the pool, no node's pool
+// overflows, and the sum of residencies never exceeds DRAM — which is
+// what makes a quota a guarantee: a tenant within its apportioned share
+// reserves without demoting anyone. Capacity is enforced by the occupancy
+// counters, not a free list: a successful reserve is a promise that an
+// Insert/MoveIf will follow (or the reservation is released). The
+// tenant's resMu makes the share-vs-borrow classification of each frame
+// exact. Returns the node the frame came from.
+func (e *Engine) reserveDRAM(ts *tenantState, home int) (int, dramReserve) {
 	ts.resMu.Lock()
 	u := ts.dramUsed.Load()
 	if u >= ts.cap {
 		ts.resMu.Unlock()
-		return dramTenantFull
+		return 0, dramTenantFull
 	}
-	if u+1 > ts.quota && !e.takeSpill() {
+	starved := false
+	for i := 0; i < len(e.nodes); i++ {
+		n := home + i
+		if n >= len(e.nodes) {
+			n -= len(e.nodes)
+		}
+		nu := ts.nodeUsed[n].Load()
+		token := nu+1 > ts.nodeQuota[n]
+		if token && !e.takeSpill() {
+			// Physical room may exist here, but the tenant cannot pay
+			// for it: a borrower holds the token it needs.
+			starved = true
+			continue
+		}
+		if !e.takeNodeDRAM(n) {
+			if token {
+				e.returnSpill()
+			}
+			continue
+		}
+		ts.nodeUsed[n].Store(nu + 1)
+		ts.dramUsed.Store(u + 1)
 		ts.resMu.Unlock()
-		return dramSpillFull
+		return n, dramReserved
 	}
-	ts.dramUsed.Store(u + 1)
 	ts.resMu.Unlock()
-	e.dramUsed.Add(1)
-	return dramReserved
+	if starved {
+		return 0, dramSpillFull
+	}
+	return 0, dramNodeFull
 }
 
-// releaseDRAM returns a tenant's reserved DRAM frame, handing back a spill
-// token when the freed frame was above the quota.
-func (e *Engine) releaseDRAM(ts *tenantState) {
+// releaseDRAM returns a tenant's reserved DRAM frame to the given node's
+// pool, handing back a spill token when the freed frame was above the
+// tenant's share on that node.
+func (e *Engine) releaseDRAM(ts *tenantState, node int) {
 	ts.resMu.Lock()
-	u := ts.dramUsed.Load()
-	if u > ts.quota {
+	nu := ts.nodeUsed[node].Load()
+	if nu > ts.nodeQuota[node] {
 		e.returnSpill()
 	}
-	ts.dramUsed.Store(u - 1)
+	ts.nodeUsed[node].Store(nu - 1)
+	ts.dramUsed.Store(ts.dramUsed.Load() - 1)
 	ts.resMu.Unlock()
-	e.dramUsed.Add(-1)
+	e.nodes[node].dramUsed.Add(-1)
 }
 
 // takeSpill borrows one frame from the shared spill pool, or reports that
 // the pool is fully borrowed.
 func (e *Engine) takeSpill() bool {
-	for {
-		s := e.spillUsed.Load()
-		if s >= e.spill {
-			return false
-		}
-		if e.spillUsed.CompareAndSwap(s, s+1) {
-			return true
-		}
-	}
+	return takeFrame(&e.spillUsed, e.spill)
 }
 
 // returnSpill hands a borrowed frame back to the pool.
@@ -616,54 +762,65 @@ func (e *Engine) returnSpill() {
 	e.spillUsed.Add(-1)
 }
 
-// reserveNVM claims one free NVM frame, or reports that the zone is full.
-// NVM is a shared pool: only DRAM, the contended resource, is quota'd.
-func (e *Engine) reserveNVM() bool {
-	for {
-		u := e.nvmUsed.Load()
-		if u >= e.nvmCap {
-			return false
+// reserveNVM claims one free NVM frame, preferring the given node's pool
+// and spilling to remote pools when it is full; it reports which pool the
+// frame came from, or that every pool is full. NVM is shared across
+// tenants: only DRAM, the contended resource, is quota'd.
+func (e *Engine) reserveNVM(prefer int) (int, bool) {
+	for i := 0; i < len(e.nodes); i++ {
+		n := prefer + i
+		if n >= len(e.nodes) {
+			n -= len(e.nodes)
 		}
-		if e.nvmUsed.CompareAndSwap(u, u+1) {
-			return true
+		ns := e.nodes[n]
+		if takeFrame(&ns.nvmUsed, ns.nvmCap) {
+			return n, true
 		}
 	}
+	return 0, false
 }
 
-// releaseNVM returns a reserved NVM frame.
-func (e *Engine) releaseNVM() {
-	e.nvmUsed.Add(-1)
+// releaseNVM returns a reserved NVM frame to the given node's pool.
+func (e *Engine) releaseNVM(node int) {
+	e.nodes[node].nvmUsed.Add(-1)
 }
 
 // serveFault loads a non-resident page into the zone the tenant's policy
-// chooses, demoting and evicting colder pages as capacity requires.
-func (e *Engine) serveFault(ts *tenantState, cell, key, page uint64, op trace.Op) (ServeResult, error) {
+// chooses — onto the page's home node when its pool has room, remotely
+// otherwise — demoting and evicting colder pages as capacity requires.
+// key's hash h and home node are passed down from ServeTenant, which
+// already computed them.
+func (e *Engine) serveFault(ts *tenantState, cell, key, h, page uint64, home int, op trace.Op) (ServeResult, error) {
 	zone := ts.pol.FaultZone(op)
 	for attempt := 0; attempt < maxFaultRetries; attempt++ {
+		var node int
 		if zone == mm.LocNVM {
-			if !e.reserveNVM() {
+			n, ok := e.reserveNVM(home)
+			if !ok {
 				if err := e.evictOne(); err != nil {
 					return ServeResult{}, err
 				}
 				continue
 			}
+			node = n
 		} else {
-			switch e.reserveDRAM(ts) {
-			case dramTenantFull, dramSpillFull:
+			n, r := e.reserveDRAM(ts, home)
+			if r != dramReserved {
 				if err := e.demoteForReserve(ts, false); err != nil {
 					return ServeResult{}, err
 				}
 				continue
 			}
+			node = n
 		}
-		if e.tbl.Insert(ts.id, page, zone) {
-			e.tallyFault(ts, zone)
+		if e.tbl.InsertNode(ts.id, page, zone, node) {
+			e.tallyFault(ts, zone, home, node)
 			return ServeResult{ServedFrom: zone, Fault: true}, nil
 		}
 		// Another goroutine faulted the page in first: this access is a
 		// hit on wherever it landed.
-		e.releaseZone(ts, zone)
-		if loc, ok := e.tbl.TouchKey(key, op); ok {
+		e.releaseZone(ts, zone, node)
+		if loc, ok := e.tbl.TouchHash(key, h, op); ok {
 			e.tallyHit(ts, cell, loc, op)
 			return ServeResult{ServedFrom: loc}, nil
 		}
@@ -672,60 +829,75 @@ func (e *Engine) serveFault(ts *tenantState, cell, key, page uint64, op trace.Op
 	return ServeResult{}, fmt.Errorf("tiered: tenant %d page %d fault retries exhausted", ts.id, page)
 }
 
-// releaseZone returns a reserved frame in either zone.
-func (e *Engine) releaseZone(ts *tenantState, zone mm.Location) {
+// releaseZone returns a reserved frame in either zone to the given node's
+// pool.
+func (e *Engine) releaseZone(ts *tenantState, zone mm.Location, node int) {
 	if zone == mm.LocDRAM {
-		e.releaseDRAM(ts)
+		e.releaseDRAM(ts, node)
 	} else {
-		e.releaseNVM()
+		e.releaseNVM(node)
 	}
 }
 
 // demoteForReserve makes room after a failed DRAM reservation. A tenant
-// blocked at its cap, or at/above its quota with the spill pool fully
-// borrowed, demotes its own coldest page — quota enforcement never
-// victimizes a within-quota neighbor. A tenant with no DRAM pages at all
-// (a quota-less tenant racing for spill) instead demotes within some
-// over-quota tenant: those are the only victims whose demotion releases a
-// spill token, and an exhausted pool implies one exists. Finding none
-// means the borrowers drained concurrently; the caller just retries its
-// reserve.
+// holding DRAM demotes its own coldest page — quota enforcement never
+// victimizes a within-share neighbor — preferring a node where it is over
+// its apportioned share, so the demotion also frees the spill token the
+// retry may need. A tenant with no DRAM pages at all (a quota-less tenant
+// racing for spill) instead demotes within some token-holding tenant, on
+// the node it borrows on: those are the only victims whose demotion
+// releases a token, and an exhausted pool implies one exists. Finding
+// none means the borrowers drained concurrently; the caller just retries
+// its reserve.
 func (e *Engine) demoteForReserve(ts *tenantState, forPromotion bool) error {
+	if n := ts.overageNode(); n >= 0 {
+		return e.demoteOne(ts, true, forPromotion, n)
+	}
 	if ts.dramUsed.Load() > 0 {
-		return e.demoteOne(ts, true, forPromotion)
+		return e.demoteOne(ts, true, forPromotion, -1)
 	}
 	for _, vs := range e.tenantList {
-		if vs.dramUsed.Load() > vs.quota {
-			return e.demoteOne(vs, true, forPromotion)
+		if n := vs.overageNode(); n >= 0 {
+			return e.demoteOne(vs, true, forPromotion, n)
 		}
 	}
 	return nil
 }
 
 // demoteOne frees one DRAM frame by demoting a cold page into NVM (which
-// may cascade into an NVM eviction). With tenantOnly, the victim must
-// belong to ts — quota enforcement demotes within the over-budget tenant.
+// may cascade into an NVM eviction), preferring an NVM frame on the node
+// the victim leaves so demotions stay node-local when they can. With
+// tenantOnly, the victim must belong to ts — quota enforcement demotes
+// within the over-budget tenant. With frameNode >= 0, the victim's DRAM
+// frame must sit in that node's pool — the share-enforcement case, where
+// freeing that specific pool (and its spill token) is the point.
 // forPromotion only labels the demotion's reason in the stats.
-func (e *Engine) demoteOne(ts *tenantState, tenantOnly, forPromotion bool) error {
-	// Reserve the NVM frame first so the victim always has somewhere to
-	// land.
+func (e *Engine) demoteOne(ts *tenantState, tenantOnly, forPromotion bool, frameNode int) error {
 	for attempt := 0; attempt < maxFaultRetries; attempt++ {
-		if !e.reserveNVM() {
+		// Pick the victim first: its observed frame node is where the
+		// demoted page should land if that NVM pool has room. The NVM
+		// frame is still reserved before the move, so the victim always
+		// has somewhere to land.
+		victimTenant, victim, victimNode, ok := e.tbl.ClockVictimNode(mm.LocDRAM, frameNode, ts.id, tenantOnly)
+		if !ok {
+			// The zone (or the requested slice of it) drained concurrently;
+			// the caller's reserve will now succeed.
+			return nil
+		}
+		nvmNode, ok := e.reserveNVM(victimNode)
+		if !ok {
+			// NVM full: evict and re-reserve immediately, so the victim
+			// sweep above is not repeated on the common full-NVM path.
 			if err := e.evictOne(); err != nil {
 				return err
 			}
-			continue
-		}
-		victimTenant, victim, ok := e.tbl.ClockVictim(mm.LocDRAM, ts.id, tenantOnly)
-		if !ok {
-			// The zone (or the tenant's slice of it) drained concurrently;
-			// the caller's reserve will now succeed.
-			e.releaseNVM()
-			return nil
+			if nvmNode, ok = e.reserveNVM(victimNode); !ok {
+				continue // the freed frame was snatched; start over
+			}
 		}
 		vs := e.tenants[victimTenant]
-		if e.tbl.MoveIf(victimTenant, victim, mm.LocDRAM, mm.LocNVM) {
-			e.releaseDRAM(vs)
+		if fromNode, moved := e.tbl.MoveIfNode(victimTenant, victim, mm.LocDRAM, mm.LocNVM, nvmNode); moved {
+			e.releaseDRAM(vs, fromNode)
 			e.c.demotions.Add(1)
 			vs.c.demotions.Add(1)
 			if forPromotion {
@@ -733,10 +905,16 @@ func (e *Engine) demoteOne(ts *tenantState, tenantOnly, forPromotion bool) error
 			} else {
 				e.c.demotionsFault.Add(1)
 			}
+			from := e.nodes[fromNode]
+			if nvmNode == fromNode {
+				from.demosLocal.Add(1)
+			} else {
+				from.demosRemote.Add(1)
+			}
 			return nil
 		}
 		// The victim moved or vanished under us; retry with a fresh one.
-		e.releaseNVM()
+		e.releaseNVM(nvmNode)
 	}
 	return errors.New("tiered: demotion retries exhausted")
 }
@@ -750,8 +928,8 @@ func (e *Engine) evictOne() error {
 		if !ok {
 			return nil // zone drained concurrently
 		}
-		if e.tbl.RemoveIf(victimTenant, victim, mm.LocNVM) {
-			e.releaseNVM()
+		if node, removed := e.tbl.RemoveIfNode(victimTenant, victim, mm.LocNVM); removed {
+			e.releaseNVM(node)
 			e.c.evictions.Add(1)
 			e.tenants[victimTenant].c.evictions.Add(1)
 			return nil
@@ -762,7 +940,10 @@ func (e *Engine) evictOne() error {
 
 // applyPromotion moves one scan-identified hot page to DRAM, verifying the
 // scan's observation still holds at apply time. The key carries the
-// tenant, and the DRAM frame is charged to that tenant's quota.
+// tenant, and the DRAM frame is charged to that tenant's quota. The frame
+// comes from the page's home node whenever that pool can hold it; a
+// remote frame is taken only when the home node is exhausted, and the
+// promotion is counted as remote on the home node's stats.
 func (e *Engine) applyPromotion(key uint64) {
 	tenant, page := splitKey(key)
 	ts := e.tenants[tenant]
@@ -772,20 +953,27 @@ func (e *Engine) applyPromotion(key uint64) {
 	if loc, ok := e.tbl.Peek(tenant, page); !ok || loc != mm.LocNVM {
 		return // stale hint: the page moved or was evicted since the scan
 	}
+	home := e.tbl.HomeNodeKey(key)
 	for attempt := 0; attempt < maxFaultRetries; attempt++ {
-		switch e.reserveDRAM(ts) {
-		case dramTenantFull, dramSpillFull:
+		node, r := e.reserveDRAM(ts, home)
+		if r != dramReserved {
 			if e.demoteForReserve(ts, true) != nil {
 				return
 			}
 			continue
 		}
-		if e.tbl.MoveIf(tenant, page, mm.LocNVM, mm.LocDRAM) {
-			e.releaseNVM()
+		if fromNode, moved := e.tbl.MoveIfNode(tenant, page, mm.LocNVM, mm.LocDRAM, node); moved {
+			e.releaseNVM(fromNode)
 			e.c.promotions.Add(1)
 			ts.c.promotions.Add(1)
+			hn := e.nodes[home]
+			if node == home {
+				hn.promosLocal.Add(1)
+			} else {
+				hn.promosRemote.Add(1)
+			}
 		} else {
-			e.releaseDRAM(ts)
+			e.releaseDRAM(ts, node)
 		}
 		return
 	}
@@ -804,7 +992,9 @@ func (e *Engine) serveSync(ts *tenantState, cell, page uint64, op trace.Op) (Ser
 	if r.Fault {
 		switch r.ServedFrom {
 		case mm.LocDRAM, mm.LocNVM:
-			e.tallyFault(ts, r.ServedFrom)
+			// Synchronous mode runs on a single-node topology: every
+			// placement is node-local by construction.
+			e.tallyFault(ts, r.ServedFrom, 0, 0)
 		default:
 			return ServeResult{}, fmt.Errorf("tiered: fault served from %v", r.ServedFrom)
 		}
@@ -819,29 +1009,36 @@ func (e *Engine) serveSync(ts *tenantState, cell, page uint64, op trace.Op) (Ser
 	return ServeResult{ServedFrom: r.ServedFrom, Fault: r.Fault}, nil
 }
 
-// mirrorMove applies one reference-policy move to the sharded table and the
-// occupancy counters, with the same classification sim.Run uses.
+// mirrorMove applies one reference-policy move to the sharded table and
+// the occupancy counters, with the same classification sim.Run uses.
+// Synchronous mode runs on a single-node topology, so every frame lives
+// in node 0's pools and every migration is node-local.
 func (e *Engine) mirrorMove(ts *tenantState, m policy.Move) error {
 	fail := func() error {
 		return fmt.Errorf("tiered: table out of sync applying %+v", m)
 	}
+	n0 := e.nodes[0]
 	switch {
 	case m.From == mm.LocNVM && m.To == mm.LocDRAM:
 		if !e.tbl.MoveIf(ts.id, m.Page, mm.LocNVM, mm.LocDRAM) {
 			return fail()
 		}
-		e.nvmUsed.Add(-1)
-		e.dramUsed.Add(1)
+		n0.nvmUsed.Add(-1)
+		n0.dramUsed.Add(1)
 		ts.dramUsed.Add(1)
+		ts.nodeUsed[0].Add(1)
 		e.c.promotions.Add(1)
 		ts.c.promotions.Add(1)
+		n0.promosLocal.Add(1)
 	case m.From == mm.LocDRAM && m.To == mm.LocNVM:
 		if !e.tbl.MoveIf(ts.id, m.Page, mm.LocDRAM, mm.LocNVM) {
 			return fail()
 		}
-		e.dramUsed.Add(-1)
+		n0.dramUsed.Add(-1)
 		ts.dramUsed.Add(-1)
-		e.nvmUsed.Add(1)
+		ts.nodeUsed[0].Add(-1)
+		n0.nvmUsed.Add(1)
+		n0.demosLocal.Add(1)
 		switch m.Reason {
 		case policy.ReasonDemoteClean:
 			e.c.demotionsClean.Add(1)
@@ -859,20 +1056,22 @@ func (e *Engine) mirrorMove(ts *tenantState, m policy.Move) error {
 			return fail()
 		}
 		if m.To == mm.LocDRAM {
-			e.dramUsed.Add(1)
+			n0.dramUsed.Add(1)
 			ts.dramUsed.Add(1)
+			ts.nodeUsed[0].Add(1)
 		} else {
-			e.nvmUsed.Add(1)
+			n0.nvmUsed.Add(1)
 		}
 	case m.To == mm.LocDisk && m.From.IsMemory():
 		if !e.tbl.RemoveIf(ts.id, m.Page, m.From) {
 			return fail()
 		}
 		if m.From == mm.LocDRAM {
-			e.dramUsed.Add(-1)
+			n0.dramUsed.Add(-1)
 			ts.dramUsed.Add(-1)
+			ts.nodeUsed[0].Add(-1)
 		} else {
-			e.nvmUsed.Add(-1)
+			n0.nvmUsed.Add(-1)
 		}
 		e.c.evictions.Add(1)
 		ts.c.evictions.Add(1)
@@ -882,50 +1081,103 @@ func (e *Engine) mirrorMove(ts *tenantState, m policy.Move) error {
 	return nil
 }
 
-// CheckInvariants validates the table against the occupancy counters,
-// capacities and per-tenant quota caps. Call it quiesced (no concurrent
-// Serve); in synchronous mode it additionally cross-checks the reference
-// policy's physical memory.
+// CheckInvariants validates the table against the per-node occupancy
+// pools, capacities, per-tenant quota caps and the spill-token ledger.
+// Call it quiesced (no concurrent Serve); in synchronous mode it
+// additionally cross-checks the reference policy's physical memory.
 func (e *Engine) CheckInvariants() error {
-	dram, nvm := e.tbl.Residents(mm.LocDRAM), e.tbl.Residents(mm.LocNVM)
-	if int64(dram) != e.dramUsed.Load() || int64(nvm) != e.nvmUsed.Load() {
-		return fmt.Errorf("tiered: table holds %d/%d pages but occupancy says %d/%d",
-			dram, nvm, e.dramUsed.Load(), e.nvmUsed.Load())
-	}
-	if int64(dram) > e.dramCap || int64(nvm) > e.nvmCap {
-		return fmt.Errorf("tiered: occupancy %d/%d exceeds capacity %d/%d",
-			dram, nvm, e.dramCap, e.nvmCap)
-	}
-	// One table pass suffices for every tenant's DRAM residency.
-	perTenant := make(map[TenantID]int64, len(e.tenantList))
+	// One table pass suffices for everything the table must witness: the
+	// zone totals, each node's per-zone residency, and every tenant's
+	// per-node DRAM residency.
+	var dram, nvm int
+	nodeDram := make([]int64, len(e.nodes))
+	nodeNvm := make([]int64, len(e.nodes))
+	perTenant := make(map[TenantID][]int64, len(e.tenantList))
 	for i := 0; i < e.tbl.NumShards(); i++ {
-		e.tbl.ScanShard(i, false, func(tenant TenantID, _ uint64, loc mm.Location, _, _ uint64) {
+		e.tbl.ScanShard(i, false, func(tenant TenantID, _ uint64, loc mm.Location, node int, _, _ uint64) {
 			if loc == mm.LocDRAM {
-				perTenant[tenant]++
+				dram++
+				nodeDram[node]++
+				counts := perTenant[tenant]
+				if counts == nil {
+					counts = make([]int64, len(e.nodes))
+					perTenant[tenant] = counts
+				}
+				counts[node]++
+			} else {
+				nvm++
+				nodeNvm[node]++
 			}
 		})
+	}
+	// Per-node pools: each node's pool level must match the table's count
+	// of frames in that pool and stay within the node's capacity, and the
+	// pools must tile the configured zone totals exactly.
+	var capDramSum, capNvmSum int64
+	for n, ns := range e.nodes {
+		nd, nn := nodeDram[n], nodeNvm[n]
+		if nd != ns.dramUsed.Load() || nn != ns.nvmUsed.Load() {
+			return fmt.Errorf("tiered: node %d holds %d/%d frames in the table but its pools say %d/%d",
+				n, nd, nn, ns.dramUsed.Load(), ns.nvmUsed.Load())
+		}
+		if nd > ns.dramCap || nn > ns.nvmCap {
+			return fmt.Errorf("tiered: node %d occupancy %d/%d exceeds its pools %d/%d",
+				n, nd, nn, ns.dramCap, ns.nvmCap)
+		}
+		capDramSum += ns.dramCap
+		capNvmSum += ns.nvmCap
+	}
+	if capDramSum != e.dramCap || capNvmSum != e.nvmCap {
+		return fmt.Errorf("tiered: node pools total %d/%d frames, configured totals are %d/%d",
+			capDramSum, capNvmSum, e.dramCap, e.nvmCap)
+	}
+	// The apportioned quota shares are what makes a quota a guarantee, so
+	// they must be physically honorable: no node may back more guaranteed
+	// shares than its pool holds.
+	for n, ns := range e.nodes {
+		var shares int64
+		for _, ts := range e.tenantList {
+			shares += ts.nodeQuota[n]
+		}
+		if shares > ns.dramCap {
+			return fmt.Errorf("tiered: node %d backs %d guaranteed quota shares, its DRAM pool holds %d",
+				n, shares, ns.dramCap)
+		}
 	}
 	var tenantSum, borrowed int64
 	for _, ts := range e.tenantList {
 		used := ts.dramUsed.Load()
 		tenantSum += used
-		if got := perTenant[ts.id]; got != used {
-			return fmt.Errorf("tiered: tenant %d holds %d DRAM pages but occupancy says %d",
-				ts.id, got, used)
+		var nodeSum int64
+		for n := range ts.nodeUsed {
+			nu := ts.nodeUsed[n].Load()
+			nodeSum += nu
+			var got int64
+			if counts := perTenant[ts.id]; counts != nil {
+				got = counts[n]
+			}
+			if got != nu {
+				return fmt.Errorf("tiered: tenant %d holds %d DRAM pages on node %d but occupancy says %d",
+					ts.id, got, n, nu)
+			}
+			if over := nu - ts.nodeQuota[n]; over > 0 {
+				borrowed += over
+			}
+		}
+		if nodeSum != used {
+			return fmt.Errorf("tiered: tenant %d per-node DRAM residencies total %d, tenant total is %d",
+				ts.id, nodeSum, used)
 		}
 		if used > ts.cap {
 			return fmt.Errorf("tiered: tenant %d DRAM residency %d exceeds quota %d + spill %d",
 				ts.id, used, ts.quota, e.spill)
-		}
-		if over := used - ts.quota; over > 0 {
-			borrowed += over
 		}
 	}
 	if tenantSum != int64(dram) {
 		return fmt.Errorf("tiered: tenant DRAM residencies total %d, table holds %d", tenantSum, dram)
 	}
 	if got := e.spillUsed.Load(); got != borrowed || got > e.spill {
-		return fmt.Errorf("tiered: spill pool accounting says %d borrowed, tenants hold %d over quota (pool %d)",
+		return fmt.Errorf("tiered: spill pool accounting says %d borrowed, tenants hold %d over their shares (pool %d)",
 			got, borrowed, e.spill)
 	}
 	if e.backing != nil {

@@ -62,7 +62,7 @@ func TestLockFreeTableChurnConcurrent(t *testing.T) {
 					tbl.ClockVictim(mm.LocNVM, tn, rng.Intn(2) == 0)
 				case 5:
 					tbl.ScanShard(int(p)%tbl.NumShards(), rng.Intn(2) == 0,
-						func(TenantID, uint64, mm.Location, uint64, uint64) {})
+						func(TenantID, uint64, mm.Location, int, uint64, uint64) {})
 				case 6:
 					tbl.Peek(tn, p)
 				default:
@@ -226,7 +226,7 @@ func TestServeHitPathZeroAllocs(t *testing.T) {
 	}
 	tbl2 := e.tbl
 	tbl2.Insert(DefaultTenant, 99, mm.LocNVM)
-	e.nvmUsed.Add(1)
+	e.nodes[0].nvmUsed.Add(1)
 
 	for _, tc := range []struct {
 		name string
@@ -268,7 +268,7 @@ func TestScanEpochSteadyStateAllocFree(t *testing.T) {
 	// Populate NVM with cold pages: lots to sweep, nothing hot.
 	for p := uint64(0); p < 128; p++ {
 		e.tbl.Insert(DefaultTenant, p, mm.LocNVM)
-		e.nvmUsed.Add(1)
+		e.nodes[0].nvmUsed.Add(1)
 	}
 	if err := e.ScanOnce(); err != nil { // warm the scratch buffers
 		t.Fatal(err)
@@ -297,9 +297,10 @@ func TestScanEpochSteadyStateAllocFree(t *testing.T) {
 			t.Fatal(err)
 		}
 		if e.tbl.MoveIf(DefaultTenant, 42, mm.LocDRAM, mm.LocNVM) {
-			e.dramUsed.Add(-1)
+			e.nodes[0].dramUsed.Add(-1)
 			e.def.dramUsed.Add(-1)
-			e.nvmUsed.Add(1)
+			e.def.nodeUsed[0].Add(-1)
+			e.nodes[0].nvmUsed.Add(1)
 		} else {
 			t.Fatal("hot page was not promoted")
 		}

@@ -16,9 +16,18 @@
 // The keyspace is multi-tenant: every page belongs to a TenantID whose
 // namespace is folded into the table key, each tenant has a DRAM quota
 // (plus a shared spill pool) and its own policy state, and the daemon
-// apportions its promotion budget round-robin across tenants so one hot
-// tenant cannot monopolize the migration queue. A single-tenant engine is
-// bit-compatible with the pre-tenant one.
+// apportions its promotion budget across tenants by priority-weighted
+// round-robin so one hot tenant cannot monopolize the migration queue.
+//
+// Memory is organized as a topology of NUMA domains: shard groups map to
+// home nodes, each node owns CAS-exact DRAM/NVM frame pools, placement
+// prefers the home node (going remote only when the home node cannot
+// hand the tenant a frame — pool full, or node share spent with the
+// spill pool dry; counted per node), and the daemon runs one
+// scan/promotion pipeline per node. A single-tenant, single-node engine
+// is bit-compatible
+// with the original flat engine, which keeps the sim-equivalence gate
+// count-exact.
 package tiered
 
 import (
@@ -53,7 +62,12 @@ type entry struct {
 	// resident location) marks the entry removed: stale-snapshot readers
 	// that still reach the entry treat it as a miss.
 	state atomic.Uint32
-	_     [24]byte
+	// node is the NUMA node whose pool holds the page's current frame
+	// (written under the shard mutex together with state; read lock-free).
+	// It can differ from the page's home node when the home pool was full
+	// at placement time.
+	node atomic.Uint32
+	_    [28]byte
 }
 
 // tombstone marks a vacated slot. Probes skip it and keep going (the key
@@ -159,6 +173,12 @@ func (s *shard) grow() *buckets {
 type Table struct {
 	shards []shard
 	shift  uint
+	// nodes is the NUMA node count the shard space is tiled over:
+	// contiguous shard groups map to home nodes (shard s belongs to node
+	// s*nodes/len(shards)), so the splitmix64 shard selector doubles as
+	// the topology map and one node's pages spread over its own shard
+	// range exactly as the flat table spread them over all shards.
+	nodes int
 	// cursor is the CLOCK hand for victim selection, in shard granularity,
 	// padded onto its own line so demotion-path contention on it never
 	// dirties the shard metadata.
@@ -179,12 +199,26 @@ func mix(k uint64) uint64 {
 	return k
 }
 
-// NewTable returns a table with shardCount shards, rounded up to the next
-// power of two. shardCount 1 is the single-shard baseline the benchmarks
-// compare against.
+// NewTable returns a single-node table with shardCount shards, rounded up
+// to the next power of two. shardCount 1 is the single-shard baseline the
+// benchmarks compare against.
 func NewTable(shardCount int) (*Table, error) {
+	return NewTableNUMA(shardCount, 1)
+}
+
+// NewTableNUMA returns a table whose shard space is tiled over the given
+// number of NUMA home nodes. The shard count is rounded up to a power of
+// two and raised to at least the node count, so every node owns at least
+// one shard.
+func NewTableNUMA(shardCount, nodes int) (*Table, error) {
 	if shardCount < 1 || shardCount > maxShards {
 		return nil, fmt.Errorf("tiered: shard count %d outside [1,%d]", shardCount, maxShards)
+	}
+	if nodes < 1 || nodes > maxNodes {
+		return nil, fmt.Errorf("tiered: node count %d outside [1,%d]", nodes, maxNodes)
+	}
+	if shardCount < nodes {
+		shardCount = nodes
 	}
 	n := 1
 	for n < shardCount {
@@ -193,6 +227,7 @@ func NewTable(shardCount int) (*Table, error) {
 	t := &Table{
 		shards: make([]shard, n),
 		shift:  uint(64 - bits.Len(uint(n-1))),
+		nodes:  nodes,
 	}
 	for i := range t.shards {
 		t.shards[i].b.Store(newBuckets(minSlots))
@@ -202,6 +237,36 @@ func NewTable(shardCount int) (*Table, error) {
 
 // NumShards returns the (power-of-two) shard count.
 func (t *Table) NumShards() int { return len(t.shards) }
+
+// NumNodes returns the NUMA node count the shard space is tiled over.
+func (t *Table) NumNodes() int { return t.nodes }
+
+// HomeNodeShard returns the home node owning shard s: contiguous shard
+// groups, node n owning shards [ceil(n*S/N), ceil((n+1)*S/N)).
+func (t *Table) HomeNodeShard(s int) int { return s * t.nodes / len(t.shards) }
+
+// NodeShards returns the half-open shard range [lo, hi) homed on node n.
+func (t *Table) NodeShards(n int) (lo, hi int) {
+	s := len(t.shards)
+	return (n*s + t.nodes - 1) / t.nodes, ((n+1)*s + t.nodes - 1) / t.nodes
+}
+
+// HomeNodeKey returns the home node of a table key: the node owning the
+// shard the key hashes to.
+func (t *Table) HomeNodeKey(key uint64) int {
+	return t.HomeNodeHash(mix(key))
+}
+
+// HomeNodeHash is HomeNodeKey for a pre-computed key hash: the serve path
+// hashes each key once and reuses it for the probe and the home lookup.
+func (t *Table) HomeNodeHash(h uint64) int {
+	return t.HomeNodeShard(int(h >> t.shift))
+}
+
+// HomeNode returns the home node of a tenant's page.
+func (t *Table) HomeNode(tenant TenantID, page uint64) int {
+	return t.HomeNodeKey(tableKey(tenant, page))
+}
 
 // shardFor returns the owning shard and the key's hash.
 func (t *Table) shardFor(key uint64) (*shard, uint64) {
@@ -215,7 +280,12 @@ func (t *Table) shardFor(key uint64) (*shard, uint64) {
 // a stale miss during a concurrent insert, which callers resolve on the
 // fault path under the writer mutex.
 func (t *Table) lookup(key uint64) *entry {
-	s, h := t.shardFor(key)
+	return t.lookupHash(key, mix(key))
+}
+
+// lookupHash is lookup with the key's hash supplied by the caller.
+func (t *Table) lookupHash(key, h uint64) *entry {
+	s := &t.shards[h>>t.shift]
 	slots := s.b.Load().slots
 	// Indexing with &(len-1) lets the compiler prove the access in bounds:
 	// no bounds check in the probe loop.
@@ -244,7 +314,14 @@ func (t *Table) Touch(tenant TenantID, page uint64, op trace.Op) (mm.Location, b
 // TouchKey is Touch for a pre-computed table key: the engine folds the
 // tenant in once and reuses the key for counter striping.
 func (t *Table) TouchKey(key uint64, op trace.Op) (mm.Location, bool) {
-	e := t.lookup(key)
+	return t.TouchHash(key, mix(key), op)
+}
+
+// TouchHash is TouchKey with the key's hash supplied by the caller: the
+// engine hashes each access once and reuses it for the probe and the
+// home-node lookup, so the hot path never mixes twice.
+func (t *Table) TouchHash(key, h uint64, op trace.Op) (mm.Location, bool) {
+	e := t.lookupHash(key, h)
 	if e == nil {
 		return 0, false
 	}
@@ -276,11 +353,18 @@ func (t *Table) Peek(tenant TenantID, page uint64) (mm.Location, bool) {
 	return loc, loc.IsMemory()
 }
 
-// Insert adds a non-resident page at loc with fresh counters and the
-// reference bit set. It reports false (and changes nothing) if the page is
-// already resident — two goroutines faulting on the same page race here and
-// exactly one wins.
+// Insert adds a non-resident page at loc on its home node, with fresh
+// counters and the reference bit set. It reports false (and changes
+// nothing) if the page is already resident — two goroutines faulting on
+// the same page race here and exactly one wins.
 func (t *Table) Insert(tenant TenantID, page uint64, loc mm.Location) bool {
+	return t.InsertNode(tenant, page, loc, t.HomeNode(tenant, page))
+}
+
+// InsertNode is Insert with the frame's node chosen by the caller: the
+// engine reserves a frame from a specific node's pool (home preferred,
+// remote when the home pool is full) and records which pool holds it.
+func (t *Table) InsertNode(tenant TenantID, page uint64, loc mm.Location, node int) bool {
 	key := tableKey(tenant, page)
 	s, h := t.shardFor(key)
 	s.mu.Lock()
@@ -299,6 +383,7 @@ func (t *Table) Insert(tenant TenantID, page uint64, loc mm.Location) bool {
 	ne := &entry{key: key}
 	ne.ref.Store(1)
 	ne.state.Store(uint32(loc))
+	ne.node.Store(uint32(node))
 	if b.slots[at].Load() == tombstone {
 		s.dead--
 	}
@@ -309,34 +394,55 @@ func (t *Table) Insert(tenant TenantID, page uint64, loc mm.Location) bool {
 	return true
 }
 
-// MoveIf relocates a resident page from one zone to the other, but only if
-// it is still where the caller believes: migration decisions are made from
-// scans that may be stale by the time they apply. The move resets the
-// page's counters (it must re-earn hotness in its new zone, mirroring the
-// fresh-counter MRU insertion of the reference policy) and re-arms the
-// reference bit. Reports whether the move happened.
+// MoveIf relocates a resident page from one zone to the other on the same
+// node, but only if it is still where the caller believes: migration
+// decisions are made from scans that may be stale by the time they apply.
+// The move resets the page's counters (it must re-earn hotness in its new
+// zone, mirroring the fresh-counter MRU insertion of the reference policy)
+// and re-arms the reference bit. Reports whether the move happened.
 func (t *Table) MoveIf(tenant TenantID, page uint64, from, to mm.Location) bool {
+	_, ok := t.MoveIfNode(tenant, page, from, to, -1)
+	return ok
+}
+
+// MoveIfNode is MoveIf with the destination frame's node chosen by the
+// caller (-1 keeps the page on its current node). It returns the node the
+// page's old frame was on — read under the shard mutex, so the caller can
+// release exactly that pool — and whether the move happened.
+func (t *Table) MoveIfNode(tenant TenantID, page uint64, from, to mm.Location, toNode int) (fromNode int, ok bool) {
 	key := tableKey(tenant, page)
 	s, h := t.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, _, _ := s.b.Load().find(key, h)
 	if e == nil || mm.Location(e.state.Load()) != from {
-		return false
+		return 0, false
 	}
+	fromNode = int(e.node.Load())
 	e.reads.Store(0)
 	e.writes.Store(0)
 	e.ref.Store(1)
+	if toNode >= 0 {
+		e.node.Store(uint32(toNode))
+	}
 	e.state.Store(uint32(to))
-	return true
+	return fromNode, true
 }
 
 // RemoveIf evicts a resident page, but only if it is still in the zone the
-// caller observed. Reports whether the removal happened. The entry is
-// marked dead before its slot is tombstoned, so a reader probing an older
-// snapshot of the shard (which still references the entry) also observes
-// the removal.
+// caller observed. Reports whether the removal happened.
 func (t *Table) RemoveIf(tenant TenantID, page uint64, from mm.Location) bool {
+	_, ok := t.RemoveIfNode(tenant, page, from)
+	return ok
+}
+
+// RemoveIfNode is RemoveIf, additionally returning the node whose pool
+// held the evicted frame (read under the shard mutex, authoritative even
+// if the page migrated between the caller's observation and now). The
+// entry is marked dead before its slot is tombstoned, so a reader probing
+// an older snapshot of the shard (which still references the entry) also
+// observes the removal.
+func (t *Table) RemoveIfNode(tenant TenantID, page uint64, from mm.Location) (node int, ok bool) {
 	key := tableKey(tenant, page)
 	s, h := t.shardFor(key)
 	s.mu.Lock()
@@ -344,13 +450,14 @@ func (t *Table) RemoveIf(tenant TenantID, page uint64, from mm.Location) bool {
 	b := s.b.Load()
 	e, slot, _ := b.find(key, h)
 	if e == nil || mm.Location(e.state.Load()) != from {
-		return false
+		return 0, false
 	}
+	node = int(e.node.Load())
 	e.state.Store(uint32(mm.LocDisk))
 	b.slots[slot].Store(tombstone)
 	s.live--
 	s.dead++
-	return true
+	return node, true
 }
 
 // Len returns the total number of resident pages across all tenants. Taken
@@ -405,16 +512,37 @@ func (t *Table) TenantResidents(tenant TenantID, loc mm.Location) int {
 	return n
 }
 
+// NodeResidents counts the pages whose frame sits in one node's pool of
+// the given zone — the table-side ground truth the engine's per-node
+// occupancy pools are checked against.
+func (t *Table) NodeResidents(node int, loc mm.Location) int {
+	n := 0
+	for i := range t.shards {
+		b := t.shards[i].b.Load()
+		for j := range b.slots {
+			e := b.slots[j].Load()
+			if e == nil || e == tombstone || mm.Location(e.state.Load()) != loc {
+				continue
+			}
+			if int(e.node.Load()) == node {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // ScanShard visits every page of shard i, reporting each page's tenant,
-// page number, location and windowed counters. With reset, the counters are
-// atomically swapped to zero as they are read: successive scans then see
-// per-epoch windowed counts, the online approximation of the paper's LRU
-// windows, and every concurrent Touch lands in exactly one window. The scan
-// walks the published snapshot without taking any lock, so it never stalls
-// the serve or migration paths; a page moved or removed mid-scan may be
-// reported with a mix of old and new state, which is fine for an advisory
-// hotness sweep (the daemon re-verifies locations at apply time).
-func (t *Table) ScanShard(i int, reset bool, fn func(tenant TenantID, page uint64, loc mm.Location, reads, writes uint64)) {
+// page number, location, frame node and windowed counters. With reset, the
+// counters are atomically swapped to zero as they are read: successive
+// scans then see per-epoch windowed counts, the online approximation of
+// the paper's LRU windows, and every concurrent Touch lands in exactly one
+// window. The scan walks the published snapshot without taking any lock,
+// so it never stalls the serve or migration paths; a page moved or removed
+// mid-scan may be reported with a mix of old and new state, which is fine
+// for an advisory hotness sweep (the daemon re-verifies locations at apply
+// time).
+func (t *Table) ScanShard(i int, reset bool, fn func(tenant TenantID, page uint64, loc mm.Location, node int, reads, writes uint64)) {
 	b := t.shards[i].b.Load()
 	for j := range b.slots {
 		e := b.slots[j].Load()
@@ -432,21 +560,33 @@ func (t *Table) ScanShard(i int, reset bool, fn func(tenant TenantID, page uint6
 			r, w = e.reads.Load(), e.writes.Load()
 		}
 		tenant, page := splitKey(e.key)
-		fn(tenant, page, loc, r, w)
+		fn(tenant, page, loc, int(e.node.Load()), r, w)
 	}
 }
 
 // ClockVictim picks an eviction/demotion victim from the given zone with a
-// second-chance sweep: referenced pages get their bit cleared and are
-// passed over; the first page found with a clear bit is the victim. With
-// tenantOnly, only the given tenant's pages are considered (and only their
-// reference bits touched) — the quota-enforcement case, where an
-// over-budget tenant must demote one of its own pages. The hand advances
-// in shard granularity and each shard is swept in slot order over its
-// published snapshot, lock-free. A final lap accepts any qualifying
-// resident page, so the call only fails when the zone (or the tenant's
-// slice of it) is empty.
+// second-chance sweep over every node's frames.
 func (t *Table) ClockVictim(loc mm.Location, tenant TenantID, tenantOnly bool) (TenantID, uint64, bool) {
+	kt, page, _, ok := t.ClockVictimNode(loc, -1, tenant, tenantOnly)
+	return kt, page, ok
+}
+
+// ClockVictimNode picks an eviction/demotion victim from the given zone
+// with a second-chance sweep: referenced pages get their bit cleared and
+// are passed over; the first page found with a clear bit is the victim.
+// With node >= 0, only pages whose frame sits in that node's pool are
+// considered — the per-node capacity-enforcement case, where freeing a
+// specific pool is the point. With tenantOnly, only the given tenant's
+// pages are considered (and only their reference bits touched) — the
+// quota-enforcement case, where an over-budget tenant must demote one of
+// its own pages. The hand advances in shard granularity and each shard is
+// swept in slot order over its published snapshot, lock-free. A final lap
+// accepts any qualifying resident page, so the call only fails when the
+// zone (or the requested slice of it) is empty. The returned frameNode is
+// the node observed holding the victim's frame — a placement hint for the
+// caller (the frame may migrate before the caller acts; the MoveIf/
+// RemoveIf node returns stay authoritative).
+func (t *Table) ClockVictimNode(loc mm.Location, node int, tenant TenantID, tenantOnly bool) (_ TenantID, page uint64, frameNode int, ok bool) {
 	n := uint64(len(t.shards))
 	for lap := 0; lap < 3; lap++ {
 		ignoreRef := lap == 2
@@ -457,6 +597,9 @@ func (t *Table) ClockVictim(loc mm.Location, tenant TenantID, tenantOnly bool) (
 				if e == nil || e == tombstone || mm.Location(e.state.Load()) != loc {
 					continue
 				}
+				if node >= 0 && int(e.node.Load()) != node {
+					continue
+				}
 				kt, page := splitKey(e.key)
 				if tenantOnly && kt != tenant {
 					continue
@@ -465,9 +608,9 @@ func (t *Table) ClockVictim(loc mm.Location, tenant TenantID, tenantOnly bool) (
 					e.ref.Store(0)
 					continue
 				}
-				return kt, page, true
+				return kt, page, int(e.node.Load()), true
 			}
 		}
 	}
-	return 0, 0, false
+	return 0, 0, 0, false
 }

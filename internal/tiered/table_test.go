@@ -63,7 +63,7 @@ func TestTableKeyRoundTrip(t *testing.T) {
 // pageCounters reads a page's windowed counters via a non-resetting scan.
 func pageCounters(tbl *Table, tenant TenantID, page uint64) (reads, writes uint64) {
 	for i := 0; i < tbl.NumShards(); i++ {
-		tbl.ScanShard(i, false, func(kt TenantID, p uint64, _ mm.Location, r, w uint64) {
+		tbl.ScanShard(i, false, func(kt TenantID, p uint64, _ mm.Location, _ int, r, w uint64) {
 			if kt == tenant && p == page {
 				reads, writes = r, w
 			}
@@ -203,7 +203,7 @@ func TestTableScanShardWindows(t *testing.T) {
 	tbl.Touch(DefaultTenant, 7, trace.OpRead)
 
 	var scanned int
-	tbl.ScanShard(0, true, func(tenant TenantID, page uint64, loc mm.Location, reads, writes uint64) {
+	tbl.ScanShard(0, true, func(tenant TenantID, page uint64, loc mm.Location, _ int, reads, writes uint64) {
 		scanned++
 		if tenant != DefaultTenant || page != 7 || loc != mm.LocNVM || reads != 1 || writes != 2 {
 			t.Errorf("scan saw tenant=%d page=%d loc=%v r=%d w=%d", tenant, page, loc, reads, writes)
@@ -213,7 +213,7 @@ func TestTableScanShardWindows(t *testing.T) {
 		t.Fatalf("scan visited %d pages, want 1", scanned)
 	}
 	// The reset closed the window: a second scan sees zero counters.
-	tbl.ScanShard(0, false, func(_ TenantID, _ uint64, _ mm.Location, reads, writes uint64) {
+	tbl.ScanShard(0, false, func(_ TenantID, _ uint64, _ mm.Location, _ int, reads, writes uint64) {
 		if reads != 0 || writes != 0 {
 			t.Errorf("window not reset: r=%d w=%d", reads, writes)
 		}
@@ -315,7 +315,7 @@ func TestTableConcurrent(t *testing.T) {
 				case 3:
 					tbl.ClockVictim(mm.LocDRAM, tn, true)
 				case 4:
-					tbl.ScanShard(int(p)%tbl.NumShards(), false, func(TenantID, uint64, mm.Location, uint64, uint64) {})
+					tbl.ScanShard(int(p)%tbl.NumShards(), false, func(TenantID, uint64, mm.Location, int, uint64, uint64) {})
 				default:
 					tbl.Touch(tn, p, trace.OpWrite)
 				}

@@ -53,7 +53,21 @@ type TenantConfig struct {
 	// tenants' collective borrowing never exceeds the pool either — a
 	// tenant that stays within its quota always gets a frame without
 	// waiting on (or demoting) anyone else.
+	//
+	// On a multi-node topology the quota is apportioned across nodes in
+	// proportion to each node's share of DRAM: the tenant's dedicated
+	// frames on node n are DRAMQuota * nodeDRAM(n)/totalDRAM (remainders
+	// to earlier nodes), and a frame above the node share borrows a spill
+	// token — the spill pool is borrowable cross-node. On a single node
+	// this reduces exactly to the flat quota.
 	DRAMQuota int
+	// Priority weights the tenant's share of the daemon's promotion
+	// budget: the scan interleaves candidates Priority-per-round instead
+	// of one-per-round, so a priority-2 tenant gets twice the migration
+	// bandwidth of a priority-1 neighbor when both have more candidates
+	// than the budget. 0 defaults to 1 (the equal-share round-robin);
+	// negative is rejected.
+	Priority int
 }
 
 // TenantStats is a snapshot of one tenant's counters: the per-tenant view
@@ -71,6 +85,14 @@ type TenantStats struct {
 	Evictions          int64
 	ResidentDRAM       int64
 	DRAMQuota, DRAMCap int64
+	// Priority is the tenant's promotion-interleave weight.
+	Priority int
+	// NodeQuota and NodeResidentDRAM are the per-node apportionment of
+	// DRAMQuota and the tenant's current DRAM residency on each node, in
+	// node order (a single-node engine reports one-element slices equal to
+	// DRAMQuota and ResidentDRAM).
+	NodeQuota        []int64
+	NodeResidentDRAM []int64
 }
 
 // Hits returns the tenant's non-faulting accesses.
@@ -116,35 +138,58 @@ type tenantCounters struct {
 // threshold tuning is independent per tenant), and the counters the scan
 // epochs and reports read.
 type tenantState struct {
-	id    TenantID
+	id TenantID
+	// idx is the tenant's position in the engine's ID-sorted tenant list —
+	// the index the per-node scan scratch is addressed by.
+	idx   int
 	name  string
 	quota int64
 	// cap is quota + spill: the hard bound on the tenant's DRAM residency.
 	cap int64
+	// priority is the tenant's promotion-interleave weight (>= 1).
+	priority int
 	// pol is the tenant's migration-decision plug (nil in synchronous
 	// mode, where the single backing policy decides for the one tenant).
 	pol OnlinePolicy
 
+	// nodeQuota apportions the tenant's DRAM quota across nodes in
+	// proportion to each node's DRAM share; it sums to quota. Immutable
+	// after New.
+	nodeQuota []int64
+
 	// resMu serializes the tenant's DRAM reservations and releases so the
 	// quota-vs-borrowed classification of each frame is exact (frames
-	// above the quota hold spill tokens). Only the fault and migration
+	// above a node share hold spill tokens). Only the fault and migration
 	// paths take it; hits never reserve.
 	resMu    sync.Mutex
 	_        [48]byte
 	dramUsed atomic.Int64
 	_        [56]byte
+	// nodeUsed is the tenant's DRAM residency per node (summing to
+	// dramUsed). Mutated only under resMu; atomic so reports and the
+	// victim-targeting paths read it lock-free.
+	nodeUsed []atomic.Int64
 	// cells stripes the tenant's per-access counters; the engine indexes
 	// them by the same key-derived stripe as its own serve cells and
 	// serveTotals sums them lazily for reports.
 	cells []tenantCell
 	c     tenantCounters
-	// scanBuf is the tenant's reusable candidate buffer, guarded by the
-	// engine's scanMu; reused across epochs so steady-state scans allocate
-	// nothing.
-	scanBuf []candidate
 	// lastEpoch is the previous scan epoch's cumulative counters, guarded
 	// by the engine's scanMu.
 	lastEpoch EpochStats
+}
+
+// overageNode returns a node where the tenant currently holds more DRAM
+// frames than its apportioned share (and therefore holds spill tokens),
+// or -1. Read lock-free: the demotion paths only use it for victim
+// targeting and retry on staleness.
+func (ts *tenantState) overageNode() int {
+	for n := range ts.nodeUsed {
+		if ts.nodeUsed[n].Load() > ts.nodeQuota[n] {
+			return n
+		}
+	}
+	return -1
 }
 
 // serveTotals sums the tenant's striped per-access counters.
@@ -174,6 +219,9 @@ func validateTenants(tenants []TenantConfig, dramPages int) (spill int64, err er
 		if tc.DRAMQuota < 0 {
 			return 0, fmt.Errorf("tiered: tenant %d has negative DRAM quota %d", tc.ID, tc.DRAMQuota)
 		}
+		if tc.Priority < 0 {
+			return 0, fmt.Errorf("tiered: tenant %d has negative priority %d", tc.ID, tc.Priority)
+		}
 		sum += tc.DRAMQuota
 	}
 	if sum > dramPages {
@@ -187,4 +235,53 @@ func validateTenants(tenants []TenantConfig, dramPages int) (spill int64, err er
 		}
 	}
 	return spill, nil
+}
+
+// apportionQuotas splits every tenant's DRAM quota across nodes. Each
+// tenant's shares are proportional to the nodes' DRAM sizes and sum to
+// its quota, and — the guarantee that keeps a quota a guarantee — the
+// tenants' shares on any one node never exceed that node's pool:
+// fractional remainders are placed only where headroom is left, not
+// blindly on the earliest nodes, so a node can always physically honor
+// every share it backs. (The floor shares alone can never oversubscribe
+// a node, because the quotas sum to at most the DRAM total; only the
+// remainders need steering.) With one node each quota lands whole,
+// reproducing the flat accounting exactly. Rows align with quotas.
+func apportionQuotas(quotas []int64, nodes []NodeConfig, dramTotal int64) [][]int64 {
+	headroom := make([]int64, len(nodes))
+	for n, nc := range nodes {
+		headroom[n] = int64(nc.DRAMPages)
+	}
+	out := make([][]int64, len(quotas))
+	rem := make([]int64, len(quotas))
+	// First pass: every tenant's proportional floor shares. Floors alone
+	// can never oversubscribe a node — summed over tenants they stay
+	// within the node's proportional slice — so headroom stays >= 0, and
+	// only then are any remainders placed. (Interleaving remainder
+	// placement with floor subtraction would let an early remainder
+	// consume headroom a later tenant's floor still needs.)
+	for t, quota := range quotas {
+		shares := make([]int64, len(nodes))
+		var given int64
+		for n, nc := range nodes {
+			shares[n] = quota * int64(nc.DRAMPages) / dramTotal
+			given += shares[n]
+			headroom[n] -= shares[n]
+		}
+		out[t] = shares
+		rem[t] = quota - given
+	}
+	// Second pass: the fractional remainders go wherever headroom is
+	// left. Total headroom covers total remainders (the quotas sum to at
+	// most the DRAM total), so every remainder finds a node.
+	for t := range out {
+		for n := 0; rem[t] > 0; n = (n + 1) % len(nodes) {
+			if headroom[n] > 0 {
+				out[t][n]++
+				headroom[n]--
+				rem[t]--
+			}
+		}
+	}
+	return out
 }

@@ -1,0 +1,245 @@
+package tiered
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hybridmem/internal/memspec"
+)
+
+// maxNodes bounds the node count of a topology: more sockets than shards
+// (or than any real machine) is a configuration bug, not a scaling axis.
+const maxNodes = 64
+
+// NodeConfig is one NUMA node's share of the machine: the DRAM and NVM
+// frame pools physically attached to that node.
+type NodeConfig struct {
+	// DRAMPages and NVMPages are the node's frame pools; both must be at
+	// least 1 so every node can host pages in either tier.
+	DRAMPages, NVMPages int
+}
+
+// Topology describes how the engine's memory is split across NUMA nodes.
+// The zero value means a single uniform node owning all of DRAM and NVM —
+// the paper's machine, and bit-compatible with the pre-topology engine.
+//
+// The table maps shard groups to home nodes (contiguous shard ranges, so
+// the splitmix64 shard selector doubles as the topology map), the engine
+// keeps one CAS-exact DRAM/NVM pool per node, and the daemon runs one
+// scan/promotion pipeline per node. A page prefers frames on its home
+// node; it is placed remotely only when the home node cannot hand it a
+// frame — the pool is physically full, or the tenant is past its node
+// share there and the spill pool is fully borrowed.
+type Topology struct {
+	// Nodes lists the per-node pools. Empty means one node owning the
+	// engine's whole DRAMPages/NVMPages. When set, the pools must sum to
+	// exactly the engine's configured zone capacities.
+	Nodes []NodeConfig
+	// RemotePenalty is the cross-node access-cost multiplier used by the
+	// cost model and reports (>= 1). 0 takes memspec.DefaultNUMA()'s
+	// factor.
+	RemotePenalty float64
+}
+
+// EvenTopology splits dramPages and nvmPages evenly across nodes (earlier
+// nodes take the remainders) — the tierd -numa emulation shape.
+func EvenTopology(nodes, dramPages, nvmPages int) Topology {
+	t := Topology{Nodes: make([]NodeConfig, nodes)}
+	for i := range t.Nodes {
+		t.Nodes[i].DRAMPages = dramPages / nodes
+		if i < dramPages%nodes {
+			t.Nodes[i].DRAMPages++
+		}
+		t.Nodes[i].NVMPages = nvmPages / nodes
+		if i < nvmPages%nodes {
+			t.Nodes[i].NVMPages++
+		}
+	}
+	return t
+}
+
+// NumNodes returns the node count (1 for the zero value).
+func (t Topology) NumNodes() int {
+	if len(t.Nodes) == 0 {
+		return 1
+	}
+	return len(t.Nodes)
+}
+
+// withDefaults fills the zero value in from the engine's flat zone sizes.
+func (t Topology) withDefaults(dramPages, nvmPages int) Topology {
+	if len(t.Nodes) == 0 {
+		t.Nodes = []NodeConfig{{DRAMPages: dramPages, NVMPages: nvmPages}}
+	}
+	if t.RemotePenalty == 0 {
+		t.RemotePenalty = memspec.DefaultNUMA().RemoteFactor
+	}
+	return t
+}
+
+// validate checks every node's pools (reporting the offending node index)
+// and that the pools tile the configured zone capacities exactly.
+func (t Topology) validate(dramPages, nvmPages int) error {
+	if len(t.Nodes) > maxNodes {
+		return fmt.Errorf("tiered: topology has %d nodes, limit is %d", len(t.Nodes), maxNodes)
+	}
+	if t.RemotePenalty < 1 {
+		return fmt.Errorf("tiered: topology remote penalty %g below 1 (remote cannot be cheaper than local)", t.RemotePenalty)
+	}
+	var dramSum, nvmSum int
+	for i, n := range t.Nodes {
+		if n.DRAMPages < 1 {
+			return fmt.Errorf("tiered: node %d: DRAM pool needs at least 1 frame, got %d", i, n.DRAMPages)
+		}
+		if n.NVMPages < 1 {
+			return fmt.Errorf("tiered: node %d: NVM pool needs at least 1 frame, got %d", i, n.NVMPages)
+		}
+		dramSum += n.DRAMPages
+		nvmSum += n.NVMPages
+	}
+	if dramSum != dramPages || nvmSum != nvmPages {
+		return fmt.Errorf("tiered: node pools total %d DRAM + %d NVM frames, config says %d + %d",
+			dramSum, nvmSum, dramPages, nvmPages)
+	}
+	return nil
+}
+
+// numa folds the topology into the memspec cost model.
+func (t Topology) numa() memspec.NUMA {
+	return memspec.NUMA{Nodes: t.NumNodes(), RemoteFactor: t.RemotePenalty}
+}
+
+// PromotionCostNS returns the latency of migrating one page from NVM into
+// DRAM under spec: the cost the paper sizes its thresholds against,
+// inflated by the remote penalty when the only free DRAM frame is on
+// another node.
+func (t Topology) PromotionCostNS(spec memspec.Spec, remote bool) float64 {
+	return t.numa().MigrationCostNS(spec, spec.NVM, spec.DRAM, remote)
+}
+
+// BreakEvenHitsRemote is BreakEvenHits for a cross-node promotion: the
+// page's round trip pays the interconnect penalty in both directions, so
+// a remote migration must convert proportionally more NVM hits into DRAM
+// hits before it pays for itself. tierd reports it next to the local
+// figure so the -numa emulation's migration economics are visible.
+func (t Topology) BreakEvenHitsRemote(spec memspec.Spec) int {
+	n := t.numa()
+	cost := n.MigrationCostNS(spec, spec.NVM, spec.DRAM, true) +
+		n.MigrationCostNS(spec, spec.DRAM, spec.NVM, true)
+	save := spec.NVM.ReadLatencyNS - spec.DRAM.ReadLatencyNS
+	if save <= 0 {
+		return 1
+	}
+	be := int(cost/save) + 1
+	if be < 1 {
+		be = 1
+	}
+	return be
+}
+
+// nodeState is one NUMA node's runtime state: the CAS-exact frame pools
+// (the per-node split of the old global dramUsed/nvmUsed), the local-vs-
+// remote placement counters, and the node's slice of the migration daemon
+// (its own promotion queue, node-pinned workers and scan scratch). The
+// contended pool levels and the counters each sit on their own cache line.
+type nodeState struct {
+	id              int
+	dramCap, nvmCap int64
+
+	_        [cacheLine]byte
+	dramUsed atomic.Int64
+	_        [cacheLine - 8]byte
+	nvmUsed  atomic.Int64
+	_        [cacheLine - 8]byte
+
+	// Placement counters, attributed to the page's home node: a fault or
+	// promotion is local when the frame it claimed is on the home node,
+	// remote when the home node could not hand the tenant a frame (pool
+	// full, or node share spent with the spill pool dry) and it came from
+	// another node. Demotions are attributed to the node that held the
+	// DRAM frame (local when the page lands in that node's NVM pool).
+	faultsLocal, faultsRemote padCounter
+	promosLocal, promosRemote padCounter
+	demosLocal, demosRemote   padCounter
+
+	// accesses stripes the node's served-access tally by the same
+	// key-derived stripe as the engine's serve cells; only maintained on
+	// multi-node engines (the single-node hot path stays untouched).
+	accesses []padCounter
+
+	// Daemon slice: the node's promotion queue, drained by the node's own
+	// workers, and the per-tenant scan scratch (indexed by tenant list
+	// position; guarded by the engine's scanMu).
+	batchCh     chan *[]uint64
+	scanBufs    [][]candidate
+	scanQueues  [][]candidate
+	scanWeights []int
+	scanOrder   []candidate
+}
+
+// NodeStats is a snapshot of one node's pools and placement counters, the
+// per-node breakdown of Stats.
+type NodeStats struct {
+	ID int
+	// DRAMPages and NVMPages are the node's configured pools;
+	// ResidentDRAM and ResidentNVM the current occupancies.
+	DRAMPages, NVMPages       int64
+	ResidentDRAM, ResidentNVM int64
+	// Accesses counts served accesses to pages homed on this node
+	// (maintained only on multi-node engines; 0 on a single node, where
+	// Stats.Accesses is the same number).
+	Accesses int64
+	// FaultsLocal/FaultsRemote split the faults of pages homed here by
+	// whether the frame they loaded into was node-local. Promotions
+	// likewise. DemotionsLocal/DemotionsRemote split demotions of DRAM
+	// frames on this node by whether the page landed in this node's NVM.
+	FaultsLocal, FaultsRemote         int64
+	PromotionsLocal, PromotionsRemote int64
+	DemotionsLocal, DemotionsRemote   int64
+}
+
+// Sub returns the event-count deltas since prev; the pool levels are
+// carried over unchanged.
+func (s NodeStats) Sub(prev NodeStats) NodeStats {
+	d := s
+	d.Accesses -= prev.Accesses
+	d.FaultsLocal -= prev.FaultsLocal
+	d.FaultsRemote -= prev.FaultsRemote
+	d.PromotionsLocal -= prev.PromotionsLocal
+	d.PromotionsRemote -= prev.PromotionsRemote
+	d.DemotionsLocal -= prev.DemotionsLocal
+	d.DemotionsRemote -= prev.DemotionsRemote
+	return d
+}
+
+// NumNodes returns the engine's node count.
+func (e *Engine) NumNodes() int { return len(e.nodes) }
+
+// Topology returns the engine's effective (default-filled) topology.
+func (e *Engine) Topology() Topology { return e.cfg.Topology }
+
+// NodeStats returns a snapshot of every node's pools and placement
+// counters, in node order. Safe to call concurrently with Serve.
+func (e *Engine) NodeStats() []NodeStats {
+	out := make([]NodeStats, len(e.nodes))
+	for i, ns := range e.nodes {
+		st := NodeStats{
+			ID:               ns.id,
+			DRAMPages:        ns.dramCap,
+			NVMPages:         ns.nvmCap,
+			ResidentDRAM:     ns.dramUsed.Load(),
+			ResidentNVM:      ns.nvmUsed.Load(),
+			FaultsLocal:      ns.faultsLocal.Load(),
+			FaultsRemote:     ns.faultsRemote.Load(),
+			PromotionsLocal:  ns.promosLocal.Load(),
+			PromotionsRemote: ns.promosRemote.Load(),
+			DemotionsLocal:   ns.demosLocal.Load(),
+			DemotionsRemote:  ns.demosRemote.Load(),
+		}
+		for j := range ns.accesses {
+			st.Accesses += ns.accesses[j].Load()
+		}
+		out[i] = st
+	}
+	return out
+}
