@@ -10,7 +10,7 @@ GO ?= go
 # point of running under the race detector.
 FAST_PKGS = $$($(GO) list ./... | grep -v internal/experiments)
 
-.PHONY: all build vet test race bench bench-json bench-baseline fmt fmt-check tierd-smoke tierd-mt-smoke tierd-numa-smoke ci
+.PHONY: all build vet test race bench bench-json bench-baseline fmt fmt-check tierd-smoke tierd-mt-smoke tierd-numa-smoke tierd-net-smoke ci
 
 all: build test
 
@@ -27,11 +27,11 @@ race:
 	$(GO) test -race $(FAST_PKGS)
 
 # One-iteration benchmark smoke: catches benchmarks that no longer compile
-# or crash without paying for stable measurements. internal/tiered is
-# excluded here because bench-json runs (and captures) exactly those
-# suites — running them twice per CI pass buys nothing.
+# or crash without paying for stable measurements. internal/tiered and
+# internal/server are excluded here because bench-json runs (and captures)
+# exactly those suites — running them twice per CI pass buys nothing.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' $$($(GO) list ./... | grep -v internal/tiered)
+	$(GO) test -bench=. -benchtime=1x -run='^$$' $$($(GO) list ./... | grep -v internal/tiered | grep -v internal/server)
 
 # Machine-readable benchmark artifact + perf gate: the serve-path suites
 # as BENCH_tiered.json (hybridmem.bench/v1), published by CI so the perf
@@ -47,16 +47,17 @@ bench:
 # cannot flip the gate.
 BENCHTIME ?= 300000x
 BENCHCOUNT ?= 3
-BENCH_SUITES = BenchmarkShardedTable|BenchmarkTieredServe|BenchmarkServeParallel
+BENCH_SUITES = BenchmarkShardedTable|BenchmarkTieredServe|BenchmarkServeParallel|BenchmarkServeRESP|BenchmarkServeProcess|BenchmarkRESPParse
+BENCH_PKGS = ./internal/tiered ./internal/server
 bench-json:
-	$(GO) test -bench='$(BENCH_SUITES)' -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -run='^$$' ./internal/tiered > bench_tiered.txt
+	$(GO) test -bench='$(BENCH_SUITES)' -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -run='^$$' $(BENCH_PKGS) > bench_tiered.txt
 	$(GO) run ./cmd/benchjson -suite tiered -baseline BENCH_baseline.json -out BENCH_tiered.json < bench_tiered.txt
 	@rm -f bench_tiered.txt
 
 # Regenerate the committed perf baseline (run on the machine the gate will
 # compare on; commit the result).
 bench-baseline:
-	$(GO) test -bench='$(BENCH_SUITES)' -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -run='^$$' ./internal/tiered > bench_tiered.txt
+	$(GO) test -bench='$(BENCH_SUITES)' -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -run='^$$' $(BENCH_PKGS) > bench_tiered.txt
 	$(GO) run ./cmd/benchjson -suite tiered-baseline -out BENCH_baseline.json < bench_tiered.txt
 	@rm -f bench_tiered.txt
 
@@ -88,6 +89,32 @@ tierd-numa-smoke:
 	assert local > 0 and remote > 0, 'migrations local=%d remote=%d, both must be nonzero' % (local, remote); \
 	print('tierd-numa-smoke: ok (%d local / %d remote migrations, %d node rows)' % (local, remote, len(rows)))"
 
+# Network smoke: build tierd once, start its RESP server in the
+# background, drive pipelined load at it from the benchmark client over
+# loopback, then SIGTERM the server and wait for the drain. Both
+# artifacts are then checked, not just emitted: the client must have
+# observed nonzero engine hits through the wire (the server_* fields it
+# fetches over STATS), and the server must report a clean drain.
+tierd-net-smoke:
+	$(GO) build -o tierd-net-bin ./cmd/tierd
+	@./tierd-net-bin -serve 127.0.0.1:16379 -workload bodytrack -scale 0.05 -json -out tierd-net-serve.json & \
+	SRV=$$!; \
+	./tierd-net-bin -connect 127.0.0.1:16379 -workload bodytrack -scale 0.05 \
+		-connections 2 -pipeline 16 -ops 200000 -duration 30s -json -out tierd-net-client.json \
+		|| { kill $$SRV 2>/dev/null; exit 1; }; \
+	kill -TERM $$SRV && wait $$SRV
+	@python3 -c "\
+	import json; \
+	c = json.load(open('tierd-net-client.json'))['results'][0]['values']; \
+	s = json.load(open('tierd-net-serve.json'))['results'][0]['values']; \
+	hits = c.get('server_hits_dram', 0) + c.get('server_hits_nvm', 0); \
+	assert c['ops'] > 0, 'client completed no ops'; \
+	assert hits > 0, 'no engine hits observed over the wire'; \
+	assert s['clean_drain'] == 1, 'server drain was not clean'; \
+	assert s['commands'] >= c['ops'], 'server saw fewer commands than the client sent'; \
+	print('tierd-net-smoke: ok (%d ops, %d hits, %.0f ops/s, clean drain)' % (c['ops'], hits, c['ops_per_sec']))"
+	@rm -f tierd-net-bin
+
 fmt:
 	gofmt -w .
 
@@ -96,4 +123,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check build vet test race bench bench-json tierd-smoke tierd-mt-smoke tierd-numa-smoke
+ci: fmt-check build vet test race bench bench-json tierd-smoke tierd-mt-smoke tierd-numa-smoke tierd-net-smoke

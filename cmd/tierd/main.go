@@ -8,6 +8,8 @@
 //	go run ./cmd/tierd -verify -goroutines 1       # equivalence gate vs internal/sim
 //	go run ./cmd/tierd -tenants 'bodytrack:40,canneal:30,ferret:30' -duration 2s
 //	go run ./cmd/tierd -numa nodes=2,remote-penalty=1.8 -duration 2s
+//	go run ./cmd/tierd -serve 127.0.0.1:6380 -workload bodytrack       # RESP server
+//	go run ./cmd/tierd -connect 127.0.0.1:6380 -connections 4 -pipeline 16 -duration 5s
 //
 // With -verify, tierd first replays the trace through a single-goroutine
 // synchronous engine and the reference simulator and fails unless every
@@ -41,6 +43,16 @@
 // (allocs_per_op, alloc_bytes_per_op, gc_cycles, gc_pause_total_ns) so CI
 // load runs expose allocation creep, not just latency creep. -memstats=false
 // drops the collection (two runtime.ReadMemStats stop-the-world points).
+//
+// With -serve, tierd becomes a RESP (redis-protocol) server over the
+// engine: remote clients generate the load instead of in-process
+// goroutines, AUTH binds connections to tenants, and SIGINT/SIGTERM
+// triggers a graceful drain whose cleanliness is recorded in the
+// artifact. With -connect, tierd is the benchmarking client: it replays
+// the workload trace over -connections pipelined connections, closed-loop
+// or open-loop at a target -rate, and reports batch round-trip
+// percentiles plus the server's own counters fetched over STATS. See
+// docs/protocol.md for the wire protocol.
 package main
 
 import (
@@ -81,6 +93,17 @@ func main() {
 		jsonOut      = flag.Bool("json", false, "emit a hybridmem.results/v1 artifact instead of text")
 		outPath      = flag.String("out", "", "write output to a file instead of stdout")
 		memStats     = flag.Bool("memstats", true, "report load-phase allocs/op and GC pause totals (runtime.ReadMemStats deltas)")
+
+		serveAddr   = flag.String("serve", "", `RESP server mode: listen on this address (e.g. "127.0.0.1:6380") and serve remote clients until SIGINT/SIGTERM; sizing comes from -workload or -tenants`)
+		connectAddr = flag.String("connect", "", "benchmark client mode: replay the -workload trace over RESP against a running tierd -serve at this address")
+		connections = flag.Int("connections", 4, "client mode: concurrent connections")
+		pipeline    = flag.Int("pipeline", 16, "client mode: pipelined commands per batch")
+		clientMode  = flag.String("client-mode", "closed", `client mode pacing: "closed" (next batch when the previous is answered) or "open" (fixed schedule from -rate; lateness counts as latency)`)
+		rate        = flag.Float64("rate", 0, "client mode, open loop: target total ops/s across all connections")
+		authToken   = flag.String("auth", "", "client mode: AUTH token sent on each connection (a tenant name, e.g. \"default\")")
+		maxConns    = flag.Int("max-conns", 0, "serve mode: connection cap; accepting past it evicts the least-recently-active connection (0 = server default)")
+		idleTimeout = flag.Duration("idle-timeout", 0, "serve mode: reap connections idle this long (0 = server default, negative disables)")
+		requireAuth = flag.Bool("require-auth", false, "serve mode: reject data commands until a successful AUTH")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -104,6 +127,36 @@ func main() {
 	}
 	if numa.nodes > 1 && (*sync || *verify) {
 		log.Fatal("-numa is incompatible with -sync and -verify (sim equivalence is defined on the single-node machine)")
+	}
+
+	if *serveAddr != "" || *connectAddr != "" {
+		if *serveAddr != "" && *connectAddr != "" {
+			log.Fatal("-serve and -connect are mutually exclusive (run them as two processes)")
+		}
+		if *sync || *verify {
+			log.Fatal("-serve and -connect are incompatible with -sync and -verify")
+		}
+		nf := netFlags{
+			serveAddr:   *serveAddr,
+			connectAddr: *connectAddr,
+			connections: *connections,
+			pipeline:    *pipeline,
+			openLoop:    *clientMode == "open",
+			rate:        *rate,
+			auth:        *authToken,
+			maxConns:    *maxConns,
+			idleTimeout: *idleTimeout,
+			requireAuth: *requireAuth,
+		}
+		if *clientMode != "open" && *clientMode != "closed" {
+			log.Fatalf("-client-mode %q unknown (have open, closed)", *clientMode)
+		}
+		if *serveAddr != "" {
+			runServe(nf, *outPath, *workloadName, *tenantsSpec, *policyName, *scale, *seed, *shards, numa, *jsonOut)
+		} else {
+			runConnect(nf, *outPath, *workloadName, *scale, *seed, *duration, *ops, *jsonOut)
+		}
+		return
 	}
 
 	if *tenantsSpec != "" {

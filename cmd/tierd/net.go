@@ -1,0 +1,394 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"hybridmem/internal/memspec"
+	"hybridmem/internal/runner"
+	"hybridmem/internal/server"
+	"hybridmem/internal/tiered"
+	"hybridmem/internal/trace"
+)
+
+// netFlags carries the -serve / -connect mode options parsed in main.
+type netFlags struct {
+	serveAddr   string
+	connectAddr string
+	connections int
+	pipeline    int
+	openLoop    bool
+	rate        float64
+	auth        string
+	maxConns    int
+	idleTimeout time.Duration
+	requireAuth bool
+}
+
+// runServe is tierd's server mode: build the engine (sized for the
+// configured workloads, exactly as the in-process load modes size it),
+// expose it over RESP, and serve until SIGINT/SIGTERM. The shutdown
+// path is the graceful drain: stop accepting, let in-flight pipelines
+// finish and flush, then stop the migration daemon — and the report
+// records whether the drain completed within its grace window.
+func runServe(nf netFlags, outPath, workloadName, tenantsSpec, policyName string,
+	scale float64, seed int64, shards int, numa numaFlags, jsonOut bool) {
+	var cfg tiered.Config
+	if tenantsSpec != "" {
+		shares, err := parseTenants(tenantsSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalPages := 0
+		for i, sh := range shares {
+			_, _, pages := genTenantTrace(sh.workload, scale, seed+int64(i))
+			totalPages += pages
+		}
+		dram, nvm := memspec.DefaultSizing().Partition(totalPages)
+		tenants := make([]tiered.TenantConfig, len(shares))
+		for i, sh := range shares {
+			tenants[i] = tiered.TenantConfig{
+				ID:        tiered.TenantID(i),
+				Name:      fmt.Sprintf("%d:%s", i, sh.workload),
+				DRAMQuota: dram * sh.percent / 100,
+			}
+		}
+		cfg = tiered.Config{
+			Policy:    tiered.Kind(policyName),
+			DRAMPages: dram,
+			NVMPages:  nvm,
+			Shards:    shards,
+			Topology:  numa.topology(dram, nvm),
+			Tenants:   tenants,
+		}
+	} else {
+		_, _, pages := genTenantTrace(workloadName, scale, seed)
+		dram, nvm := memspec.DefaultSizing().Partition(pages)
+		cfg = tiered.Config{
+			Policy:    tiered.Kind(policyName),
+			DRAMPages: dram,
+			NVMPages:  nvm,
+			Shards:    shards,
+			Topology:  numa.topology(dram, nvm),
+		}
+	}
+
+	engine, err := tiered.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := engine.Start(); err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(engine, server.Config{
+		Addr:        nf.serveAddr,
+		MaxConns:    nf.maxConns,
+		IdleTimeout: nf.idleTimeout,
+		RequireAuth: nf.requireAuth,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Listen(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "tierd: serving %s on %s (policy %s, DRAM %d + NVM %d frames)\n",
+		modeLabel(tenantsSpec, workloadName), srv.Addr(), engine.PolicyName(),
+		cfg.DRAMPages, cfg.NVMPages)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	signal.Stop(sig)
+	fmt.Fprintln(os.Stderr, "tierd: draining")
+
+	drainErr := srv.Shutdown(5 * time.Second)
+	if err := engine.Stop(); err != nil {
+		log.Fatal(err)
+	}
+	st := srv.Stats()
+	es := engine.Stats()
+
+	writeOut(outPath, func(w io.Writer) error {
+		if jsonOut {
+			return writeServeArtifact(w, engine, st, es, drainErr == nil, scale, seed)
+		}
+		return writeServeText(w, engine, st, es, drainErr)
+	})
+	if drainErr != nil {
+		log.Fatal(drainErr)
+	}
+}
+
+// modeLabel names what the server fronts for the startup banner.
+func modeLabel(tenantsSpec, workloadName string) string {
+	if tenantsSpec != "" {
+		return "tenants " + tenantsSpec
+	}
+	return "workload " + workloadName
+}
+
+func writeServeText(w io.Writer, e *tiered.Engine, st server.Stats, es tiered.Stats, drainErr error) error {
+	drain := "clean"
+	if drainErr != nil {
+		drain = drainErr.Error()
+	}
+	_, err := fmt.Fprintf(w, `tierd: served %d commands (%d pipelined) over %d connections (%d evicted, %d reaped); drain %s
+placement:  %.1f%% DRAM hits, %.1f%% NVM hits, %d faults
+migration:  %d promotions, %d demotions, %d evictions
+`,
+		st.Commands, st.Pipelined, st.Accepted, st.Evicted, st.Reaped, drain,
+		pct(es.HitsDRAM(), es.Accesses), pct(es.HitsNVM(), es.Accesses), es.Faults,
+		es.Promotions, es.Demotions, es.Evictions)
+	return err
+}
+
+func writeServeArtifact(w io.Writer, e *tiered.Engine, st server.Stats, es tiered.Stats,
+	clean bool, scale float64, seed int64) error {
+	a := runner.NewArtifact("tierd", "net-serve", scale, seed)
+	cfg := e.Config()
+	cleanVal := 0.0
+	if clean {
+		cleanVal = 1
+	}
+	a.Add(runner.Result{
+		ID:        fmt.Sprintf("serve/%s", e.PolicyName()),
+		Workload:  "net",
+		Policy:    e.PolicyName(),
+		Seed:      seed,
+		DRAMPages: cfg.DRAMPages,
+		NVMPages:  cfg.NVMPages,
+		Params: map[string]float64{
+			"shards": float64(cfg.Shards),
+			"nodes":  float64(e.NumNodes()),
+		},
+		Values: map[string]float64{
+			"commands":        float64(st.Commands),
+			"pipelined":       float64(st.Pipelined),
+			"conns_accepted":  float64(st.Accepted),
+			"conns_evicted":   float64(st.Evicted),
+			"conns_reaped":    float64(st.Reaped),
+			"auth_failures":   float64(st.AuthFailures),
+			"protocol_errors": float64(st.ProtocolErrors),
+			"accesses":        float64(es.Accesses),
+			"hits_dram":       float64(es.HitsDRAM()),
+			"hits_nvm":        float64(es.HitsNVM()),
+			"faults":          float64(es.Faults),
+			"promotions":      float64(es.Promotions),
+			"demotions":       float64(es.Demotions),
+			"evictions":       float64(es.Evictions),
+			"clean_drain":     cleanVal,
+		},
+	})
+	return a.Write(w)
+}
+
+// clientReport is the benchmark client's outcome: batch round-trip
+// latency quantiles over the replayed trace, plus the server's own
+// counters fetched over STATS after the run.
+type clientReport struct {
+	ops         int64
+	elapsed     time.Duration
+	hist        tiered.Hist
+	serverStats map[string]int64
+}
+
+// runConnect is tierd's benchmark-client mode: replay a workload trace
+// against a live tierd -serve over RESP from N connections, pipelined
+// at the configured depth. Closed-loop sends the next batch when the
+// previous one is answered (throughput-bound); open-loop paces batches
+// on a fixed schedule derived from -rate and measures latency from the
+// scheduled send time, so server-side queueing shows up in the
+// percentiles instead of being absorbed by a slowed sender.
+func runConnect(nf netFlags, outPath, workloadName string, scale float64, seed int64,
+	duration time.Duration, ops int64, jsonOut bool) {
+	if nf.connections < 1 {
+		log.Fatalf("-connections must be positive, got %d", nf.connections)
+	}
+	if nf.pipeline < 1 {
+		log.Fatalf("-pipeline must be positive, got %d", nf.pipeline)
+	}
+	if nf.openLoop && nf.rate <= 0 {
+		log.Fatal("-client-mode open needs -rate (target ops/s)")
+	}
+	warm, roi, _ := genTenantTrace(workloadName, scale, seed)
+	recs := append(warm, roi...)
+
+	deadline := time.Now().Add(duration)
+	perConnOps := int64(0)
+	if ops > 0 {
+		perConnOps = (ops + int64(nf.connections) - 1) / int64(nf.connections)
+	}
+
+	var wg sync.WaitGroup
+	hists := make([]tiered.Hist, nf.connections)
+	counts := make([]int64, nf.connections)
+	errs := make([]error, nf.connections)
+	start := time.Now()
+	for i := 0; i < nf.connections; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = driveConn(nf, recs, i, perConnOps, deadline, &hists[i], &counts[i])
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	rep := clientReport{elapsed: elapsed}
+	for i := range hists {
+		rep.hist.Add(&hists[i])
+		rep.ops += counts[i]
+	}
+	if rep.ops == 0 {
+		log.Fatal("no operations completed")
+	}
+
+	// One extra connection fetches the server's counters for the report.
+	if c, err := server.Dial(nf.connectAddr, 2*time.Second); err == nil {
+		if nf.auth != "" {
+			c.Auth(nf.auth)
+		}
+		rep.serverStats, _ = c.Stats()
+		c.Close()
+	}
+
+	writeOut(outPath, func(w io.Writer) error {
+		if jsonOut {
+			return writeClientArtifact(w, nf, rep, workloadName, scale, seed)
+		}
+		return writeClientText(w, nf, rep, workloadName)
+	})
+}
+
+// driveConn runs one connection's share of the load. Latency is
+// recorded per pipelined batch: for depth 1 that is per-op round-trip
+// time; for deeper pipelines it is the time the whole batch spent
+// outstanding, the number a capacity plan actually needs.
+func driveConn(nf netFlags, recs []trace.Record, id int, opBudget int64,
+	deadline time.Time, hist *tiered.Hist, count *int64) error {
+	c, err := server.DialRetry(nf.connectAddr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("connection %d: %v", id, err)
+	}
+	defer c.Close()
+	if nf.auth != "" {
+		if err := c.Auth(nf.auth); err != nil {
+			return fmt.Errorf("connection %d: AUTH: %v", id, err)
+		}
+	}
+	// Stripe the trace so connections do not replay identical sequences.
+	pos := (len(recs) / (id + 1)) % len(recs)
+	var interval time.Duration
+	next := time.Now()
+	if nf.openLoop {
+		interval = time.Duration(float64(nf.pipeline) * float64(time.Second) / (nf.rate / float64(nf.connections)))
+	}
+	for (opBudget == 0 || *count < opBudget) && time.Now().Before(deadline) {
+		if nf.openLoop {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		batchStart := time.Now()
+		if nf.openLoop {
+			// Open loop measures from the scheduled send, not the actual
+			// one: a late batch carries its lateness into the latency.
+			batchStart = next
+			next = next.Add(interval)
+		}
+		for i := 0; i < nf.pipeline; i++ {
+			r := recs[pos]
+			pos++
+			if pos == len(recs) {
+				pos = 0
+			}
+			if r.Op == trace.OpWrite {
+				c.EnqueueSet(r.Addr)
+			} else {
+				c.EnqueueGet(r.Addr)
+			}
+		}
+		if err := c.Flush(); err != nil {
+			return fmt.Errorf("connection %d: %v", id, err)
+		}
+		for i := 0; i < nf.pipeline; i++ {
+			if _, err := c.ReadReply(); err != nil {
+				return fmt.Errorf("connection %d: %v", id, err)
+			}
+		}
+		hist.Record(time.Since(batchStart))
+		*count += int64(nf.pipeline)
+	}
+	return nil
+}
+
+func writeClientText(w io.Writer, nf netFlags, rep clientReport, workloadName string) error {
+	mode := "closed"
+	if nf.openLoop {
+		mode = fmt.Sprintf("open @ %.0f ops/s", nf.rate)
+	}
+	_, err := fmt.Fprintf(w, `tierd: %s over RESP to %s, %d connections x pipeline %d, %s loop
+throughput: %12.0f ops/s (%d ops in %v)
+batch rtt:  p50 %v, p95 %v, p99 %v, max %v
+`,
+		workloadName, nf.connectAddr, nf.connections, nf.pipeline, mode,
+		float64(rep.ops)/rep.elapsed.Seconds(), rep.ops, rep.elapsed.Round(time.Millisecond),
+		rep.hist.Quantile(0.50), rep.hist.Quantile(0.95), rep.hist.Quantile(0.99), rep.hist.Max())
+	if err != nil {
+		return err
+	}
+	if rep.serverStats != nil {
+		_, err = fmt.Fprintf(w, "server:     %d accesses, %d DRAM hits, %d NVM hits, %d faults, %d commands\n",
+			rep.serverStats["accesses"], rep.serverStats["hits_dram"],
+			rep.serverStats["hits_nvm"], rep.serverStats["faults"], rep.serverStats["commands"])
+	}
+	return err
+}
+
+func writeClientArtifact(w io.Writer, nf netFlags, rep clientReport,
+	workloadName string, scale float64, seed int64) error {
+	a := runner.NewArtifact("tierd", "net-client", scale, seed)
+	mode := 0.0
+	if nf.openLoop {
+		mode = 1
+	}
+	values := map[string]float64{
+		"ops":         float64(rep.ops),
+		"ops_per_sec": float64(rep.ops) / rep.elapsed.Seconds(),
+		"p50_ns":      float64(rep.hist.Quantile(0.50).Nanoseconds()),
+		"p95_ns":      float64(rep.hist.Quantile(0.95).Nanoseconds()),
+		"p99_ns":      float64(rep.hist.Quantile(0.99).Nanoseconds()),
+		"max_ns":      float64(rep.hist.Max().Nanoseconds()),
+	}
+	// The server's own view rides along so the smoke gate can assert the
+	// load actually hit the engine, not just the socket.
+	for k, v := range rep.serverStats {
+		values["server_"+k] = float64(v)
+	}
+	a.Add(runner.Result{
+		ID:       fmt.Sprintf("client/%s/c%dp%d", workloadName, nf.connections, nf.pipeline),
+		Workload: workloadName,
+		Policy:   "net",
+		Seed:     seed,
+		Params: map[string]float64{
+			"connections": float64(nf.connections),
+			"pipeline":    float64(nf.pipeline),
+			"open_loop":   mode,
+			"rate":        nf.rate,
+		},
+		Values: values,
+	})
+	return a.Write(w)
+}

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hybridmem/internal/tiered"
+)
+
+// benchEngine builds a started engine big enough that the benchmark's
+// working set fits in DRAM after warmup, so the numbers measure the
+// serve path, not steady-state migration churn.
+func benchEngine(b *testing.B) *tiered.Engine {
+	b.Helper()
+	e, err := tiered.New(tiered.Config{DRAMPages: 4096, NVMPages: 16384, Shards: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { e.Stop() })
+	return e
+}
+
+// BenchmarkServeRESP measures end-to-end command throughput over a real
+// loopback TCP connection at several pipeline depths: the full stack of
+// client encode, kernel round-trip, server parse, engine serve, and
+// reply flush. Depth 1 is the closed-loop floor (one syscall pair per
+// command); deeper pipelines amortize the round-trip exactly as a
+// redis-benchmark -P run would.
+func BenchmarkServeRESP(b *testing.B) {
+	for _, depth := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("pipeline=%d", depth), func(b *testing.B) {
+			e := benchEngine(b)
+			s, err := New(e, Config{Addr: "127.0.0.1:0"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Listen(); err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { s.Shutdown(time.Second) })
+			c, err := Dial(s.Addr().String(), time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { c.Close() })
+			// Warm the working set so the measured loop hits, not faults.
+			const pages = 1024
+			for p := uint64(0); p < pages; p++ {
+				c.EnqueueSet(p * 4096)
+			}
+			if err := c.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			for p := 0; p < pages; p++ {
+				if _, err := c.ReadReply(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			sent := 0
+			for sent < b.N {
+				batch := depth
+				if left := b.N - sent; left < batch {
+					batch = left
+				}
+				for i := 0; i < batch; i++ {
+					c.EnqueueGet(uint64((sent+i)%pages) * 4096)
+				}
+				if err := c.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < batch; i++ {
+					if _, err := c.ReadReply(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				sent += batch
+			}
+			b.StopTimer()
+		})
+	}
+}
+
+// BenchmarkServeProcess measures the server's in-process command cost —
+// parse, dispatch, engine serve, reply append — with the network
+// removed, the number the 0 allocs/op acceptance gate pins. One op is
+// one GET against a warmed page.
+func BenchmarkServeProcess(b *testing.B) {
+	e := benchEngine(b)
+	s, err := New(e, Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const depth = 16
+	var batch []byte
+	for i := 0; i < depth; i++ {
+		addr := fmt.Sprint(i * 4096)
+		batch = append(batch, fmt.Sprintf("*2\r\n$3\r\nGET\r\n$%d\r\n%s\r\n", len(addr), addr)...)
+	}
+	c := &conn{id: 1, tenant: tiered.DefaultTenant, rbuf: make([]byte, len(batch))}
+	run := func() {
+		copy(c.rbuf, batch)
+		c.rpos, c.rend = 0, len(batch)
+		c.out = c.out[:0]
+		if s.process(c) {
+			b.Fatal("batch closed the connection")
+		}
+	}
+	run() // warm: fault the pages in, size the buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += depth {
+		run()
+	}
+	b.StopTimer()
+}

@@ -1,0 +1,227 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"time"
+)
+
+// Client is a minimal pipelined RESP client: cmd/tierd's benchmarking
+// modes, the net smoke test and the server benchmarks all drive the
+// server through it. Enqueue* batch encoded commands into a write buffer,
+// Flush sends them in one syscall, and ReadReply consumes one reply.
+// Reads and writes may run on separate goroutines (the open-loop load
+// shape), but each side must be single-threaded.
+type Client struct {
+	nc   net.Conn
+	br   *bufio.Reader
+	wbuf []byte
+}
+
+// Dial connects to a server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{nc: nc, br: bufio.NewReaderSize(nc, 64*1024)}, nil
+}
+
+// DialRetry redials until the deadline passes — the smoke tests start the
+// server and the client as separate processes, so the client must absorb
+// the startup race.
+func DialRetry(addr string, deadline time.Duration) (*Client, error) {
+	var lastErr error
+	until := time.Now().Add(deadline)
+	for time.Now().Before(until) {
+		c, err := Dial(addr, time.Second)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		time.Sleep(50 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("server: no server at %s after %v: %w", addr, deadline, lastErr)
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.nc.Close() }
+
+// EnqueueGet batches a GET for a numeric address key.
+func (c *Client) EnqueueGet(addr uint64) {
+	c.wbuf = append(c.wbuf, "*2\r\n$3\r\nGET\r\n"...)
+	c.wbuf = appendAddrArg(c.wbuf, addr)
+}
+
+// EnqueueSet batches a SET for a numeric address key (one-byte payload;
+// the server records the access and discards the value).
+func (c *Client) EnqueueSet(addr uint64) {
+	c.wbuf = append(c.wbuf, "*3\r\n$3\r\nSET\r\n"...)
+	c.wbuf = appendAddrArg(c.wbuf, addr)
+	c.wbuf = append(c.wbuf, "$1\r\nx\r\n"...)
+}
+
+// EnqueueCommand batches an arbitrary command.
+func (c *Client) EnqueueCommand(args ...string) {
+	c.wbuf = appendArrayHeader(c.wbuf, len(args))
+	for _, a := range args {
+		c.wbuf = appendBulkString(c.wbuf, a)
+	}
+}
+
+// appendAddrArg appends one decimal bulk-string argument.
+func appendAddrArg(out []byte, addr uint64) []byte {
+	var scratch [20]byte
+	dec := strconv.AppendUint(scratch[:0], addr, 10)
+	return appendBulkBytes(out, dec)
+}
+
+// Flush writes every batched command in one syscall.
+func (c *Client) Flush() error {
+	if len(c.wbuf) == 0 {
+		return nil
+	}
+	_, err := c.nc.Write(c.wbuf)
+	c.wbuf = c.wbuf[:0]
+	return err
+}
+
+// ReadReply consumes one reply, returning its first byte (the RESP type
+// marker: '+', '-', ':', '$' or '*') — or an error for a '-' reply or a
+// broken connection. Bulk and array payloads are skimmed, not retained.
+func (c *Client) ReadReply() (byte, error) {
+	line, err := c.readLine()
+	if err != nil {
+		return 0, err
+	}
+	switch line[0] {
+	case '+', ':':
+		return line[0], nil
+	case '-':
+		return '-', fmt.Errorf("server error: %s", line[1:])
+	case '$':
+		n, ok := parseInt(line[1:])
+		if !ok {
+			return 0, fmt.Errorf("server: bad bulk header %q", line)
+		}
+		if n >= 0 {
+			if _, err := io.CopyN(io.Discard, c.br, n+2); err != nil {
+				return 0, err
+			}
+		}
+		return '$', nil
+	case '*':
+		n, ok := parseInt(line[1:])
+		if !ok {
+			return 0, fmt.Errorf("server: bad array header %q", line)
+		}
+		for i := int64(0); i < n; i++ {
+			if _, err := c.ReadReply(); err != nil {
+				return 0, err
+			}
+		}
+		return '*', nil
+	}
+	return 0, fmt.Errorf("server: unexpected reply line %q", line)
+}
+
+// readBulk consumes one reply that must be a bulk string and returns its
+// payload.
+func (c *Client) readBulk() ([]byte, error) {
+	line, err := c.readLine()
+	if err != nil {
+		return nil, err
+	}
+	if line[0] == '-' {
+		return nil, fmt.Errorf("server error: %s", line[1:])
+	}
+	if line[0] != '$' {
+		return nil, fmt.Errorf("server: expected bulk reply, got %q", line)
+	}
+	n, ok := parseInt(line[1:])
+	if !ok || n < 0 {
+		return nil, fmt.Errorf("server: bad bulk header %q", line)
+	}
+	buf := make([]byte, n+2)
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// readLine reads one CRLF-terminated header line (without the CRLF).
+func (c *Client) readLine() ([]byte, error) {
+	line, err := c.br.ReadSlice('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) < 3 || line[len(line)-2] != '\r' {
+		return nil, fmt.Errorf("server: malformed reply line %q", line)
+	}
+	return line[:len(line)-2], nil
+}
+
+// Do round-trips one command and returns its reply type.
+func (c *Client) Do(args ...string) (byte, error) {
+	c.EnqueueCommand(args...)
+	if err := c.Flush(); err != nil {
+		return 0, err
+	}
+	return c.ReadReply()
+}
+
+// Auth authenticates the connection as a tenant.
+func (c *Client) Auth(token string) error {
+	kind, err := c.Do("AUTH", token)
+	if err != nil {
+		return err
+	}
+	if kind != '+' {
+		return fmt.Errorf("server: AUTH reply type %q", kind)
+	}
+	return nil
+}
+
+// Stats fetches the server's STATS array into a map. Field values are the
+// engine aggregate, connection-fabric counters and the connection's
+// tenant breakdown (see docs/protocol.md).
+func (c *Client) Stats() (map[string]int64, error) {
+	c.EnqueueCommand("STATS")
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	head, err := c.readLine()
+	if err != nil {
+		return nil, err
+	}
+	if head[0] != '*' {
+		return nil, fmt.Errorf("server: STATS reply %q", head)
+	}
+	n, ok := parseInt(head[1:])
+	if !ok || n < 0 || n%2 != 0 {
+		return nil, fmt.Errorf("server: STATS array header %q", head)
+	}
+	out := make(map[string]int64, n/2)
+	for i := int64(0); i < n; i += 2 {
+		name, err := c.readBulk()
+		if err != nil {
+			return nil, err
+		}
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if line[0] != ':' {
+			return nil, fmt.Errorf("server: STATS value %q", line)
+		}
+		v, ok := parseInt(line[1:])
+		if !ok {
+			return nil, fmt.Errorf("server: STATS value %q", line)
+		}
+		out[string(name)] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// connMap is the server's managed connection fabric: a bounded registry of
+// live connections threaded onto an intrusive LRU list. Accepting past the
+// cap evicts the least-recently-active connection instead of refusing the
+// newcomer — under a connection flood the clients actually talking keep
+// their sockets — and the reaper closes connections idle past the
+// configured timeout by walking the same list from its cold end, stopping
+// at the first warm entry. Activity order and list order are kept
+// identical by updating both under one mutex, once per read batch, so the
+// fabric costs one uncontended lock per pipeline rather than per command.
+type connMap struct {
+	mu    sync.Mutex
+	cap   int
+	conns map[uint64]*conn
+	// head is the most recently active connection, tail the least.
+	head, tail *conn
+}
+
+// newConnMap builds a fabric bounded at cap connections (cap >= 1).
+func newConnMap(cap int) *connMap {
+	return &connMap{cap: cap, conns: make(map[uint64]*conn, cap)}
+}
+
+// add registers a connection as most-recent and returns the evicted
+// least-recent connection if the map was at capacity, for the caller to
+// close outside the lock.
+func (m *connMap) add(c *conn) (evicted *conn) {
+	m.mu.Lock()
+	if len(m.conns) >= m.cap {
+		evicted = m.tail
+		m.unlink(evicted)
+		delete(m.conns, evicted.id)
+	}
+	m.conns[c.id] = c
+	m.pushFront(c)
+	m.mu.Unlock()
+	return evicted
+}
+
+// touch marks a connection most-recently-active. A connection that was
+// concurrently evicted or removed stays out: touch must not resurrect it.
+func (m *connMap) touch(c *conn, now time.Time) {
+	m.mu.Lock()
+	if _, ok := m.conns[c.id]; ok {
+		c.lastActive = now
+		if m.head != c {
+			m.unlink(c)
+			m.pushFront(c)
+		}
+	}
+	m.mu.Unlock()
+}
+
+// remove unregisters a connection, reporting whether it was still
+// registered (false when eviction or reaping got there first).
+func (m *connMap) remove(c *conn) bool {
+	m.mu.Lock()
+	_, ok := m.conns[c.id]
+	if ok {
+		m.unlink(c)
+		delete(m.conns, c.id)
+	}
+	m.mu.Unlock()
+	return ok
+}
+
+// reapIdle removes and returns every connection whose last activity is
+// before cutoff. The list is activity-ordered, so the walk starts at the
+// cold tail and stops at the first warm connection. The caller closes the
+// victims outside the lock.
+func (m *connMap) reapIdle(cutoff time.Time) []*conn {
+	var idle []*conn
+	m.mu.Lock()
+	for m.tail != nil && m.tail.lastActive.Before(cutoff) {
+		c := m.tail
+		m.unlink(c)
+		delete(m.conns, c.id)
+		idle = append(idle, c)
+	}
+	m.mu.Unlock()
+	return idle
+}
+
+// snapshot returns the current connections (shutdown interrupts them all).
+func (m *connMap) snapshot() []*conn {
+	m.mu.Lock()
+	out := make([]*conn, 0, len(m.conns))
+	for _, c := range m.conns {
+		out = append(out, c)
+	}
+	m.mu.Unlock()
+	return out
+}
+
+// len returns the number of registered connections.
+func (m *connMap) len() int {
+	m.mu.Lock()
+	n := len(m.conns)
+	m.mu.Unlock()
+	return n
+}
+
+// pushFront links c as the list head. Caller holds mu.
+func (m *connMap) pushFront(c *conn) {
+	c.prev = nil
+	c.next = m.head
+	if m.head != nil {
+		m.head.prev = c
+	}
+	m.head = c
+	if m.tail == nil {
+		m.tail = c
+	}
+}
+
+// unlink detaches c from the list. Caller holds mu.
+func (m *connMap) unlink(c *conn) {
+	if c.prev != nil {
+		c.prev.next = c.next
+	} else {
+		m.head = c.next
+	}
+	if c.next != nil {
+		c.next.prev = c.prev
+	} else {
+		m.tail = c.prev
+	}
+	c.prev, c.next = nil, nil
+}

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// mapConn builds a bare conn for fabric tests (no socket: the map never
+// touches nc).
+func mapConn(id uint64, at time.Time) *conn {
+	return &conn{id: id, lastActive: at}
+}
+
+func ids(conns []*conn) []uint64 {
+	out := make([]uint64, len(conns))
+	for i, c := range conns {
+		out[i] = c.id
+	}
+	return out
+}
+
+func TestConnMapEvictsLRU(t *testing.T) {
+	m := newConnMap(3)
+	t0 := time.Now()
+	c1, c2, c3 := mapConn(1, t0), mapConn(2, t0), mapConn(3, t0)
+	for _, c := range []*conn{c1, c2, c3} {
+		if ev := m.add(c); ev != nil {
+			t.Fatalf("premature eviction of %d", ev.id)
+		}
+	}
+	// c1 is the coldest; adding a fourth evicts it.
+	c4 := mapConn(4, t0)
+	if ev := m.add(c4); ev == nil || ev.id != 1 {
+		t.Fatalf("evicted %v, want conn 1", ev)
+	}
+	// Touch c2 (now: c2 warmest, then c4, then c3): next eviction is c3.
+	m.touch(c2, t0.Add(time.Second))
+	if ev := m.add(mapConn(5, t0)); ev == nil || ev.id != 3 {
+		t.Fatalf("evicted %v, want conn 3", ev)
+	}
+	if m.len() != 3 {
+		t.Fatalf("len = %d, want 3", m.len())
+	}
+}
+
+func TestConnMapTouchDoesNotResurrect(t *testing.T) {
+	m := newConnMap(1)
+	c1 := mapConn(1, time.Now())
+	m.add(c1)
+	m.add(mapConn(2, time.Now())) // evicts c1
+	m.touch(c1, time.Now())       // must not re-register it
+	if m.len() != 1 {
+		t.Fatalf("len = %d after touching an evicted conn", m.len())
+	}
+	if got := m.reapIdle(time.Now().Add(time.Hour)); len(got) != 1 || got[0].id != 2 {
+		t.Fatalf("reaped %v, want only conn 2", ids(got))
+	}
+}
+
+func TestConnMapReapIdleOrderAndCutoff(t *testing.T) {
+	m := newConnMap(10)
+	t0 := time.Now()
+	for i := 1; i <= 5; i++ {
+		m.add(mapConn(uint64(i), t0.Add(time.Duration(i)*time.Second)))
+	}
+	// Cutoff between conn 3 and conn 4: exactly 1..3 reaped, coldest
+	// first.
+	got := m.reapIdle(t0.Add(3500 * time.Millisecond))
+	if want := []uint64{1, 2, 3}; fmt.Sprint(ids(got)) != fmt.Sprint(want) {
+		t.Fatalf("reaped %v, want %v", ids(got), want)
+	}
+	if m.len() != 2 {
+		t.Fatalf("len = %d, want 2", m.len())
+	}
+	// Nothing else is idle past the same cutoff.
+	if got := m.reapIdle(t0.Add(3500 * time.Millisecond)); len(got) != 0 {
+		t.Fatalf("second reap returned %v", ids(got))
+	}
+}
+
+func TestConnMapRemoveIdempotent(t *testing.T) {
+	m := newConnMap(2)
+	c := mapConn(1, time.Now())
+	m.add(c)
+	m.remove(c)
+	m.remove(c) // no-op
+	if m.len() != 0 {
+		t.Fatalf("len = %d", m.len())
+	}
+	if ev := m.add(mapConn(2, time.Now())); ev != nil {
+		t.Fatalf("eviction from an empty map: %v", ev.id)
+	}
+}
+
+// TestConnMapConcurrent hammers add/touch/remove/reap from many
+// goroutines under -race: the fabric must stay consistent (list and map
+// agree, no double-eviction) no matter the interleaving.
+func TestConnMapConcurrent(t *testing.T) {
+	m := newConnMap(16)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := make(map[uint64]int) // times each conn left the map
+	leave := func(cs ...*conn) {
+		mu.Lock()
+		for _, c := range cs {
+			seen[c.id]++
+		}
+		mu.Unlock()
+	}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c := mapConn(uint64(g*1000+i), time.Now())
+				if ev := m.add(c); ev != nil {
+					leave(ev)
+				}
+				m.touch(c, time.Now())
+				if i%3 == 0 {
+					if m.remove(c) {
+						leave(c)
+					}
+				}
+				if i%17 == 0 {
+					leave(m.reapIdle(time.Now().Add(-time.Millisecond))...)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Whatever is left plus everything that left once must cover all
+	// conns exactly once: no conn may have been evicted or reaped twice.
+	for id, n := range seen {
+		if n > 1 {
+			t.Fatalf("conn %d left the map %d times", id, n)
+		}
+	}
+	rest := m.reapIdle(time.Now().Add(time.Hour))
+	for _, c := range rest {
+		if seen[c.id] != 0 {
+			t.Fatalf("conn %d both left earlier and was still in the map", c.id)
+		}
+	}
+	if got := len(seen) + len(rest); got != 8*200 {
+		t.Fatalf("%d conns accounted for, want %d", got, 8*200)
+	}
+}

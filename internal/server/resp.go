@@ -1,0 +1,252 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"strconv"
+)
+
+// Parser limits. A command that exceeds them is a protocol error, not
+// backpressure: the connection is told why and closed, so a misbehaving
+// (or malicious) client cannot make the server buffer without bound.
+const (
+	// maxArgs bounds the element count of one RESP array command.
+	maxArgs = 1024
+	// maxBulk bounds one bulk-string argument's byte length.
+	maxBulk = 512 * 1024
+	// maxInline bounds an inline (plain-text) command line.
+	maxInline = 64 * 1024
+)
+
+// Parse outcomes that are not commands.
+var (
+	// errIncomplete reports that the buffer ends mid-frame: the caller
+	// should read more bytes and retry. Never sent to the client.
+	errIncomplete = errors.New("resp: incomplete frame")
+	// errOversized reports a frame past the size limits.
+	errOversized = errors.New("resp: command exceeds size limits")
+	// errProtocol reports bytes that are not RESP.
+	errProtocol = errors.New("resp: protocol error")
+)
+
+// parseCommand decodes one client command from the front of buf: either a
+// RESP array of bulk strings ("*2\r\n$3\r\nGET\r\n$1\r\n7\r\n") or an
+// inline command ("GET 7\r\n"). It returns the argument slices (aliasing
+// buf — valid only until the buffer is compacted or refilled), the number
+// of bytes consumed, and an error. args is reused to keep the parse
+// allocation-free; a nil error with zero args means an empty inline line
+// was consumed and should be skipped. errIncomplete means no complete
+// frame is buffered yet and nothing was consumed.
+func parseCommand(buf []byte, args [][]byte) ([][]byte, int, error) {
+	args = args[:0]
+	if len(buf) == 0 {
+		return args, 0, errIncomplete
+	}
+	if buf[0] != '*' {
+		return parseInline(buf, args)
+	}
+	line, p, err := crlfLine(buf, 1)
+	if err != nil {
+		return args, 0, err
+	}
+	n, ok := parseInt(line)
+	if !ok || n < 0 || n > maxArgs {
+		return args, 0, errProtocol
+	}
+	for i := int64(0); i < n; i++ {
+		if p >= len(buf) {
+			return args, 0, errIncomplete
+		}
+		if buf[p] != '$' {
+			return args, 0, errProtocol
+		}
+		line, next, err := crlfLine(buf, p+1)
+		if err != nil {
+			return args, 0, err
+		}
+		ln, ok := parseInt(line)
+		if !ok || ln < 0 || ln > maxBulk {
+			if ln > maxBulk {
+				return args, 0, errOversized
+			}
+			return args, 0, errProtocol
+		}
+		end := next + int(ln)
+		if end+2 > len(buf) {
+			return args, 0, errIncomplete
+		}
+		if buf[end] != '\r' || buf[end+1] != '\n' {
+			return args, 0, errProtocol
+		}
+		args = append(args, buf[next:end])
+		p = end + 2
+	}
+	return args, p, nil
+}
+
+// parseInline decodes a plain-text command line, splitting on spaces and
+// tabs. redis-cli and humans over netcat both speak this form.
+func parseInline(buf []byte, args [][]byte) ([][]byte, int, error) {
+	i := bytes.IndexByte(buf, '\n')
+	if i < 0 {
+		if len(buf) > maxInline {
+			return args, 0, errOversized
+		}
+		return args, 0, errIncomplete
+	}
+	line := buf[:i]
+	if len(line) > maxInline {
+		return args, 0, errOversized
+	}
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	for len(line) > 0 {
+		for len(line) > 0 && (line[0] == ' ' || line[0] == '\t') {
+			line = line[1:]
+		}
+		if len(line) == 0 {
+			break
+		}
+		j := 0
+		for j < len(line) && line[j] != ' ' && line[j] != '\t' {
+			j++
+		}
+		args = append(args, line[:j])
+		line = line[j:]
+	}
+	return args, i + 1, nil
+}
+
+// crlfLine returns the bytes between p and the next CRLF, and the offset
+// just past it. RESP frame headers are strictly CRLF-terminated.
+func crlfLine(buf []byte, p int) ([]byte, int, error) {
+	i := bytes.IndexByte(buf[p:], '\n')
+	if i < 0 {
+		if len(buf)-p > maxInline {
+			return nil, 0, errOversized
+		}
+		return nil, 0, errIncomplete
+	}
+	end := p + i
+	if end == p || buf[end-1] != '\r' {
+		return nil, 0, errProtocol
+	}
+	return buf[p : end-1], end + 1, nil
+}
+
+// parseInt decodes a decimal ASCII integer without allocating.
+func parseInt(b []byte) (int64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	neg := false
+	if b[0] == '-' {
+		neg = true
+		b = b[1:]
+		if len(b) == 0 {
+			return 0, false
+		}
+	}
+	var n int64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		if n > (1<<62)/10 {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}
+
+// parseUint decodes a decimal ASCII uint64, rejecting overflow: numeric
+// keys map to addresses directly, so "18446744073709551616" must hash
+// instead of silently wrapping.
+func parseUint(b []byte) (uint64, bool) {
+	if len(b) == 0 || len(b) > 20 {
+		return 0, false
+	}
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if n > (1<<64-1-d)/10 {
+			return 0, false
+		}
+		n = n*10 + d
+	}
+	return n, true
+}
+
+// Reply appenders. All write into a caller-owned buffer, so the serve loop
+// accumulates a pipeline's replies and flushes once.
+
+// appendSimple appends a simple-string reply ("+OK\r\n").
+func appendSimple(out []byte, s string) []byte {
+	out = append(out, '+')
+	out = append(out, s...)
+	return append(out, '\r', '\n')
+}
+
+// appendError appends an error reply ("-ERR ...\r\n").
+func appendError(out []byte, msg string) []byte {
+	out = append(out, '-')
+	out = append(out, msg...)
+	return append(out, '\r', '\n')
+}
+
+// appendInt appends an integer reply (":7\r\n").
+func appendInt(out []byte, n int64) []byte {
+	out = append(out, ':')
+	out = strconv.AppendInt(out, n, 10)
+	return append(out, '\r', '\n')
+}
+
+// appendBulkBytes appends a bulk-string reply ("$4\r\nDRAM\r\n").
+func appendBulkBytes(out, b []byte) []byte {
+	out = append(out, '$')
+	out = strconv.AppendInt(out, int64(len(b)), 10)
+	out = append(out, '\r', '\n')
+	out = append(out, b...)
+	return append(out, '\r', '\n')
+}
+
+// appendBulkString appends a bulk-string reply from a string.
+func appendBulkString(out []byte, s string) []byte {
+	out = append(out, '$')
+	out = strconv.AppendInt(out, int64(len(s)), 10)
+	out = append(out, '\r', '\n')
+	out = append(out, s...)
+	return append(out, '\r', '\n')
+}
+
+// appendArrayHeader appends an array reply header ("*2\r\n").
+func appendArrayHeader(out []byte, n int) []byte {
+	out = append(out, '*')
+	out = strconv.AppendInt(out, int64(n), 10)
+	return append(out, '\r', '\n')
+}
+
+// keyAddr maps a client key to an engine address: a decimal key is the
+// address itself (so benchmark clients can replay trace addresses
+// verbatim and hit the same pages the in-process loops do), anything else
+// is FNV-1a hashed with the top 16 bits cleared so the derived page always
+// fits the table's 48-bit page space.
+func keyAddr(key []byte) uint64 {
+	if n, ok := parseUint(key); ok {
+		return n
+	}
+	h := uint64(14695981039346656037)
+	for _, c := range key {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h >> 16
+}

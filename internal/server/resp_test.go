@@ -1,0 +1,212 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// collectArgs copies parsed args out of the aliasing buffer for
+// comparison.
+func collectArgs(args [][]byte) []string {
+	out := make([]string, len(args))
+	for i, a := range args {
+		out[i] = string(a)
+	}
+	return out
+}
+
+func TestParseCommandTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		in    string
+		want  []string
+		n     int
+		err   error
+		fully bool // the whole input should be consumed
+	}{
+		{name: "array", in: "*2\r\n$3\r\nGET\r\n$2\r\n17\r\n", want: []string{"GET", "17"}, fully: true},
+		{name: "array empty bulk", in: "*2\r\n$3\r\nGET\r\n$0\r\n\r\n", want: []string{"GET", ""}, fully: true},
+		{name: "inline", in: "GET 17\r\n", want: []string{"GET", "17"}, fully: true},
+		{name: "inline lf only", in: "PING\n", want: []string{"PING"}, fully: true},
+		{name: "inline tabs and spaces", in: "SET \t k1   v1\r\n", want: []string{"SET", "k1", "v1"}, fully: true},
+		{name: "inline empty line", in: "\r\n", want: []string{}, fully: true},
+		{name: "empty buffer", in: "", err: errIncomplete},
+		{name: "partial header", in: "*2\r\n$3\r\nGE", err: errIncomplete},
+		{name: "partial bulk body", in: "*1\r\n$5\r\nhel", err: errIncomplete},
+		{name: "partial trailing crlf", in: "*1\r\n$3\r\nGET\r", err: errIncomplete},
+		{name: "inline no newline", in: "GET 17", err: errIncomplete},
+		{name: "negative argc", in: "*-1\r\n", err: errProtocol},
+		{name: "huge argc", in: "*99999\r\n", err: errProtocol},
+		{name: "bad bulk marker", in: "*1\r\n:3\r\n", err: errProtocol},
+		{name: "bulk missing crlf", in: "*1\r\n$3\r\nGETX\r\n", err: errProtocol},
+		{name: "lf without cr in header", in: "*1\n$3\r\nGET\r\n", err: errProtocol},
+		{name: "oversized bulk", in: fmt.Sprintf("*1\r\n$%d\r\n", maxBulk+1), err: errOversized},
+		{name: "oversized inline", in: strings.Repeat("a", maxInline+1), err: errOversized},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args, n, err := parseCommand([]byte(tc.in), nil)
+			if err != tc.err {
+				t.Fatalf("err = %v, want %v", err, tc.err)
+			}
+			if err != nil {
+				if err == errIncomplete && n != 0 {
+					t.Fatalf("incomplete frame consumed %d bytes", n)
+				}
+				return
+			}
+			if got := collectArgs(args); len(got) != len(tc.want) || (len(got) > 0 && strings.Join(got, "\x00") != strings.Join(tc.want, "\x00")) {
+				t.Fatalf("args = %q, want %q", got, tc.want)
+			}
+			if tc.fully && n != len(tc.in) {
+				t.Fatalf("consumed %d of %d bytes", n, len(tc.in))
+			}
+		})
+	}
+}
+
+// TestParseCommandEveryPrefix asserts that every strict prefix of a valid
+// frame parses as incomplete, never as an error or a truncated command —
+// the property that makes partial TCP reads safe.
+func TestParseCommandEveryPrefix(t *testing.T) {
+	frame := "*3\r\n$3\r\nSET\r\n$4\r\nkey1\r\n$6\r\nvalue1\r\n"
+	for i := 0; i < len(frame); i++ {
+		_, n, err := parseCommand([]byte(frame[:i]), nil)
+		if err != errIncomplete || n != 0 {
+			t.Fatalf("prefix %d: err=%v n=%d, want errIncomplete, 0", i, err, n)
+		}
+	}
+	args, n, err := parseCommand([]byte(frame), nil)
+	if err != nil || n != len(frame) {
+		t.Fatalf("full frame: err=%v n=%d", err, n)
+	}
+	if got := collectArgs(args); got[0] != "SET" || got[1] != "key1" || got[2] != "value1" {
+		t.Fatalf("args = %q", got)
+	}
+}
+
+// TestParseCommandPipelined streams many commands through the parser in
+// randomized chunk sizes, exercising the compact-and-refill loop the
+// connection handler runs. Every command must come out exactly once, in
+// order, regardless of how the stream is fragmented.
+func TestParseCommandPipelined(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var stream []byte
+	var want []string
+	for i := 0; i < 500; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			stream = append(stream, fmt.Sprintf("*2\r\n$3\r\nGET\r\n$%d\r\n%d\r\n", len(fmt.Sprint(i)), i)...)
+			want = append(want, fmt.Sprintf("GET %d", i))
+		case 1:
+			stream = append(stream, fmt.Sprintf("*3\r\n$3\r\nSET\r\n$%d\r\n%d\r\n$1\r\nx\r\n", len(fmt.Sprint(i)), i)...)
+			want = append(want, fmt.Sprintf("SET %d x", i))
+		case 2:
+			stream = append(stream, fmt.Sprintf("PING msg%d\r\n", i)...)
+			want = append(want, fmt.Sprintf("PING msg%d", i))
+		}
+	}
+	var got []string
+	buf := make([]byte, 0, 256)
+	var args [][]byte
+	pos := 0
+	for pos < len(stream) || len(buf) > 0 {
+		// Refill with a random-sized chunk.
+		if pos < len(stream) {
+			n := 1 + rng.Intn(37)
+			if pos+n > len(stream) {
+				n = len(stream) - pos
+			}
+			buf = append(buf, stream[pos:pos+n]...)
+			pos += n
+		}
+		for {
+			var n int
+			var err error
+			args, n, err = parseCommand(buf, args[:0])
+			if err == errIncomplete {
+				break
+			}
+			if err != nil {
+				t.Fatalf("parse error mid-stream: %v", err)
+			}
+			if len(args) > 0 {
+				got = append(got, strings.Join(collectArgs(args), " "))
+			}
+			buf = buf[:copy(buf, buf[n:])]
+		}
+		if pos == len(stream) && len(buf) > 0 {
+			t.Fatalf("stream exhausted with %d unparsed bytes: %q", len(buf), buf)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d commands, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("command %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeyAddr(t *testing.T) {
+	if got := keyAddr([]byte("4096")); got != 4096 {
+		t.Fatalf("numeric key mapped to %d", got)
+	}
+	if got := keyAddr([]byte("0")); got != 0 {
+		t.Fatalf("zero key mapped to %d", got)
+	}
+	// Overflowing decimals and non-numeric keys hash; the result must be
+	// stable and fit the page space after the engine divides by page
+	// size.
+	h1 := keyAddr([]byte("user:1001"))
+	h2 := keyAddr([]byte("user:1001"))
+	h3 := keyAddr([]byte("user:1002"))
+	if h1 != h2 {
+		t.Fatal("hashing is not stable")
+	}
+	if h1 == h3 {
+		t.Fatal("distinct keys collided (astronomically unlikely)")
+	}
+	if h1>>48 != 0 {
+		t.Fatalf("hashed key %x exceeds the 48-bit page space", h1)
+	}
+	over := keyAddr([]byte("18446744073709551616")) // 2^64, must hash not wrap
+	if over == 0 {
+		t.Fatal("overflowing decimal wrapped to 0")
+	}
+}
+
+func TestParseIntBounds(t *testing.T) {
+	if _, ok := parseInt([]byte("")); ok {
+		t.Fatal("empty parsed")
+	}
+	if n, ok := parseInt([]byte("-42")); !ok || n != -42 {
+		t.Fatalf("got %d %v", n, ok)
+	}
+	if _, ok := parseInt([]byte("12a")); ok {
+		t.Fatal("non-digit parsed")
+	}
+	if _, ok := parseUint([]byte("18446744073709551615")); !ok {
+		t.Fatal("max uint64 rejected")
+	}
+	if _, ok := parseUint([]byte("18446744073709551616")); ok {
+		t.Fatal("2^64 accepted")
+	}
+}
+
+func BenchmarkRESPParse(b *testing.B) {
+	frame := []byte("*3\r\n$3\r\nSET\r\n$8\r\n12345678\r\n$1\r\nx\r\n")
+	var args [][]byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		args, _, err = parseCommand(frame, args[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

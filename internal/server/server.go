@@ -1,0 +1,319 @@
+// Package server exposes the tiered-memory engine over a RESP
+// (redis-style) wire protocol, so remote clients — redis-cli,
+// redis-benchmark, or the built-in benchmarking client in cmd/tierd —
+// generate the load instead of in-process goroutines.
+//
+// The front end is a goroutine-per-connection TCP server behind a managed
+// connection fabric: a bounded LRU connection map (accepting past the cap
+// evicts the least-recently-active connection, so the clients actually
+// talking keep their sockets) with a background reaper that closes
+// connections idle past a timeout. Command parsing is allocation-free —
+// argument slices alias the connection's read buffer — and requests are
+// pipelined: every complete command in a read batch is parsed, dispatched
+// into the engine's lock-free serve path, and answered in one write, so a
+// depth-N pipeline costs one syscall pair instead of N.
+//
+// Each connection serves one tenant: AUTH maps a token to a
+// tiered.TenantID (by explicit Config.Auth table or by tenant name via
+// Engine.TenantByName), after which GET/SET/DEL run in that tenant's
+// namespace against its DRAM quota. Shutdown drains gracefully — the
+// listener closes first, in-flight pipelines finish and flush, and only
+// then does the caller stop the engine's migration daemon.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridmem/internal/tiered"
+)
+
+// Defaults for the zero Config fields.
+const (
+	// DefaultMaxConns bounds the connection map when Config.MaxConns is 0.
+	DefaultMaxConns = 1024
+	// DefaultIdleTimeout reaps connections silent this long when
+	// Config.IdleTimeout is 0.
+	DefaultIdleTimeout = 5 * time.Minute
+	// DefaultReadBuffer is the initial per-connection read buffer size.
+	DefaultReadBuffer = 16 * 1024
+	// maxConnBuffer caps one connection's buffered partial frame: a
+	// command that does not fit is a protocol error, so a stalled or
+	// hostile client bounds the server's memory at
+	// MaxConns * maxConnBuffer.
+	maxConnBuffer = 1 << 20
+)
+
+// Config describes a Server. The zero value of every field is usable.
+type Config struct {
+	// Addr is the TCP listen address (default "127.0.0.1:6380").
+	Addr string
+	// MaxConns bounds the connection map; accepting past it evicts the
+	// least-recently-active connection (default DefaultMaxConns).
+	MaxConns int
+	// IdleTimeout is how long a connection may stay silent before the
+	// reaper closes it. 0 means DefaultIdleTimeout; negative disables
+	// reaping.
+	IdleTimeout time.Duration
+	// ReapInterval is the reaper's sweep period (default IdleTimeout/4,
+	// at least 10ms). Tests shorten it.
+	ReapInterval time.Duration
+	// Auth maps AUTH tokens to tenants. Nil falls back to resolving the
+	// token as a tenant name via Engine.TenantByName, so a multi-tenant
+	// tierd needs no extra table — tenants authenticate by name.
+	Auth map[string]tiered.TenantID
+	// RequireAuth rejects data commands (GET/SET/DEL/STATS) until a
+	// successful AUTH. Engines with more than one tenant should set it:
+	// without it every unauthenticated connection serves the default
+	// tenant.
+	RequireAuth bool
+	// ReadBuffer is the initial per-connection read buffer size
+	// (default DefaultReadBuffer); it grows as needed up to the 1 MiB
+	// per-connection cap.
+	ReadBuffer int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:6380"
+	}
+	if c.MaxConns == 0 {
+		c.MaxConns = DefaultMaxConns
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = DefaultIdleTimeout
+	}
+	if c.ReapInterval == 0 {
+		c.ReapInterval = c.IdleTimeout / 4
+		if c.ReapInterval < 10*time.Millisecond {
+			c.ReapInterval = 10 * time.Millisecond
+		}
+	}
+	if c.ReadBuffer == 0 {
+		c.ReadBuffer = DefaultReadBuffer
+	}
+	return c
+}
+
+// Stats is a snapshot of the server's own counters; engine counters live
+// in tiered.Stats.
+type Stats struct {
+	// Accepted counts connections ever accepted; Active is the current
+	// connection count.
+	Accepted, Active int64
+	// Evicted counts connections closed by the LRU cap, Reaped by the
+	// idle reaper.
+	Evicted, Reaped int64
+	// Commands counts commands dispatched; Pipelined counts the subset
+	// that arrived in a read batch behind at least one other command.
+	Commands, Pipelined int64
+	// AuthFailures counts rejected AUTH attempts, ProtocolErrors
+	// connections closed for malformed or oversized frames.
+	AuthFailures, ProtocolErrors int64
+}
+
+// Server lifecycle states.
+const (
+	srvNew int32 = iota
+	srvServing
+	srvDraining
+	srvClosed
+)
+
+// Server is a RESP front end over one tiered.Engine. Listen starts it;
+// Shutdown drains it. The engine's lifecycle stays with the caller: it
+// must be Started before Listen, and is stopped by the caller after
+// Shutdown returns (drain first, then stop the daemon).
+type Server struct {
+	cfg    Config
+	engine *tiered.Engine
+
+	ln       net.Listener
+	cm       *connMap
+	nextID   atomic.Uint64
+	state    atomic.Int32
+	stopCh   chan struct{}
+	acceptWG sync.WaitGroup
+	reapWG   sync.WaitGroup
+	connWG   sync.WaitGroup
+	started  time.Time
+
+	accepted       atomic.Int64
+	active         atomic.Int64
+	evicted        atomic.Int64
+	reaped         atomic.Int64
+	commands       atomic.Int64
+	pipelined      atomic.Int64
+	authFailures   atomic.Int64
+	protocolErrors atomic.Int64
+}
+
+// New builds a server over an already-constructed engine.
+func New(e *tiered.Engine, cfg Config) (*Server, error) {
+	if e == nil {
+		return nil, errors.New("server: nil engine")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.MaxConns < 1 {
+		return nil, fmt.Errorf("server: MaxConns must be at least 1, got %d", cfg.MaxConns)
+	}
+	if cfg.ReadBuffer < 64 || cfg.ReadBuffer > maxConnBuffer {
+		return nil, fmt.Errorf("server: ReadBuffer %d outside [64, %d]", cfg.ReadBuffer, maxConnBuffer)
+	}
+	return &Server{
+		cfg:    cfg,
+		engine: e,
+		cm:     newConnMap(cfg.MaxConns),
+	}, nil
+}
+
+// Listen binds the configured address and starts the accept loop and the
+// idle reaper in the background. It returns once the listener is live, so
+// Addr is immediately meaningful (handy with ":0").
+func (s *Server) Listen() error {
+	if !s.state.CompareAndSwap(srvNew, srvServing) {
+		return errors.New("server: already started")
+	}
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		s.state.Store(srvClosed)
+		return err
+	}
+	s.ln = ln
+	s.stopCh = make(chan struct{})
+	s.started = time.Now()
+	s.acceptWG.Add(1)
+	go s.acceptLoop()
+	if s.cfg.IdleTimeout > 0 {
+		s.reapWG.Add(1)
+		go s.reapLoop()
+	}
+	return nil
+}
+
+// Addr returns the bound listen address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Accepted:       s.accepted.Load(),
+		Active:         s.active.Load(),
+		Evicted:        s.evicted.Load(),
+		Reaped:         s.reaped.Load(),
+		Commands:       s.commands.Load(),
+		Pipelined:      s.pipelined.Load(),
+		AuthFailures:   s.authFailures.Load(),
+		ProtocolErrors: s.protocolErrors.Load(),
+	}
+}
+
+// Shutdown drains the server: stop accepting, interrupt every
+// connection's next read so in-flight pipelines finish and flush, and
+// wait for the handlers to exit — up to grace, after which the remaining
+// connections are force-closed (and still waited for). The engine is not
+// stopped here; the caller stops its daemon after Shutdown returns, so
+// every served command's migration work is already enqueued.
+func (s *Server) Shutdown(grace time.Duration) error {
+	if !s.state.CompareAndSwap(srvServing, srvDraining) {
+		return errors.New("server: not serving")
+	}
+	close(s.stopCh)
+	s.ln.Close()
+	s.acceptWG.Wait()
+	s.reapWG.Wait()
+	// Every registered connection gets its pending read interrupted;
+	// handlers flush what they already parsed and exit. No new
+	// connections can appear: the accept loop is done.
+	for _, c := range s.cm.snapshot() {
+		c.nc.SetReadDeadline(time.Now())
+	}
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	clean := true
+	if grace > 0 {
+		select {
+		case <-done:
+		case <-time.After(grace):
+			clean = false
+			for _, c := range s.cm.snapshot() {
+				c.nc.Close()
+			}
+			<-done
+		}
+	} else {
+		<-done
+	}
+	s.state.Store(srvClosed)
+	if !clean {
+		return fmt.Errorf("server: %v grace expired, remaining connections force-closed", grace)
+	}
+	return nil
+}
+
+// acceptLoop owns the listener: one goroutine per accepted connection,
+// registered in the fabric (possibly evicting the coldest neighbor).
+func (s *Server) acceptLoop() {
+	defer s.acceptWG.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stopCh:
+				return // draining: the listener was closed on purpose
+			default:
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		c := &conn{
+			id:         s.nextID.Add(1),
+			nc:         nc,
+			tenant:     tiered.DefaultTenant,
+			lastActive: time.Now(),
+			rbuf:       make([]byte, s.cfg.ReadBuffer),
+		}
+		s.accepted.Add(1)
+		s.active.Add(1)
+		if evicted := s.cm.add(c); evicted != nil {
+			s.evicted.Add(1)
+			evicted.kick("ERR connection evicted (server connection cap reached)")
+		}
+		s.connWG.Add(1)
+		go s.handle(c)
+	}
+}
+
+// reapLoop periodically closes connections idle past IdleTimeout.
+func (s *Server) reapLoop() {
+	defer s.reapWG.Done()
+	t := time.NewTicker(s.cfg.ReapInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case now := <-t.C:
+			for _, c := range s.cm.reapIdle(now.Add(-s.cfg.IdleTimeout)) {
+				s.reaped.Add(1)
+				c.kick("ERR connection closed (idle timeout)")
+			}
+		}
+	}
+}

@@ -1,0 +1,439 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hybridmem/internal/tiered"
+)
+
+// newTestEngine builds and starts a small engine; cleanup stops it.
+func newTestEngine(t *testing.T, cfg tiered.Config) *tiered.Engine {
+	t.Helper()
+	if cfg.DRAMPages == 0 {
+		cfg.DRAMPages = 64
+	}
+	if cfg.NVMPages == 0 {
+		cfg.NVMPages = 256
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 8
+	}
+	e, err := tiered.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Stop() })
+	return e
+}
+
+// newTestServer starts a server on an ephemeral port; cleanup shuts it
+// down (ignoring errors: tests may have force-closed clients mid-drain).
+func newTestServer(t *testing.T, e *tiered.Engine, cfg Config) *Server {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	s, err := New(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Shutdown(time.Second) })
+	return s
+}
+
+func dialTest(t *testing.T, s *Server) *Client {
+	t.Helper()
+	c, err := Dial(s.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestServerBasicCommands(t *testing.T) {
+	e := newTestEngine(t, tiered.Config{})
+	s := newTestServer(t, e, Config{})
+	c := dialTest(t, s)
+
+	if kind, err := c.Do("PING"); err != nil || kind != '+' {
+		t.Fatalf("PING: %v %q", err, kind)
+	}
+	if kind, err := c.Do("SET", "4096", "hello"); err != nil || kind != '+' {
+		t.Fatalf("SET: %v %q", err, kind)
+	}
+	if kind, err := c.Do("GET", "4096"); err != nil || kind != '$' {
+		t.Fatalf("GET: %v %q", err, kind)
+	}
+	// The page was just written: the reply must name its tier.
+	c.EnqueueCommand("GET", "4096")
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	zone, err := c.readBulk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z := string(zone); z != "DRAM" && z != "NVM" {
+		t.Fatalf("GET reply %q, want a tier name", z)
+	}
+	if kind, err := c.Do("DEL", "4096"); err != nil || kind != ':' {
+		t.Fatalf("DEL: %v %q", err, kind)
+	}
+	if _, err := c.Do("NOSUCH"); err == nil || !strings.Contains(err.Error(), "unknown command") {
+		t.Fatalf("unknown command error = %v", err)
+	}
+	// Non-numeric keys hash; echo and quit round-trip.
+	if kind, err := c.Do("SET", "user:1001", "v"); err != nil || kind != '+' {
+		t.Fatalf("SET hashed key: %v %q", err, kind)
+	}
+	if kind, err := c.Do("ECHO", "hi"); err != nil || kind != '$' {
+		t.Fatalf("ECHO: %v %q", err, kind)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["accesses"] < 3 || st["conns_active"] != 1 {
+		t.Fatalf("stats = %v", st)
+	}
+}
+
+func TestServerDelRemovesResidency(t *testing.T) {
+	e := newTestEngine(t, tiered.Config{})
+	s := newTestServer(t, e, Config{})
+	c := dialTest(t, s)
+	for i := 0; i < 8; i++ {
+		if kind, err := c.Do("SET", fmt.Sprint(i*4096), "x"); err != nil || kind != '+' {
+			t.Fatalf("SET %d: %v %q", i, err, kind)
+		}
+	}
+	before := e.Stats()
+	c.EnqueueCommand("DEL", "0", "4096", "999999999") // two resident, one not
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	line, err := c.readLine()
+	if err != nil || string(line) != ":2" {
+		t.Fatalf("DEL reply %q (%v), want :2", line, err)
+	}
+	after := e.Stats()
+	if got := before.ResidentDRAM + before.ResidentNVM - after.ResidentDRAM - after.ResidentNVM; got != 2 {
+		t.Fatalf("residency shrank by %d, want 2", got)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerAuthMapsTenants(t *testing.T) {
+	e := newTestEngine(t, tiered.Config{
+		DRAMPages: 64, NVMPages: 256,
+		Tenants: []tiered.TenantConfig{
+			{ID: 0, Name: "alpha", DRAMQuota: 32},
+			{ID: 1, Name: "beta", DRAMQuota: 24},
+		},
+	})
+	s := newTestServer(t, e, Config{RequireAuth: true})
+	c := dialTest(t, s)
+
+	// Data commands are rejected before AUTH; PING is not.
+	if _, err := c.Do("GET", "0"); err == nil || !strings.Contains(err.Error(), "NOAUTH") {
+		t.Fatalf("pre-auth GET error = %v", err)
+	}
+	if kind, err := c.Do("PING"); err != nil || kind != '+' {
+		t.Fatalf("pre-auth PING: %v %q", err, kind)
+	}
+	if err := c.Auth("nosuch"); err == nil {
+		t.Fatal("bogus token accepted")
+	}
+	if err := c.Auth("beta"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if kind, err := c.Do("SET", fmt.Sprint(i*4096), "x"); err != nil || kind != '+' {
+			t.Fatalf("SET: %v %q", err, kind)
+		}
+	}
+	// The accesses landed in beta's namespace, not alpha's.
+	beta, _ := e.TenantStats(1)
+	alpha, _ := e.TenantStats(0)
+	if beta.Accesses != 5 || alpha.Accesses != 0 {
+		t.Fatalf("beta %d / alpha %d accesses, want 5 / 0", beta.Accesses, alpha.Accesses)
+	}
+	// The redis-cli two-argument form works too.
+	c2 := dialTest(t, s)
+	if kind, err := c2.Do("AUTH", "default", "alpha"); err != nil || kind != '+' {
+		t.Fatalf("two-arg AUTH: %v %q", err, kind)
+	}
+	if kind, err := c2.Do("SET", "0", "x"); err != nil || kind != '+' {
+		t.Fatalf("SET: %v %q", err, kind)
+	}
+	if alpha, _ = e.TenantStats(0); alpha.Accesses != 1 {
+		t.Fatalf("alpha accesses = %d, want 1", alpha.Accesses)
+	}
+	if s.Stats().AuthFailures != 1 {
+		t.Fatalf("auth failures = %d, want 1", s.Stats().AuthFailures)
+	}
+}
+
+func TestServerPipelinedBatch(t *testing.T) {
+	e := newTestEngine(t, tiered.Config{})
+	s := newTestServer(t, e, Config{})
+	c := dialTest(t, s)
+	const n = 300
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			c.EnqueueSet(uint64(i%32) * 4096)
+		} else {
+			c.EnqueueGet(uint64(i%32) * 4096)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := c.ReadReply(); err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.Commands < n {
+		t.Fatalf("commands = %d, want >= %d", st.Commands, n)
+	}
+	if st.Pipelined == 0 {
+		t.Fatal("no commands counted as pipelined despite the batch")
+	}
+	es := e.Stats()
+	if es.Accesses != n {
+		t.Fatalf("engine served %d accesses, want %d", es.Accesses, n)
+	}
+	if es.Hits() == 0 {
+		t.Fatal("no hits after re-referencing 32 pages")
+	}
+}
+
+func TestServerProtocolErrorCloses(t *testing.T) {
+	e := newTestEngine(t, tiered.Config{})
+	s := newTestServer(t, e, Config{})
+	c := dialTest(t, s)
+	if _, err := c.nc.Write([]byte("*1\r\n:bogus\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err := c.readLine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line[0] != '-' {
+		t.Fatalf("reply %q, want an error", line)
+	}
+	if _, err := c.br.ReadByte(); err != io.EOF {
+		t.Fatalf("connection still open after protocol error (err=%v)", err)
+	}
+	if s.Stats().ProtocolErrors != 1 {
+		t.Fatalf("protocol errors = %d", s.Stats().ProtocolErrors)
+	}
+}
+
+func TestServerConnCapEvictsLRU(t *testing.T) {
+	e := newTestEngine(t, tiered.Config{})
+	s := newTestServer(t, e, Config{MaxConns: 2})
+	c1 := dialTest(t, s)
+	if kind, err := c1.Do("PING"); err != nil || kind != '+' {
+		t.Fatalf("c1 PING: %v %q", err, kind)
+	}
+	c2 := dialTest(t, s)
+	if kind, err := c2.Do("PING"); err != nil || kind != '+' {
+		t.Fatalf("c2 PING: %v %q", err, kind)
+	}
+	// c1 is now the least recently active; the third connection evicts it.
+	c3 := dialTest(t, s)
+	if kind, err := c3.Do("PING"); err != nil || kind != '+' {
+		t.Fatalf("c3 PING: %v %q", err, kind)
+	}
+	c1.nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c1.ReadReply(); err == nil {
+		t.Fatal("evicted connection still serving")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().Evicted == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.Stats().Evicted; got != 1 {
+		t.Fatalf("evicted = %d, want 1", got)
+	}
+	// The survivors still work.
+	if kind, err := c2.Do("PING"); err != nil || kind != '+' {
+		t.Fatalf("c2 after eviction: %v %q", err, kind)
+	}
+}
+
+func TestServerIdleReaping(t *testing.T) {
+	e := newTestEngine(t, tiered.Config{})
+	s := newTestServer(t, e, Config{
+		IdleTimeout:  50 * time.Millisecond,
+		ReapInterval: 10 * time.Millisecond,
+	})
+	idle := dialTest(t, s)
+	busy := dialTest(t, s)
+	if kind, err := idle.Do("PING"); err != nil || kind != '+' {
+		t.Fatal(err)
+	}
+	// Keep one connection chatty while the other goes silent.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().Reaped == 0 && time.Now().Before(deadline) {
+		if kind, err := busy.Do("PING"); err != nil || kind != '+' {
+			t.Fatalf("busy PING: %v %q", err, kind)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := s.Stats().Reaped; got != 1 {
+		t.Fatalf("reaped = %d, want 1 (the idle conn only)", got)
+	}
+	idle.nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := idle.ReadReply(); err == nil {
+		t.Fatal("reaped connection still serving")
+	}
+	if kind, err := busy.Do("PING"); err != nil || kind != '+' {
+		t.Fatalf("busy conn was reaped too: %v %q", err, kind)
+	}
+}
+
+// TestServerAcceptEvictChurn races many short-lived clients against a
+// tiny connection cap under -race: every client either completes its
+// round-trip or observes a clean eviction, and the fabric's counters
+// reconcile at the end.
+func TestServerAcceptEvictChurn(t *testing.T) {
+	e := newTestEngine(t, tiered.Config{})
+	s := newTestServer(t, e, Config{
+		MaxConns:     4,
+		IdleTimeout:  20 * time.Millisecond,
+		ReapInterval: 5 * time.Millisecond,
+	})
+	var wg sync.WaitGroup
+	var served atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				c, err := Dial(s.Addr().String(), time.Second)
+				if err != nil {
+					continue // accept backlog under churn is fine
+				}
+				for k := 0; k < 4; k++ {
+					c.EnqueueSet(uint64(g*64+k) * 4096)
+				}
+				if c.Flush() == nil {
+					ok := true
+					for k := 0; k < 4; k++ {
+						if _, err := c.ReadReply(); err != nil {
+							ok = false // evicted mid-batch: acceptable
+							break
+						}
+					}
+					if ok {
+						served.Add(4)
+					}
+				}
+				c.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if served.Load() == 0 {
+		t.Fatal("no client ever completed a batch")
+	}
+	st := s.Stats()
+	if st.Accepted == 0 {
+		t.Fatal("nothing accepted")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().Active > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.Stats().Active; got != 0 {
+		t.Fatalf("%d connections still active after all clients closed", got)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerGracefulDrain(t *testing.T) {
+	e := newTestEngine(t, tiered.Config{})
+	s := newTestServer(t, e, Config{})
+	c := dialTest(t, s)
+	// A full pipeline lands just before shutdown: every command in it
+	// must still be answered (the drain interrupts reads, not replies).
+	const n = 64
+	for i := 0; i < n; i++ {
+		c.EnqueueSet(uint64(i) * 4096)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(2 * time.Second); err != nil {
+		t.Fatalf("drain not clean: %v", err)
+	}
+	got := 0
+	c.nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	for i := 0; i < n; i++ {
+		if _, err := c.ReadReply(); err != nil {
+			break
+		}
+		got++
+	}
+	if got != n {
+		t.Fatalf("drained server answered %d of %d in-flight commands", got, n)
+	}
+	// After Shutdown returns the engine is safe to stop; its daemon has
+	// no server-side callers left.
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// New connections are refused.
+	if _, err := Dial(s.Addr().String(), 200*time.Millisecond); err == nil {
+		t.Fatal("drained server accepted a new connection")
+	}
+}
+
+// TestServerProcessZeroAlloc pins the per-command serve cost: parsing and
+// dispatching a pipelined GET/SET batch over warmed pages must not
+// allocate (replies append into the connection's retained buffer).
+func TestServerProcessZeroAlloc(t *testing.T) {
+	e := newTestEngine(t, tiered.Config{})
+	s := newTestServer(t, e, Config{})
+	var batch []byte
+	for i := 0; i < 16; i++ {
+		batch = append(batch, fmt.Sprintf("*3\r\n$3\r\nSET\r\n$%d\r\n%d\r\n$1\r\nx\r\n", len(fmt.Sprint(i*4096)), i*4096)...)
+		batch = append(batch, fmt.Sprintf("*2\r\n$3\r\nGET\r\n$%d\r\n%d\r\n", len(fmt.Sprint(i*4096)), i*4096)...)
+	}
+	c := &conn{id: 999, tenant: tiered.DefaultTenant, rbuf: make([]byte, len(batch))}
+	run := func() {
+		copy(c.rbuf, batch)
+		c.rpos, c.rend = 0, len(batch)
+		c.out = c.out[:0]
+		if fatal := s.process(c); fatal {
+			t.Fatal("batch closed the connection")
+		}
+	}
+	run() // warm: faults populate the table, buffers grow once
+	run()
+	if allocs := testing.AllocsPerRun(100, run); allocs > 0 {
+		t.Fatalf("process allocated %.1f times per batch, want 0", allocs)
+	}
+}

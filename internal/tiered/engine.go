@@ -499,6 +499,69 @@ func (e *Engine) TenantIDs() []TenantID {
 	return ids
 }
 
+// TenantByName resolves a tenant by its configured Name (a nil-Tenants
+// engine names its implicit tenant "default"; explicitly configured
+// tenants without a Name fall back to "tenant-<ID>"). It
+// is the network front end's AUTH hook: a connection's token resolves to
+// the tenant namespace it will be served under. Names are matched
+// exactly; the tenant set is immutable after New, so this is safe to call
+// concurrently with Serve.
+func (e *Engine) TenantByName(name string) (TenantID, bool) {
+	for _, ts := range e.tenantList {
+		if ts.name == name {
+			return ts.id, true
+		}
+	}
+	return 0, false
+}
+
+// Drop removes a resident page from memory entirely, releasing its frame
+// back to the node pool it came from (and, for a DRAM frame above the
+// tenant's node share, handing its spill token back). It returns whether
+// the page was resident. This is the network front end's DEL: unlike
+// eviction, which picks its own victim, Drop targets one page. Dropping
+// races cleanly with concurrent serves and migrations — if the page moves
+// between the observation and the removal, Drop retries against its new
+// location. Counted as an eviction in Stats. Not available in synchronous
+// mode, where the reference policy owns all residency decisions.
+func (e *Engine) Drop(tenant TenantID, addr uint64) (bool, error) {
+	switch e.state.Load() {
+	case stateStarted:
+	case stateNew:
+		return false, ErrNotStarted
+	default:
+		return false, ErrStopped
+	}
+	ts := e.tenants[tenant]
+	if ts == nil {
+		return false, fmt.Errorf("%w: %d", ErrUnknownTenant, tenant)
+	}
+	if e.backing != nil {
+		return false, errors.New("tiered: Drop is not available in synchronous mode")
+	}
+	page := addr / e.pageSize
+	if page > maxTablePage {
+		return false, fmt.Errorf("tiered: page %d exceeds the %d-bit namespaced keyspace", page, pageBits)
+	}
+	for attempt := 0; attempt < maxFaultRetries; attempt++ {
+		loc, ok := e.tbl.Peek(tenant, page)
+		if !ok {
+			return false, nil
+		}
+		if node, removed := e.tbl.RemoveIfNode(tenant, page, loc); removed {
+			if loc == mm.LocDRAM {
+				e.releaseDRAM(ts, node)
+			} else {
+				e.releaseNVM(node)
+			}
+			e.c.evictions.Add(1)
+			ts.c.evictions.Add(1)
+			return true, nil
+		}
+	}
+	return false, errors.New("tiered: drop retries exhausted")
+}
+
 // TenantStats returns a snapshot of one tenant's counters, or false for an
 // unknown tenant. Safe to call concurrently with Serve.
 func (e *Engine) TenantStats(id TenantID) (TenantStats, bool) {
