@@ -10,7 +10,7 @@ GO ?= go
 # point of running under the race detector.
 FAST_PKGS = $$($(GO) list ./... | grep -v internal/experiments)
 
-.PHONY: all build vet test race bench bench-json bench-baseline fmt fmt-check tierd-smoke tierd-mt-smoke tierd-numa-smoke tierd-net-smoke ci
+.PHONY: all build vet test race bench bench-json bench-baseline fmt fmt-check tierd-smoke tierd-mt-smoke tierd-numa-smoke tierd-net-smoke tierd-obs-smoke ci
 
 all: build test
 
@@ -115,6 +115,36 @@ tierd-net-smoke:
 	print('tierd-net-smoke: ok (%d ops, %d hits, %.0f ops/s, clean drain)' % (c['ops'], hits, c['ops_per_sec']))"
 	@rm -f tierd-net-bin
 
+# Observability smoke: a background tierd -serve with the admin plane on,
+# pipelined RESP load driven at it in two passes with different hot sets
+# (the second workload heats pages the first left in NVM, so the daemon
+# promotes, not just demand-faults). The trace ring is sized above the
+# run's total migration count (-trace-ring 65536): promotions are rare
+# next to demotion/eviction churn and would be overwritten out of a
+# default-size ring. scripts/obs_smoke.py then scrapes
+# /healthz, /readyz (invariants included), /metrics and /events and
+# asserts the scrape is well-formed with live per-tenant AND per-node
+# series, and that the migration trace artifact holds both promotion and
+# demotion events with tenant+node attribution. The scrape and the event
+# artifact are kept (tierd-obs-metrics.txt, tierd-obs-events.json) and
+# uploaded by CI.
+tierd-obs-smoke:
+	$(GO) build -o tierd-obs-bin ./cmd/tierd
+	@./tierd-obs-bin -serve 127.0.0.1:16381 -admin 127.0.0.1:16061 \
+		-tenants 'bodytrack:50,canneal:30' -numa nodes=2 -scale 0.05 \
+		-trace-ring 65536 -json -out tierd-obs-serve.json & \
+	SRV=$$!; \
+	./tierd-obs-bin -connect 127.0.0.1:16381 -workload bodytrack -scale 0.05 \
+		-connections 2 -pipeline 16 -ops 200000 -duration 30s -json -out tierd-obs-client.json \
+		|| { kill $$SRV 2>/dev/null; exit 1; }; \
+	./tierd-obs-bin -connect 127.0.0.1:16381 -workload canneal -scale 0.05 \
+		-connections 2 -pipeline 16 -ops 200000 -duration 30s -json -out tierd-obs-client2.json \
+		|| { kill $$SRV 2>/dev/null; exit 1; }; \
+	python3 scripts/obs_smoke.py http://127.0.0.1:16061 tierd-obs \
+		|| { kill $$SRV 2>/dev/null; exit 1; }; \
+	kill -TERM $$SRV && wait $$SRV
+	@rm -f tierd-obs-bin
+
 fmt:
 	gofmt -w .
 
@@ -123,4 +153,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check build vet test race bench bench-json tierd-smoke tierd-mt-smoke tierd-numa-smoke tierd-net-smoke
+ci: fmt-check build vet test race bench bench-json tierd-smoke tierd-mt-smoke tierd-numa-smoke tierd-net-smoke tierd-obs-smoke

@@ -67,6 +67,7 @@ import (
 	"time"
 
 	"hybridmem/internal/memspec"
+	"hybridmem/internal/obs"
 	"hybridmem/internal/runner"
 	"hybridmem/internal/tiered"
 	"hybridmem/internal/trace"
@@ -104,6 +105,10 @@ func main() {
 		maxConns    = flag.Int("max-conns", 0, "serve mode: connection cap; accepting past it evicts the least-recently-active connection (0 = server default)")
 		idleTimeout = flag.Duration("idle-timeout", 0, "serve mode: reap connections idle this long (0 = server default, negative disables)")
 		requireAuth = flag.Bool("require-auth", false, "serve mode: reject data commands until a successful AUTH")
+
+		adminAddr = flag.String("admin", "", `admin plane: HTTP listen address (e.g. "127.0.0.1:6060") exposing /metrics (Prometheus text), /healthz, /readyz, /events (migration trace ring) and /debug/pprof; works in -serve and the in-process load modes`)
+		pprofCont = flag.Bool("pprof-contention", false, "admin plane: enable mutex and block profiling (adds sampling overhead; off by default)")
+		traceRing = flag.Int("trace-ring", obs.DefaultRingSize, "admin plane: migration trace ring capacity in events (rounded up to a power of two); size it above the run's expected migration count to keep the whole trace")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -124,6 +129,10 @@ func main() {
 	numa, err := parseNUMA(*numaSpec)
 	if err != nil {
 		log.Fatal(err)
+	}
+	admin := adminFlags{addr: *adminAddr, profiles: *pprofCont, ringSize: *traceRing}
+	if admin.profiles && admin.addr == "" {
+		log.Fatal("-pprof-contention requires -admin (the profiles are served there)")
 	}
 	if numa.nodes > 1 && (*sync || *verify) {
 		log.Fatal("-numa is incompatible with -sync and -verify (sim equivalence is defined on the single-node machine)")
@@ -147,6 +156,7 @@ func main() {
 			maxConns:    *maxConns,
 			idleTimeout: *idleTimeout,
 			requireAuth: *requireAuth,
+			admin:       admin,
 		}
 		if *clientMode != "open" && *clientMode != "closed" {
 			log.Fatalf("-client-mode %q unknown (have open, closed)", *clientMode)
@@ -163,10 +173,10 @@ func main() {
 		if *sync || *verify {
 			log.Fatal("-tenants is incompatible with -sync and -verify (the reference policies are single-tenant)")
 		}
-		runMultiTenant(*outPath, *tenantsSpec, *policyName, *scale, *seed, *goroutines, *duration, *ops, *shards, numa, *jsonOut, *memStats)
+		runMultiTenant(*outPath, *tenantsSpec, *policyName, *scale, *seed, *goroutines, *duration, *ops, *shards, numa, admin, *jsonOut, *memStats)
 		return
 	}
-	runSingleTenant(*outPath, *workloadName, *policyName, *scale, *seed, *goroutines, *duration, *ops, *shards, numa, *sync, *verify, *jsonOut, *memStats)
+	runSingleTenant(*outPath, *workloadName, *policyName, *scale, *seed, *goroutines, *duration, *ops, *shards, numa, admin, *sync, *verify, *jsonOut, *memStats)
 }
 
 // numaFlags is the parsed -numa emulation spec.
@@ -380,10 +390,11 @@ func genTenantTrace(name string, scale float64, seed int64) (warm, roi []trace.R
 
 func runSingleTenant(outPath, workloadName, policyName string, scale float64, seed int64,
 	goroutines int, duration time.Duration, ops int64, shards int, numa numaFlags,
-	sync, verify, jsonOut, memStats bool) {
+	admin adminFlags, sync, verify, jsonOut, memStats bool) {
 	warm, roi, pages := genTenantTrace(workloadName, scale, seed)
 	dram, nvm := memspec.DefaultSizing().Partition(pages)
 
+	ring := admin.ring()
 	cfg := tiered.Config{
 		Policy:      tiered.Kind(policyName),
 		DRAMPages:   dram,
@@ -391,6 +402,7 @@ func runSingleTenant(outPath, workloadName, policyName string, scale float64, se
 		Shards:      shards,
 		Topology:    numa.topology(dram, nvm),
 		Synchronous: sync,
+		Events:      ring,
 	}
 
 	if verify {
@@ -408,6 +420,7 @@ func runSingleTenant(outPath, workloadName, policyName string, scale float64, se
 	if err := engine.Start(); err != nil {
 		log.Fatal(err)
 	}
+	adm := startAdmin(admin, engine, nil, ring, scale, seed)
 	// Warm serially so the measured phase starts from a populated table,
 	// then snapshot the counters: the report covers only the load phase.
 	for _, r := range warm {
@@ -436,6 +449,7 @@ func runSingleTenant(outPath, workloadName, policyName string, scale float64, se
 	if err := engine.Stop(); err != nil {
 		log.Fatal(err)
 	}
+	stopAdmin(adm)
 	st := engine.Stats().Sub(base)
 	nodes := nodeDeltas(engine.NodeStats(), nodeBase)
 	var mem memReport
@@ -498,7 +512,8 @@ type tenantRun struct {
 }
 
 func runMultiTenant(outPath, spec, policyName string, scale float64, seed int64,
-	goroutines int, duration time.Duration, ops int64, shards int, numa numaFlags, jsonOut, memStats bool) {
+	goroutines int, duration time.Duration, ops int64, shards int, numa numaFlags,
+	admin adminFlags, jsonOut, memStats bool) {
 	shares, err := parseTenants(spec)
 	if err != nil {
 		log.Fatal(err)
@@ -538,6 +553,7 @@ func runMultiTenant(outPath, spec, policyName string, scale float64, seed int64,
 		}
 	}
 
+	ring := admin.ring()
 	engine, err := tiered.New(tiered.Config{
 		Policy:    tiered.Kind(policyName),
 		DRAMPages: dram,
@@ -545,6 +561,7 @@ func runMultiTenant(outPath, spec, policyName string, scale float64, seed int64,
 		Shards:    shards,
 		Topology:  numa.topology(dram, nvm),
 		Tenants:   tenants,
+		Events:    ring,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -552,6 +569,7 @@ func runMultiTenant(outPath, spec, policyName string, scale float64, seed int64,
 	if err := engine.Start(); err != nil {
 		log.Fatal(err)
 	}
+	adm := startAdmin(admin, engine, nil, ring, scale, seed)
 	// Warm each tenant serially, then snapshot: the report covers only
 	// the concurrent load phase.
 	for _, r := range runs {
@@ -590,6 +608,7 @@ func runMultiTenant(outPath, spec, policyName string, scale float64, seed int64,
 	if err := engine.Stop(); err != nil {
 		log.Fatal(err)
 	}
+	stopAdmin(adm)
 	st := engine.Stats().Sub(base)
 	nodes := nodeDeltas(engine.NodeStats(), nodeBase)
 	var mem memReport

@@ -29,6 +29,7 @@ type netFlags struct {
 	maxConns    int
 	idleTimeout time.Duration
 	requireAuth bool
+	admin       adminFlags
 }
 
 // runServe is tierd's server mode: build the engine (sized for the
@@ -79,6 +80,8 @@ func runServe(nf netFlags, outPath, workloadName, tenantsSpec, policyName string
 		}
 	}
 
+	ring := nf.admin.ring()
+	cfg.Events = ring
 	engine, err := tiered.New(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -98,6 +101,7 @@ func runServe(nf netFlags, outPath, workloadName, tenantsSpec, policyName string
 	if err := srv.Listen(); err != nil {
 		log.Fatal(err)
 	}
+	adm := startAdmin(nf.admin, engine, srv, ring, scale, seed)
 	fmt.Fprintf(os.Stderr, "tierd: serving %s on %s (policy %s, DRAM %d + NVM %d frames)\n",
 		modeLabel(tenantsSpec, workloadName), srv.Addr(), engine.PolicyName(),
 		cfg.DRAMPages, cfg.NVMPages)
@@ -108,10 +112,14 @@ func runServe(nf netFlags, outPath, workloadName, tenantsSpec, policyName string
 	signal.Stop(sig)
 	fmt.Fprintln(os.Stderr, "tierd: draining")
 
+	// Drain order: RESP first (in-flight pipelines finish), then the
+	// daemon, then the admin plane — which stays scrapable through the
+	// drain so an orchestrator watching /readyz sees the lifecycle.
 	drainErr := srv.Shutdown(5 * time.Second)
 	if err := engine.Stop(); err != nil {
 		log.Fatal(err)
 	}
+	stopAdmin(adm)
 	st := srv.Stats()
 	es := engine.Stats()
 

@@ -15,8 +15,11 @@ package main
 import (
 	"fmt"
 	"log"
+	"strconv"
+	"time"
 
 	"hybridmem/internal/memspec"
+	"hybridmem/internal/obs"
 	"hybridmem/internal/tiered"
 	"hybridmem/internal/trace"
 	"hybridmem/internal/workload"
@@ -48,11 +51,13 @@ func main() {
 		},
 		RemotePenalty: 1.8,
 	}
+	ring := obs.NewEventRing(obs.DefaultRingSize)
 	engine, err := tiered.New(tiered.Config{
 		Policy:    tiered.Proposed,
 		DRAMPages: dram,
 		NVMPages:  nvm,
 		Topology:  topo,
+		Events:    ring,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -60,6 +65,26 @@ func main() {
 	if err := engine.Start(); err != nil {
 		log.Fatal(err)
 	}
+
+	// The admin plane exposes the engine's per-node series over HTTP
+	// while the run is live; the same registry doubles as the in-process
+	// snapshot API used below.
+	reg := obs.NewRegistry()
+	engine.RegisterMetrics(reg)
+	adm, err := obs.NewAdmin(obs.AdminConfig{
+		Addr:       "127.0.0.1:0",
+		Registry:   reg,
+		Events:     ring,
+		Ready:      func() error { return nil },
+		Invariants: engine.CheckInvariants,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := adm.Listen(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("admin plane on %s (scrape /metrics for the per-node series)\n", adm.URL())
 
 	mspec := engine.Config().Spec
 	fmt.Printf("engine up: %d NUMA nodes, DRAM %d + NVM %d frames total\n",
@@ -100,4 +125,23 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("\nper-node pools, quotas and spill tokens all reconcile (CheckInvariants ok)")
+
+	// Read the same per-node figures back through the metrics registry:
+	// every NodeStats field above is also a labeled series, so whatever
+	// scrapes /metrics sees exactly what the Go API reports.
+	samples := reg.Snapshot()
+	for n := 0; n < engine.NumNodes(); n++ {
+		nl := obs.L("node", strconv.Itoa(n))
+		res, _ := obs.Find(samples, "tierd_node_resident_pages", nl, obs.L("tier", "dram"))
+		pl, _ := obs.Find(samples, "tierd_node_promotions_total", nl, obs.L("locality", "local"))
+		pr, _ := obs.Find(samples, "tierd_node_promotions_total", nl, obs.L("locality", "remote"))
+		fmt.Printf("registry view of node %d: %d resident DRAM pages, %d local + %d remote promotions\n",
+			n, res.Value, pl.Value, pr.Value)
+	}
+	if s, ok := obs.Find(samples, "tierd_events_published_total"); ok {
+		fmt.Printf("migration trace ring captured %d events\n", s.Value)
+	}
+	if err := adm.Shutdown(2 * time.Second); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -18,12 +18,16 @@ import (
 	"log"
 	"time"
 
+	"hybridmem/internal/obs"
 	"hybridmem/internal/server"
 	"hybridmem/internal/tiered"
 )
 
 func main() {
 	// Two tenants with DRAM quotas; tenant names double as AUTH tokens.
+	// The event ring records every migration for the admin plane's
+	// /events endpoint.
+	ring := obs.NewEventRing(obs.DefaultRingSize)
 	engine, err := tiered.New(tiered.Config{
 		DRAMPages: 256,
 		NVMPages:  1024,
@@ -31,6 +35,7 @@ func main() {
 			{ID: 0, Name: "0:bodytrack", DRAMQuota: 160},
 			{ID: 1, Name: "1:canneal", DRAMQuota: 64},
 		},
+		Events: ring,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -54,6 +59,32 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("serving RESP on %s\n", srv.Addr())
+
+	// The admin plane rides alongside: one registry holding the engine
+	// and server catalogs, scraped at /metrics, with health probes and
+	// the migration trace at /events. Point a browser (or curl) at it.
+	reg := obs.NewRegistry()
+	engine.RegisterMetrics(reg)
+	srv.RegisterMetrics(reg)
+	adm, err := obs.NewAdmin(obs.AdminConfig{
+		Addr:     "127.0.0.1:0",
+		Registry: reg,
+		Events:   ring,
+		Ready: func() error {
+			if !engine.Running() || !srv.Serving() {
+				return fmt.Errorf("draining")
+			}
+			return nil
+		},
+		Invariants: engine.CheckInvariants,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := adm.Listen(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("admin plane on %s (/metrics /healthz /readyz /events /debug/pprof)\n", adm.URL())
 
 	// A client connects, authenticates as tenant 0, and pipelines a
 	// write-then-read pass over a small working set. GET replies name the
@@ -96,12 +127,30 @@ func main() {
 		stats["tenant_accesses"], stats["tenant_resident_dram"])
 	client.Close()
 
-	// Graceful drain: stop accepting, answer everything in flight, then —
-	// and only then — stop the migration daemon.
+	// The registry snapshot is the in-process view of the same series
+	// /metrics exposes: per-command dispatch counts and the per-tenant
+	// engine breakdown, read lazily with no effect on the serve path.
+	samples := reg.Snapshot()
+	if s, ok := obs.Find(samples, "tierd_resp_commands_by_name_total", obs.L("cmd", "get")); ok {
+		fmt.Printf("dispatched %d GETs", s.Value)
+	}
+	if s, ok := obs.Find(samples, "tierd_resp_commands_by_name_total", obs.L("cmd", "set")); ok {
+		fmt.Printf(", %d SETs", s.Value)
+	}
+	if s, ok := obs.Find(samples, "tierd_tenant_resident_dram_pages", obs.L("tenant", "0:bodytrack")); ok {
+		fmt.Printf("; tenant 0 holds %d DRAM pages\n", s.Value)
+	}
+
+	// Graceful drain: stop accepting, answer everything in flight, stop
+	// the migration daemon, and take the admin plane down last so its
+	// probes cover the whole lifecycle.
 	if err := srv.Shutdown(5 * time.Second); err != nil {
 		log.Fatal(err)
 	}
 	if err := engine.Stop(); err != nil {
+		log.Fatal(err)
+	}
+	if err := adm.Shutdown(2 * time.Second); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("drained cleanly")

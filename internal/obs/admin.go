@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// AdminConfig configures the admin HTTP plane.
+type AdminConfig struct {
+	// Addr is the listen address, e.g. ":6060" or "127.0.0.1:0".
+	Addr string
+	// Registry backs /metrics (required for that endpoint).
+	Registry *Registry
+	// Events backs /events (optional).
+	Events *EventRing
+	// Ready is consulted by /readyz: nil error (or nil func) = ready.
+	Ready func() error
+	// Invariants is run by /readyz?invariants=1 — typically the
+	// engine's CheckInvariants, which is only meaningful on a
+	// quiesced engine. Optional.
+	Invariants func() error
+	// Profiles enables mutex and block profiling for the lifetime of
+	// the server so /debug/pprof/{mutex,block} carry data. Off by
+	// default because sampling costs the hot path a little.
+	Profiles bool
+	// Tool, Scale, Seed fill the artifact header for
+	// /events?format=artifact.
+	Tool  string
+	Scale float64
+	Seed  int64
+}
+
+// Admin is the observability HTTP server: /metrics (Prometheus text),
+// /healthz, /readyz, /events, and /debug/pprof/* on a private mux (the
+// package-global http.DefaultServeMux is never touched).
+type Admin struct {
+	cfg      AdminConfig
+	ln       net.Listener
+	srv      *http.Server
+	serving  atomic.Bool
+	prevMu   int // mutex profile fraction to restore on Shutdown
+	profiles bool
+}
+
+// NewAdmin builds the admin plane. Call Listen to start serving.
+func NewAdmin(cfg AdminConfig) (*Admin, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("obs: admin address required")
+	}
+	if cfg.Tool == "" {
+		cfg.Tool = "tierd"
+	}
+	a := &Admin{cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", a.handleIndex)
+	mux.HandleFunc("/metrics", a.handleMetrics)
+	mux.HandleFunc("/healthz", a.handleHealthz)
+	mux.HandleFunc("/readyz", a.handleReadyz)
+	mux.HandleFunc("/events", a.handleEvents)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	a.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return a, nil
+}
+
+// Listen binds the address and serves in a background goroutine.
+func (a *Admin) Listen() error {
+	ln, err := net.Listen("tcp", a.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("obs: admin listen %s: %w", a.cfg.Addr, err)
+	}
+	a.ln = ln
+	if a.cfg.Profiles && !a.profiles {
+		a.profiles = true
+		a.prevMu = runtime.SetMutexProfileFraction(5)
+		runtime.SetBlockProfileRate(10_000) // one sample per 10µs blocked
+	}
+	a.serving.Store(true)
+	go func() {
+		// ErrServerClosed is the normal Shutdown result.
+		_ = a.srv.Serve(ln)
+	}()
+	return nil
+}
+
+// Addr returns the bound listener address (valid after Listen).
+func (a *Admin) Addr() net.Addr {
+	if a.ln == nil {
+		return nil
+	}
+	return a.ln.Addr()
+}
+
+// URL returns the http base URL of the bound listener.
+func (a *Admin) URL() string {
+	if a.ln == nil {
+		return ""
+	}
+	return "http://" + a.ln.Addr().String()
+}
+
+// Shutdown gracefully stops the server, waiting up to grace for
+// in-flight requests, and restores profiling rates it enabled.
+func (a *Admin) Shutdown(grace time.Duration) error {
+	if !a.serving.Swap(false) {
+		return nil
+	}
+	if a.profiles {
+		a.profiles = false
+		runtime.SetMutexProfileFraction(a.prevMu)
+		runtime.SetBlockProfileRate(0)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	return a.srv.Shutdown(ctx)
+}
+
+func (a *Admin) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, "tierd admin plane\n\n"+
+		"/metrics        Prometheus text metrics\n"+
+		"/healthz        liveness\n"+
+		"/readyz         readiness (?invariants=1 runs engine invariants; quiesced engines only)\n"+
+		"/events         migration event ring (?format=artifact for results/v1, ?n=K for last K)\n"+
+		"/debug/pprof/   profiles (heap, goroutine, mutex, block, cpu, trace)\n")
+}
+
+func (a *Admin) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if a.cfg.Registry == nil {
+		http.Error(w, "no registry configured", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = a.cfg.Registry.WritePrometheus(w)
+}
+
+func (a *Admin) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (a *Admin) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if a.cfg.Ready != nil {
+		if err := a.cfg.Ready(); err != nil {
+			http.Error(w, "not ready: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	if r.URL.Query().Get("invariants") == "1" && a.cfg.Invariants != nil {
+		if err := a.cfg.Invariants(); err != nil {
+			http.Error(w, "invariants: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// eventJSON is the /events NDJSON shape: stable field names, symbolic
+// tier/reason strings.
+type eventJSON struct {
+	Seq    uint64 `json:"seq"`
+	TS     int64  `json:"ts_ns"`
+	Epoch  int64  `json:"epoch"`
+	Tenant uint16 `json:"tenant"`
+	Node   uint8  `json:"node"`
+	Page   uint64 `json:"page"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Reason string `json:"reason"`
+	Score  uint64 `json:"score,omitempty"`
+}
+
+func (a *Admin) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if a.cfg.Events == nil {
+		http.Error(w, "no event ring configured", http.StatusNotFound)
+		return
+	}
+	max := 0
+	if s := r.URL.Query().Get("n"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		max = n
+	}
+	events := a.cfg.Events.Snapshot(max)
+	if r.URL.Query().Get("format") == "artifact" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteEventsArtifact(w, events, a.cfg.Tool, a.cfg.Scale, a.cfg.Seed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		_ = enc.Encode(eventJSON{
+			Seq: ev.Seq, TS: ev.TS, Epoch: ev.Epoch,
+			Tenant: ev.Tenant, Node: ev.Node, Page: ev.Page,
+			From: ev.From.String(), To: ev.To.String(),
+			Reason: ev.Reason.String(), Score: ev.Score,
+		})
+	}
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets mirrors tiered.Hist: bucket i counts observations whose
+// bit length is i, i.e. values in [2^(i-1), 2^i). 64-bit values need 65
+// buckets (bit lengths 0..64).
+const histBuckets = 65
+
+// Histogram is a concurrent log-bucket histogram of non-negative int64
+// observations (typically nanoseconds). It is the atomic twin of
+// tiered.Hist — same bucketing by bits.Len64, same geometric-midpoint
+// quantiles — but every field is an atomic so Observe is lock-free and
+// allocation-free from any number of goroutines. obs cannot import
+// tiered (tiered imports obs), hence the reimplementation.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// NewHistogram returns an empty histogram. Use Registry.Histogram to
+// create and register in one step.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one value. Negative values clamp to 0.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observed value.
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) as the
+// geometric middle of the bucket containing it, matching tiered.Hist.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen > target {
+			if i == 0 {
+				return 0
+			}
+			lo := int64(1) << (i - 1)
+			return lo + lo/2
+		}
+	}
+	return h.max.Load()
+}
+
+// snapshot returns (count, sum, upper bounds, cumulative counts) for the
+// non-empty prefix of buckets. Upper bound of bucket i is 2^i - 1 (the
+// largest value with bit length <= i). Counts are read bucket-by-bucket
+// while writers proceed, so the cut is approximate; cumulative counts
+// are forced monotone.
+func (h *Histogram) snapshot() (count uint64, sum int64, le []uint64, cum []uint64) {
+	sum = h.sum.Load()
+	hi := 0
+	var raw [histBuckets]uint64
+	for i := 0; i < histBuckets; i++ {
+		raw[i] = h.buckets[i].Load()
+		if raw[i] != 0 {
+			hi = i
+		}
+	}
+	le = make([]uint64, hi+1)
+	cum = make([]uint64, hi+1)
+	var c uint64
+	for i := 0; i <= hi; i++ {
+		c += raw[i]
+		if i == 64 {
+			le[i] = ^uint64(0)
+		} else {
+			le[i] = (uint64(1) << uint(i)) - 1
+		}
+		cum[i] = c
+	}
+	count = c
+	return count, sum, le, cum
+}

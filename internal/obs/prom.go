@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4). Series of the same metric name are
+// emitted as one group, HELP/TYPE once per name. Histograms are emitted
+// as cumulative <name>_bucket{le="..."} series plus <name>_sum and
+// <name>_count, with le bounds at the log-bucket upper edges (2^i - 1).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range r.names {
+		ms := r.byName[name]
+		if help := firstHelp(ms); help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, escapeHelp(help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, r.kinds[name])
+		for _, m := range ms {
+			if m.kind == KindHistogram {
+				writeHist(bw, m)
+				continue
+			}
+			bw.WriteString(m.name)
+			writeLabels(bw, m.labels, "")
+			fmt.Fprintf(bw, " %d\n", m.value())
+		}
+	}
+	return bw.Flush()
+}
+
+func firstHelp(ms []*metric) string {
+	for _, m := range ms {
+		if m.help != "" {
+			return m.help
+		}
+	}
+	return ""
+}
+
+func writeHist(bw *bufio.Writer, m *metric) {
+	count, sum, le, cum := m.hist.snapshot()
+	for i := range le {
+		bw.WriteString(m.name)
+		bw.WriteString("_bucket")
+		writeLabels(bw, m.labels, strconv.FormatUint(le[i], 10))
+		fmt.Fprintf(bw, " %d\n", cum[i])
+	}
+	bw.WriteString(m.name)
+	bw.WriteString("_bucket")
+	writeLabels(bw, m.labels, "+Inf")
+	fmt.Fprintf(bw, " %d\n", count)
+	bw.WriteString(m.name)
+	bw.WriteString("_sum")
+	writeLabels(bw, m.labels, "")
+	fmt.Fprintf(bw, " %d\n", sum)
+	bw.WriteString(m.name)
+	bw.WriteString("_count")
+	writeLabels(bw, m.labels, "")
+	fmt.Fprintf(bw, " %d\n", count)
+}
+
+// writeLabels renders {k="v",...}; if le is non-empty it is appended as
+// an le label (already last in sort order for our label keys, and
+// Prometheus does not require sorted labels).
+func writeLabels(bw *bufio.Writer, labels []Label, le string) {
+	if len(labels) == 0 && le == "" {
+		return
+	}
+	bw.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(l.Key)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabel(l.Value))
+		bw.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(`le="`)
+		bw.WriteString(le)
+		bw.WriteByte('"')
+	}
+	bw.WriteByte('}')
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, "\\", `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// ValidatePrometheus is a minimal Prometheus text-format checker used by
+// tests and the smoke harness. It verifies that:
+//
+//   - every non-comment line parses as <name>[{labels}] <value>
+//   - each metric name has exactly one TYPE line, appearing before any
+//     of its samples, with a known type
+//   - no series (name + label set) appears twice
+//   - counter and histogram sample values are non-negative
+//   - every histogram has an le="+Inf" bucket whose value equals the
+//     metric's _count series, and bucket counts are non-decreasing in
+//     file order
+//
+// It returns the first violation found, or nil.
+func ValidatePrometheus(rd io.Reader) error {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	typed := map[string]string{}
+	seen := map[string]struct{}{}
+	lastBucket := map[string]float64{} // histogram series sans le -> last cumulative
+	infBucket := map[string]float64{}
+	countSeries := map[string]float64{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 2 && f[1] == "TYPE" {
+				if len(f) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE line", lineNo)
+				}
+				name, typ := f[2], f[3]
+				if _, dup := typed[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, typ)
+				}
+				typed[name] = typ
+			}
+			continue
+		}
+		name, labels, val, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		base := histBase(name, typed)
+		typ := typed[base]
+		if typ == "" {
+			return fmt.Errorf("line %d: sample %s before its TYPE line", lineNo, name)
+		}
+		series := name + "{" + labels + "}"
+		if _, dup := seen[series]; dup {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, series)
+		}
+		seen[series] = struct{}{}
+		if typ == "counter" || typ == "histogram" {
+			if val < 0 {
+				return fmt.Errorf("line %d: negative %s value on %s", lineNo, typ, series)
+			}
+		}
+		if typ == "histogram" {
+			if err := recordHistSample(base, name, labels, val, lineNo, lastBucket, infBucket, countSeries); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key, c := range countSeries {
+		inf, ok := infBucket[key]
+		if !ok {
+			return fmt.Errorf("histogram %s has no le=\"+Inf\" bucket", key)
+		}
+		if inf != c {
+			return fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", key, inf, c)
+		}
+	}
+	return nil
+}
+
+// recordHistSample tracks bucket monotonicity and +Inf/_count agreement
+// for one histogram sample line.
+func recordHistSample(base, name, labels string, val float64, lineNo int, lastBucket, infBucket, countSeries map[string]float64) error {
+	stripLe := func(ls string) string {
+		parts := strings.Split(ls, ",")
+		out := parts[:0]
+		for _, p := range parts {
+			if !strings.HasPrefix(p, "le=") {
+				out = append(out, p)
+			}
+		}
+		return strings.Join(out, ",")
+	}
+	key := base + "{" + stripLe(labels) + "}"
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		if prev, ok := lastBucket[key]; ok && val < prev {
+			return fmt.Errorf("line %d: histogram %s bucket counts decrease (%v -> %v)", lineNo, key, prev, val)
+		}
+		if strings.Contains(labels, `le="+Inf"`) {
+			infBucket[key] = val
+		}
+		lastBucket[key] = val
+	case strings.HasSuffix(name, "_count"):
+		countSeries[key] = val
+	}
+	return nil
+}
+
+// histBase maps a histogram sample name (foo_bucket/_sum/_count) to its
+// declared metric name, or returns the name itself.
+func histBase(name string, typed map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			base := strings.TrimSuffix(name, suf)
+			if typed[base] == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func parseSample(line string) (name, labels string, val float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		f := strings.Fields(rest)
+		if len(f) < 2 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name = f[0]
+		rest = f[1]
+	}
+	if !validName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	f := strings.Fields(rest)
+	if len(f) < 1 || len(f) > 2 { // optional timestamp
+		return "", "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	val, err = strconv.ParseFloat(f[0], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	return name, labels, val, nil
+}

@@ -1,0 +1,333 @@
+// Package obs is the observability layer for the hybrid-memory engine:
+// a zero-allocation metrics registry (striped padded counters, padded
+// gauges, atomic log-bucket histograms), a lock-free bounded ring of
+// migration events, and an admin HTTP plane exposing Prometheus text
+// metrics, pprof profiles, health/readiness probes, and the event ring.
+//
+// Design rules, in the spirit of the engine's serve path:
+//
+//   - Registration (Counter, Gauge, Histogram, *Func) happens at startup
+//     and may allocate; it panics on invalid or duplicate registration
+//     because every caller is in-tree and a bad series name is a bug.
+//   - The update path (Counter.Inc/Add, Gauge.Set/Add,
+//     Histogram.Observe, EventRing.Publish) never allocates, never
+//     locks, and is safe for any number of concurrent writers.
+//   - Reads (Snapshot, WritePrometheus, EventRing.Snapshot) are
+//     lazy sums over the striped cells: each individual value is
+//     monotone (for counters) but values read in one pass are not a
+//     consistent cut — the same model as tiered.Stats.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+const cacheLine = 64
+
+// maxStripes bounds counter striping, mirroring the engine's serve cells.
+const maxStripes = 64
+
+// cpad is one counter cell on its own cache line.
+type cpad struct {
+	v atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// Counter is a monotonically increasing, striped counter. Writers pick a
+// stripe (any value — it is masked down) so unrelated goroutines do not
+// share a cache line; Value lazily sums the stripes.
+type Counter struct {
+	cells []cpad
+	mask  uint64
+}
+
+// NewCounter returns a standalone counter with the given stripe count
+// (rounded up to a power of two, capped at 64; values < 1 mean 1).
+// Use Registry.Counter to create and register in one step.
+func NewCounter(stripes int) *Counter {
+	n := 1
+	for n < stripes && n < maxStripes {
+		n <<= 1
+	}
+	return &Counter{cells: make([]cpad, n), mask: uint64(n - 1)}
+}
+
+// Inc adds 1 to the stripe selected by key.
+func (c *Counter) Inc(key uint64) { c.cells[key&c.mask].v.Add(1) }
+
+// Add adds d (which must be >= 0) to the stripe selected by key.
+func (c *Counter) Add(key uint64, d int64) { c.cells[key&c.mask].v.Add(d) }
+
+// Value lazily sums the stripes. Monotone across calls, but stripes are
+// read one at a time, so the sum is not a consistent instantaneous cut.
+func (c *Counter) Value() int64 {
+	var t int64
+	for i := range c.cells {
+		t += c.cells[i].v.Load()
+	}
+	return t
+}
+
+// Gauge is a settable instantaneous value on its own cache line.
+type Gauge struct {
+	v atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// NewGauge returns a standalone gauge. Use Registry.Gauge to create and
+// register in one step.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d (may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Kind describes how a metric's samples are interpreted.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Label is one name=value pair attached to a series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Sample is one series' value at Snapshot time.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Kind   Kind
+	// Value is the counter/gauge value; for histograms it is the sum
+	// of observed values.
+	Value int64
+	// Count and Buckets are populated for histograms only. Buckets
+	// holds cumulative counts; Bucket i covers observations <= Le[i].
+	Count   uint64
+	Le      []uint64
+	Buckets []uint64
+}
+
+// Label returns the value of the label with the given key, or "".
+func (s Sample) Label(key string) string {
+	for _, l := range s.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+type metric struct {
+	name   string
+	help   string
+	labels []Label
+	kind   Kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() int64 // counter/gauge backed by an external atomic
+}
+
+// Registry holds registered metrics and renders them as snapshots or
+// Prometheus text. Registration is mutex-guarded (startup only); the
+// metric update paths never touch the registry.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics []*metric
+	names   []string // unique metric names in first-registration order
+	byName  map[string][]*metric
+	kinds   map[string]Kind
+	series  map[string]struct{} // name + rendered labels, for duplicate detection
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byName: make(map[string][]*metric),
+		kinds:  make(map[string]Kind),
+		series: make(map[string]struct{}),
+	}
+}
+
+func (r *Registry) register(m *metric) {
+	if !validName(m.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", m.name))
+	}
+	for _, l := range m.labels {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label key %q on %s", l.Key, m.name))
+		}
+	}
+	// Canonical label order so {a=1,b=2} and {b=2,a=1} are one series.
+	sort.Slice(m.labels, func(i, j int) bool { return m.labels[i].Key < m.labels[j].Key })
+	id := seriesID(m.name, m.labels)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if k, ok := r.kinds[m.name]; ok && k != m.kind {
+		panic(fmt.Sprintf("obs: metric %s registered as both %s and %s", m.name, k, m.kind))
+	}
+	if _, dup := r.series[id]; dup {
+		panic(fmt.Sprintf("obs: duplicate series %s", id))
+	}
+	if _, seen := r.kinds[m.name]; !seen {
+		r.kinds[m.name] = m.kind
+		r.names = append(r.names, m.name)
+	}
+	r.series[id] = struct{}{}
+	r.byName[m.name] = append(r.byName[m.name], m)
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter creates a striped counter and registers it under name with the
+// given labels. stripes <= 1 yields a single cell.
+func (r *Registry) Counter(name, help string, stripes int, labels ...Label) *Counter {
+	c := NewCounter(stripes)
+	r.register(&metric{name: name, help: help, labels: labels, kind: KindCounter, counter: c})
+	return c
+}
+
+// Gauge creates a gauge and registers it.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := NewGauge()
+	r.register(&metric{name: name, help: help, labels: labels, kind: KindGauge, gauge: g})
+	return g
+}
+
+// Histogram creates a log-bucket histogram and registers it.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	h := NewHistogram()
+	r.register(&metric{name: name, help: help, labels: labels, kind: KindHistogram, hist: h})
+	return h
+}
+
+// CounterFunc registers a counter series whose value is produced by fn
+// at read time — the way engine counters that already exist as padded
+// atomics are exported without adding a second write on the hot path.
+// fn must be safe for concurrent use and monotone non-decreasing.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	r.register(&metric{name: name, help: help, labels: labels, kind: KindCounter, fn: fn})
+}
+
+// GaugeFunc registers a gauge series computed by fn at read time.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label) {
+	r.register(&metric{name: name, help: help, labels: labels, kind: KindGauge, fn: fn})
+}
+
+// AttachHistogram registers an existing standalone histogram (e.g. one a
+// subsystem created before it had a registry).
+func (r *Registry) AttachHistogram(name, help string, h *Histogram, labels ...Label) {
+	r.register(&metric{name: name, help: help, labels: labels, kind: KindHistogram, hist: h})
+}
+
+func (m *metric) value() int64 {
+	switch {
+	case m.counter != nil:
+		return m.counter.Value()
+	case m.gauge != nil:
+		return m.gauge.Value()
+	case m.fn != nil:
+		return m.fn()
+	}
+	return 0
+}
+
+// Snapshot returns one Sample per registered series. Values are read
+// lazily (see the package comment's consistency model). The result is
+// freshly allocated and safe to retain.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Sample, 0, len(r.metrics))
+	for _, name := range r.names {
+		for _, m := range r.byName[name] {
+			s := Sample{Name: m.name, Kind: m.kind}
+			if len(m.labels) > 0 {
+				s.Labels = append([]Label(nil), m.labels...)
+			}
+			if m.kind == KindHistogram {
+				s.Count, s.Value, s.Le, s.Buckets = m.hist.snapshot()
+			} else {
+				s.Value = m.value()
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Find returns the first snapshot sample matching name and all given
+// labels, or false. Convenience for examples and tests.
+func Find(samples []Sample, name string, labels ...Label) (Sample, bool) {
+outer:
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		for _, want := range labels {
+			if s.Label(want.Key) != want.Value {
+				continue outer
+			}
+		}
+		return s, true
+	}
+	return Sample{}, false
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func seriesID(name string, labels []Label) string {
+	id := name + "{"
+	for i, l := range labels {
+		if i > 0 {
+			id += ","
+		}
+		id += l.Key + "=" + l.Value
+	}
+	return id + "}"
+}

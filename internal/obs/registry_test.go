@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterStripedSum(t *testing.T) {
+	c := NewCounter(8)
+	var wg sync.WaitGroup
+	const g, per = 8, 10000
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc(id)
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+	if got := c.Value(); got != g*per {
+		t.Fatalf("Value = %d, want %d", got, g*per)
+	}
+}
+
+func TestCounterZeroAllocInc(t *testing.T) {
+	c := NewCounter(16)
+	g := NewGauge()
+	h := NewHistogram()
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc(7)
+		c.Add(3, 5)
+		g.Set(42)
+		g.Add(-1)
+		h.Observe(1234)
+	}); n != 0 {
+		t.Fatalf("metric updates allocated %.1f allocs/op, want 0", n)
+	}
+}
+
+func TestGaugeAndHistogram(t *testing.T) {
+	g := NewGauge()
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+	h := NewHistogram()
+	for _, v := range []int64{0, 1, 2, 1000, 1 << 20} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 3+1000+(1<<20) {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	if h.Max() != 1<<20 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if q := h.Quantile(0.5); q < 1 || q > 4 {
+		t.Fatalf("p50 = %d, want small", q)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "", 1, L("a", "1"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate series did not panic")
+		}
+	}()
+	r.Counter("dup_total", "", 1, L("a", "1"))
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("conf_total", "", 1, L("a", "1"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind conflict did not panic")
+		}
+	}()
+	r.Gauge("conf_total", "", L("a", "2"))
+}
+
+func TestRegistrySnapshotAndFind(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "x", 4, L("tenant", "a"))
+	c.Add(1, 41)
+	c.Inc(2)
+	r.GaugeFunc("y", "y", func() int64 { return 9 }, L("node", "0"))
+	h := r.Histogram("z_ns", "z")
+	h.Observe(100)
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d samples, want 3", len(snap))
+	}
+	s, ok := Find(snap, "x_total", L("tenant", "a"))
+	if !ok || s.Value != 42 {
+		t.Fatalf("x_total = %+v ok=%v", s, ok)
+	}
+	s, ok = Find(snap, "y", L("node", "0"))
+	if !ok || s.Value != 9 {
+		t.Fatalf("y = %+v ok=%v", s, ok)
+	}
+	s, ok = Find(snap, "z_ns")
+	if !ok || s.Count != 1 || s.Value != 100 {
+		t.Fatalf("z_ns = %+v ok=%v", s, ok)
+	}
+	if len(s.Le) != len(s.Buckets) || len(s.Le) == 0 {
+		t.Fatalf("z_ns buckets malformed: %+v", s)
+	}
+}
+
+func TestWritePrometheusValidates(t *testing.T) {
+	r := NewRegistry()
+	for _, tn := range []string{"alpha", "beta"} {
+		c := r.Counter("tierd_demo_total", "demo counter", 4, L("tenant", tn))
+		c.Add(0, 7)
+	}
+	r.Gauge("tierd_level", "a gauge", L("node", "0")).Set(-3)
+	h := r.Histogram("tierd_lat_ns", "latency", L("op", `q"uo\te`))
+	for i := int64(1); i < 5000; i *= 3 {
+		h.Observe(i)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`tierd_demo_total{tenant="alpha"} 7`,
+		`tierd_demo_total{tenant="beta"} 7`,
+		"# TYPE tierd_demo_total counter",
+		`tierd_level{node="0"} -3`,
+		`le="+Inf"`,
+		"tierd_lat_ns_sum",
+		"tierd_lat_ns_count",
+		`op="q\"uo\\te"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidatePrometheus(strings.NewReader(out)); err != nil {
+		t.Fatalf("ValidatePrometheus: %v\n%s", err, out)
+	}
+}
+
+func TestValidatePrometheusRejects(t *testing.T) {
+	cases := map[string]string{
+		"no type":        "foo 1\n",
+		"dup series":     "# TYPE foo counter\nfoo 1\nfoo 2\n",
+		"neg counter":    "# TYPE foo counter\nfoo -1\n",
+		"bad name":       "# TYPE foo counter\n2foo 1\n",
+		"bucket shrinks": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 9\nh_count 3\n",
+		"inf mismatch":   "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 9\nh_count 4\n",
+	}
+	for name, text := range cases {
+		if err := ValidatePrometheus(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: expected error, got nil", name)
+		}
+	}
+}

@@ -90,7 +90,9 @@ func (s *Server) handle(c *conn) {
 		n, err := c.nc.Read(c.rbuf[c.rend:])
 		if n > 0 {
 			c.rend += n
+			t0 := time.Now()
 			fatal := s.process(c)
+			s.batchDur.Observe(time.Since(t0).Nanoseconds())
 			if len(c.out) > 0 {
 				if c.flush() != nil {
 					return
@@ -209,12 +211,14 @@ func (s *Server) dispatch(c *conn, args [][]byte) (closeAfter bool) {
 	cmd := args[0]
 	switch {
 	case cmdIs(cmd, "GET"):
+		s.cmds.get.Inc(c.id)
 		if len(args) != 2 {
 			c.out = appendError(c.out, "ERR wrong number of arguments for 'get' command")
 			return false
 		}
 		return s.access(c, args[1], trace.OpRead)
 	case cmdIs(cmd, "SET"):
+		s.cmds.set.Inc(c.id)
 		// Extra arguments (value options like EX) are accepted and
 		// ignored: the engine records the access, not the payload.
 		if len(args) < 3 {
@@ -223,6 +227,7 @@ func (s *Server) dispatch(c *conn, args [][]byte) (closeAfter bool) {
 		}
 		return s.access(c, args[1], trace.OpWrite)
 	case cmdIs(cmd, "DEL"):
+		s.cmds.del.Inc(c.id)
 		if len(args) < 2 {
 			c.out = appendError(c.out, "ERR wrong number of arguments for 'del' command")
 			return false
@@ -244,8 +249,10 @@ func (s *Server) dispatch(c *conn, args [][]byte) (closeAfter bool) {
 		c.out = appendInt(c.out, removed)
 		return false
 	case cmdIs(cmd, "AUTH"):
+		s.cmds.auth.Inc(c.id)
 		return s.auth(c, args)
 	case cmdIs(cmd, "PING"):
+		s.cmds.ping.Inc(c.id)
 		if len(args) > 1 {
 			c.out = appendBulkBytes(c.out, args[1])
 		} else {
@@ -253,6 +260,7 @@ func (s *Server) dispatch(c *conn, args [][]byte) (closeAfter bool) {
 		}
 		return false
 	case cmdIs(cmd, "ECHO"):
+		s.cmds.other.Inc(c.id)
 		if len(args) != 2 {
 			c.out = appendError(c.out, "ERR wrong number of arguments for 'echo' command")
 			return false
@@ -260,9 +268,11 @@ func (s *Server) dispatch(c *conn, args [][]byte) (closeAfter bool) {
 		c.out = appendBulkBytes(c.out, args[1])
 		return false
 	case cmdIs(cmd, "INFO"):
+		s.cmds.info.Inc(c.id)
 		c.out = appendBulkString(c.out, s.info())
 		return false
 	case cmdIs(cmd, "STATS"):
+		s.cmds.stats.Inc(c.id)
 		if s.needAuth(c) {
 			return false
 		}
@@ -271,17 +281,21 @@ func (s *Server) dispatch(c *conn, args [][]byte) (closeAfter bool) {
 	case cmdIs(cmd, "SELECT"), cmdIs(cmd, "CLIENT"):
 		// Database selection and client options have no meaning here;
 		// accepted so redis-benchmark and friends can run unmodified.
+		s.cmds.other.Inc(c.id)
 		c.out = appendSimple(c.out, "OK")
 		return false
 	case cmdIs(cmd, "COMMAND"):
 		// redis-cli probes COMMAND DOCS on startup; an empty array keeps
 		// it happy without implementing introspection.
+		s.cmds.other.Inc(c.id)
 		c.out = appendArrayHeader(c.out, 0)
 		return false
 	case cmdIs(cmd, "QUIT"):
+		s.cmds.other.Inc(c.id)
 		c.out = appendSimple(c.out, "OK")
 		return true
 	}
+	s.cmds.other.Inc(c.id)
 	c.out = appendError(c.out, "ERR unknown command")
 	return false
 }
@@ -370,6 +384,22 @@ func (s *Server) info() string {
 	fmt.Fprintf(&b, "# Engine\r\naccesses:%d\r\nhits_dram:%d\r\nhits_nvm:%d\r\nfaults:%d\r\npromotions:%d\r\ndemotions:%d\r\nevictions:%d\r\nresident_dram:%d\r\nresident_nvm:%d\r\n",
 		es.Accesses, es.HitsDRAM(), es.HitsNVM(), es.Faults,
 		es.Promotions, es.Demotions, es.Evictions, es.ResidentDRAM, es.ResidentNVM)
+	ds := s.engine.DaemonStats()
+	depth := 0
+	for _, n := range ds.Nodes {
+		depth += n.QueueDepth
+	}
+	fmt.Fprintf(&b, "# Daemon\r\nscan_epochs:%d\r\nlast_scan_us:%d\r\ncandidates:%d\r\ncoalesced:%d\r\nbatches:%d\r\nbatch_drops:%d\r\nqueue_depth:%d\r\n",
+		ds.Epochs, ds.LastScanNS/1000, ds.Candidates, ds.Coalesced,
+		ds.Batches, ds.BatchesDropped, depth)
+	b.WriteString("# Nodes\r\n")
+	for _, n := range s.engine.NodeStats() {
+		fmt.Fprintf(&b, "node%d:resident_dram=%d,resident_nvm=%d,faults_local=%d,faults_remote=%d,promotions_local=%d,promotions_remote=%d,demotions_local=%d,demotions_remote=%d\r\n",
+			n.ID, n.ResidentDRAM, n.ResidentNVM,
+			n.FaultsLocal, n.FaultsRemote,
+			n.PromotionsLocal, n.PromotionsRemote,
+			n.DemotionsLocal, n.DemotionsRemote)
+	}
 	return b.String()
 }
 

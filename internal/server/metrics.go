@@ -1,0 +1,69 @@
+package server
+
+import "hybridmem/internal/obs"
+
+// cmdCounters is the server's per-command tally, striped by connection id
+// so concurrent handlers don't share cache lines. Always allocated — an
+// unscrapped counter is just a padded atomic — and exported through
+// RegisterMetrics when an admin plane is attached.
+type cmdCounters struct {
+	get, set, del    *obs.Counter
+	auth, ping, info *obs.Counter
+	stats, other     *obs.Counter
+}
+
+func newCmdCounters() cmdCounters {
+	const stripes = 8
+	return cmdCounters{
+		get:   obs.NewCounter(stripes),
+		set:   obs.NewCounter(stripes),
+		del:   obs.NewCounter(stripes),
+		auth:  obs.NewCounter(stripes),
+		ping:  obs.NewCounter(stripes),
+		info:  obs.NewCounter(stripes),
+		stats: obs.NewCounter(stripes),
+		other: obs.NewCounter(stripes),
+	}
+}
+
+// Serving reports whether the server is between Listen and Shutdown — the
+// admin plane's readiness signal for the RESP front end.
+func (s *Server) Serving() bool { return s.state.Load() == srvServing }
+
+// RegisterMetrics registers the server's metric catalog into reg: the
+// per-command dispatch counters, the read-batch handling histogram, and
+// func-backed views over the connection-fabric counters the server
+// already maintains (no second write on any path). Call once per
+// registry, before serving traffic.
+func (s *Server) RegisterMetrics(reg *obs.Registry) {
+	for _, c := range []struct {
+		cmd string
+		ctr *obs.Counter
+	}{
+		{"get", s.cmds.get}, {"set", s.cmds.set}, {"del", s.cmds.del},
+		{"auth", s.cmds.auth}, {"ping", s.cmds.ping}, {"info", s.cmds.info},
+		{"stats", s.cmds.stats}, {"other", s.cmds.other},
+	} {
+		ctr := c.ctr
+		reg.CounterFunc("tierd_resp_commands_by_name_total", "Commands dispatched by name.",
+			ctr.Value, obs.L("cmd", c.cmd))
+	}
+	reg.AttachHistogram("tierd_resp_batch_duration_ns",
+		"Time to parse, dispatch and render one read batch.", s.batchDur)
+	reg.CounterFunc("tierd_resp_connections_accepted_total", "Connections ever accepted.",
+		s.accepted.Load)
+	reg.GaugeFunc("tierd_resp_connections_active", "Currently open connections.",
+		s.active.Load)
+	reg.CounterFunc("tierd_resp_connections_evicted_total", "Connections evicted by the LRU cap.",
+		s.evicted.Load)
+	reg.CounterFunc("tierd_resp_connections_reaped_total", "Connections closed by the idle reaper.",
+		s.reaped.Load)
+	reg.CounterFunc("tierd_resp_commands_total", "Commands dispatched.",
+		s.commands.Load)
+	reg.CounterFunc("tierd_resp_pipelined_commands_total", "Commands that arrived behind another in a batch.",
+		s.pipelined.Load)
+	reg.CounterFunc("tierd_resp_auth_failures_total", "Rejected AUTH attempts.",
+		s.authFailures.Load)
+	reg.CounterFunc("tierd_resp_protocol_errors_total", "Connections closed for malformed frames.",
+		s.protocolErrors.Load)
+}

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"hybridmem/internal/obs"
+	"hybridmem/internal/tiered"
+)
+
+// TestInfoDaemonAndNodeSections pins the INFO additions: a # Daemon
+// section with the scan-epoch and queue introspection, and a # Nodes
+// section with one line per node carrying the local/remote migration
+// split.
+func TestInfoDaemonAndNodeSections(t *testing.T) {
+	e := newTestEngine(t, tiered.Config{
+		DRAMPages: 8, NVMPages: 64, Shards: 4,
+		Topology: tiered.EvenTopology(2, 8, 64),
+	})
+	s := newTestServer(t, e, Config{})
+	c := dialTest(t, s)
+
+	// Traffic past DRAM capacity, then a scan, so the daemon counters move.
+	for p := uint64(0); p < 32; p++ {
+		if _, err := c.Do("SET", fmt.Sprint(p*4096), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = e.ScanOnce()
+
+	c.EnqueueCommand("INFO")
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.readBulk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(info)
+	for _, want := range []string{
+		"# Daemon", "scan_epochs:", "candidates:", "batch_drops:", "queue_depth:",
+		"# Nodes", "node0:resident_dram=", "node1:resident_dram=",
+		"promotions_local=", "demotions_remote=",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("INFO missing %q:\n%s", want, text)
+		}
+	}
+	// The epoch counter must reflect the manual scan.
+	if !strings.Contains(text, "scan_epochs:") {
+		t.Fatal("no scan_epochs line")
+	}
+	for _, line := range strings.Split(text, "\r\n") {
+		if v, ok := strings.CutPrefix(line, "scan_epochs:"); ok && v == "0" {
+			t.Fatalf("scan_epochs is 0 after ScanOnce: %s", line)
+		}
+	}
+}
+
+// TestServerRegisterMetrics scrapes a registry holding both the engine
+// and server catalogs after real RESP traffic: the scrape must validate,
+// and the per-command counters and batch histogram must have moved.
+func TestServerRegisterMetrics(t *testing.T) {
+	e := newTestEngine(t, tiered.Config{})
+	s := newTestServer(t, e, Config{})
+	reg := obs.NewRegistry()
+	e.RegisterMetrics(reg)
+	s.RegisterMetrics(reg)
+
+	c := dialTest(t, s)
+	for p := uint64(0); p < 16; p++ {
+		if _, err := c.Do("SET", fmt.Sprint(p*4096), "x"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Do("GET", fmt.Sprint(p*4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidatePrometheus(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("scrape invalid: %v\n%s", err, buf.String())
+	}
+	samples := reg.Snapshot()
+	for _, cmd := range []string{"get", "set"} {
+		smp, ok := obs.Find(samples, "tierd_resp_commands_by_name_total", obs.L("cmd", cmd))
+		if !ok || smp.Value != 16 {
+			t.Fatalf("%s counter = %+v, %v; want 16", cmd, smp, ok)
+		}
+	}
+	if smp, ok := obs.Find(samples, "tierd_resp_batch_duration_ns"); !ok || smp.Count == 0 {
+		t.Fatalf("batch histogram = %+v, %v; want observations", smp, ok)
+	}
+	if smp, ok := obs.Find(samples, "tierd_resp_connections_active"); !ok || smp.Value != 1 {
+		t.Fatalf("active connections = %+v, %v; want 1", smp, ok)
+	}
+	if smp, ok := obs.Find(samples, "tierd_engine_accesses_total"); !ok || smp.Value != 32 {
+		t.Fatalf("engine accesses = %+v, %v; want 32", smp, ok)
+	}
+}
+
+// TestAdminAlongsideDrain runs the admin plane next to the RESP server
+// through a full lifecycle: ready while both are serving, not ready after
+// the RESP drain, and the admin socket itself refusing connections after
+// its own shutdown.
+func TestAdminAlongsideDrain(t *testing.T) {
+	e := newTestEngine(t, tiered.Config{})
+	s := newTestServer(t, e, Config{})
+	reg := obs.NewRegistry()
+	e.RegisterMetrics(reg)
+	s.RegisterMetrics(reg)
+
+	adm, err := obs.NewAdmin(obs.AdminConfig{
+		Addr:     "127.0.0.1:0",
+		Registry: reg,
+		Ready: func() error {
+			if !e.Running() {
+				return fmt.Errorf("engine not running")
+			}
+			if !s.Serving() {
+				return fmt.Errorf("resp server not serving")
+			}
+			return nil
+		},
+		Invariants: e.CheckInvariants,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := adm.Listen(); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(adm.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	c := dialTest(t, s)
+	if _, err := c.Do("SET", "4096", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := get("/readyz?invariants=1"); code != http.StatusOK {
+		t.Fatalf("/readyz while serving: %d %q", code, body)
+	}
+	if code, body := get("/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "tierd_resp_commands_total") {
+		t.Fatalf("/metrics: %d, missing resp counters", code)
+	}
+
+	// Drain RESP first — the admin plane must outlive it and report
+	// not-ready, so an orchestrator sees the drain.
+	c.Close()
+	if err := s.Shutdown(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "not serving") {
+		t.Fatalf("/readyz after drain: %d %q", code, body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz after drain: %d, want 200 (liveness outlasts drain)", code)
+	}
+
+	if err := adm.Shutdown(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(adm.URL() + "/healthz"); err == nil {
+		t.Fatal("admin still answering after Shutdown")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hybridmem/internal/obs"
 	"hybridmem/internal/tiered"
 )
 
@@ -151,6 +152,12 @@ type Server struct {
 	pipelined      atomic.Int64
 	authFailures   atomic.Int64
 	protocolErrors atomic.Int64
+
+	// Observability: per-command counters (striped by connection id) and
+	// the read-batch handling histogram. Maintained unconditionally —
+	// they are padded atomics — and exported via RegisterMetrics.
+	cmds     cmdCounters
+	batchDur *obs.Histogram
 }
 
 // New builds a server over an already-constructed engine.
@@ -166,9 +173,11 @@ func New(e *tiered.Engine, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: ReadBuffer %d outside [64, %d]", cfg.ReadBuffer, maxConnBuffer)
 	}
 	return &Server{
-		cfg:    cfg,
-		engine: e,
-		cm:     newConnMap(cfg.MaxConns),
+		cfg:      cfg,
+		engine:   e,
+		cm:       newConnMap(cfg.MaxConns),
+		cmds:     newCmdCounters(),
+		batchDur: obs.NewHistogram(),
 	}, nil
 }
 

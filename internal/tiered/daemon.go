@@ -26,7 +26,7 @@ func (e *Engine) Start() error {
 	}
 	e.stopCh = make(chan struct{})
 	for _, ns := range e.nodes {
-		ns.batchCh = make(chan *[]uint64, e.cfg.QueueLen)
+		ns.batchCh = make(chan *promoBatch, e.cfg.QueueLen)
 		e.workerWG.Add(e.cfg.Workers)
 		for i := 0; i < e.cfg.Workers; i++ {
 			go e.workerLoop(ns)
@@ -86,35 +86,51 @@ func (e *Engine) scanLoop() {
 	}
 }
 
+// promoBatch is one promotion batch in flight from the scanner to a
+// node's workers: the ranked candidates (key + the windowed score the
+// scan saw, which rides into the event ring) and the enqueue timestamp,
+// from which the draining worker computes the node's promotion lag.
+type promoBatch struct {
+	at time.Time
+	c  []candidate
+}
+
 // workerLoop drains one node's promotion batches until the channel closes,
 // returning each drained buffer to the batch pool. A page's in-flight mark
 // clears only after its promotion has been applied (or found stale), so
 // the scanner cannot re-enqueue it mid-flight.
 func (e *Engine) workerLoop(ns *nodeState) {
 	defer e.workerWG.Done()
-	for bp := range ns.batchCh {
-		for _, key := range *bp {
-			e.applyPromotion(key)
-			e.unmarkInflight(key)
+	for b := range ns.batchCh {
+		lag := time.Since(b.at).Nanoseconds()
+		ns.lagLast.Store(lag)
+		for {
+			cur := ns.lagMax.Load()
+			if lag <= cur || ns.lagMax.CompareAndSwap(cur, lag) {
+				break
+			}
 		}
-		e.putBatch(bp)
+		for _, cand := range b.c {
+			e.applyPromotion(cand.key, cand.score)
+			e.unmarkInflight(cand.key)
+		}
+		e.putBatch(b)
 	}
 }
 
 // newBatch takes a promotion buffer from the pool (or allocates the pool's
 // first few).
-func (e *Engine) newBatch() *[]uint64 {
-	if bp, ok := e.batchPool.Get().(*[]uint64); ok {
-		return bp
+func (e *Engine) newBatch() *promoBatch {
+	if b, ok := e.batchPool.Get().(*promoBatch); ok {
+		return b
 	}
-	b := make([]uint64, 0, e.cfg.BatchSize)
-	return &b
+	return &promoBatch{c: make([]candidate, 0, e.cfg.BatchSize)}
 }
 
 // putBatch resets a buffer and returns it to the pool.
-func (e *Engine) putBatch(bp *[]uint64) {
-	*bp = (*bp)[:0]
-	e.batchPool.Put(bp)
+func (e *Engine) putBatch(b *promoBatch) {
+	b.c = b.c[:0]
+	e.batchPool.Put(b)
 }
 
 // ScanOnce runs one hotness scan immediately and applies the resulting
@@ -227,8 +243,10 @@ func (e *Engine) scanEpoch(inline bool) {
 	if e.state.Load() != stateStarted {
 		return
 	}
+	start := time.Now()
+	var cands int64
 	for _, ns := range e.nodes {
-		e.scanNode(ns, inline)
+		cands += e.scanNode(ns, inline)
 	}
 	for _, ts := range e.tenantList {
 		accesses, hitsDRAM, _ := ts.serveTotals()
@@ -245,6 +263,14 @@ func (e *Engine) scanEpoch(inline bool) {
 		ts.lastEpoch = cur
 	}
 	e.c.scans.Add(1)
+	e.c.candidates.Add(cands)
+	e.candLast.Store(cands)
+	// Single writer (scanMu held), so last/max need no CAS.
+	dur := time.Since(start).Nanoseconds()
+	e.scanDurLast.Store(dur)
+	if dur > e.scanDurMax.Load() {
+		e.scanDurMax.Store(dur)
+	}
 }
 
 // scanNode runs one node's slice of the epoch: it sweeps the node's shard
@@ -253,8 +279,9 @@ func (e *Engine) scanEpoch(inline bool) {
 // the tenants by priority weight, and cuts the result into batches for the
 // node's promotion queue (or applies them inline). Pages already in flight
 // from a previous epoch are skipped; the counter windows of the node's
-// pages reset as a side effect of the sweep. Caller holds scanMu.
-func (e *Engine) scanNode(ns *nodeState, inline bool) {
+// pages reset as a side effect of the sweep. Caller holds scanMu. Returns
+// the number of candidates the sweep found (before in-flight dedupe).
+func (e *Engine) scanNode(ns *nodeState, inline bool) int64 {
 	// Collect only inside the sweep; promotions apply after it, so a
 	// migration's table write never races the sweep's own shard visit.
 	for i := range ns.scanBufs {
@@ -288,48 +315,58 @@ func (e *Engine) scanNode(ns *nodeState, inline bool) {
 	// flush hands the batch off (queue mode) or applies it inline, and
 	// returns the buffer to fill next — a fresh one when the queue took
 	// ownership, the same one (reset) otherwise.
-	flush := func(bp *[]uint64) *[]uint64 {
-		b := *bp
-		if len(b) == 0 {
-			return bp
+	flush := func(b *promoBatch) *promoBatch {
+		if len(b.c) == 0 {
+			return b
 		}
 		if inline {
-			for _, key := range b {
-				e.applyPromotion(key)
-				e.unmarkInflight(key)
+			for _, cand := range b.c {
+				e.applyPromotion(cand.key, cand.score)
+				e.unmarkInflight(cand.key)
 			}
 			e.c.batches.Add(1)
-			*bp = b[:0]
-			return bp
+			b.c = b.c[:0]
+			return b
 		}
+		b.at = time.Now()
 		select {
-		case ns.batchCh <- bp:
+		case ns.batchCh <- b:
 			e.c.batches.Add(1)
+			// High-water of the queue depth, observed at enqueue. Only
+			// the scanner writes it, so load+store suffices.
+			if d := int64(len(ns.batchCh)); d > ns.queueHW.Load() {
+				ns.queueHW.Store(d)
+			}
 			return e.newBatch()
 		default:
 			// Queue full: drop the batch and clear its marks. Promotion is
 			// advisory — a page that stays hot re-qualifies next epoch —
 			// so shedding load here keeps the scanner from ever blocking
 			// on the workers.
-			for _, key := range b {
-				e.unmarkInflight(key)
+			for _, cand := range b.c {
+				e.unmarkInflight(cand.key)
 			}
 			e.c.queueDrops.Add(1)
-			*bp = b[:0]
-			return bp
+			ns.drops.Add(1)
+			b.c = b.c[:0]
+			return b
 		}
 	}
 
-	bp := e.newBatch()
+	b := e.newBatch()
 	for _, cand := range ns.scanOrder {
 		if !e.markInflight(cand.key) {
+			// A previous epoch's promotion of this page is still queued:
+			// the epochs coalesce into one migration.
+			e.c.coalesced.Add(1)
 			continue
 		}
-		*bp = append(*bp, cand.key)
-		if len(*bp) == e.cfg.BatchSize {
-			bp = flush(bp)
+		b.c = append(b.c, cand)
+		if len(b.c) == e.cfg.BatchSize {
+			b = flush(b)
 		}
 	}
-	bp = flush(bp)
-	e.putBatch(bp)
+	b = flush(b)
+	e.putBatch(b)
+	return int64(len(ns.scanOrder))
 }

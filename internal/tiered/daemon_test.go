@@ -134,7 +134,7 @@ func TestScanEpochCoalescesAcrossEpochs(t *testing.T) {
 	// Don't Start: drive scanEpoch's queue path directly so the worker
 	// pool can't drain the queue under us.
 	e.state.Store(stateStarted)
-	e.nodes[0].batchCh = make(chan *[]uint64, e.cfg.QueueLen)
+	e.nodes[0].batchCh = make(chan *promoBatch, e.cfg.QueueLen)
 
 	heat := func() {
 		// An NVM page with counters above the smallCore threshold (3).
@@ -176,9 +176,9 @@ func TestScanEpochCoalescesAcrossEpochs(t *testing.T) {
 	// Draining the queued batch applies the promotion and clears the
 	// mark, after which the page may be enqueued again.
 	batch := <-e.nodes[0].batchCh
-	for _, key := range *batch {
-		e.applyPromotion(key)
-		e.unmarkInflight(key)
+	for _, cand := range batch.c {
+		e.applyPromotion(cand.key, cand.score)
+		e.unmarkInflight(cand.key)
 	}
 	if loc, ok := e.tbl.Peek(DefaultTenant, 99); !ok || loc != mm.LocDRAM {
 		t.Fatalf("page 99 at %v/%v after drain, want DRAM", loc, ok)
@@ -275,7 +275,7 @@ func TestScanEpochPriorityWeighting(t *testing.T) {
 	}
 	// Drive scanEpoch's queue path directly (no worker pool draining).
 	e.state.Store(stateStarted)
-	e.nodes[0].batchCh = make(chan *[]uint64, e.cfg.QueueLen)
+	e.nodes[0].batchCh = make(chan *promoBatch, e.cfg.QueueLen)
 
 	heat := func(tn TenantID, page uint64, touches int) {
 		e.tbl.Insert(tn, page, mm.LocNVM)
@@ -299,12 +299,12 @@ func TestScanEpochPriorityWeighting(t *testing.T) {
 		tableKey(0, 12), tableKey(0, 13), tableKey(1, 21),
 		tableKey(1, 22), tableKey(1, 23),
 	}
-	if len(*batch) != len(want) {
-		t.Fatalf("batch holds %d keys, want %d", len(*batch), len(want))
+	if len(batch.c) != len(want) {
+		t.Fatalf("batch holds %d keys, want %d", len(batch.c), len(want))
 	}
 	for i, w := range want {
-		if (*batch)[i] != w {
-			tn, p := splitKey((*batch)[i])
+		if batch.c[i].key != w {
+			tn, p := splitKey(batch.c[i].key)
 			t.Fatalf("batch[%d] = tenant %d page %d, want tenant %d page %d",
 				i, tn, p, w>>pageBits, w&maxTablePage)
 		}

@@ -13,6 +13,7 @@ import (
 	"hybridmem/internal/core"
 	"hybridmem/internal/memspec"
 	"hybridmem/internal/mm"
+	"hybridmem/internal/obs"
 	"hybridmem/internal/policy"
 	"hybridmem/internal/trace"
 )
@@ -94,6 +95,12 @@ type Config struct {
 	// is full, batches are dropped and counted: migration is a hint, and
 	// a page that stays hot is re-found next epoch.
 	QueueLen int
+	// Events, when non-nil, receives one obs.Event per migration decision
+	// (promotion, demotion, eviction, drop) with tenant, node and tier
+	// attribution — the trace the admin plane's /events endpoint streams.
+	// Publishing is lock-free and allocation-free; a nil ring costs the
+	// migration paths a single branch and the serve hit path nothing.
+	Events *obs.EventRing
 }
 
 // withDefaults fills zero fields.
@@ -253,6 +260,10 @@ type counters struct {
 	demotions, demotionsFault, demotionsPromo, demotionsClean padCounter
 	evictions                                                 padCounter
 	scans, batches, queueDrops                                padCounter
+	// candidates counts scan-identified hot pages across all epochs;
+	// coalesced counts candidates skipped because a previous epoch's
+	// promotion of the same page was still in flight.
+	candidates, coalesced padCounter
 }
 
 // Engine lifecycle states.
@@ -354,6 +365,15 @@ type Engine struct {
 	// drained closes once the winning Stop has fully quiesced the daemon,
 	// so a Stop that loses the race still waits for the drain guarantee.
 	drained chan struct{}
+
+	// ring is the optional migration-event trace (Config.Events); nil
+	// when no observer is attached.
+	ring *obs.EventRing
+	// Scan-epoch introspection, written only under scanMu (single
+	// writer): last/max epoch duration and the candidate count of the
+	// last epoch. Read lock-free by DaemonStats.
+	scanDurLast, scanDurMax atomic.Int64
+	candLast                atomic.Int64
 }
 
 // New builds an engine. Call Start before Serve.
@@ -416,6 +436,7 @@ func New(cfg Config) (*Engine, error) {
 		stripeMask: uint64(stripes - 1),
 		inflight:   make(map[uint64]struct{}),
 		drained:    make(chan struct{}),
+		ring:       cfg.Events,
 	}
 	for n, nc := range cfg.Topology.Nodes {
 		ns := &nodeState{
@@ -556,6 +577,7 @@ func (e *Engine) Drop(tenant TenantID, addr uint64) (bool, error) {
 			}
 			e.c.evictions.Add(1)
 			ts.c.evictions.Add(1)
+			e.publishEvent(tenant, page, node, tierOf(loc), obs.TierNone, obs.ReasonDrop, 0)
 			return true, nil
 		}
 	}
@@ -563,7 +585,14 @@ func (e *Engine) Drop(tenant TenantID, addr uint64) (bool, error) {
 }
 
 // TenantStats returns a snapshot of one tenant's counters, or false for an
-// unknown tenant. Safe to call concurrently with Serve.
+// unknown tenant. Safe to call concurrently with Serve, under the same
+// lazy-sum consistency model as Stats: each field is summed from its
+// striped cells (or read from its own atomic) one at a time while serves
+// proceed, so every field is individually exact and monotone
+// non-decreasing across snapshots, but different fields may be mutually
+// torn — Accesses can already include an access whose hit has not been
+// tallied into HitsDRAM/HitsNVM yet. Cross-field identities hold exactly
+// only on a quiesced engine.
 func (e *Engine) TenantStats(id TenantID) (TenantStats, bool) {
 	ts, ok := e.tenants[id]
 	if !ok {
@@ -595,9 +624,17 @@ func (e *Engine) TenantStats(id TenantID) (TenantStats, bool) {
 
 // Stats returns a snapshot of the engine's counters, aggregating the
 // striped per-access cells lazily — the hit path never touches a shared
-// line for them. Safe to call concurrently with Serve; the fields are read
-// individually, so a snapshot taken mid-traffic is approximate across
-// fields but each field is exact.
+// line for them. Safe to call concurrently with Serve.
+//
+// Consistency model: the snapshot is a lazy sum, not an atomic cut.
+// Each field is read (and its stripes summed) one load at a time while
+// serves proceed, so every event-count field is individually exact and
+// monotone non-decreasing from one snapshot to the next, but fields may
+// be mutually torn mid-sum: identities that relate fields (for example
+// Accesses == Hits() + Faults, or Demotions == DemotionsFault +
+// DemotionsPromo) can be off by in-flight accesses in a snapshot taken
+// under load. They hold exactly once the engine is quiesced. The
+// occupancy fields are levels, exact at the instant each is read.
 func (e *Engine) Stats() Stats {
 	st := Stats{
 		Faults:         e.c.faults.Load(),
@@ -684,6 +721,37 @@ func (e *Engine) ServeTenant(tenant TenantID, addr uint64, op trace.Op) (ServeRe
 		return ServeResult{ServedFrom: loc}, nil
 	}
 	return e.serveFault(ts, cell, key, h, page, home, op)
+}
+
+// tierOf maps a memory location to its obs tier.
+func tierOf(loc mm.Location) obs.Tier {
+	switch loc {
+	case mm.LocDRAM:
+		return obs.TierDRAM
+	case mm.LocNVM:
+		return obs.TierNVM
+	}
+	return obs.TierNone
+}
+
+// publishEvent records one migration decision in the attached event ring
+// (no-op without one). score carries the policy's windowed counter for
+// promotions; zero for the reactive moves. Lock-free, allocation-free.
+func (e *Engine) publishEvent(tenant TenantID, page uint64, node int, from, to obs.Tier, reason obs.Reason, score uint64) {
+	if e.ring == nil {
+		return
+	}
+	e.ring.Publish(obs.Event{
+		TS:     time.Now().UnixNano(),
+		Epoch:  e.c.scans.Load(),
+		Page:   page,
+		Score:  score,
+		Tenant: uint16(tenant),
+		Node:   uint8(node),
+		From:   from,
+		To:     to,
+		Reason: reason,
+	})
 }
 
 // tallyHit records a non-faulting access, mirroring sim.Run's accounting,
@@ -869,7 +937,7 @@ func (e *Engine) serveFault(ts *tenantState, cell, key, h, page uint64, home int
 		} else {
 			n, r := e.reserveDRAM(ts, home)
 			if r != dramReserved {
-				if err := e.demoteForReserve(ts, false); err != nil {
+				if err := e.demoteForReserve(ts, obs.ReasonDemotionFault); err != nil {
 					return ServeResult{}, err
 				}
 				continue
@@ -912,16 +980,22 @@ func (e *Engine) releaseZone(ts *tenantState, zone mm.Location, node int) {
 // releases a token, and an exhausted pool implies one exists. Finding
 // none means the borrowers drained concurrently; the caller just retries
 // its reserve.
-func (e *Engine) demoteForReserve(ts *tenantState, forPromotion bool) error {
+//
+// reason labels why DRAM room is needed (obs.ReasonDemotionFault or
+// obs.ReasonDemotionPromotion); the borrower-victim branch publishes its
+// demotion as obs.ReasonDemotionSpill since the point of that demotion
+// is reclaiming a spill token, not the triggering access itself.
+func (e *Engine) demoteForReserve(ts *tenantState, reason obs.Reason) error {
+	forPromotion := reason == obs.ReasonDemotionPromotion
 	if n := ts.overageNode(); n >= 0 {
-		return e.demoteOne(ts, true, forPromotion, n)
+		return e.demoteOne(ts, true, forPromotion, n, reason)
 	}
 	if ts.dramUsed.Load() > 0 {
-		return e.demoteOne(ts, true, forPromotion, -1)
+		return e.demoteOne(ts, true, forPromotion, -1, reason)
 	}
 	for _, vs := range e.tenantList {
 		if n := vs.overageNode(); n >= 0 {
-			return e.demoteOne(vs, true, forPromotion, n)
+			return e.demoteOne(vs, true, forPromotion, n, obs.ReasonDemotionSpill)
 		}
 	}
 	return nil
@@ -934,8 +1008,10 @@ func (e *Engine) demoteForReserve(ts *tenantState, forPromotion bool) error {
 // within the over-budget tenant. With frameNode >= 0, the victim's DRAM
 // frame must sit in that node's pool — the share-enforcement case, where
 // freeing that specific pool (and its spill token) is the point.
-// forPromotion only labels the demotion's reason in the stats.
-func (e *Engine) demoteOne(ts *tenantState, tenantOnly, forPromotion bool, frameNode int) error {
+// forPromotion only labels the demotion's reason in the stats; reason is
+// the same classification for the event ring (which also distinguishes
+// spill-reclaim demotions).
+func (e *Engine) demoteOne(ts *tenantState, tenantOnly, forPromotion bool, frameNode int, reason obs.Reason) error {
 	for attempt := 0; attempt < maxFaultRetries; attempt++ {
 		// Pick the victim first: its observed frame node is where the
 		// demoted page should land if that NVM pool has room. The NVM
@@ -974,6 +1050,7 @@ func (e *Engine) demoteOne(ts *tenantState, tenantOnly, forPromotion bool, frame
 			} else {
 				from.demosRemote.Add(1)
 			}
+			e.publishEvent(victimTenant, victim, fromNode, obs.TierDRAM, obs.TierNVM, reason, 0)
 			return nil
 		}
 		// The victim moved or vanished under us; retry with a fresh one.
@@ -995,6 +1072,7 @@ func (e *Engine) evictOne() error {
 			e.releaseNVM(node)
 			e.c.evictions.Add(1)
 			e.tenants[victimTenant].c.evictions.Add(1)
+			e.publishEvent(victimTenant, victim, node, obs.TierNVM, obs.TierNone, obs.ReasonEviction, 0)
 			return nil
 		}
 	}
@@ -1006,8 +1084,10 @@ func (e *Engine) evictOne() error {
 // tenant, and the DRAM frame is charged to that tenant's quota. The frame
 // comes from the page's home node whenever that pool can hold it; a
 // remote frame is taken only when the home node is exhausted, and the
-// promotion is counted as remote on the home node's stats.
-func (e *Engine) applyPromotion(key uint64) {
+// promotion is counted as remote on the home node's stats. score is the
+// windowed counter magnitude the scan saw, carried into the event ring
+// so a trace records how hot the page was at decision time.
+func (e *Engine) applyPromotion(key, score uint64) {
 	tenant, page := splitKey(key)
 	ts := e.tenants[tenant]
 	if ts == nil {
@@ -1020,7 +1100,7 @@ func (e *Engine) applyPromotion(key uint64) {
 	for attempt := 0; attempt < maxFaultRetries; attempt++ {
 		node, r := e.reserveDRAM(ts, home)
 		if r != dramReserved {
-			if e.demoteForReserve(ts, true) != nil {
+			if e.demoteForReserve(ts, obs.ReasonDemotionPromotion) != nil {
 				return
 			}
 			continue
@@ -1035,6 +1115,7 @@ func (e *Engine) applyPromotion(key uint64) {
 			} else {
 				hn.promosRemote.Add(1)
 			}
+			e.publishEvent(tenant, page, node, obs.TierNVM, obs.TierDRAM, obs.ReasonPromotion, score)
 		} else {
 			e.releaseDRAM(ts, node)
 		}
@@ -1093,6 +1174,7 @@ func (e *Engine) mirrorMove(ts *tenantState, m policy.Move) error {
 		e.c.promotions.Add(1)
 		ts.c.promotions.Add(1)
 		n0.promosLocal.Add(1)
+		e.publishEvent(ts.id, m.Page, 0, obs.TierNVM, obs.TierDRAM, obs.ReasonPromotion, 0)
 	case m.From == mm.LocDRAM && m.To == mm.LocNVM:
 		if !e.tbl.MoveIf(ts.id, m.Page, mm.LocDRAM, mm.LocNVM) {
 			return fail()
@@ -1105,14 +1187,17 @@ func (e *Engine) mirrorMove(ts *tenantState, m policy.Move) error {
 		switch m.Reason {
 		case policy.ReasonDemoteClean:
 			e.c.demotionsClean.Add(1)
+			e.publishEvent(ts.id, m.Page, 0, obs.TierDRAM, obs.TierNVM, obs.ReasonDemotionClean, 0)
 		case policy.ReasonDemoteFault:
 			e.c.demotions.Add(1)
 			ts.c.demotions.Add(1)
 			e.c.demotionsFault.Add(1)
+			e.publishEvent(ts.id, m.Page, 0, obs.TierDRAM, obs.TierNVM, obs.ReasonDemotionFault, 0)
 		default:
 			e.c.demotions.Add(1)
 			ts.c.demotions.Add(1)
 			e.c.demotionsPromo.Add(1)
+			e.publishEvent(ts.id, m.Page, 0, obs.TierDRAM, obs.TierNVM, obs.ReasonDemotionPromotion, 0)
 		}
 	case m.From == mm.LocDisk && m.To.IsMemory():
 		if !e.tbl.Insert(ts.id, m.Page, m.To) {
@@ -1138,6 +1223,7 @@ func (e *Engine) mirrorMove(ts *tenantState, m policy.Move) error {
 		}
 		e.c.evictions.Add(1)
 		ts.c.evictions.Add(1)
+		e.publishEvent(ts.id, m.Page, 0, tierOf(m.From), obs.TierNone, obs.ReasonEviction, 0)
 	default:
 		return fmt.Errorf("tiered: unexpected move %+v", m)
 	}

@@ -1,0 +1,238 @@
+package tiered
+
+import (
+	"strconv"
+
+	"hybridmem/internal/obs"
+)
+
+// DaemonNodeStats is one node's slice of the migration daemon's
+// introspection: the live promotion-queue depth, its high-water mark,
+// batches shed on a full queue, and the enqueue-to-drain promotion lag.
+type DaemonNodeStats struct {
+	ID             int
+	QueueDepth     int
+	QueueHighWater int64
+	BatchesDropped int64
+	// PromotionLagNS is the last batch's enqueue-to-drain latency;
+	// PromotionLagMaxNS the worst seen.
+	PromotionLagNS    int64
+	PromotionLagMaxNS int64
+}
+
+// DaemonStats is a snapshot of the migration daemon's introspection
+// counters: scan-epoch timing, candidate accounting and the per-node
+// pipeline state. Safe to call concurrently with Serve and the daemon
+// itself; the same lazy-read consistency model as Stats applies.
+type DaemonStats struct {
+	// Epochs counts completed scan epochs (== Stats.Scans).
+	Epochs int64
+	// LastScanNS and MaxScanNS are the last and worst epoch durations.
+	LastScanNS, MaxScanNS int64
+	// LastCandidates is the hot-page count of the last epoch;
+	// Candidates the cumulative total across epochs.
+	LastCandidates, Candidates int64
+	// Coalesced counts candidates skipped because a previous epoch's
+	// promotion of the same page was still in flight.
+	Coalesced int64
+	// Batches and BatchesDropped mirror Stats.Batches/QueueDrops.
+	Batches, BatchesDropped int64
+	Nodes                   []DaemonNodeStats
+}
+
+// DaemonStats returns the daemon introspection snapshot.
+func (e *Engine) DaemonStats() DaemonStats {
+	st := DaemonStats{
+		Epochs:         e.c.scans.Load(),
+		LastScanNS:     e.scanDurLast.Load(),
+		MaxScanNS:      e.scanDurMax.Load(),
+		LastCandidates: e.candLast.Load(),
+		Candidates:     e.c.candidates.Load(),
+		Coalesced:      e.c.coalesced.Load(),
+		Batches:        e.c.batches.Load(),
+		BatchesDropped: e.c.queueDrops.Load(),
+		Nodes:          make([]DaemonNodeStats, len(e.nodes)),
+	}
+	for i, ns := range e.nodes {
+		st.Nodes[i] = DaemonNodeStats{
+			ID:                ns.id,
+			QueueDepth:        len(ns.batchCh),
+			QueueHighWater:    ns.queueHW.Load(),
+			BatchesDropped:    ns.drops.Load(),
+			PromotionLagNS:    ns.lagLast.Load(),
+			PromotionLagMaxNS: ns.lagMax.Load(),
+		}
+	}
+	return st
+}
+
+// Running reports whether the engine is between Start and Stop — the
+// admin plane's readiness signal.
+func (e *Engine) Running() bool { return e.state.Load() == stateStarted }
+
+// SpillUsed returns the number of spill-pool frames currently borrowed
+// across all tenants.
+func (e *Engine) SpillUsed() int64 { return e.spillUsed.Load() }
+
+// sumServe sums one field of the striped serve cells, selected by f.
+func (e *Engine) sumServe(f func(*serveCell) int64) int64 {
+	var t int64
+	for i := range e.serveCells {
+		t += f(&e.serveCells[i])
+	}
+	return t
+}
+
+// RegisterMetrics registers the engine's full metric catalog — engine
+// aggregates, daemon introspection, per-tenant series (labeled by tenant
+// name) and per-node series (labeled by node id) — into reg. Every
+// series is a func-backed view over counters the engine already
+// maintains, so registering an observer adds no writes to any serve or
+// migration path; values are read lazily at scrape time under the Stats
+// consistency model. Call once per registry, before serving traffic.
+// The catalog is documented in docs/observability.md.
+func (e *Engine) RegisterMetrics(reg *obs.Registry) {
+	// Engine aggregates.
+	reg.CounterFunc("tierd_engine_accesses_total", "Accesses served, all tenants.",
+		func() int64 { return e.sumServe(func(c *serveCell) int64 { return c.accesses.Load() }) })
+	for _, s := range []struct {
+		tier, op string
+		f        func(*serveCell) int64
+	}{
+		{"dram", "read", func(c *serveCell) int64 { return c.readsDRAM.Load() }},
+		{"dram", "write", func(c *serveCell) int64 { return c.writesDRAM.Load() }},
+		{"nvm", "read", func(c *serveCell) int64 { return c.readsNVM.Load() }},
+		{"nvm", "write", func(c *serveCell) int64 { return c.writesNVM.Load() }},
+	} {
+		f := s.f
+		reg.CounterFunc("tierd_engine_hits_total", "Non-faulting accesses by tier and op.",
+			func() int64 { return e.sumServe(f) }, obs.L("tier", s.tier), obs.L("op", s.op))
+	}
+	reg.CounterFunc("tierd_engine_faults_total", "Page faults (page not resident).",
+		e.c.faults.Load)
+	reg.CounterFunc("tierd_engine_fault_loads_total", "Faults by the tier the page loaded into.",
+		e.c.faultsToDRAM.Load, obs.L("tier", "dram"))
+	reg.CounterFunc("tierd_engine_fault_loads_total", "Faults by the tier the page loaded into.",
+		e.c.faultsToNVM.Load, obs.L("tier", "nvm"))
+	reg.CounterFunc("tierd_engine_promotions_total", "Pages migrated NVM to DRAM.",
+		e.c.promotions.Load)
+	reg.CounterFunc("tierd_engine_demotions_total", "Pages migrated DRAM to NVM.",
+		e.c.demotions.Load)
+	reg.CounterFunc("tierd_engine_demotions_by_reason_total", "Demotions by trigger.",
+		e.c.demotionsFault.Load, obs.L("reason", "fault"))
+	reg.CounterFunc("tierd_engine_demotions_by_reason_total", "Demotions by trigger.",
+		e.c.demotionsPromo.Load, obs.L("reason", "promotion"))
+	reg.CounterFunc("tierd_engine_demotions_by_reason_total", "Demotions by trigger.",
+		e.c.demotionsClean.Load, obs.L("reason", "clean"))
+	reg.CounterFunc("tierd_engine_evictions_total", "Pages evicted from memory (incl. Drop).",
+		e.c.evictions.Load)
+	reg.GaugeFunc("tierd_engine_resident_pages", "Resident pages by tier.",
+		func() int64 {
+			var t int64
+			for _, ns := range e.nodes {
+				t += ns.dramUsed.Load()
+			}
+			return t
+		}, obs.L("tier", "dram"))
+	reg.GaugeFunc("tierd_engine_resident_pages", "Resident pages by tier.",
+		func() int64 {
+			var t int64
+			for _, ns := range e.nodes {
+				t += ns.nvmUsed.Load()
+			}
+			return t
+		}, obs.L("tier", "nvm"))
+	reg.GaugeFunc("tierd_engine_capacity_pages", "Configured frame capacity by tier.",
+		func() int64 { return e.dramCap }, obs.L("tier", "dram"))
+	reg.GaugeFunc("tierd_engine_capacity_pages", "Configured frame capacity by tier.",
+		func() int64 { return e.nvmCap }, obs.L("tier", "nvm"))
+	reg.GaugeFunc("tierd_spill_pool_frames", "DRAM frames in the shared spill pool.",
+		func() int64 { return e.spill })
+	reg.GaugeFunc("tierd_spill_borrowed_frames", "Spill frames currently borrowed.",
+		e.spillUsed.Load)
+
+	// Daemon introspection.
+	reg.CounterFunc("tierd_daemon_scans_total", "Completed scan epochs.", e.c.scans.Load)
+	reg.CounterFunc("tierd_daemon_batches_total", "Promotion batches handed to workers.", e.c.batches.Load)
+	reg.CounterFunc("tierd_daemon_batch_drops_total", "Batches shed on a full queue.", e.c.queueDrops.Load)
+	reg.CounterFunc("tierd_daemon_candidates_total", "Hot pages found by scans.", e.c.candidates.Load)
+	reg.CounterFunc("tierd_daemon_coalesced_total", "Candidates skipped as already in flight.", e.c.coalesced.Load)
+	reg.GaugeFunc("tierd_daemon_scan_duration_ns", "Scan epoch duration.",
+		e.scanDurLast.Load, obs.L("window", "last"))
+	reg.GaugeFunc("tierd_daemon_scan_duration_ns", "Scan epoch duration.",
+		e.scanDurMax.Load, obs.L("window", "max"))
+	reg.GaugeFunc("tierd_daemon_candidates_last", "Hot pages found by the last epoch.", e.candLast.Load)
+
+	// Per-tenant series, labeled by the tenant's configured name.
+	for _, ts := range e.tenantList {
+		ts := ts
+		tn := obs.L("tenant", ts.name)
+		reg.CounterFunc("tierd_tenant_accesses_total", "Accesses served per tenant.",
+			func() int64 { a, _, _ := ts.serveTotals(); return a }, tn)
+		reg.CounterFunc("tierd_tenant_hits_total", "Non-faulting accesses per tenant and tier.",
+			func() int64 { _, h, _ := ts.serveTotals(); return h }, tn, obs.L("tier", "dram"))
+		reg.CounterFunc("tierd_tenant_hits_total", "Non-faulting accesses per tenant and tier.",
+			func() int64 { _, _, h := ts.serveTotals(); return h }, tn, obs.L("tier", "nvm"))
+		reg.CounterFunc("tierd_tenant_faults_total", "Page faults per tenant.", ts.c.faults.Load, tn)
+		reg.CounterFunc("tierd_tenant_promotions_total", "Promotions per tenant.", ts.c.promotions.Load, tn)
+		reg.CounterFunc("tierd_tenant_demotions_total", "Demotions per tenant.", ts.c.demotions.Load, tn)
+		reg.CounterFunc("tierd_tenant_evictions_total", "Evictions per tenant.", ts.c.evictions.Load, tn)
+		reg.GaugeFunc("tierd_tenant_resident_dram_pages", "Tenant's resident DRAM pages.", ts.dramUsed.Load, tn)
+		reg.GaugeFunc("tierd_tenant_dram_quota_pages", "Tenant's dedicated DRAM quota.",
+			func() int64 { return ts.quota }, tn)
+	}
+
+	// Per-node series, labeled by node id.
+	for _, ns := range e.nodes {
+		ns := ns
+		nl := obs.L("node", strconv.Itoa(ns.id))
+		reg.GaugeFunc("tierd_node_resident_pages", "Node's resident pages by tier.",
+			ns.dramUsed.Load, nl, obs.L("tier", "dram"))
+		reg.GaugeFunc("tierd_node_resident_pages", "Node's resident pages by tier.",
+			ns.nvmUsed.Load, nl, obs.L("tier", "nvm"))
+		reg.GaugeFunc("tierd_node_capacity_pages", "Node's frame pools by tier.",
+			func() int64 { return ns.dramCap }, nl, obs.L("tier", "dram"))
+		reg.GaugeFunc("tierd_node_capacity_pages", "Node's frame pools by tier.",
+			func() int64 { return ns.nvmCap }, nl, obs.L("tier", "nvm"))
+		reg.CounterFunc("tierd_node_faults_total", "Faults of pages homed on the node, by frame locality.",
+			ns.faultsLocal.Load, nl, obs.L("locality", "local"))
+		reg.CounterFunc("tierd_node_faults_total", "Faults of pages homed on the node, by frame locality.",
+			ns.faultsRemote.Load, nl, obs.L("locality", "remote"))
+		reg.CounterFunc("tierd_node_promotions_total", "Promotions of pages homed on the node, by frame locality.",
+			ns.promosLocal.Load, nl, obs.L("locality", "local"))
+		reg.CounterFunc("tierd_node_promotions_total", "Promotions of pages homed on the node, by frame locality.",
+			ns.promosRemote.Load, nl, obs.L("locality", "remote"))
+		reg.CounterFunc("tierd_node_demotions_total", "Demotions of DRAM frames on the node, by landing locality.",
+			ns.demosLocal.Load, nl, obs.L("locality", "local"))
+		reg.CounterFunc("tierd_node_demotions_total", "Demotions of DRAM frames on the node, by landing locality.",
+			ns.demosRemote.Load, nl, obs.L("locality", "remote"))
+		if e.multiNode {
+			reg.CounterFunc("tierd_node_accesses_total", "Accesses to pages homed on the node.",
+				func() int64 {
+					var t int64
+					for i := range ns.accesses {
+						t += ns.accesses[i].Load()
+					}
+					return t
+				}, nl)
+		}
+		reg.GaugeFunc("tierd_node_queue_depth", "Promotion batches queued on the node.",
+			func() int64 { return int64(len(ns.batchCh)) }, nl)
+		reg.GaugeFunc("tierd_node_queue_high_water", "Deepest the node's promotion queue has been.",
+			ns.queueHW.Load, nl)
+		reg.CounterFunc("tierd_node_batch_drops_total", "Batches shed on the node's full queue.",
+			ns.drops.Load, nl)
+		reg.GaugeFunc("tierd_node_promotion_lag_ns", "Batch enqueue-to-drain latency.",
+			ns.lagLast.Load, nl, obs.L("window", "last"))
+		reg.GaugeFunc("tierd_node_promotion_lag_ns", "Batch enqueue-to-drain latency.",
+			ns.lagMax.Load, nl, obs.L("window", "max"))
+	}
+
+	// Event-ring accounting, when a trace ring is attached.
+	if e.ring != nil {
+		reg.CounterFunc("tierd_events_published_total", "Migration events published to the trace ring.",
+			func() int64 { return int64(e.ring.Published()) })
+		reg.CounterFunc("tierd_events_overwritten_total", "Trace events lost to ring wraparound.",
+			func() int64 { return int64(e.ring.Overwritten()) })
+	}
+}

@@ -170,11 +170,22 @@ type nodeState struct {
 	// Daemon slice: the node's promotion queue, drained by the node's own
 	// workers, and the per-tenant scan scratch (indexed by tenant list
 	// position; guarded by the engine's scanMu).
-	batchCh     chan *[]uint64
+	batchCh     chan *promoBatch
 	scanBufs    [][]candidate
 	scanQueues  [][]candidate
 	scanWeights []int
 	scanOrder   []candidate
+
+	// Daemon introspection. queueHW is the deepest the promotion queue
+	// has been at enqueue time (written only by the scanner, which is
+	// single-threaded). drops counts batches shed on a full queue, the
+	// per-node slice of the engine's queueDrops. lagLast/lagMax track
+	// promotion lag — enqueue-to-drain latency of a batch — in
+	// nanoseconds; lagMax is CAS-maintained because a node can run
+	// several workers.
+	queueHW         atomic.Int64
+	drops           padCounter
+	lagLast, lagMax atomic.Int64
 }
 
 // NodeStats is a snapshot of one node's pools and placement counters, the
