@@ -10,7 +10,7 @@ GO ?= go
 # point of running under the race detector.
 FAST_PKGS = $$($(GO) list ./... | grep -v internal/experiments)
 
-.PHONY: all build vet test race bench bench-json bench-baseline fmt fmt-check tierd-smoke tierd-mt-smoke tierd-numa-smoke tierd-net-smoke tierd-obs-smoke ci
+.PHONY: all build vet test race bench bench-json bench-baseline clean fmt fmt-check tierd-smoke tierd-mt-smoke tierd-numa-smoke tierd-net-smoke tierd-obs-smoke ci
 
 all: build test
 
@@ -36,10 +36,12 @@ bench:
 # Machine-readable benchmark artifact + perf gate: the serve-path suites
 # as BENCH_tiered.json (hybridmem.bench/v1), published by CI so the perf
 # trajectory is diffable run over run — and diffed against the committed
-# BENCH_baseline.json: a BenchmarkServeParallel result on a gated path
-# (the lockfree table probe, or the full engine serve path on the
-# single-node topology) more than 25% slower than baseline fails the
-# build. Override BENCHTIME for
+# BENCH_baseline.json: a result on a gated path (the lockfree table
+# probe, the full engine serve path on the single-node topology, or the
+# batched serve path at size=1 and size=64) more than 25% slower than
+# baseline fails the build — and so does a gated name missing from the
+# baseline, so the BenchmarkServeBatch rows cannot silently drop out of
+# the gate. Override BENCHTIME for
 # quicker (noisier) local runs; refresh the baseline deliberately with
 # `make bench-baseline` when a change legitimately shifts the numbers.
 # Each suite runs BENCHCOUNT times and benchjson gates on the per-name
@@ -47,11 +49,12 @@ bench:
 # cannot flip the gate.
 BENCHTIME ?= 300000x
 BENCHCOUNT ?= 3
-BENCH_SUITES = BenchmarkShardedTable|BenchmarkTieredServe|BenchmarkServeParallel|BenchmarkServeRESP|BenchmarkServeProcess|BenchmarkRESPParse
+BENCH_SUITES = BenchmarkShardedTable|BenchmarkTieredServe|BenchmarkServeParallel|BenchmarkServeBatch|BenchmarkServeRESP|BenchmarkServeProcess|BenchmarkRESPParse
 BENCH_PKGS = ./internal/tiered ./internal/server
+BENCH_GATE = ^BenchmarkServeParallel/impl=(lockfree|engine/nodes=1)/|^BenchmarkServeBatch/size=(1|64)$$
 bench-json:
 	$(GO) test -bench='$(BENCH_SUITES)' -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -run='^$$' $(BENCH_PKGS) > bench_tiered.txt
-	$(GO) run ./cmd/benchjson -suite tiered -baseline BENCH_baseline.json -out BENCH_tiered.json < bench_tiered.txt
+	$(GO) run ./cmd/benchjson -suite tiered -baseline BENCH_baseline.json -gate '$(BENCH_GATE)' -out BENCH_tiered.json < bench_tiered.txt
 	@rm -f bench_tiered.txt
 
 # Regenerate the committed perf baseline (run on the machine the gate will
@@ -112,7 +115,8 @@ tierd-net-smoke:
 	assert hits > 0, 'no engine hits observed over the wire'; \
 	assert s['clean_drain'] == 1, 'server drain was not clean'; \
 	assert s['commands'] >= c['ops'], 'server saw fewer commands than the client sent'; \
-	print('tierd-net-smoke: ok (%d ops, %d hits, %.0f ops/s, clean drain)' % (c['ops'], hits, c['ops_per_sec']))"
+	assert c.get('server_batched_ops', 0) > 0, 'server reported no batched dispatches'; \
+	print('tierd-net-smoke: ok (%d ops, %d hits, %d batched, %.0f ops/s, clean drain)' % (c['ops'], hits, c['server_batched_ops'], c['ops_per_sec']))"
 	@rm -f tierd-net-bin
 
 # Observability smoke: a background tierd -serve with the admin plane on,
@@ -144,6 +148,16 @@ tierd-obs-smoke:
 		|| { kill $$SRV 2>/dev/null; exit 1; }; \
 	kill -TERM $$SRV && wait $$SRV
 	@rm -f tierd-obs-bin
+
+# Remove the generated run artifacts (smoke JSON/metrics dumps, bench
+# output, smoke binaries) that otherwise linger at the repo root. The
+# committed BENCH_baseline.json is not touched.
+clean:
+	rm -f tierd.json tierd-mt.json tierd-numa.json \
+		tierd-net-serve.json tierd-net-client.json tierd-net-bin \
+		tierd-obs-serve.json tierd-obs-client.json tierd-obs-client2.json \
+		tierd-obs-metrics.txt tierd-obs-events.json tierd-obs-bin \
+		BENCH_tiered.json bench_tiered.txt
 
 fmt:
 	gofmt -w .

@@ -87,6 +87,7 @@ func main() {
 		goroutines   = flag.Int("goroutines", runtime.GOMAXPROCS(0), "closed-loop load goroutines (split across tenants in multi-tenant mode)")
 		duration     = flag.Duration("duration", 2*time.Second, "wall-clock budget (ignored when -ops is set)")
 		ops          = flag.Int64("ops", 0, "total access budget (0 = run for -duration)")
+		batch        = flag.Int("batch", 1, "serve accesses through the engine batch API in groups of this size (1 = one ServeTenant call per access) — the A/B lever for measuring batch amortization")
 		shards       = flag.Int("shards", 0, "page-table shards, rounded up to a power of two (0 = 4x GOMAXPROCS, 1 = single lock)")
 		numaSpec     = flag.String("numa", "", `NUMA emulation: "nodes=N[,remote-penalty=X]" splits DRAM and NVM into N per-node pools (even split, shard groups homed per node) and reports per-node ops, occupancy and local-vs-remote migrations`)
 		sync         = flag.Bool("sync", false, "run the reference policy inline under one lock (deterministic, no daemon)")
@@ -122,6 +123,12 @@ func main() {
 	}
 	if *ops < 0 {
 		log.Fatalf("-ops must be non-negative, got %d", *ops)
+	}
+	if *batch < 1 {
+		log.Fatalf("-batch must be at least 1, got %d", *batch)
+	}
+	if *batch > 1 && *sync {
+		log.Fatal("-batch is incompatible with -sync (the batch API rejects synchronous engines)")
 	}
 	if !tiered.ValidKind(tiered.Kind(*policyName)) {
 		log.Fatalf("unknown -policy %q (have %v)", *policyName, tiered.Kinds())
@@ -173,10 +180,10 @@ func main() {
 		if *sync || *verify {
 			log.Fatal("-tenants is incompatible with -sync and -verify (the reference policies are single-tenant)")
 		}
-		runMultiTenant(*outPath, *tenantsSpec, *policyName, *scale, *seed, *goroutines, *duration, *ops, *shards, numa, admin, *jsonOut, *memStats)
+		runMultiTenant(*outPath, *tenantsSpec, *policyName, *scale, *seed, *goroutines, *duration, *ops, *batch, *shards, numa, admin, *jsonOut, *memStats)
 		return
 	}
-	runSingleTenant(*outPath, *workloadName, *policyName, *scale, *seed, *goroutines, *duration, *ops, *shards, numa, admin, *sync, *verify, *jsonOut, *memStats)
+	runSingleTenant(*outPath, *workloadName, *policyName, *scale, *seed, *goroutines, *duration, *ops, *batch, *shards, numa, admin, *sync, *verify, *jsonOut, *memStats)
 }
 
 // numaFlags is the parsed -numa emulation spec.
@@ -389,7 +396,7 @@ func genTenantTrace(name string, scale float64, seed int64) (warm, roi []trace.R
 }
 
 func runSingleTenant(outPath, workloadName, policyName string, scale float64, seed int64,
-	goroutines int, duration time.Duration, ops int64, shards int, numa numaFlags,
+	goroutines int, duration time.Duration, ops int64, batch, shards int, numa numaFlags,
 	admin adminFlags, sync, verify, jsonOut, memStats bool) {
 	warm, roi, pages := genTenantTrace(workloadName, scale, seed)
 	dram, nvm := memspec.DefaultSizing().Partition(pages)
@@ -431,7 +438,7 @@ func runSingleTenant(outPath, workloadName, policyName string, scale float64, se
 	base := engine.Stats()
 	nodeBase := engine.NodeStats()
 
-	loadCfg := tiered.LoadConfig{Goroutines: goroutines, Ops: ops}
+	loadCfg := tiered.LoadConfig{Goroutines: goroutines, Ops: ops, Batch: batch}
 	if ops <= 0 {
 		loadCfg.Duration = duration
 	}
@@ -512,7 +519,7 @@ type tenantRun struct {
 }
 
 func runMultiTenant(outPath, spec, policyName string, scale float64, seed int64,
-	goroutines int, duration time.Duration, ops int64, shards int, numa numaFlags,
+	goroutines int, duration time.Duration, ops int64, batch, shards int, numa numaFlags,
 	admin adminFlags, jsonOut, memStats bool) {
 	shares, err := parseTenants(spec)
 	if err != nil {
@@ -590,7 +597,7 @@ func runMultiTenant(outPath, spec, policyName string, scale float64, seed int64,
 	for i, r := range runs {
 		loads[i] = tiered.TenantLoad{Tenant: r.id, Recs: r.roi, Goroutines: r.goroutines}
 	}
-	loadCfg := tiered.LoadConfig{Ops: ops}
+	loadCfg := tiered.LoadConfig{Ops: ops, Batch: batch}
 	if ops <= 0 {
 		loadCfg.Duration = duration
 	}

@@ -179,6 +179,7 @@ func writeServeArtifact(w io.Writer, e *tiered.Engine, st server.Stats, es tiere
 		Values: map[string]float64{
 			"commands":        float64(st.Commands),
 			"pipelined":       float64(st.Pipelined),
+			"batched_ops":     float64(st.BatchedOps),
 			"conns_accepted":  float64(st.Accepted),
 			"conns_evicted":   float64(st.Evicted),
 			"conns_reaped":    float64(st.Reaped),

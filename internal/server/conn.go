@@ -34,6 +34,14 @@ type conn struct {
 	rpos, rend int
 	args       [][]byte
 	out        []byte
+
+	// runAddrs/runOps stage the pending run of consecutive GET/SET
+	// commands process groups into one engine batch call; runRes receives
+	// the batch results. Reused across batches, owned by the handler
+	// goroutine, always empty between process calls.
+	runAddrs []uint64
+	runOps   []trace.Op
+	runRes   []tiered.ServeResult
 }
 
 // connNet is the slice of net.Conn the server uses (a seam for tests).
@@ -53,11 +61,12 @@ func (c *conn) kick(msg string) {
 	c.nc.Close()
 }
 
-// Static replies and zone names, preallocated so the data-path commands
-// append without formatting.
+// Static replies, preassembled as complete RESP frames so the data-path
+// commands emit them with one append and no formatting.
 var (
-	bulkDRAM = []byte("DRAM")
-	bulkNVM  = []byte("NVM")
+	replyDRAM = []byte("$4\r\nDRAM\r\n")
+	replyNVM  = []byte("$3\r\nNVM\r\n")
+	replyOK   = []byte("+OK\r\n")
 )
 
 // drainReadGrace is the one extra read window a draining connection
@@ -154,11 +163,21 @@ func (c *conn) ensureSpace(min int) error {
 	return nil
 }
 
+// maxRun caps the pending GET/SET run so a deeply pipelined connection's
+// staging slices stay modest; a full run flushes and grouping continues.
+const maxRun = 512
+
 // process parses and dispatches every complete command buffered on c,
-// appending replies to c.out. It reports whether the connection must
-// close after the flush (QUIT, protocol error, engine shutdown).
+// appending replies to c.out. Consecutive well-formed GET/SET commands
+// are grouped into runs and served through the engine's batch API — the
+// per-command replies are still emitted in command order, so the wire
+// protocol is byte-identical to one-at-a-time dispatch. Any other command
+// (or a malformed GET/SET) flushes the pending run first, then dispatches
+// normally. It reports whether the connection must close after the flush
+// (QUIT, protocol error, engine shutdown).
 func (s *Server) process(c *conn) (fatal bool) {
 	batch := int64(0)
+	canBatch := !s.cfg.RequireAuth || c.authed
 	for {
 		args, n, err := parseCommand(c.rbuf[c.rpos:c.rend], c.args)
 		c.args = args[:0]
@@ -166,6 +185,10 @@ func (s *Server) process(c *conn) (fatal bool) {
 			break
 		}
 		if err != nil {
+			if s.flushRun(c) {
+				fatal = true
+				break
+			}
 			s.protocolErrors.Add(1)
 			c.out = appendError(c.out, "ERR "+err.Error())
 			fatal = true
@@ -176,16 +199,89 @@ func (s *Server) process(c *conn) (fatal bool) {
 			continue
 		}
 		batch++
+		if canBatch {
+			// Stage well-formed data commands instead of dispatching.
+			if cmdIs(args[0], "GET") && len(args) == 2 {
+				s.cmds.get.Inc(c.id)
+				c.runAddrs = append(c.runAddrs, keyAddr(args[1]))
+				c.runOps = append(c.runOps, trace.OpRead)
+				if len(c.runAddrs) >= maxRun && s.flushRun(c) {
+					fatal = true
+					break
+				}
+				continue
+			}
+			if cmdIs(args[0], "SET") && len(args) >= 3 {
+				s.cmds.set.Inc(c.id)
+				c.runAddrs = append(c.runAddrs, keyAddr(args[1]))
+				c.runOps = append(c.runOps, trace.OpWrite)
+				if len(c.runAddrs) >= maxRun && s.flushRun(c) {
+					fatal = true
+					break
+				}
+				continue
+			}
+		}
+		if s.flushRun(c) {
+			fatal = true
+			break
+		}
 		if s.dispatch(c, args) {
 			fatal = true
 			break
 		}
+		// AUTH may have just bound a tenant; runs never span the rebind.
+		canBatch = !s.cfg.RequireAuth || c.authed
+	}
+	if !fatal && s.flushRun(c) {
+		fatal = true
 	}
 	s.commands.Add(batch)
 	if batch > 1 {
 		s.pipelined.Add(batch - 1)
 	}
 	return fatal
+}
+
+// flushRun serves the pending GET/SET run through the engine batch API
+// and emits the per-command replies in order. If the batch call cannot
+// complete (lifecycle, out-of-range address, synchronous engine), the
+// unserved tail falls back to one-at-a-time serves so every command still
+// gets exactly the reply it would have gotten unbatched. Reports whether
+// the connection must close.
+func (s *Server) flushRun(c *conn) (closeAfter bool) {
+	n := len(c.runAddrs)
+	if n == 0 {
+		return false
+	}
+	if cap(c.runRes) < n {
+		c.runRes = make([]tiered.ServeResult, n)
+	}
+	c.runRes = c.runRes[:n]
+	done, err := s.engine.ServeTenantBatch(c.tenant, c.runAddrs, c.runOps, c.runRes)
+	s.batchedOps.Add(int64(done))
+	for i := 0; i < done; i++ {
+		if c.runOps[i] == trace.OpRead {
+			if c.runRes[i].ServedFrom == mm.LocDRAM {
+				c.out = append(c.out, replyDRAM...)
+			} else {
+				c.out = append(c.out, replyNVM...)
+			}
+		} else {
+			c.out = append(c.out, replyOK...)
+		}
+	}
+	if err != nil {
+		for i := done; i < n; i++ {
+			if s.accessAddr(c, c.runAddrs[i], c.runOps[i]) {
+				closeAfter = true
+				break
+			}
+		}
+	}
+	c.runAddrs = c.runAddrs[:0]
+	c.runOps = c.runOps[:0]
+	return closeAfter
 }
 
 // cmdIs reports whether b spells s (ASCII case-insensitive, s uppercase).
@@ -307,7 +403,13 @@ func (s *Server) access(c *conn, key []byte, op trace.Op) (closeAfter bool) {
 	if s.needAuth(c) {
 		return false
 	}
-	res, err := s.engine.ServeTenant(c.tenant, keyAddr(key), op)
+	return s.accessAddr(c, keyAddr(key), op)
+}
+
+// accessAddr serves one already-resolved address — the one-at-a-time
+// engine call behind access and the per-command fallback of flushRun.
+func (s *Server) accessAddr(c *conn, addr uint64, op trace.Op) (closeAfter bool) {
+	res, err := s.engine.ServeTenant(c.tenant, addr, op)
 	if err != nil {
 		c.out = appendError(c.out, "ERR "+err.Error())
 		// An engine past its lifecycle cannot serve this connection
@@ -316,13 +418,13 @@ func (s *Server) access(c *conn, key []byte, op trace.Op) (closeAfter bool) {
 	}
 	if op == trace.OpRead {
 		if res.ServedFrom == mm.LocDRAM {
-			c.out = appendBulkBytes(c.out, bulkDRAM)
+			c.out = append(c.out, replyDRAM...)
 		} else {
-			c.out = appendBulkBytes(c.out, bulkNVM)
+			c.out = append(c.out, replyNVM...)
 		}
 		return false
 	}
-	c.out = appendSimple(c.out, "OK")
+	c.out = append(c.out, replyOK...)
 	return false
 }
 
@@ -379,8 +481,8 @@ func (s *Server) info() string {
 		s.engine.PolicyName(), int64(time.Since(s.started).Seconds()))
 	fmt.Fprintf(&b, "# Clients\r\nconnected_clients:%d\r\naccepted_connections:%d\r\nevicted_connections:%d\r\nreaped_connections:%d\r\nmax_clients:%d\r\n",
 		st.Active, st.Accepted, st.Evicted, st.Reaped, s.cfg.MaxConns)
-	fmt.Fprintf(&b, "# Stats\r\ntotal_commands_processed:%d\r\npipelined_commands:%d\r\nauth_failures:%d\r\nprotocol_errors:%d\r\n",
-		st.Commands, st.Pipelined, st.AuthFailures, st.ProtocolErrors)
+	fmt.Fprintf(&b, "# Stats\r\ntotal_commands_processed:%d\r\npipelined_commands:%d\r\nbatched_ops:%d\r\nauth_failures:%d\r\nprotocol_errors:%d\r\n",
+		st.Commands, st.Pipelined, st.BatchedOps, st.AuthFailures, st.ProtocolErrors)
 	fmt.Fprintf(&b, "# Engine\r\naccesses:%d\r\nhits_dram:%d\r\nhits_nvm:%d\r\nfaults:%d\r\npromotions:%d\r\ndemotions:%d\r\nevictions:%d\r\nresident_dram:%d\r\nresident_nvm:%d\r\n",
 		es.Accesses, es.HitsDRAM(), es.HitsNVM(), es.Faults,
 		es.Promotions, es.Demotions, es.Evictions, es.ResidentDRAM, es.ResidentNVM)
@@ -428,6 +530,7 @@ func (s *Server) statsReply(out []byte, tenant tiered.TenantID) []byte {
 		{"conns_evicted", st.Evicted},
 		{"conns_reaped", st.Reaped},
 		{"commands", st.Commands},
+		{"batched_ops", st.BatchedOps},
 	}
 	if ts, ok := s.engine.TenantStats(tenant); ok {
 		fields = append(fields,

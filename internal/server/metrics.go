@@ -62,6 +62,8 @@ func (s *Server) RegisterMetrics(reg *obs.Registry) {
 		s.commands.Load)
 	reg.CounterFunc("tierd_resp_pipelined_commands_total", "Commands that arrived behind another in a batch.",
 		s.pipelined.Load)
+	reg.CounterFunc("tierd_resp_batched_ops_total", "GET/SET commands served through the engine batch API.",
+		s.batchedOps.Load)
 	reg.CounterFunc("tierd_resp_auth_failures_total", "Rejected AUTH attempts.",
 		s.authFailures.Load)
 	reg.CounterFunc("tierd_resp_protocol_errors_total", "Connections closed for malformed frames.",

@@ -119,20 +119,23 @@ func parseInline(buf []byte, args [][]byte) ([][]byte, int, error) {
 }
 
 // crlfLine returns the bytes between p and the next CRLF, and the offset
-// just past it. RESP frame headers are strictly CRLF-terminated.
+// just past it. RESP frame headers are strictly CRLF-terminated. Headers
+// are a handful of bytes, so a plain byte loop beats the vectorized
+// IndexByte, whose call setup alone outweighs scanning such short spans.
 func crlfLine(buf []byte, p int) ([]byte, int, error) {
-	i := bytes.IndexByte(buf[p:], '\n')
-	if i < 0 {
-		if len(buf)-p > maxInline {
-			return nil, 0, errOversized
+	for i := p; i < len(buf); i++ {
+		if buf[i] != '\n' {
+			continue
 		}
-		return nil, 0, errIncomplete
+		if i == p || buf[i-1] != '\r' {
+			return nil, 0, errProtocol
+		}
+		return buf[p : i-1], i + 1, nil
 	}
-	end := p + i
-	if end == p || buf[end-1] != '\r' {
-		return nil, 0, errProtocol
+	if len(buf)-p > maxInline {
+		return nil, 0, errOversized
 	}
-	return buf[p : end-1], end + 1, nil
+	return nil, 0, errIncomplete
 }
 
 // parseInt decodes a decimal ASCII integer without allocating.

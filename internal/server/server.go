@@ -113,6 +113,9 @@ type Stats struct {
 	// Commands counts commands dispatched; Pipelined counts the subset
 	// that arrived in a read batch behind at least one other command.
 	Commands, Pipelined int64
+	// BatchedOps counts the GET/SET commands served through the engine's
+	// batch API (run grouping); the rest went one at a time.
+	BatchedOps int64
 	// AuthFailures counts rejected AUTH attempts, ProtocolErrors
 	// connections closed for malformed or oversized frames.
 	AuthFailures, ProtocolErrors int64
@@ -150,6 +153,7 @@ type Server struct {
 	reaped         atomic.Int64
 	commands       atomic.Int64
 	pipelined      atomic.Int64
+	batchedOps     atomic.Int64
 	authFailures   atomic.Int64
 	protocolErrors atomic.Int64
 
@@ -222,6 +226,7 @@ func (s *Server) Stats() Stats {
 		Reaped:         s.reaped.Load(),
 		Commands:       s.commands.Load(),
 		Pipelined:      s.pipelined.Load(),
+		BatchedOps:     s.batchedOps.Load(),
 		AuthFailures:   s.authFailures.Load(),
 		ProtocolErrors: s.protocolErrors.Load(),
 	}

@@ -411,6 +411,55 @@ func TestServerGracefulDrain(t *testing.T) {
 	}
 }
 
+// TestServerBatchDispatchOrdering pins the run-grouping semantics: a
+// pipeline mixing batchable GET/SETs with non-batchable commands,
+// per-command errors (an out-of-range hashed address mid-run, which makes
+// the engine reject the whole batch and the server fall back to
+// one-at-a-time serves) and malformed arity must produce byte-identical
+// replies, in command order, to unbatched dispatch — and the well-formed
+// GET/SETs must be counted as batched_ops.
+func TestServerBatchDispatchOrdering(t *testing.T) {
+	e := newTestEngine(t, tiered.Config{})
+	s := newTestServer(t, e, Config{})
+	var batch []byte
+	add := func(args ...string) {
+		batch = append(batch, fmt.Sprintf("*%d\r\n", len(args))...)
+		for _, a := range args {
+			batch = append(batch, fmt.Sprintf("$%d\r\n%s\r\n", len(a), a)...)
+		}
+	}
+	add("SET", "0", "x")
+	add("SET", "4096", "x")
+	add("GET", "0")
+	add("PING") // non-batchable: flushes the pending run first
+	add("GET", "4096")
+	add("ECHO", "hi")
+	add("GET", "18446744073709551615") // page out of range: per-command error via fallback
+	add("SET", "8192", "x")
+	add("GET") // wrong arity: flushes the run, then errors through dispatch
+	add("GET", "0")
+	c := &conn{id: 7, tenant: tiered.DefaultTenant, rbuf: append([]byte(nil), batch...), rend: len(batch)}
+	if fatal := s.process(c); fatal {
+		t.Fatal("pipeline closed the connection")
+	}
+	want := "+OK\r\n+OK\r\n$4\r\nDRAM\r\n+PONG\r\n$4\r\nDRAM\r\n$2\r\nhi\r\n" +
+		"-ERR tiered: page exceeds the 48-bit namespaced keyspace\r\n" +
+		"+OK\r\n" +
+		"-ERR wrong number of arguments for 'get' command\r\n" +
+		"$4\r\nDRAM\r\n"
+	if got := string(c.out); got != want {
+		t.Fatalf("replies out of order or wrong:\ngot  %q\nwant %q", got, want)
+	}
+	// Runs of [SET,SET,GET], [GET], [GET(bad),SET] and [GET]: the bad-page
+	// run falls back entirely, so 5 commands went through the batch API.
+	if got := s.Stats().BatchedOps; got != 5 {
+		t.Fatalf("batched_ops = %d, want 5", got)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestServerProcessZeroAlloc pins the per-command serve cost: parsing and
 // dispatching a pipelined GET/SET batch over warmed pages must not
 // allocate (replies append into the connection's retained buffer).

@@ -124,6 +124,67 @@ func BenchmarkTieredServe(b *testing.B) {
 	}
 }
 
+// BenchmarkServeBatch measures what batch amortization buys the engine
+// serve path: the same steady-state hit stream served through
+// ServeTenantBatch at sizes 1/16/64/256, single-goroutine so the numbers
+// isolate per-call overhead, not contention. size=1 pays the full
+// engine-state/tenant/flush cost per access; the larger sizes amortize it
+// and replace the per-access striped atomic Adds with one flush per
+// touched stripe per batch. ns/op is per access (b.N counts accesses).
+// CI gates size=1 and size=64 against BENCH_baseline.json, so the batch
+// API's advantage is tracked run over run.
+func BenchmarkServeBatch(b *testing.B) {
+	const enginePages = 1 << 12
+	for _, size := range []int{1, 16, 64, 256} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			e, err := New(Config{
+				DRAMPages: enginePages + 64, NVMPages: 64, Shards: 64,
+				ScanInterval: time.Hour,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := e.Start(); err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				if err := e.Stop(); err != nil {
+					b.Fatal(err)
+				}
+			}()
+			for p := uint64(0); p < enginePages; p++ {
+				if _, err := e.Serve(p*4096, trace.OpRead); err != nil {
+					b.Fatal(err)
+				}
+			}
+			addrs := make([]uint64, size)
+			ops := make([]trace.Op, size)
+			out := make([]ServeResult, size)
+			x := uint64(0x9E3779B97F4A7C15)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; {
+				k := size
+				if rem := b.N - n; k > rem {
+					k = rem
+				}
+				for j := 0; j < k; j++ {
+					x = x*6364136223846793005 + 1442695040888963407
+					addrs[j] = ((x >> 33) & (enginePages - 1)) * 4096
+					ops[j] = trace.OpRead
+					if x&1 == 0 {
+						ops[j] = trace.OpWrite
+					}
+				}
+				if _, err := e.ServeTenantBatch(DefaultTenant, addrs[:k], ops[:k], out[:k]); err != nil {
+					b.Fatal(err)
+				}
+				n += k
+			}
+		})
+	}
+}
+
 // touchTable is the hit-path surface BenchmarkServeParallel drives, so the
 // lock-free table and the locked reference (table_test.go) are selectable
 // per sub-benchmark: -bench 'BenchmarkServeParallel/impl=lockfree' vs

@@ -3,6 +3,7 @@ package tiered
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
@@ -28,6 +29,12 @@ var (
 	// was not configured with.
 	ErrUnknownTenant = errors.New("tiered: unknown tenant")
 )
+
+// ErrPageRange is returned for an address whose page number does not fit
+// the namespaced keyspace. It is a prebuilt sentinel, not a per-call
+// fmt.Errorf, so a flood of out-of-range addresses (hashed string keys
+// cover the full 64-bit space) is rejected without allocating.
+var ErrPageRange = fmt.Errorf("tiered: page exceeds the %d-bit namespaced keyspace", pageBits)
 
 // maxFaultRetries bounds the reserve/insert retry loops on the fault path.
 // Each retry means another goroutine won a race; hitting the bound would
@@ -304,6 +311,12 @@ type Engine struct {
 	cfg      Config
 	tbl      *Table
 	pageSize uint64
+	// pageShift is log2(pageSize) when the page size is a power of two —
+	// every shipped geometry — so the serve paths derive page numbers with
+	// a shift instead of a 64-bit divide; -1 selects the division fallback
+	// for exotic geometries (any positive multiple of the line size is
+	// legal).
+	pageShift int
 
 	// tenants is immutable after New; def caches the DefaultTenant's
 	// state so Serve skips the map lookup on the hot path.
@@ -338,6 +351,9 @@ type Engine struct {
 	// them lazily. stripeMask is len(serveCells)-1 (a power of two).
 	serveCells []serveCell
 	stripeMask uint64
+	// scratchPool recycles ServeTenantBatch staging buffers (batch.go), so
+	// steady-state batched serves allocate nothing.
+	scratchPool sync.Pool
 
 	c     counters
 	state atomic.Int32
@@ -423,10 +439,15 @@ func New(cfg Config) (*Engine, error) {
 	if stripes > maxStripes {
 		stripes = maxStripes
 	}
+	pageShift := -1
+	if ps := uint64(cfg.Spec.Geometry.PageSizeBytes); ps&(ps-1) == 0 {
+		pageShift = bits.TrailingZeros64(ps)
+	}
 	e := &Engine{
 		cfg:        cfg,
 		tbl:        tbl,
 		pageSize:   uint64(cfg.Spec.Geometry.PageSizeBytes),
+		pageShift:  pageShift,
 		tenants:    make(map[TenantID]*tenantState, len(cfg.Tenants)),
 		spill:      spill,
 		multiNode:  numNodes > 1,
@@ -560,9 +581,9 @@ func (e *Engine) Drop(tenant TenantID, addr uint64) (bool, error) {
 	if e.backing != nil {
 		return false, errors.New("tiered: Drop is not available in synchronous mode")
 	}
-	page := addr / e.pageSize
+	page := e.pageOf(addr)
 	if page > maxTablePage {
-		return false, fmt.Errorf("tiered: page %d exceeds the %d-bit namespaced keyspace", page, pageBits)
+		return false, ErrPageRange
 	}
 	for attempt := 0; attempt < maxFaultRetries; attempt++ {
 		loc, ok := e.tbl.Peek(tenant, page)
@@ -675,6 +696,15 @@ func (e *Engine) Serve(addr uint64, op trace.Op) (ServeResult, error) {
 	return e.ServeTenant(DefaultTenant, addr, op)
 }
 
+// pageOf maps an address to its page number: a shift on the power-of-two
+// geometries every deployment uses, a divide on the rest.
+func (e *Engine) pageOf(addr uint64) uint64 {
+	if e.pageShift >= 0 {
+		return addr >> uint(e.pageShift)
+	}
+	return addr / e.pageSize
+}
+
 // ServeTenant services one line-sized access within a tenant's namespace.
 func (e *Engine) ServeTenant(tenant TenantID, addr uint64, op trace.Op) (ServeResult, error) {
 	switch e.state.Load() {
@@ -691,9 +721,9 @@ func (e *Engine) ServeTenant(tenant TenantID, addr uint64, op trace.Op) (ServeRe
 	if ts == nil {
 		return ServeResult{}, fmt.Errorf("%w: %d", ErrUnknownTenant, tenant)
 	}
-	page := addr / e.pageSize
+	page := e.pageOf(addr)
 	if page > maxTablePage {
-		return ServeResult{}, fmt.Errorf("tiered: page %d exceeds the %d-bit namespaced keyspace", page, pageBits)
+		return ServeResult{}, ErrPageRange
 	}
 	// The key doubles as the counter stripe selector: accesses to different
 	// pages tally on different cache lines, so the hot path's only shared

@@ -88,6 +88,13 @@ type LoadConfig struct {
 	// Duration is the wall-clock budget. 0 means run until Ops are done.
 	// With both set, whichever limit is hit first ends the run.
 	Duration time.Duration
+	// Batch groups each worker's accesses into ServeTenantBatch calls of
+	// this size (0 or 1 serves one access at a time through ServeTenant) —
+	// the A/B lever for measuring what batch amortization buys the serve
+	// path. Latency is then recorded as the per-access share of each
+	// batch's wall time, so Ops and throughput stay comparable across
+	// batch sizes. Not available on synchronous engines.
+	Batch int
 }
 
 // LoadReport is the outcome of one load run (or one tenant's share of it).
@@ -187,6 +194,9 @@ func RunTenantLoad(e *Engine, loads []TenantLoad, cfg LoadConfig) (*MultiLoadRep
 	if cfg.Ops <= 0 && cfg.Duration <= 0 {
 		return nil, fmt.Errorf("tiered: load needs an op or time budget")
 	}
+	if cfg.Batch < 0 {
+		return nil, fmt.Errorf("tiered: load batch size must be >= 0, got %d", cfg.Batch)
+	}
 
 	// hists[t][w] is tenant t's worker w histogram; errs aligns with it.
 	hists := make([][]Hist, len(loads))
@@ -226,6 +236,42 @@ func RunTenantLoad(e *Engine, loads []TenantLoad, cfg LoadConfig) (*MultiLoadRep
 				recs := l.Recs
 				i := len(recs) * w / l.Goroutines
 				prev := time.Now()
+				if cfg.Batch > 1 {
+					// Batched closed loop: fill the next slice of the
+					// circular trace and serve it in one engine call.
+					addrs := make([]uint64, cfg.Batch)
+					ops := make([]trace.Op, cfg.Batch)
+					res := make([]ServeResult, cfg.Batch)
+					for n := int64(0); n < budget; {
+						k := cfg.Batch
+						if rem := budget - n; int64(k) > rem {
+							k = int(rem)
+						}
+						for j := 0; j < k; j++ {
+							r := recs[i]
+							i++
+							if i == len(recs) {
+								i = 0
+							}
+							addrs[j], ops[j] = r.Addr, r.Op
+						}
+						if _, err := e.ServeTenantBatch(l.Tenant, addrs[:k], ops[:k], res[:k]); err != nil {
+							errs[t][w] = err
+							return
+						}
+						now := time.Now()
+						per := now.Sub(prev) / time.Duration(k)
+						for j := 0; j < k; j++ {
+							h.Record(per)
+						}
+						prev = now
+						n += int64(k)
+						if !deadline.IsZero() && now.After(deadline) {
+							return
+						}
+					}
+					return
+				}
 				for n := int64(0); n < budget; n++ {
 					r := recs[i]
 					i++
