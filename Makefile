@@ -10,7 +10,7 @@ GO ?= go
 # point of running under the race detector.
 FAST_PKGS = $$($(GO) list ./... | grep -v internal/experiments)
 
-.PHONY: all build vet test race bench bench-json bench-baseline clean fmt fmt-check tierd-smoke tierd-mt-smoke tierd-numa-smoke tierd-net-smoke tierd-obs-smoke ci
+.PHONY: all build vet test race bench bench-json bench-baseline clean fmt fmt-check tierd-smoke tierd-mt-smoke tierd-numa-smoke tierd-net-smoke tierd-obs-smoke tierd-crash-smoke ci
 
 all: build test
 
@@ -119,6 +119,53 @@ tierd-net-smoke:
 	print('tierd-net-smoke: ok (%d ops, %d hits, %d batched, %.0f ops/s, clean drain)' % (c['ops'], hits, c['server_batched_ops'], c['ops_per_sec']))"
 	@rm -f tierd-net-bin
 
+# Crash-recovery smoke: the persistence tentpole's end-to-end gate. A
+# tierd -serve with -persist takes periodic checkpoints while the client
+# measures the cold-start recovery KPI (-kpi: time to 90% of the
+# steady-state hit rate), then the server is killed with SIGKILL — no
+# drain, no final checkpoint, exactly the crash the format's frame
+# recovery exists for. A second server restarted on the same directory
+# must restore residency from the last valid checkpoint (restore_pages >
+# 0, not a cold start), warm up through the daemon, drain cleanly with
+# intact invariants — and its client-measured warm KPI must beat the cold
+# one: the restored residency skips the first-touch fault storm.
+tierd-crash-smoke:
+	$(GO) build -o tierd-crash-bin ./cmd/tierd
+	@rm -rf tierd-crash-persist; \
+	./tierd-crash-bin -serve 127.0.0.1:16383 -workload bodytrack -scale 0.5 \
+		-persist tierd-crash-persist -checkpoint-interval 250ms \
+		-json -out tierd-crash-serve1.json & \
+	SRV=$$!; \
+	./tierd-crash-bin -connect 127.0.0.1:16383 -workload bodytrack -scale 0.5 \
+		-connections 2 -pipeline 8 -duration 3s -kpi -json -out tierd-crash-cold.json \
+		|| { kill -9 $$SRV 2>/dev/null; exit 1; }; \
+	sleep 1; \
+	kill -9 $$SRV; wait $$SRV 2>/dev/null; \
+	./tierd-crash-bin -serve 127.0.0.1:16383 -workload bodytrack -scale 0.5 \
+		-persist tierd-crash-persist -checkpoint-interval 250ms \
+		-json -out tierd-crash-serve2.json & \
+	SRV=$$!; \
+	./tierd-crash-bin -connect 127.0.0.1:16383 -workload bodytrack -scale 0.5 \
+		-connections 2 -pipeline 8 -duration 3s -kpi -json -out tierd-crash-warm.json \
+		|| { kill $$SRV 2>/dev/null; exit 1; }; \
+	kill -TERM $$SRV && wait $$SRV
+	@python3 -c "\
+	import json; \
+	cold = json.load(open('tierd-crash-cold.json'))['results'][0]['values']; \
+	warm = json.load(open('tierd-crash-warm.json'))['results'][0]['values']; \
+	srv = json.load(open('tierd-crash-serve2.json'))['results'][0]['values']; \
+	assert srv['cold_start'] == 0 and srv['restore_pages'] > 0, 'restart did not restore the checkpoint'; \
+	assert srv['restore_warm'] > 0, 'restore queued no warm-up candidates'; \
+	assert srv['invariants_clean'] == 1, 'invariants violated after recovery'; \
+	assert srv['clean_drain'] == 1, 'post-recovery drain was not clean'; \
+	assert srv['final_checkpoint'] == 1, 'final checkpoint failed'; \
+	assert cold['kpi_samples'] > 0 and warm['kpi_samples'] > 0, 'KPI sampler produced no samples'; \
+	assert warm['kpi_t90_ms'] < cold['kpi_t90_ms'], \
+		'warm restart not faster to 90%% steady hit rate: warm %.1fms vs cold %.1fms' % (warm['kpi_t90_ms'], cold['kpi_t90_ms']); \
+	print('tierd-crash-smoke: ok (restored %d pages, %d warm; t90 warm %.1fms < cold %.1fms)' \
+		% (srv['restore_pages'], srv['restore_warm'], warm['kpi_t90_ms'], cold['kpi_t90_ms']))"
+	@rm -f tierd-crash-bin; rm -rf tierd-crash-persist
+
 # Observability smoke: a background tierd -serve with the admin plane on,
 # pipelined RESP load driven at it in two passes with different hot sets
 # (the second workload heats pages the first left in NVM, so the daemon
@@ -157,7 +204,10 @@ clean:
 		tierd-net-serve.json tierd-net-client.json tierd-net-bin \
 		tierd-obs-serve.json tierd-obs-client.json tierd-obs-client2.json \
 		tierd-obs-metrics.txt tierd-obs-events.json tierd-obs-bin \
+		tierd-crash-serve1.json tierd-crash-serve2.json \
+		tierd-crash-cold.json tierd-crash-warm.json tierd-crash-bin \
 		BENCH_tiered.json bench_tiered.txt
+	rm -rf tierd-crash-persist
 
 fmt:
 	gofmt -w .
@@ -167,4 +217,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check build vet test race bench bench-json tierd-smoke tierd-mt-smoke tierd-numa-smoke tierd-net-smoke tierd-obs-smoke
+ci: fmt-check build vet test race bench bench-json tierd-smoke tierd-mt-smoke tierd-numa-smoke tierd-net-smoke tierd-crash-smoke tierd-obs-smoke

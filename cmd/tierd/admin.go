@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"hybridmem/internal/obs"
+	"hybridmem/internal/persist"
 	"hybridmem/internal/server"
 	"hybridmem/internal/tiered"
 )
@@ -44,8 +45,12 @@ func (af adminFlags) ring() *obs.EventRing {
 // optional RESP server: one registry holding every catalog, readiness
 // tied to the engine (and server) lifecycle, invariant checks on demand,
 // and the event ring behind /events. Returns nil when -admin is unset.
+// ckpt and loading are the optional persistence hooks from -persist:
+// the checkpointer's counters join the catalog, and /readyz reports
+// not-ready while loading() is true (the restore window).
 func startAdmin(af adminFlags, e *tiered.Engine, srv *server.Server,
-	ring *obs.EventRing, scale float64, seed int64) *obs.Admin {
+	ring *obs.EventRing, ckpt *persist.Checkpointer, loading func() bool,
+	scale float64, seed int64) *obs.Admin {
 	if af.addr == "" {
 		return nil
 	}
@@ -54,11 +59,17 @@ func startAdmin(af adminFlags, e *tiered.Engine, srv *server.Server,
 	if srv != nil {
 		srv.RegisterMetrics(reg)
 	}
+	if ckpt != nil {
+		ckpt.RegisterMetrics(reg)
+	}
 	adm, err := obs.NewAdmin(obs.AdminConfig{
 		Addr:     af.addr,
 		Registry: reg,
 		Events:   ring,
 		Ready: func() error {
+			if loading != nil && loading() {
+				return errors.New("restoring checkpoint")
+			}
 			if !e.Running() {
 				return errors.New("engine not running")
 			}

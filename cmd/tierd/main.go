@@ -47,12 +47,27 @@
 // With -serve, tierd becomes a RESP (redis-protocol) server over the
 // engine: remote clients generate the load instead of in-process
 // goroutines, AUTH binds connections to tenants, and SIGINT/SIGTERM
-// triggers a graceful drain whose cleanliness is recorded in the
-// artifact. With -connect, tierd is the benchmarking client: it replays
-// the workload trace over -connections pipelined connections, closed-loop
-// or open-loop at a target -rate, and reports batch round-trip
-// percentiles plus the server's own counters fetched over STATS. See
-// docs/protocol.md for the wire protocol.
+// (both handled identically) triggers a graceful drain whose cleanliness
+// is recorded in the artifact; a second SIGINT/SIGTERM while the drain is
+// in progress forces an immediate exit with status 130, skipping the
+// final checkpoint. With -connect, tierd is the benchmarking client: it
+// replays the workload trace over -connections pipelined connections,
+// closed-loop or open-loop at a target -rate, and reports batch
+// round-trip percentiles plus the server's own counters fetched over
+// STATS. See docs/protocol.md for the wire protocol.
+//
+// With -persist (serve mode), tierd checkpoints the NVM tier's residency
+// and hotness into <dir>/checkpoint.ckpt every -checkpoint-interval and
+// once more during the drain, and on restart restores residency from the
+// checkpoint before serving data: the RESP listener comes up immediately
+// but answers data commands with -LOADING (and /readyz stays not-ready)
+// until the restore finishes, after which the restored-hot pages are
+// re-promoted as a rate-limited warm-up through the migration daemon.
+// The client-side recovery KPI for that warm-up is -kpi: the client
+// samples the server's cumulative hit rate (accesses served from
+// resident memory rather than faulted in) over STATS and reports the
+// time it took to reach 90% of its steady-state value (kpi_t90_ms in
+// the artifact). See docs/persistence.md.
 package main
 
 import (
@@ -106,6 +121,9 @@ func main() {
 		maxConns    = flag.Int("max-conns", 0, "serve mode: connection cap; accepting past it evicts the least-recently-active connection (0 = server default)")
 		idleTimeout = flag.Duration("idle-timeout", 0, "serve mode: reap connections idle this long (0 = server default, negative disables)")
 		requireAuth = flag.Bool("require-auth", false, "serve mode: reject data commands until a successful AUTH")
+		persistDir  = flag.String("persist", "", "serve mode: checkpoint the NVM tier's residency into this directory and restore it on restart (data commands answer -LOADING until the restore finishes)")
+		ckptEvery   = flag.Duration("checkpoint-interval", time.Second, "serve mode with -persist: background checkpoint period")
+		kpi         = flag.Bool("kpi", false, "client mode: sample the server's hit rate over STATS and report time-to-90%-of-steady-state (the recovery KPI)")
 
 		adminAddr = flag.String("admin", "", `admin plane: HTTP listen address (e.g. "127.0.0.1:6060") exposing /metrics (Prometheus text), /healthz, /readyz, /events (migration trace ring) and /debug/pprof; works in -serve and the in-process load modes`)
 		pprofCont = flag.Bool("pprof-contention", false, "admin plane: enable mutex and block profiling (adds sampling overhead; off by default)")
@@ -153,20 +171,32 @@ func main() {
 			log.Fatal("-serve and -connect are incompatible with -sync and -verify")
 		}
 		nf := netFlags{
-			serveAddr:   *serveAddr,
-			connectAddr: *connectAddr,
-			connections: *connections,
-			pipeline:    *pipeline,
-			openLoop:    *clientMode == "open",
-			rate:        *rate,
-			auth:        *authToken,
-			maxConns:    *maxConns,
-			idleTimeout: *idleTimeout,
-			requireAuth: *requireAuth,
-			admin:       admin,
+			serveAddr:    *serveAddr,
+			connectAddr:  *connectAddr,
+			connections:  *connections,
+			pipeline:     *pipeline,
+			openLoop:     *clientMode == "open",
+			rate:         *rate,
+			auth:         *authToken,
+			maxConns:     *maxConns,
+			idleTimeout:  *idleTimeout,
+			requireAuth:  *requireAuth,
+			persistDir:   *persistDir,
+			ckptInterval: *ckptEvery,
+			kpi:          *kpi,
+			admin:        admin,
 		}
 		if *clientMode != "open" && *clientMode != "closed" {
 			log.Fatalf("-client-mode %q unknown (have open, closed)", *clientMode)
+		}
+		if *persistDir != "" && *serveAddr == "" {
+			log.Fatal("-persist requires -serve (the server owns the checkpoint)")
+		}
+		if *ckptEvery <= 0 {
+			log.Fatal("-checkpoint-interval must be positive")
+		}
+		if *kpi && *connectAddr == "" {
+			log.Fatal("-kpi requires -connect (the KPI is sampled client-side)")
 		}
 		if *serveAddr != "" {
 			runServe(nf, *outPath, *workloadName, *tenantsSpec, *policyName, *scale, *seed, *shards, numa, *jsonOut)
@@ -427,7 +457,7 @@ func runSingleTenant(outPath, workloadName, policyName string, scale float64, se
 	if err := engine.Start(); err != nil {
 		log.Fatal(err)
 	}
-	adm := startAdmin(admin, engine, nil, ring, scale, seed)
+	adm := startAdmin(admin, engine, nil, ring, nil, nil, scale, seed)
 	// Warm serially so the measured phase starts from a populated table,
 	// then snapshot the counters: the report covers only the load phase.
 	for _, r := range warm {
@@ -576,7 +606,7 @@ func runMultiTenant(outPath, spec, policyName string, scale float64, seed int64,
 	if err := engine.Start(); err != nil {
 		log.Fatal(err)
 	}
-	adm := startAdmin(admin, engine, nil, ring, scale, seed)
+	adm := startAdmin(admin, engine, nil, ring, nil, nil, scale, seed)
 	// Warm each tenant serially, then snapshot: the report covers only
 	// the concurrent load phase.
 	for _, r := range runs {

@@ -6,11 +6,14 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"hybridmem/internal/memspec"
+	"hybridmem/internal/persist"
 	"hybridmem/internal/runner"
 	"hybridmem/internal/server"
 	"hybridmem/internal/tiered"
@@ -19,17 +22,31 @@ import (
 
 // netFlags carries the -serve / -connect mode options parsed in main.
 type netFlags struct {
-	serveAddr   string
-	connectAddr string
-	connections int
-	pipeline    int
-	openLoop    bool
-	rate        float64
-	auth        string
-	maxConns    int
-	idleTimeout time.Duration
-	requireAuth bool
-	admin       adminFlags
+	serveAddr    string
+	connectAddr  string
+	connections  int
+	pipeline     int
+	openLoop     bool
+	rate         float64
+	auth         string
+	maxConns     int
+	idleTimeout  time.Duration
+	requireAuth  bool
+	persistDir   string
+	ckptInterval time.Duration
+	kpi          bool
+	admin        adminFlags
+}
+
+// persistReport is the serve run's recovery story: what the restore found
+// at startup and what the checkpointer left behind at shutdown.
+type persistReport struct {
+	enabled   bool
+	coldStart bool
+	restore   tiered.RestoreStats
+	restoreMS float64
+	ckpt      persist.Stats
+	finalOK   bool
 }
 
 // runServe is tierd's server mode: build the engine (sized for the
@@ -86,38 +103,108 @@ func runServe(nf netFlags, outPath, workloadName, tenantsSpec, policyName string
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := engine.Start(); err != nil {
+
+	// With -persist the engine is NOT started yet: the restore must land
+	// in a fresh engine, so the RESP listener comes up first and answers
+	// data commands with -LOADING until the restore completes.
+	var (
+		ckpt    *persist.Checkpointer
+		loading atomic.Bool
+		rec     persistReport
+	)
+	if nf.persistDir != "" {
+		ckpt, err = persist.NewCheckpointer(engine, persist.Config{
+			Dir:      nf.persistDir,
+			Interval: nf.ckptInterval,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec.enabled = true
+		loading.Store(true)
+	} else if err := engine.Start(); err != nil {
 		log.Fatal(err)
 	}
-	srv, err := server.New(engine, server.Config{
+	srvCfg := server.Config{
 		Addr:        nf.serveAddr,
 		MaxConns:    nf.maxConns,
 		IdleTimeout: nf.idleTimeout,
 		RequireAuth: nf.requireAuth,
-	})
+	}
+	if ckpt != nil {
+		srvCfg.Loading = loading.Load
+	}
+	srv, err := server.New(engine, srvCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := srv.Listen(); err != nil {
 		log.Fatal(err)
 	}
-	adm := startAdmin(nf.admin, engine, srv, ring, scale, seed)
+	adm := startAdmin(nf.admin, engine, srv, ring, ckpt, loading.Load, scale, seed)
 	fmt.Fprintf(os.Stderr, "tierd: serving %s on %s (policy %s, DRAM %d + NVM %d frames)\n",
 		modeLabel(tenantsSpec, workloadName), srv.Addr(), engine.PolicyName(),
 		cfg.DRAMPages, cfg.NVMPages)
 
-	sig := make(chan os.Signal, 1)
+	if ckpt != nil {
+		// Restore residency and pre-crash hotness from the last valid
+		// checkpoint (a missing or unreadable file is a cold start), then
+		// start the engine — which kicks off the warm-up promotion storm
+		// for the pages that were DRAM-resident at the cut — and only then
+		// open the data plane.
+		t0 := time.Now()
+		snap, rs, err := ckpt.Restore()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec.restoreMS = float64(time.Since(t0).Microseconds()) / 1000
+		rec.restore = rs
+		rec.coldStart = snap == nil
+		if err := engine.Start(); err != nil {
+			log.Fatal(err)
+		}
+		ckpt.Start()
+		loading.Store(false)
+		if snap == nil {
+			fmt.Fprintf(os.Stderr, "tierd: persist %s: no checkpoint, cold start\n", ckpt.Path())
+		} else {
+			fmt.Fprintf(os.Stderr, "tierd: persist %s: restored %d pages (%d warm, %d skipped) from seq %d in %.1fms\n",
+				ckpt.Path(), rs.Restored, rs.WarmQueued, rs.Skipped+rs.Duplicates+rs.CapacityDrops,
+				snap.Seq, rec.restoreMS)
+		}
+	}
+
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	signal.Stop(sig)
-	fmt.Fprintln(os.Stderr, "tierd: draining")
+	fmt.Fprintln(os.Stderr, "tierd: draining (send the signal again to force exit)")
+	// A second SIGINT/SIGTERM during the drain forces an immediate exit,
+	// skipping the final checkpoint — the escape hatch when a drain hangs.
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "tierd: second signal, forcing exit")
+		os.Exit(130)
+	}()
 
 	// Drain order: RESP first (in-flight pipelines finish), then the
-	// daemon, then the admin plane — which stays scrapable through the
+	// daemon, then — with -persist — the final checkpoint over the settled
+	// residency, then the admin plane, which stays scrapable through the
 	// drain so an orchestrator watching /readyz sees the lifecycle.
 	drainErr := srv.Shutdown(5 * time.Second)
 	if err := engine.Stop(); err != nil {
 		log.Fatal(err)
+	}
+	if ckpt != nil {
+		if err := ckpt.Stop(true); err != nil {
+			fmt.Fprintf(os.Stderr, "tierd: final checkpoint: %v\n", err)
+		} else {
+			rec.finalOK = true
+		}
+		rec.ckpt = ckpt.Stats()
+	}
+	invErr := engine.CheckInvariants()
+	if invErr != nil {
+		fmt.Fprintf(os.Stderr, "tierd: invariants: %v\n", invErr)
 	}
 	stopAdmin(adm)
 	st := srv.Stats()
@@ -125,9 +212,9 @@ func runServe(nf netFlags, outPath, workloadName, tenantsSpec, policyName string
 
 	writeOut(outPath, func(w io.Writer) error {
 		if jsonOut {
-			return writeServeArtifact(w, engine, st, es, drainErr == nil, scale, seed)
+			return writeServeArtifact(w, engine, st, es, drainErr == nil, invErr == nil, rec, scale, seed)
 		}
-		return writeServeText(w, engine, st, es, drainErr)
+		return writeServeText(w, engine, st, es, drainErr, rec)
 	})
 	if drainErr != nil {
 		log.Fatal(drainErr)
@@ -142,7 +229,8 @@ func modeLabel(tenantsSpec, workloadName string) string {
 	return "workload " + workloadName
 }
 
-func writeServeText(w io.Writer, e *tiered.Engine, st server.Stats, es tiered.Stats, drainErr error) error {
+func writeServeText(w io.Writer, e *tiered.Engine, st server.Stats, es tiered.Stats,
+	drainErr error, rec persistReport) error {
 	drain := "clean"
 	if drainErr != nil {
 		drain = drainErr.Error()
@@ -154,16 +242,62 @@ migration:  %d promotions, %d demotions, %d evictions
 		st.Commands, st.Pipelined, st.Accepted, st.Evicted, st.Reaped, drain,
 		pct(es.HitsDRAM(), es.Accesses), pct(es.HitsNVM(), es.Accesses), es.Faults,
 		es.Promotions, es.Demotions, es.Evictions)
+	if err != nil || !rec.enabled {
+		return err
+	}
+	start := fmt.Sprintf("restored %d pages (%d warm) in %.1fms", rec.restore.Restored,
+		rec.restore.WarmQueued, rec.restoreMS)
+	if rec.coldStart {
+		start = "cold start"
+	}
+	final := "final checkpoint ok"
+	if !rec.finalOK {
+		final = "final checkpoint FAILED"
+	}
+	_, err = fmt.Fprintf(w, "persist:    %s; %d checkpoints written (%d failed, seq %d); %s\n",
+		start, rec.ckpt.Written, rec.ckpt.Failures, rec.ckpt.Seq, final)
 	return err
 }
 
 func writeServeArtifact(w io.Writer, e *tiered.Engine, st server.Stats, es tiered.Stats,
-	clean bool, scale float64, seed int64) error {
+	clean, invClean bool, rec persistReport, scale float64, seed int64) error {
 	a := runner.NewArtifact("tierd", "net-serve", scale, seed)
 	cfg := e.Config()
-	cleanVal := 0.0
-	if clean {
-		cleanVal = 1
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	values := map[string]float64{
+		"commands":         float64(st.Commands),
+		"pipelined":        float64(st.Pipelined),
+		"batched_ops":      float64(st.BatchedOps),
+		"conns_accepted":   float64(st.Accepted),
+		"conns_evicted":    float64(st.Evicted),
+		"conns_reaped":     float64(st.Reaped),
+		"auth_failures":    float64(st.AuthFailures),
+		"protocol_errors":  float64(st.ProtocolErrors),
+		"accesses":         float64(es.Accesses),
+		"hits_dram":        float64(es.HitsDRAM()),
+		"hits_nvm":         float64(es.HitsNVM()),
+		"faults":           float64(es.Faults),
+		"promotions":       float64(es.Promotions),
+		"demotions":        float64(es.Demotions),
+		"evictions":        float64(es.Evictions),
+		"clean_drain":      b2f(clean),
+		"invariants_clean": b2f(invClean),
+	}
+	if rec.enabled {
+		values["cold_start"] = b2f(rec.coldStart)
+		values["restore_pages"] = float64(rec.restore.Restored)
+		values["restore_warm"] = float64(rec.restore.WarmQueued)
+		values["restore_skipped"] = float64(rec.restore.Skipped + rec.restore.Duplicates + rec.restore.CapacityDrops)
+		values["restore_ms"] = rec.restoreMS
+		values["checkpoints_written"] = float64(rec.ckpt.Written)
+		values["checkpoint_failures"] = float64(rec.ckpt.Failures)
+		values["checkpoint_seq"] = float64(rec.ckpt.Seq)
+		values["final_checkpoint"] = b2f(rec.finalOK)
 	}
 	a.Add(runner.Result{
 		ID:        fmt.Sprintf("serve/%s", e.PolicyName()),
@@ -176,24 +310,7 @@ func writeServeArtifact(w io.Writer, e *tiered.Engine, st server.Stats, es tiere
 			"shards": float64(cfg.Shards),
 			"nodes":  float64(e.NumNodes()),
 		},
-		Values: map[string]float64{
-			"commands":        float64(st.Commands),
-			"pipelined":       float64(st.Pipelined),
-			"batched_ops":     float64(st.BatchedOps),
-			"conns_accepted":  float64(st.Accepted),
-			"conns_evicted":   float64(st.Evicted),
-			"conns_reaped":    float64(st.Reaped),
-			"auth_failures":   float64(st.AuthFailures),
-			"protocol_errors": float64(st.ProtocolErrors),
-			"accesses":        float64(es.Accesses),
-			"hits_dram":       float64(es.HitsDRAM()),
-			"hits_nvm":        float64(es.HitsNVM()),
-			"faults":          float64(es.Faults),
-			"promotions":      float64(es.Promotions),
-			"demotions":       float64(es.Demotions),
-			"evictions":       float64(es.Evictions),
-			"clean_drain":     cleanVal,
-		},
+		Values: values,
 	})
 	return a.Write(w)
 }
@@ -206,6 +323,76 @@ type clientReport struct {
 	elapsed     time.Duration
 	hist        tiered.Hist
 	serverStats map[string]int64
+	kpi         kpiReport
+}
+
+// kpiReport is the recovery KPI: how long the server took to reach 90%
+// of the steady-state hit rate it ended the run at, where a hit is any
+// access served from resident memory (DRAM or NVM) rather than faulted
+// in. A cold start pays a fault for every first touch, dragging the
+// early cumulative rate down; a warm restart starts with the restored
+// residency and skips that fault storm, so its t90 should be strictly
+// smaller — that difference is what the crash smoke asserts.
+type kpiReport struct {
+	enabled bool
+	t90     time.Duration
+	steady  float64
+	samples int
+}
+
+// sampleKPI polls the server's cumulative counters over STATS on its own
+// connection every 10ms until stopped, then reports the first sample
+// whose cumulative hit rate reached 90% of the final one. Samples that
+// fail (the server may still answer -LOADING early on) or precede the
+// first access are skipped; time runs from the sampler's start, so the
+// restore window itself counts against t90.
+func sampleKPI(nf netFlags, stop <-chan struct{}, done chan<- kpiReport) {
+	type sample struct {
+		at   time.Duration
+		rate float64
+	}
+	rep := kpiReport{enabled: true}
+	start := time.Now()
+	var samples []sample
+	c, err := server.DialRetry(nf.connectAddr, 10*time.Second)
+	if err != nil {
+		done <- rep
+		return
+	}
+	defer c.Close()
+	if nf.auth != "" {
+		c.Auth(nf.auth)
+	}
+	t := time.NewTicker(10 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			if len(samples) > 0 {
+				last := samples[len(samples)-1]
+				rep.steady = last.rate
+				rep.samples = len(samples)
+				rep.t90 = last.at
+				for _, s := range samples {
+					if s.rate >= 0.9*rep.steady {
+						rep.t90 = s.at
+						break
+					}
+				}
+			}
+			done <- rep
+			return
+		case <-t.C:
+			st, err := c.Stats()
+			if err != nil {
+				continue
+			}
+			if acc := st["accesses"]; acc > 0 {
+				rate := float64(st["hits_dram"]+st["hits_nvm"]) / float64(acc)
+				samples = append(samples, sample{time.Since(start), rate})
+			}
+		}
+	}
 }
 
 // runConnect is tierd's benchmark-client mode: replay a workload trace
@@ -235,6 +422,16 @@ func runConnect(nf netFlags, outPath, workloadName string, scale float64, seed i
 		perConnOps = (ops + int64(nf.connections) - 1) / int64(nf.connections)
 	}
 
+	var (
+		kpiStop chan struct{}
+		kpiDone chan kpiReport
+	)
+	if nf.kpi {
+		kpiStop = make(chan struct{})
+		kpiDone = make(chan kpiReport, 1)
+		go sampleKPI(nf, kpiStop, kpiDone)
+	}
+
 	var wg sync.WaitGroup
 	hists := make([]tiered.Hist, nf.connections)
 	counts := make([]int64, nf.connections)
@@ -249,13 +446,18 @@ func runConnect(nf netFlags, outPath, workloadName string, scale float64, seed i
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var kpi kpiReport
+	if nf.kpi {
+		close(kpiStop)
+		kpi = <-kpiDone
+	}
 	for _, err := range errs {
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	rep := clientReport{elapsed: elapsed}
+	rep := clientReport{elapsed: elapsed, kpi: kpi}
 	for i := range hists {
 		rep.hist.Add(&hists[i])
 		rep.ops += counts[i]
@@ -296,6 +498,17 @@ func driveConn(nf netFlags, recs []trace.Record, id int, opBudget int64,
 		if err := c.Auth(nf.auth); err != nil {
 			return fmt.Errorf("connection %d: AUTH: %v", id, err)
 		}
+	}
+	// Ride out the server's restore window: a just-restarted tierd with
+	// -persist accepts connections immediately but answers data commands
+	// with -LOADING until the checkpoint is restored.
+	for probeDeadline := time.Now().Add(30 * time.Second); ; {
+		if _, err := c.Do("GET", "0"); err == nil {
+			break
+		} else if !strings.Contains(err.Error(), "LOADING") || time.Now().After(probeDeadline) {
+			return fmt.Errorf("connection %d: %v", id, err)
+		}
+		time.Sleep(25 * time.Millisecond)
 	}
 	// Stripe the trace so connections do not replay identical sequences.
 	pos := (len(recs) / (id + 1)) % len(recs)
@@ -362,6 +575,13 @@ batch rtt:  p50 %v, p95 %v, p99 %v, max %v
 		_, err = fmt.Fprintf(w, "server:     %d accesses, %d DRAM hits, %d NVM hits, %d faults, %d commands\n",
 			rep.serverStats["accesses"], rep.serverStats["hits_dram"],
 			rep.serverStats["hits_nvm"], rep.serverStats["faults"], rep.serverStats["commands"])
+		if err != nil {
+			return err
+		}
+	}
+	if rep.kpi.enabled {
+		_, err = fmt.Fprintf(w, "kpi:        t90 %v to reach 90%% of steady-state hit rate %.3f (%d samples)\n",
+			rep.kpi.t90.Round(time.Millisecond), rep.kpi.steady, rep.kpi.samples)
 	}
 	return err
 }
@@ -385,6 +605,11 @@ func writeClientArtifact(w io.Writer, nf netFlags, rep clientReport,
 	// load actually hit the engine, not just the socket.
 	for k, v := range rep.serverStats {
 		values["server_"+k] = float64(v)
+	}
+	if rep.kpi.enabled {
+		values["kpi_t90_ms"] = float64(rep.kpi.t90.Microseconds()) / 1000
+		values["kpi_steady_hit_rate"] = rep.kpi.steady
+		values["kpi_samples"] = float64(rep.kpi.samples)
 	}
 	a.Add(runner.Result{
 		ID:       fmt.Sprintf("client/%s/c%dp%d", workloadName, nf.connections, nf.pipeline),

@@ -51,6 +51,9 @@ const (
 	ReasonEviction
 	// ReasonDrop: the page was removed explicitly (RESP DEL / Drop).
 	ReasonDrop
+	// ReasonRestore: the page was re-inserted into NVM at startup from a
+	// persistence checkpoint (crash or drain recovery).
+	ReasonRestore
 )
 
 func (r Reason) String() string {
@@ -69,6 +72,8 @@ func (r Reason) String() string {
 		return "eviction"
 	case ReasonDrop:
 		return "drop"
+	case ReasonRestore:
+		return "restore"
 	}
 	return "unknown"
 }

@@ -1,0 +1,381 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridmem/internal/mm"
+	"hybridmem/internal/obs"
+	"hybridmem/internal/tiered"
+)
+
+// FileName is the published checkpoint's name inside the persistence
+// directory. The writer stages at FileName + ".tmp".
+const FileName = "checkpoint.ckpt"
+
+// WriteOptions tunes one checkpoint write.
+type WriteOptions struct {
+	// InPlace rewrites the target file directly instead of staging at a
+	// temp path and renaming. A crash then tears the live checkpoint —
+	// which frame-level recovery handles — in exchange for never needing
+	// a second file's worth of space. The default (atomic) mode leaves
+	// the previous checkpoint untouched until the new one is durable.
+	InPlace bool
+	// Injector, when non-nil, intercepts every durability point.
+	Injector *Injector
+}
+
+// WriteSnapshot writes snap as a framed checkpoint stream at path,
+// returning the bytes written. The stream goes through a file-mapped
+// region sized exactly to the encoding, one frame per store, then sync;
+// in atomic mode the temp file is then renamed over path and the
+// directory synced, so the publish is all-or-nothing. On a clean failure
+// (ErrInjected or a real I/O error) the temp file is removed; on an
+// injected crash (ErrCrashed) nothing is cleaned up, leaving the exact
+// bytes a dead process would have left.
+func WriteSnapshot(path string, snap *Snapshot, opt WriteOptions) (int64, error) {
+	target := path
+	if !opt.InPlace {
+		target = path + ".tmp"
+	}
+	size := encodedSize(len(snap.Records))
+	r, err := createRegion(target, size, opt.Injector)
+	if err != nil {
+		return 0, err
+	}
+	abort := func(err error) (int64, error) {
+		if errors.Is(err, ErrCrashed) {
+			r.abandon()
+			return 0, err
+		}
+		r.close()
+		if !opt.InPlace {
+			os.Remove(target)
+		}
+		return 0, err
+	}
+
+	// One write call per frame (see Op docs): preamble, meta, page
+	// chunks, commit. buf is reused across frames.
+	buf := appendPreamble(nil)
+	if err := r.write(buf); err != nil {
+		return abort(err)
+	}
+	var meta [32]byte
+	le.PutUint64(meta[0:], snap.Seq)
+	le.PutUint64(meta[8:], uint64(snap.Taken.UnixNano()))
+	le.PutUint32(meta[16:], uint32(snap.DRAMPages))
+	le.PutUint32(meta[20:], uint32(snap.NVMPages))
+	le.PutUint32(meta[24:], uint32(snap.Nodes))
+	if err := r.write(appendFrame(buf[:0], frameMeta, meta[:])); err != nil {
+		return abort(err)
+	}
+	var pl []byte
+	for off := 0; off < len(snap.Records); off += recsPerFrame {
+		end := off + recsPerFrame
+		if end > len(snap.Records) {
+			end = len(snap.Records)
+		}
+		chunk := snap.Records[off:end]
+		pl = pl[:0]
+		pl = le.AppendUint32(pl, uint32(len(chunk)))
+		for _, rec := range chunk {
+			pl = le.AppendUint64(pl, uint64(rec.Tenant)<<48|rec.Page)
+			flags := byte(0)
+			if rec.Warm {
+				flags |= flagWarm
+			}
+			pl = append(pl, rec.Node, flags, 0, 0)
+			pl = le.AppendUint32(pl, rec.Reads)
+			pl = le.AppendUint32(pl, rec.Writes)
+		}
+		if err := r.write(appendFrame(buf[:0], framePages, pl)); err != nil {
+			return abort(err)
+		}
+	}
+	var commit [16]byte
+	le.PutUint64(commit[0:], uint64(len(snap.Records)))
+	le.PutUint64(commit[8:], snap.Seq)
+	if err := r.write(appendFrame(buf[:0], frameCommit, commit[:])); err != nil {
+		return abort(err)
+	}
+
+	if err := r.sync(); err != nil {
+		return abort(err)
+	}
+	written := int64(r.off)
+	if err := r.close(); err != nil {
+		return abort(err)
+	}
+	if !opt.InPlace {
+		if f, ok := opt.Injector.check(OpRename, 0); ok {
+			if f.Kind == KindCrash || f.Kind == KindTornWrite {
+				return 0, ErrCrashed
+			}
+			os.Remove(target)
+			return 0, fmt.Errorf("rename: %w", ErrInjected)
+		}
+		if err := os.Rename(target, path); err != nil {
+			os.Remove(target)
+			return 0, err
+		}
+		syncDir(filepath.Dir(path))
+	}
+	return written, nil
+}
+
+// syncDir makes a rename durable by fsyncing the containing directory.
+// Best-effort: some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// ReadSnapshot decodes the checkpoint at path, recovering the longest
+// valid frame prefix of a torn or truncated stream (Snapshot.Truncated
+// reports when that happened). Only a file that was never a checkpoint
+// fails (ErrNotCheckpoint), along with real read errors.
+func ReadSnapshot(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return decode(b)
+}
+
+// Config tunes a Checkpointer.
+type Config struct {
+	// Dir is the persistence directory; the checkpoint lives at
+	// Dir/FileName. Created if missing.
+	Dir string
+	// Interval is the periodic checkpoint cadence (default 1s).
+	Interval time.Duration
+	// InPlace and Injector are passed to every write (see WriteOptions).
+	InPlace  bool
+	Injector *Injector
+}
+
+// Checkpointer periodically cuts the engine's residency over the RCU
+// table snapshots and persists it. One goroutine writes; the serve path
+// is never locked or touched. Restore, Start, CheckpointNow and Stop
+// wire into the server lifecycle: restore before Engine.Start, periodic
+// checkpoints while serving, a final checkpoint at drain.
+type Checkpointer struct {
+	e    *tiered.Engine
+	cfg  Config
+	path string
+
+	// mu serializes checkpoint writes (ticker loop, CheckpointNow, the
+	// final checkpoint in Stop) and guards seq and the record scratch.
+	mu   sync.Mutex
+	seq  uint64
+	recs []Record
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+
+	written, failures        atomic.Int64
+	lastRecords, lastBytes   atomic.Int64
+	lastDurNS, lastUnixMilli atomic.Int64
+}
+
+// NewCheckpointer builds a checkpointer for e. The engine must be
+// asynchronous (checkpointing is part of the online serve stack).
+func NewCheckpointer(e *tiered.Engine, cfg Config) (*Checkpointer, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("persist: Config.Dir is required")
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Interval < 0 {
+		return nil, fmt.Errorf("persist: negative interval %v", cfg.Interval)
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Checkpointer{
+		e:      e,
+		cfg:    cfg,
+		path:   filepath.Join(cfg.Dir, FileName),
+		stopCh: make(chan struct{}),
+	}, nil
+}
+
+// Path returns the published checkpoint's location.
+func (c *Checkpointer) Path() string { return c.path }
+
+// Restore reads the published checkpoint and rebuilds the engine's NVM
+// residency from it; call between tiered.New and Engine.Start. A missing
+// checkpoint is a cold start: nil snapshot, zero stats, no error. A torn
+// or truncated checkpoint restores its valid prefix. The checkpoint
+// sequence resumes above the restored snapshot's.
+func (c *Checkpointer) Restore() (*Snapshot, tiered.RestoreStats, error) {
+	snap, err := ReadSnapshot(c.path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, tiered.RestoreStats{}, nil
+	}
+	if errors.Is(err, ErrNotCheckpoint) {
+		// An in-place rewrite torn inside the preamble destroys the
+		// magic: there is no valid frame left, and recovery-to-empty —
+		// a cold start — is exactly "the last valid frame" here.
+		return nil, tiered.RestoreStats{}, nil
+	}
+	if err != nil {
+		return nil, tiered.RestoreStats{}, err
+	}
+	pages := make([]tiered.RestoredPage, len(snap.Records))
+	for i, r := range snap.Records {
+		pages[i] = tiered.RestoredPage{
+			Tenant: tiered.TenantID(r.Tenant),
+			Page:   r.Page,
+			Node:   int(r.Node),
+			Warm:   r.Warm,
+			Score:  r.Score(),
+			Reads:  uint64(r.Reads),
+			Writes: uint64(r.Writes),
+		}
+	}
+	rs, err := c.e.Restore(pages)
+	if err != nil {
+		return snap, rs, err
+	}
+	c.mu.Lock()
+	c.seq = snap.Seq
+	c.mu.Unlock()
+	return snap, rs, nil
+}
+
+// Start launches the periodic checkpoint loop.
+func (c *Checkpointer) Start() {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		ticker := time.NewTicker(c.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-c.stopCh:
+				return
+			case <-ticker.C:
+				c.CheckpointNow() // failures are counted, not fatal
+			}
+		}
+	}()
+}
+
+// Stop halts the periodic loop and, with final set, writes one last
+// checkpoint — the drain path's durable cut. Idempotent; safe if Start
+// was never called.
+func (c *Checkpointer) Stop(final bool) error {
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	c.wg.Wait()
+	if final {
+		return c.CheckpointNow()
+	}
+	return nil
+}
+
+// CheckpointNow cuts and persists one checkpoint synchronously.
+// Serializes with the periodic loop; safe to call concurrently with
+// Serve, the daemon, and Engine.Stop.
+func (c *Checkpointer) CheckpointNow() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ecfg := c.e.Config()
+	snap := &Snapshot{
+		Seq:       c.seq + 1,
+		Taken:     time.Now(),
+		DRAMPages: ecfg.DRAMPages,
+		NVMPages:  ecfg.NVMPages,
+		Nodes:     ecfg.Topology.NumNodes(),
+	}
+	c.recs = c.recs[:0]
+	c.e.SnapshotResidency(func(t tiered.TenantID, page uint64, loc mm.Location, node int, reads, writes uint64) {
+		c.recs = append(c.recs, Record{
+			Tenant: uint16(t),
+			Page:   page,
+			Node:   uint8(node),
+			Warm:   loc == mm.LocDRAM,
+			Reads:  clamp32(reads),
+			Writes: clamp32(writes),
+		})
+	})
+	snap.Records = c.recs
+	start := time.Now()
+	n, err := WriteSnapshot(c.path, snap, WriteOptions{InPlace: c.cfg.InPlace, Injector: c.cfg.Injector})
+	if err != nil {
+		c.failures.Add(1)
+		return err
+	}
+	c.seq = snap.Seq
+	c.written.Add(1)
+	c.lastRecords.Store(int64(len(snap.Records)))
+	c.lastBytes.Store(n)
+	c.lastDurNS.Store(time.Since(start).Nanoseconds())
+	c.lastUnixMilli.Store(snap.Taken.UnixMilli())
+	return nil
+}
+
+// Stats is a snapshot of the checkpointer's counters.
+type Stats struct {
+	// Written and Failures count completed and failed checkpoint writes.
+	Written, Failures int64
+	// Seq is the last published checkpoint's sequence number.
+	Seq uint64
+	// LastRecords, LastBytes and LastDurNS describe the last successful
+	// write; LastUnixMilli its cut time.
+	LastRecords, LastBytes, LastDurNS, LastUnixMilli int64
+}
+
+// Stats returns the current counter snapshot.
+func (c *Checkpointer) Stats() Stats {
+	c.mu.Lock()
+	seq := c.seq
+	c.mu.Unlock()
+	return Stats{
+		Written:       c.written.Load(),
+		Failures:      c.failures.Load(),
+		Seq:           seq,
+		LastRecords:   c.lastRecords.Load(),
+		LastBytes:     c.lastBytes.Load(),
+		LastDurNS:     c.lastDurNS.Load(),
+		LastUnixMilli: c.lastUnixMilli.Load(),
+	}
+}
+
+// RegisterMetrics adds the checkpointer's series to reg, alongside the
+// engine catalog (docs/observability.md).
+func (c *Checkpointer) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("tierd_checkpoints_total", "Checkpoints published.", c.written.Load)
+	reg.CounterFunc("tierd_checkpoint_failures_total", "Checkpoint writes that failed.", c.failures.Load)
+	reg.GaugeFunc("tierd_checkpoint_records_last", "Records in the last checkpoint.", c.lastRecords.Load)
+	reg.GaugeFunc("tierd_checkpoint_bytes_last", "Size of the last checkpoint.", c.lastBytes.Load)
+	reg.GaugeFunc("tierd_checkpoint_duration_ns", "Duration of the last checkpoint write.",
+		c.lastDurNS.Load, obs.L("window", "last"))
+	reg.GaugeFunc("tierd_checkpoint_age_ms", "Milliseconds since the last checkpoint's cut.",
+		func() int64 {
+			t := c.lastUnixMilli.Load()
+			if t == 0 {
+				return -1
+			}
+			return time.Now().UnixMilli() - t
+		})
+}
+
+// clamp32 saturates a windowed counter into the record's 32-bit field.
+func clamp32(v uint64) uint32 {
+	if v > 1<<32-1 {
+		return 1<<32 - 1
+	}
+	return uint32(v)
+}

@@ -1,0 +1,192 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"time"
+)
+
+// castagnoli is the CRC-32C polynomial table (the checksum NVM-aware
+// formats use; hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// le is the stream's byte order.
+var le = binary.LittleEndian
+
+// appendFrame appends one self-validating frame to dst:
+// length(4) | kind(1) | payload | crc32c(kind|payload)(4).
+func appendFrame(dst []byte, kind byte, payload []byte) []byte {
+	dst = le.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, kind)
+	dst = append(dst, payload...)
+	crc := crc32.Update(0, castagnoli, []byte{kind})
+	crc = crc32.Update(crc, castagnoli, payload)
+	return le.AppendUint32(dst, crc)
+}
+
+// appendPreamble appends the 16-byte file preamble.
+func appendPreamble(dst []byte) []byte {
+	dst = append(dst, magic...)
+	dst = le.AppendUint32(dst, Version)
+	return le.AppendUint32(dst, 0) // reserved
+}
+
+// encode serializes a snapshot into the framed stream, reusing buf's
+// capacity. The layout is preamble, meta frame, page frames of up to
+// recsPerFrame records, commit frame.
+func encode(buf []byte, snap *Snapshot) []byte {
+	buf = appendPreamble(buf[:0])
+
+	var meta [32]byte
+	le.PutUint64(meta[0:], snap.Seq)
+	le.PutUint64(meta[8:], uint64(snap.Taken.UnixNano()))
+	le.PutUint32(meta[16:], uint32(snap.DRAMPages))
+	le.PutUint32(meta[20:], uint32(snap.NVMPages))
+	le.PutUint32(meta[24:], uint32(snap.Nodes))
+	buf = appendFrame(buf, frameMeta, meta[:])
+
+	var pl []byte
+	for off := 0; off < len(snap.Records); off += recsPerFrame {
+		end := off + recsPerFrame
+		if end > len(snap.Records) {
+			end = len(snap.Records)
+		}
+		chunk := snap.Records[off:end]
+		pl = pl[:0]
+		pl = le.AppendUint32(pl, uint32(len(chunk)))
+		for _, r := range chunk {
+			key := uint64(r.Tenant)<<48 | r.Page
+			pl = le.AppendUint64(pl, key)
+			flags := byte(0)
+			if r.Warm {
+				flags |= flagWarm
+			}
+			pl = append(pl, r.Node, flags, 0, 0)
+			pl = le.AppendUint32(pl, r.Reads)
+			pl = le.AppendUint32(pl, r.Writes)
+		}
+		buf = appendFrame(buf, framePages, pl)
+	}
+
+	var commit [16]byte
+	le.PutUint64(commit[0:], uint64(len(snap.Records)))
+	le.PutUint64(commit[8:], snap.Seq)
+	return appendFrame(buf, frameCommit, commit[:])
+}
+
+// encodedSize returns the exact stream size for n records: the region the
+// writer maps is sized to this before any byte is stored.
+func encodedSize(n int) int {
+	size := preambleSize + frameOverhead + 32 // meta
+	full, rem := n/recsPerFrame, n%recsPerFrame
+	size += full * (frameOverhead + 4 + recsPerFrame*recSize)
+	if rem > 0 {
+		size += frameOverhead + 4 + rem*recSize
+	}
+	return size + frameOverhead + 16 // commit
+}
+
+// decode parses a checkpoint stream, recovering the longest valid prefix:
+// parsing stops — without error — at the first frame that is short, has a
+// bad CRC, or is structurally invalid, and everything validated up to
+// that point is returned with Truncated set. Only a missing or alien
+// preamble is an error (there is nothing to recover from a file that was
+// never a checkpoint).
+func decode(b []byte) (*Snapshot, error) {
+	if len(b) < preambleSize || string(b[:8]) != magic {
+		return nil, ErrNotCheckpoint
+	}
+	if v := le.Uint32(b[8:]); v != Version {
+		return nil, fmt.Errorf("%w: version %d (reader understands %d)", ErrNotCheckpoint, v, Version)
+	}
+	snap := &Snapshot{}
+	sawMeta := false
+	off := preambleSize
+	for {
+		if off == len(b) {
+			break // clean end of stream (complete only if a commit frame said so)
+		}
+		if len(b)-off < frameOverhead {
+			snap.Truncated = true
+			break
+		}
+		n := int(le.Uint32(b[off:]))
+		kind := b[off+4]
+		if n > len(b)-off-frameOverhead {
+			snap.Truncated = true
+			break
+		}
+		payload := b[off+5 : off+5+n]
+		crc := crc32.Update(0, castagnoli, b[off+4:off+5])
+		crc = crc32.Update(crc, castagnoli, payload)
+		if crc != le.Uint32(b[off+5+n:]) {
+			snap.Truncated = true
+			break
+		}
+		valid := true
+		switch kind {
+		case frameMeta:
+			if len(payload) != 32 || sawMeta {
+				valid = false
+				break
+			}
+			sawMeta = true
+			snap.Seq = le.Uint64(payload[0:])
+			snap.Taken = time.Unix(0, int64(le.Uint64(payload[8:])))
+			snap.DRAMPages = int(le.Uint32(payload[16:]))
+			snap.NVMPages = int(le.Uint32(payload[20:]))
+			snap.Nodes = int(le.Uint32(payload[24:]))
+		case framePages:
+			if !sawMeta || len(payload) < 4 {
+				valid = false
+				break
+			}
+			count := int(le.Uint32(payload))
+			if len(payload) != 4+count*recSize {
+				valid = false
+				break
+			}
+			for i := 0; i < count; i++ {
+				p := payload[4+i*recSize:]
+				key := le.Uint64(p)
+				snap.Records = append(snap.Records, Record{
+					Tenant: uint16(key >> 48),
+					Page:   key & (1<<48 - 1),
+					Node:   p[8],
+					Warm:   p[9]&flagWarm != 0,
+					Reads:  le.Uint32(p[12:]),
+					Writes: le.Uint32(p[16:]),
+				})
+			}
+		case frameCommit:
+			if !sawMeta || len(payload) != 16 {
+				valid = false
+				break
+			}
+			if le.Uint64(payload) == uint64(len(snap.Records)) && le.Uint64(payload[8:]) == snap.Seq {
+				snap.Complete = true
+			} else {
+				valid = false
+			}
+		default:
+			valid = false
+		}
+		if !valid {
+			snap.Truncated = true
+			break
+		}
+		off += frameOverhead + n
+		if snap.Complete {
+			// Anything after the commit frame (e.g. a stale longer
+			// checkpoint underneath an in-place rewrite) is not ours.
+			break
+		}
+	}
+	if !sawMeta {
+		// A valid preamble but no intact meta frame: structurally a
+		// checkpoint, semantically empty. Recoverable as zero records.
+		snap.Truncated = true
+	}
+	return snap, nil
+}

@@ -1,0 +1,155 @@
+package persist
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Op names a durability point the Injector can intercept. Every file
+// operation the checkpoint writer performs passes through exactly one.
+type Op uint8
+
+const (
+	// OpCreate is the target file's creation (and region mapping).
+	OpCreate Op = iota
+	// OpWrite is one frame's store into the region. Call indices count
+	// frames: 0 is the preamble, 1 the meta frame, then page frames, and
+	// the last call is the commit frame.
+	OpWrite
+	// OpSync is the region flush (msync/fsync analog).
+	OpSync
+	// OpRename is the atomic publish of the finished checkpoint.
+	OpRename
+	numOps
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpCreate:
+		return "create"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
+	}
+	return "unknown"
+}
+
+// FaultKind is what happens when an armed fault fires.
+type FaultKind uint8
+
+const (
+	// KindError fails the operation cleanly (ErrInjected): the caller
+	// sees the error, aborts, and cleans up. Models EIO / ENOSPC.
+	KindError FaultKind = iota
+	// KindShortWrite persists only Keep bytes of the operation's data and
+	// then fails cleanly. Models a partial write the caller noticed.
+	KindShortWrite
+	// KindTornWrite persists only Keep bytes and then simulates process
+	// death (ErrCrashed): no error handling, no cleanup — the torn bytes
+	// stay wherever they landed. Models power loss mid-store, the case
+	// frame-level recovery exists for.
+	KindTornWrite
+	// KindCrash simulates process death at the operation boundary, before
+	// any of its effect: ErrCrashed with zero bytes persisted.
+	KindCrash
+)
+
+// Fault is one armed fault: it fires on the Call-th invocation (0-based)
+// of Op. Keep is the persisted-byte count for short/torn writes; a
+// negative Keep picks a random prefix from the injector's seeded source.
+type Fault struct {
+	Op   Op
+	Call int
+	Kind FaultKind
+	Keep int
+}
+
+// Injector deterministically injects durability faults into a checkpoint
+// writer. Arm faults with the chainable helpers, pass the injector in
+// WriteOptions (or Checkpointer Config), and the armed calls fail the
+// scripted way; a nil *Injector is inert. All randomness (random tear
+// points) comes from the constructor seed, so every chaos scenario
+// replays bit-identically.
+type Injector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	faults []Fault
+	calls  [numOps]int
+	fired  int
+}
+
+// NewInjector returns an injector whose random choices derive from seed.
+func NewInjector(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Arm adds one fault. Returns the injector for chaining.
+func (in *Injector) Arm(f Fault) *Injector {
+	in.mu.Lock()
+	in.faults = append(in.faults, f)
+	in.mu.Unlock()
+	return in
+}
+
+// Fail arms a clean failure of the call-th op.
+func (in *Injector) Fail(op Op, call int) *Injector {
+	return in.Arm(Fault{Op: op, Call: call, Kind: KindError})
+}
+
+// ShortWrite arms a noticed partial write: the call-th OpWrite persists
+// keep bytes, then errors.
+func (in *Injector) ShortWrite(call, keep int) *Injector {
+	return in.Arm(Fault{Op: OpWrite, Call: call, Kind: KindShortWrite, Keep: keep})
+}
+
+// TornWrite arms a silent tear: the call-th OpWrite persists keep bytes
+// (negative keep = random prefix), then the process "dies".
+func (in *Injector) TornWrite(call, keep int) *Injector {
+	return in.Arm(Fault{Op: OpWrite, Call: call, Kind: KindTornWrite, Keep: keep})
+}
+
+// CrashAt arms process death at the call-th invocation of op, before the
+// op takes effect.
+func (in *Injector) CrashAt(op Op, call int) *Injector {
+	return in.Arm(Fault{Op: op, Call: call, Kind: KindCrash})
+}
+
+// Fired returns how many armed faults have fired.
+func (in *Injector) Fired() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}
+
+// check advances op's call counter and returns the fault armed for this
+// invocation, if any. size is the operation's data length, used to
+// resolve random tear points. Nil receivers report no fault.
+func (in *Injector) check(op Op, size int) (Fault, bool) {
+	if in == nil {
+		return Fault{}, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	call := in.calls[op]
+	in.calls[op]++
+	for _, f := range in.faults {
+		if f.Op != op || f.Call != call {
+			continue
+		}
+		if f.Keep < 0 && size > 0 {
+			f.Keep = in.rng.Intn(size)
+		}
+		if f.Keep > size {
+			f.Keep = size
+		}
+		in.fired++
+		return f, true
+	}
+	return Fault{}, false
+}

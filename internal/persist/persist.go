@@ -1,0 +1,107 @@
+// Package persist makes the NVM tier durable. The paper's premise is
+// that NVM is persistent main memory; this package closes the loop for
+// the online engine: the page table's resident entries are periodically
+// checkpointed — a consistent cut taken over the table's published RCU
+// snapshots, with no serve-path locking — into a file-mapped region, and
+// on restart the engine rebuilds NVM residency from the last valid
+// checkpoint and replays the checkpointed hot set as a rate-limited
+// warm-up promotion storm.
+//
+// The checkpoint is a versioned, CRC-framed record stream: a fixed
+// preamble, then self-validating frames (length, kind, payload, CRC-32C),
+// ending in a commit frame. Because every frame validates independently,
+// a torn, truncated or otherwise damaged file is never fatal — the reader
+// recovers the longest valid prefix and restores exactly those records.
+// Writes go through a memory-mapped region (store instructions plus an
+// explicit sync, the software analog of writing NVM through the page
+// cache) and publish via fsync + atomic rename, so a crash at any
+// instruction leaves either the previous checkpoint or a recoverable
+// prefix of the new one.
+//
+// Injector provides deterministic, seeded fault injection at every
+// durability point (create, write, sync, rename): failed calls, short
+// writes, torn writes and crash-at-point, which the chaos suite uses to
+// prove the recovery path against each corruption mode.
+package persist
+
+import (
+	"errors"
+	"time"
+)
+
+// Checkpoint stream geometry.
+const (
+	// magic opens every checkpoint file. 8 bytes, human-greppable.
+	magic = "HMNVMCK\n"
+	// Version is the stream format version written by this package. A
+	// reader refuses preambles from the future; old versions would be
+	// migrated here.
+	Version = 1
+	// recSize is the on-disk size of one page record: key(8) + node(1) +
+	// flags(1) + reserved(2) + reads(4) + writes(4).
+	recSize = 20
+	// recsPerFrame chunks the record stream so one flipped bit costs at
+	// most this many records, not the whole table.
+	recsPerFrame = 1024
+	// frameOverhead is length(4) + kind(1) + crc(4).
+	frameOverhead = 9
+	// preambleSize is magic(8) + version(4) + reserved(4).
+	preambleSize = 16
+)
+
+// Frame kinds.
+const (
+	frameMeta   = 1 // checkpoint sequence, timestamp, geometry
+	framePages  = 2 // a chunk of page records
+	frameCommit = 3 // record count + sequence echo; marks the stream complete
+)
+
+// Record flag bits.
+const flagWarm = 1 // page was DRAM-resident (hot) at checkpoint time
+
+var (
+	// ErrNotCheckpoint means the file exists but its preamble is not a
+	// checkpoint of a version this reader understands.
+	ErrNotCheckpoint = errors.New("persist: not a checkpoint file")
+	// ErrInjected is returned by operations an Injector failed on purpose.
+	ErrInjected = errors.New("persist: injected fault")
+	// ErrCrashed is returned when an Injector simulated process death
+	// mid-operation: the write is abandoned in place, no cleanup runs.
+	ErrCrashed = errors.New("persist: injected crash")
+)
+
+// Record is one checkpointed page: the namespaced residency the restore
+// path rebuilds, plus the windowed counters that seed post-restart heat.
+type Record struct {
+	Tenant uint16
+	Page   uint64
+	// Node is the NUMA pool that held the page's frame.
+	Node uint8
+	// Warm marks the page DRAM-resident at checkpoint time: its durable
+	// copy restores into NVM, and the warm-up storm promotes it back.
+	Warm          bool
+	Reads, Writes uint32
+}
+
+// Score is the warm-up ordering key: the record's windowed counter
+// magnitude, matching the daemon's candidate scoring.
+func (r Record) Score() uint64 { return uint64(r.Reads) + uint64(r.Writes) }
+
+// Snapshot is one decoded checkpoint: the geometry it was cut under and
+// the records the reader could validate.
+type Snapshot struct {
+	// Seq is the checkpoint sequence number (monotonic per Checkpointer).
+	Seq uint64
+	// Taken is the checkpoint's cut timestamp.
+	Taken time.Time
+	// DRAMPages, NVMPages and Nodes record the writing engine's geometry,
+	// so a restore into a different shape can be detected and reported.
+	DRAMPages, NVMPages, Nodes int
+	Records                    []Record
+	// Complete reports that the commit frame was present and consistent
+	// (sequence echo and record count both match).
+	Complete bool
+	// Truncated reports that trailing bytes were discarded at a torn,
+	// short or corrupt frame; Records holds the valid prefix.
+	Truncated bool
+}

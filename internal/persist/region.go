@@ -1,0 +1,117 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+)
+
+// region is the checkpoint's durable byte arena: a fixed-size file the
+// writer fills with plain store instructions and flushes explicitly —
+// the software analog of an app-direct NVM region written through the
+// page cache. On unix the file is memory-mapped (region_unix.go); where
+// mmap is unavailable the same interface falls back to buffered file
+// writes (region_fallback.go). Sync relies on fsync, which flushes pages
+// dirtied through a shared mapping as well as through write(2).
+type region struct {
+	f      *os.File
+	data   []byte // mapped view, nil in fallback mode
+	size   int
+	off    int
+	inject *Injector
+}
+
+// createRegion creates (truncating) path as a size-byte region.
+func createRegion(path string, size int, inject *Injector) (*region, error) {
+	if f, ok := inject.check(OpCreate, size); ok {
+		if f.Kind == KindCrash || f.Kind == KindTornWrite {
+			return nil, ErrCrashed
+		}
+		return nil, fmt.Errorf("create %s: %w", path, ErrInjected)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(int64(size)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	r := &region{f: f, size: size, inject: inject}
+	if size > 0 {
+		// Best-effort: a failed map (or a non-unix build) degrades to
+		// file I/O, not to an error.
+		r.data, _ = mapFile(f, size)
+	}
+	return r, nil
+}
+
+// write appends b at the region's cursor, honoring armed write faults:
+// on a short or torn write only the fault's Keep prefix is stored.
+func (r *region) write(b []byte) error {
+	f, armed := r.inject.check(OpWrite, len(b))
+	if armed {
+		switch f.Kind {
+		case KindCrash:
+			return ErrCrashed
+		case KindError:
+			return fmt.Errorf("write: %w", ErrInjected)
+		default:
+			b = b[:f.Keep]
+		}
+	}
+	var err error
+	if r.data != nil {
+		copy(r.data[r.off:], b)
+	} else {
+		_, err = r.f.WriteAt(b, int64(r.off))
+	}
+	r.off += len(b)
+	if err != nil {
+		return err
+	}
+	if armed {
+		if f.Kind == KindTornWrite {
+			return ErrCrashed
+		}
+		return fmt.Errorf("write: %w", ErrInjected)
+	}
+	return nil
+}
+
+// sync makes every store so far durable.
+func (r *region) sync() error {
+	if f, ok := r.inject.check(OpSync, r.off); ok {
+		if f.Kind == KindCrash || f.Kind == KindTornWrite {
+			return ErrCrashed
+		}
+		return fmt.Errorf("sync: %w", ErrInjected)
+	}
+	return r.f.Sync()
+}
+
+// close unmaps, trims the file to the bytes actually written, and closes
+// it. Safe after a failed write (the trim preserves the valid prefix).
+func (r *region) close() error {
+	var err error
+	if r.data != nil {
+		err = unmapFile(r.data)
+		r.data = nil
+	}
+	if terr := r.f.Truncate(int64(r.off)); err == nil {
+		err = terr
+	}
+	if cerr := r.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// abandon releases the mapping and handle without trimming: the injected-
+// crash path, leaving the file exactly as the "dead process" left it.
+func (r *region) abandon() {
+	if r.data != nil {
+		unmapFile(r.data)
+		r.data = nil
+	}
+	r.f.Close()
+}

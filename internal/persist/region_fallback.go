@@ -1,0 +1,16 @@
+//go:build !unix
+
+package persist
+
+import (
+	"errors"
+	"os"
+)
+
+// mapFile always fails on platforms without syscall.Mmap; the region
+// degrades to plain file writes with identical durability semantics.
+func mapFile(*os.File, int) ([]byte, error) {
+	return nil, errors.New("persist: mmap unavailable")
+}
+
+func unmapFile([]byte) error { return nil }

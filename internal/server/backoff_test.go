@@ -1,0 +1,136 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock records every sleep the retrier asks for and advances a
+// virtual time, so the backoff schedule is asserted without real waiting.
+type fakeClock struct {
+	now    time.Duration
+	sleeps []time.Duration
+}
+
+func (c *fakeClock) sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.sleeps = append(c.sleeps, d)
+	c.now += d
+	return nil
+}
+
+// TestBackoffSchedule runs the retrier against a dialer that fails a
+// fixed number of times and checks the exact sleep sequence: exponential
+// from Base by Factor, capped at Max, no jitter.
+func TestBackoffSchedule(t *testing.T) {
+	clock := &fakeClock{}
+	fails := 7
+	r := dialRetrier{
+		bo: Backoff{Base: 10 * time.Millisecond, Max: 100 * time.Millisecond, Factor: 2, Jitter: 0}.withDefaults(),
+		dial: func(string, time.Duration) (*Client, error) {
+			if fails > 0 {
+				fails--
+				return nil, errors.New("refused")
+			}
+			return &Client{}, nil
+		},
+		sleep: clock.sleep,
+		rand:  func() float64 { return 0 },
+	}
+	if _, err := r.retry(context.Background(), "x"); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 100 * time.Millisecond, 100 * time.Millisecond,
+		100 * time.Millisecond,
+	}
+	if len(clock.sleeps) != len(want) {
+		t.Fatalf("slept %d times (%v), want %d", len(clock.sleeps), clock.sleeps, len(want))
+	}
+	for i, d := range want {
+		if clock.sleeps[i] != d {
+			t.Fatalf("sleep %d = %v, want %v (full schedule %v)", i, clock.sleeps[i], d, clock.sleeps)
+		}
+	}
+}
+
+// TestBackoffJitter pins the jitter draw and checks the sleep bounds:
+// every delay lands in [d·(1-Jitter), d], a zero draw leaves the delay
+// whole, a near-full draw shortens it by almost the whole Jitter slice.
+func TestBackoffJitter(t *testing.T) {
+	const base = 40 * time.Millisecond // third attempt's pre-jitter delay
+	for _, tc := range []struct {
+		draw     float64
+		min, max time.Duration
+	}{
+		{0, base, base},
+		{0.5, 35 * time.Millisecond, 35 * time.Millisecond}, // 40ms - 0.5·0.25·40ms
+		{0.999999, base - base/4, base - base/4 + time.Millisecond},
+	} {
+		clock := &fakeClock{}
+		fails := 3
+		r := dialRetrier{
+			bo: Backoff{Base: 10 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.25},
+			dial: func(string, time.Duration) (*Client, error) {
+				if fails > 0 {
+					fails--
+					return nil, errors.New("refused")
+				}
+				return &Client{}, nil
+			},
+			sleep: clock.sleep,
+			rand:  func() float64 { return tc.draw },
+		}
+		if _, err := r.retry(context.Background(), "x"); err != nil {
+			t.Fatal(err)
+		}
+		got := clock.sleeps[2]
+		if got < tc.min || got > tc.max {
+			t.Fatalf("draw %v: sleep = %v, want in [%v, %v]", tc.draw, got, tc.min, tc.max)
+		}
+	}
+}
+
+// TestBackoffContextCancel cancels mid-retry: the retrier must stop
+// sleeping and surface both the context error and the last dial error.
+func TestBackoffContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	clock := &fakeClock{}
+	dials := 0
+	r := dialRetrier{
+		bo: Backoff{}.withDefaults(),
+		dial: func(string, time.Duration) (*Client, error) {
+			dials++
+			if dials == 3 {
+				cancel()
+			}
+			return nil, errors.New("refused")
+		},
+		sleep: clock.sleep,
+		rand:  func() float64 { return 0 },
+	}
+	_, err := r.retry(ctx, "x")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if dials != 3 {
+		t.Fatalf("dialed %d times after cancel, want 3", dials)
+	}
+}
+
+// TestBackoffDefaults checks the zero value resolves to the documented
+// schedule parameters.
+func TestBackoffDefaults(t *testing.T) {
+	b := Backoff{}.withDefaults()
+	if b.Base != 25*time.Millisecond || b.Max != time.Second || b.Factor != 2 || b.Jitter != 0.2 {
+		t.Fatalf("defaults = %+v", b)
+	}
+	if d := b.delay(30); d != b.Max {
+		t.Fatalf("deep attempt delay = %v, want cap %v", d, b.Max)
+	}
+}

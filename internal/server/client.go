@@ -2,8 +2,10 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"strconv"
 	"time"
@@ -30,21 +32,108 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	return &Client{nc: nc, br: bufio.NewReaderSize(nc, 64*1024)}, nil
 }
 
-// DialRetry redials until the deadline passes — the smoke tests start the
-// server and the client as separate processes, so the client must absorb
-// the startup race.
-func DialRetry(addr string, deadline time.Duration) (*Client, error) {
+// Backoff is an exponential-backoff-with-jitter retry schedule: attempt
+// n sleeps Base·Factor^n, capped at Max, with a uniformly random slice
+// of up to Jitter of the delay subtracted so a fleet of clients redialing
+// a restarting server doesn't reconnect in lockstep.
+type Backoff struct {
+	// Base is the first retry's delay (default 25ms).
+	Base time.Duration
+	// Max caps the grown delay (default 1s).
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier (default 2).
+	Factor float64
+	// Jitter is the fraction of each delay randomized away, in [0,1)
+	// (default 0.2: sleeps land in [0.8d, d]).
+	Jitter float64
+}
+
+// withDefaults fills zero fields.
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 25 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = time.Second
+	}
+	if b.Factor <= 1 {
+		b.Factor = 2
+	}
+	if b.Jitter <= 0 || b.Jitter >= 1 {
+		b.Jitter = 0.2
+	}
+	return b
+}
+
+// delay returns attempt n's sleep (0-based), before jitter.
+func (b Backoff) delay(attempt int) time.Duration {
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			return b.Max
+		}
+	}
+	return time.Duration(d)
+}
+
+// dialRetrier separates DialRetryContext's policy from the clock and the
+// dialer so the schedule is unit-testable against a fake clock.
+type dialRetrier struct {
+	bo    Backoff
+	dial  func(addr string, timeout time.Duration) (*Client, error)
+	sleep func(ctx context.Context, d time.Duration) error
+	// rand returns a uniform float64 in [0,1) for the jitter draw.
+	rand func() float64
+}
+
+// sleepCtx sleeps d or returns early with the context's error.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (r dialRetrier) retry(ctx context.Context, addr string) (*Client, error) {
 	var lastErr error
-	until := time.Now().Add(deadline)
-	for time.Now().Before(until) {
-		c, err := Dial(addr, time.Second)
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("server: no server at %s: %w (last dial error: %v)", addr, err, lastErr)
+		}
+		c, err := r.dial(addr, time.Second)
 		if err == nil {
 			return c, nil
 		}
 		lastErr = err
-		time.Sleep(50 * time.Millisecond)
+		d := r.bo.delay(attempt)
+		d -= time.Duration(r.rand() * r.bo.Jitter * float64(d))
+		if err := r.sleep(ctx, d); err != nil {
+			return nil, fmt.Errorf("server: no server at %s: %w (last dial error: %v)", addr, err, lastErr)
+		}
 	}
-	return nil, fmt.Errorf("server: no server at %s after %v: %w", addr, deadline, lastErr)
+}
+
+// DialRetryContext redials addr on bo's exponential-backoff-with-jitter
+// schedule until it connects or ctx ends (cancellation or deadline) — the
+// reconnect loop that rides out a server's restart window in the chaos
+// smoke. A zero Backoff uses the defaults.
+func DialRetryContext(ctx context.Context, addr string, bo Backoff) (*Client, error) {
+	r := dialRetrier{bo: bo.withDefaults(), dial: Dial, sleep: sleepCtx, rand: rand.Float64}
+	return r.retry(ctx, addr)
+}
+
+// DialRetry is DialRetryContext with the default backoff and a plain
+// timeout — the smoke tests start the server and the client as separate
+// processes, so the client must absorb the startup race.
+func DialRetry(addr string, deadline time.Duration) (*Client, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	return DialRetryContext(ctx, addr, Backoff{})
 }
 
 // Close closes the connection.

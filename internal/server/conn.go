@@ -177,7 +177,7 @@ const maxRun = 512
 // (QUIT, protocol error, engine shutdown).
 func (s *Server) process(c *conn) (fatal bool) {
 	batch := int64(0)
-	canBatch := !s.cfg.RequireAuth || c.authed
+	canBatch := (!s.cfg.RequireAuth || c.authed) && !s.loading()
 	for {
 		args, n, err := parseCommand(c.rbuf[c.rpos:c.rend], c.args)
 		c.args = args[:0]
@@ -231,7 +231,7 @@ func (s *Server) process(c *conn) (fatal bool) {
 			break
 		}
 		// AUTH may have just bound a tenant; runs never span the rebind.
-		canBatch = !s.cfg.RequireAuth || c.authed
+		canBatch = (!s.cfg.RequireAuth || c.authed) && !s.loading()
 	}
 	if !fatal && s.flushRun(c) {
 		fatal = true
@@ -328,7 +328,7 @@ func (s *Server) dispatch(c *conn, args [][]byte) (closeAfter bool) {
 			c.out = appendError(c.out, "ERR wrong number of arguments for 'del' command")
 			return false
 		}
-		if s.needAuth(c) {
+		if s.needAuth(c) || s.rejectLoading(c) {
 			return false
 		}
 		removed := int64(0)
@@ -369,7 +369,7 @@ func (s *Server) dispatch(c *conn, args [][]byte) (closeAfter bool) {
 		return false
 	case cmdIs(cmd, "STATS"):
 		s.cmds.stats.Inc(c.id)
-		if s.needAuth(c) {
+		if s.needAuth(c) || s.rejectLoading(c) {
 			return false
 		}
 		c.out = s.statsReply(c.out, c.tenant)
@@ -400,7 +400,7 @@ func (s *Server) dispatch(c *conn, args [][]byte) (closeAfter bool) {
 // replies with the tier that serviced the page (the engine tracks
 // placement, not payloads); SET replies +OK.
 func (s *Server) access(c *conn, key []byte, op trace.Op) (closeAfter bool) {
-	if s.needAuth(c) {
+	if s.needAuth(c) || s.rejectLoading(c) {
 		return false
 	}
 	return s.accessAddr(c, keyAddr(key), op)
@@ -433,6 +433,21 @@ func (s *Server) accessAddr(c *conn, addr uint64, op trace.Op) (closeAfter bool)
 func (s *Server) needAuth(c *conn) bool {
 	if s.cfg.RequireAuth && !c.authed {
 		c.out = appendError(c.out, "NOAUTH Authentication required.")
+		return true
+	}
+	return false
+}
+
+// loading reports whether the engine is still restoring persisted state.
+func (s *Server) loading() bool {
+	return s.cfg.Loading != nil && s.cfg.Loading()
+}
+
+// rejectLoading answers a data command with -LOADING while the engine
+// restores. It appends the error itself.
+func (s *Server) rejectLoading(c *conn) bool {
+	if s.loading() {
+		c.out = appendError(c.out, "LOADING tierd is restoring the checkpoint")
 		return true
 	}
 	return false

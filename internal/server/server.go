@@ -76,6 +76,14 @@ type Config struct {
 	// (default DefaultReadBuffer); it grows as needed up to the 1 MiB
 	// per-connection cap.
 	ReadBuffer int
+	// Loading, when non-nil and returning true, makes the server answer
+	// data commands (GET/SET/DEL/STATS) with a redis-style -LOADING error
+	// while the engine restores a persistence checkpoint. Control
+	// commands (PING, AUTH, ECHO, INFO) still work, so clients and
+	// readiness probes can wait the restore out on a live connection. The
+	// function must be safe for concurrent use and cheap — it runs once
+	// per read batch plus once per gated command.
+	Loading func() bool
 }
 
 // withDefaults fills zero fields.

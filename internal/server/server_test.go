@@ -486,3 +486,55 @@ func TestServerProcessZeroAlloc(t *testing.T) {
 		t.Fatalf("process allocated %.1f times per batch, want 0", allocs)
 	}
 }
+
+// TestServerLoadingGate flips a Loading hook and checks that data
+// commands are rejected with -LOADING while control commands still work,
+// then that the connection recovers in place once the restore finishes.
+func TestServerLoadingGate(t *testing.T) {
+	e := newTestEngine(t, tiered.Config{})
+	var loading atomic.Bool
+	loading.Store(true)
+	s := newTestServer(t, e, Config{Loading: loading.Load})
+	c := dialTest(t, s)
+
+	// Control plane stays up during the restore.
+	if kind, err := c.Do("PING"); err != nil || kind != '+' {
+		t.Fatalf("PING while loading: %v %q", err, kind)
+	}
+	if kind, err := c.Do("INFO"); err != nil || kind != '$' {
+		t.Fatalf("INFO while loading: %v %q", err, kind)
+	}
+	// Data plane answers -LOADING, single and pipelined alike.
+	for _, args := range [][]string{
+		{"GET", "4096"}, {"SET", "4096", "v"}, {"DEL", "4096"}, {"STATS"},
+	} {
+		_, err := c.Do(args...)
+		if err == nil || !strings.Contains(err.Error(), "LOADING") {
+			t.Fatalf("%v while loading: err = %v, want LOADING", args, err)
+		}
+	}
+	c.EnqueueGet(4096)
+	c.EnqueueSet(8192)
+	c.EnqueueGet(4096)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		_, err := c.ReadReply()
+		if err == nil || !strings.Contains(err.Error(), "LOADING") {
+			t.Fatalf("pipelined reply %d while loading: %v, want LOADING", i, err)
+		}
+	}
+	if es := e.Stats(); es.Accesses != 0 {
+		t.Fatalf("engine served %d accesses while loading, want 0", es.Accesses)
+	}
+
+	// Restore done: the same connection serves data again.
+	loading.Store(false)
+	if kind, err := c.Do("SET", "4096", "v"); err != nil || kind != '+' {
+		t.Fatalf("SET after restore: %v %q", err, kind)
+	}
+	if kind, err := c.Do("GET", "4096"); err != nil || kind != '$' {
+		t.Fatalf("GET after restore: %v %q", err, kind)
+	}
+}

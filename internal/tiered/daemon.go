@@ -34,6 +34,10 @@ func (e *Engine) Start() error {
 	}
 	e.scanWG.Add(1)
 	go e.scanLoop()
+	if len(e.warmup) > 0 {
+		e.warmWG.Add(1)
+		go e.warmupLoop()
+	}
 	return nil
 }
 
@@ -46,7 +50,13 @@ func (e *Engine) Stop() error {
 	if e.state.CompareAndSwap(stateStarted, stateStopped) {
 		if e.backing == nil {
 			close(e.stopCh)
-			e.scanWG.Wait() // scanner exits and closes the batch channels
+			e.scanWG.Wait()
+			e.warmWG.Wait()
+			// Both producers (scanner and warm-up feeder) have exited; now
+			// the queues can close, and the workers drain what's left.
+			for _, ns := range e.nodes {
+				close(ns.batchCh)
+			}
 			e.workerWG.Wait()
 			// Barrier against a concurrent ScanOnce: any scan that won
 			// scanMu before this point finishes its inline work here; any
@@ -66,14 +76,11 @@ func (e *Engine) Stop() error {
 	return fmt.Errorf("tiered: engine never started")
 }
 
-// scanLoop is the daemon's scanner goroutine.
+// scanLoop is the daemon's scanner goroutine. It does not close the batch
+// channels on exit — Stop does, after every producer (this scanner and the
+// restore warm-up feeder) has quiesced.
 func (e *Engine) scanLoop() {
-	defer func() {
-		for _, ns := range e.nodes {
-			close(ns.batchCh)
-		}
-		e.scanWG.Done()
-	}()
+	defer e.scanWG.Done()
 	ticker := time.NewTicker(e.cfg.ScanInterval)
 	defer ticker.Stop()
 	for {

@@ -102,6 +102,12 @@ type Config struct {
 	// is full, batches are dropped and counted: migration is a hint, and
 	// a page that stays hot is re-found next epoch.
 	QueueLen int
+	// WarmupRate caps how many restored-hot pages the warm-up feeder may
+	// enqueue per node per ScanInterval tick after Restore (default
+	// 2*BatchSize). The cap turns the post-restart promotion storm into a
+	// paced replay: a few migration epochs instead of one burst that would
+	// monopolize the promotion queues against live scan traffic.
+	WarmupRate int
 	// Events, when non-nil, receives one obs.Event per migration decision
 	// (promotion, demotion, eviction, drop) with tenant, node and tier
 	// attribution — the trace the admin plane's /events endpoint streams.
@@ -141,6 +147,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueLen == 0 {
 		c.QueueLen = 16
+	}
+	if c.WarmupRate == 0 {
+		c.WarmupRate = 2 * c.BatchSize
 	}
 	if len(c.Tenants) == 0 {
 		c.Tenants = []TenantConfig{{ID: DefaultTenant, Name: "default", DRAMQuota: c.DRAMPages}}
@@ -382,6 +391,17 @@ type Engine struct {
 	// so a Stop that loses the race still waits for the drain guarantee.
 	drained chan struct{}
 
+	// Restore / warm-up state (restore.go). warmup is the checkpointed hot
+	// set queued by Restore (score-descending), fed into the per-node
+	// promotion queues by warmupLoop after Start; warmWG tracks that
+	// feeder. The counters are read by metrics and artifacts.
+	warmup       []candidate
+	warmWG       sync.WaitGroup
+	restored     atomic.Int64
+	restoreSkips atomic.Int64
+	warmPending  atomic.Int64
+	warmEnqueued atomic.Int64
+
 	// ring is the optional migration-event trace (Config.Events); nil
 	// when no observer is attached.
 	ring *obs.EventRing
@@ -410,6 +430,9 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.BatchSize < 1 || cfg.Workers < 1 || cfg.QueueLen < 1 || cfg.ScanInterval < 0 {
 		return nil, fmt.Errorf("tiered: invalid daemon config (batch %d, workers %d, queue %d, interval %v)",
 			cfg.BatchSize, cfg.Workers, cfg.QueueLen, cfg.ScanInterval)
+	}
+	if cfg.WarmupRate < 1 {
+		return nil, fmt.Errorf("tiered: invalid warm-up rate %d", cfg.WarmupRate)
 	}
 	spill, err := validateTenants(cfg.Tenants, cfg.DRAMPages)
 	if err != nil {

@@ -3,6 +3,7 @@ package tiered
 import (
 	"strconv"
 
+	"hybridmem/internal/mm"
 	"hybridmem/internal/obs"
 )
 
@@ -69,6 +70,19 @@ func (e *Engine) DaemonStats() DaemonStats {
 // Running reports whether the engine is between Start and Stop — the
 // admin plane's readiness signal.
 func (e *Engine) Running() bool { return e.state.Load() == stateStarted }
+
+// SnapshotResidency walks the whole table over its published RCU
+// snapshots, reporting every resident page's tenant, page number,
+// location, frame node and windowed counters without resetting the
+// windows. This is the persistence checkpoint's consistent cut: no lock
+// is taken, no serve or scan path stalls, and a page migrating mid-walk
+// is reported with whichever state the snapshot saw (the restore path
+// re-validates everything anyway). Safe at any lifecycle state.
+func (e *Engine) SnapshotResidency(fn func(tenant TenantID, page uint64, loc mm.Location, node int, reads, writes uint64)) {
+	for i := 0; i < e.tbl.NumShards(); i++ {
+		e.tbl.ScanShard(i, false, fn)
+	}
+}
 
 // SpillUsed returns the number of spill-pool frames currently borrowed
 // across all tenants.
@@ -227,6 +241,17 @@ func (e *Engine) RegisterMetrics(reg *obs.Registry) {
 		reg.GaugeFunc("tierd_node_promotion_lag_ns", "Batch enqueue-to-drain latency.",
 			ns.lagMax.Load, nl, obs.L("window", "max"))
 	}
+
+	// Restore / warm-up accounting (restore.go). All zero on a process
+	// that started cold.
+	reg.CounterFunc("tierd_restore_pages_total", "Pages restored into NVM from a checkpoint.",
+		e.restored.Load)
+	reg.CounterFunc("tierd_restore_skipped_total", "Checkpoint records dropped at restore (unknown tenant, duplicate, capacity).",
+		e.restoreSkips.Load)
+	reg.GaugeFunc("tierd_warmup_pending", "Restored-hot pages awaiting the warm-up promotion storm.",
+		e.warmPending.Load)
+	reg.CounterFunc("tierd_warmup_enqueued_total", "Restored-hot pages handed to the promotion queues.",
+		e.warmEnqueued.Load)
 
 	// Event-ring accounting, when a trace ring is attached.
 	if e.ring != nil {

@@ -532,6 +532,21 @@ func (t *Table) NodeResidents(node int, loc mm.Location) int {
 	return n
 }
 
+// SeedCounters overwrites a resident page's windowed counters. It exists
+// for checkpoint restore: a page re-inserted at startup carries the
+// hotness the checkpoint recorded, so the first scan epochs after a
+// restart see pre-crash heat instead of a blank window. Lock-free (the
+// counters are the entry's own atomics); a no-op when the page is not
+// resident.
+func (t *Table) SeedCounters(tenant TenantID, page uint64, reads, writes uint64) {
+	e := t.lookup(tableKey(tenant, page))
+	if e == nil || !mm.Location(e.state.Load()).IsMemory() {
+		return
+	}
+	e.reads.Store(reads)
+	e.writes.Store(writes)
+}
+
 // ScanShard visits every page of shard i, reporting each page's tenant,
 // page number, location, frame node and windowed counters. With reset, the
 // counters are atomically swapped to zero as they are read: successive
