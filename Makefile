@@ -49,11 +49,18 @@ bench:
 # cannot flip the gate.
 BENCHTIME ?= 300000x
 BENCHCOUNT ?= 3
+# Checkpoint cuts fsync, so each iteration is milliseconds — the
+# checkpoint suite runs far fewer iterations than the in-memory serve
+# suites and gets its own benchtime knob. The delta rows are gated: a
+# delta cut regressing toward full-cut cost is exactly the regression
+# the delta log exists to prevent.
+CKPT_BENCHTIME ?= 30x
 BENCH_SUITES = BenchmarkShardedTable|BenchmarkTieredServe|BenchmarkServeParallel|BenchmarkServeBatch|BenchmarkServeRESP|BenchmarkServeProcess|BenchmarkRESPParse
 BENCH_PKGS = ./internal/tiered ./internal/server
-BENCH_GATE = ^BenchmarkServeParallel/impl=(lockfree|engine/nodes=1)/|^BenchmarkServeBatch/size=(1|64)$$
+BENCH_GATE = ^BenchmarkServeParallel/impl=(lockfree|engine/nodes=1)/|^BenchmarkServeBatch/size=(1|64)$$|^BenchmarkCheckpointCut/mode=delta
 bench-json:
 	$(GO) test -bench='$(BENCH_SUITES)' -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -run='^$$' $(BENCH_PKGS) > bench_tiered.txt
+	$(GO) test -bench='^BenchmarkCheckpointCut$$' -benchtime=$(CKPT_BENCHTIME) -count=$(BENCHCOUNT) -run='^$$' ./internal/persist >> bench_tiered.txt
 	$(GO) run ./cmd/benchjson -suite tiered -baseline BENCH_baseline.json -gate '$(BENCH_GATE)' -out BENCH_tiered.json < bench_tiered.txt
 	@rm -f bench_tiered.txt
 
@@ -61,6 +68,7 @@ bench-json:
 # compare on; commit the result).
 bench-baseline:
 	$(GO) test -bench='$(BENCH_SUITES)' -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -run='^$$' $(BENCH_PKGS) > bench_tiered.txt
+	$(GO) test -bench='^BenchmarkCheckpointCut$$' -benchtime=$(CKPT_BENCHTIME) -count=$(BENCHCOUNT) -run='^$$' ./internal/persist >> bench_tiered.txt
 	$(GO) run ./cmd/benchjson -suite tiered-baseline -out BENCH_baseline.json < bench_tiered.txt
 	@rm -f bench_tiered.txt
 
@@ -119,21 +127,36 @@ tierd-net-smoke:
 	print('tierd-net-smoke: ok (%d ops, %d hits, %d batched, %.0f ops/s, clean drain)' % (c['ops'], hits, c['server_batched_ops'], c['ops_per_sec']))"
 	@rm -f tierd-net-bin
 
-# Crash-recovery smoke: the persistence tentpole's end-to-end gate. A
-# tierd -serve with -persist takes periodic checkpoints while the client
-# measures the cold-start recovery KPI (-kpi: time to 90% of the
-# steady-state hit rate), then the server is killed with SIGKILL — no
-# drain, no final checkpoint, exactly the crash the format's frame
-# recovery exists for. A second server restarted on the same directory
-# must restore residency from the last valid checkpoint (restore_pages >
-# 0, not a cold start), warm up through the daemon, drain cleanly with
-# intact invariants — and its client-measured warm KPI must beat the cold
-# one: the restored residency skips the first-touch fault storm.
+# Crash-recovery smoke: the persistence tentpole's end-to-end gate, three
+# phases. Phase 1: a tierd -serve with -persist cuts a full base then
+# periodic delta cuts (-checkpoint-full-every 64 keeps the chain on
+# deltas) while the client measures the cold-start recovery KPI (-kpi:
+# time to 90% of the steady-state hit rate); after a quiet window the
+# server is killed with SIGKILL between delta cuts — no drain, no final
+# checkpoint, exactly the crash the chain's frame recovery exists for.
+# Phase 2: a server restarted on the same directory must replay base +
+# deltas (restore_chain_deltas >= 1), restore page-count-exactly
+# (restore_pages == restore_chain_records - restore_skipped), warm up
+# through the daemon storm (-warmup-dram-topk 0), and its client-measured
+# warm KPI must beat the cold one; its quiet-window delta cuts must also
+# be far smaller than the base (the O(dirty) claim, checked on bytes).
+# Phase 3: another restart with age-tiered warm-up on
+# (-warmup-dram-topk 1000000) places the hottest restored pages straight
+# into DRAM (restore_warm_direct > 0), must still beat the cold start on
+# the recovery KPI, and must restore MORE pages than phase 2: a
+# storm-only restart targets NVM for everything, so when the checkpoint
+# holds a full machine (NVM + DRAM residency) the NVM overflow is
+# dropped on the floor (restore_skipped), while direct DRAM placement
+# absorbs exactly that overflow — the deterministic, page-count-exact
+# win of age-tiered warm-up. The storm-vs-topk gap is NOT asserted on
+# cumulative KPI rates: at this scale the storm drains its whole queue
+# in one 2ms scan tick, so over a 3s window the two warm restarts are
+# statistically identical and either could win a cumulative-rate race.
 tierd-crash-smoke:
 	$(GO) build -o tierd-crash-bin ./cmd/tierd
 	@rm -rf tierd-crash-persist; \
 	./tierd-crash-bin -serve 127.0.0.1:16383 -workload bodytrack -scale 0.5 \
-		-persist tierd-crash-persist -checkpoint-interval 250ms \
+		-persist tierd-crash-persist -checkpoint-interval 250ms -checkpoint-full-every 64 \
 		-json -out tierd-crash-serve1.json & \
 	SRV=$$!; \
 	./tierd-crash-bin -connect 127.0.0.1:16383 -workload bodytrack -scale 0.5 \
@@ -142,28 +165,59 @@ tierd-crash-smoke:
 	sleep 1; \
 	kill -9 $$SRV; wait $$SRV 2>/dev/null; \
 	./tierd-crash-bin -serve 127.0.0.1:16383 -workload bodytrack -scale 0.5 \
-		-persist tierd-crash-persist -checkpoint-interval 250ms \
-		-json -out tierd-crash-serve2.json & \
+		-persist tierd-crash-persist -checkpoint-interval 250ms -checkpoint-full-every 64 \
+		-warmup-dram-topk 0 -json -out tierd-crash-serve2.json & \
 	SRV=$$!; \
 	./tierd-crash-bin -connect 127.0.0.1:16383 -workload bodytrack -scale 0.5 \
 		-connections 2 -pipeline 8 -duration 3s -kpi -json -out tierd-crash-warm.json \
+		|| { kill $$SRV 2>/dev/null; exit 1; }; \
+	sleep 1; \
+	kill -TERM $$SRV && wait $$SRV; \
+	./tierd-crash-bin -serve 127.0.0.1:16383 -workload bodytrack -scale 0.5 \
+		-persist tierd-crash-persist -checkpoint-interval 250ms -checkpoint-full-every 64 \
+		-warmup-dram-topk 1000000 -json -out tierd-crash-serve3.json & \
+	SRV=$$!; \
+	./tierd-crash-bin -connect 127.0.0.1:16383 -workload bodytrack -scale 0.5 \
+		-connections 2 -pipeline 8 -duration 3s -kpi -json -out tierd-crash-warm2.json \
 		|| { kill $$SRV 2>/dev/null; exit 1; }; \
 	kill -TERM $$SRV && wait $$SRV
 	@python3 -c "\
 	import json; \
 	cold = json.load(open('tierd-crash-cold.json'))['results'][0]['values']; \
 	warm = json.load(open('tierd-crash-warm.json'))['results'][0]['values']; \
+	warm2 = json.load(open('tierd-crash-warm2.json'))['results'][0]['values']; \
 	srv = json.load(open('tierd-crash-serve2.json'))['results'][0]['values']; \
+	srv3 = json.load(open('tierd-crash-serve3.json'))['results'][0]['values']; \
 	assert srv['cold_start'] == 0 and srv['restore_pages'] > 0, 'restart did not restore the checkpoint'; \
+	assert srv['restore_chain_deltas'] >= 1, 'SIGKILL restart replayed no delta cuts'; \
+	assert srv['restore_pages'] == srv['restore_chain_records'] - srv['restore_skipped'], \
+		'restore not page-count-exact: %d restored vs %d chain - %d skipped' \
+		% (srv['restore_pages'], srv['restore_chain_records'], srv['restore_skipped']); \
 	assert srv['restore_warm'] > 0, 'restore queued no warm-up candidates'; \
+	assert srv['checkpoint_delta_cuts'] > 0, 'server cut no deltas'; \
+	assert srv['checkpoint_last_delta_bytes'] * 5 < srv['checkpoint_base_bytes'], \
+		'quiet-window delta not small: %d bytes vs %d base' \
+		% (srv['checkpoint_last_delta_bytes'], srv['checkpoint_base_bytes']); \
 	assert srv['invariants_clean'] == 1, 'invariants violated after recovery'; \
 	assert srv['clean_drain'] == 1, 'post-recovery drain was not clean'; \
 	assert srv['final_checkpoint'] == 1, 'final checkpoint failed'; \
-	assert cold['kpi_samples'] > 0 and warm['kpi_samples'] > 0, 'KPI sampler produced no samples'; \
+	assert srv3['cold_start'] == 0 and srv3['restore_warm_direct'] > 0, \
+		'top-K restart placed no pages directly in DRAM'; \
+	assert srv3['restore_pages'] == srv3['restore_chain_records'] - srv3['restore_skipped'], \
+		'phase-3 restore not page-count-exact'; \
+	assert srv3['restore_skipped'] < srv['restore_skipped'] and srv3['restore_pages'] > srv['restore_pages'], \
+		'top-K placement did not absorb the storm-only restore overflow: %d skipped vs %d' \
+		% (srv3['restore_skipped'], srv['restore_skipped']); \
+	assert srv3['invariants_clean'] == 1, 'invariants violated after top-K recovery'; \
+	assert cold['kpi_samples'] > 0 and warm['kpi_samples'] > 0 and warm2['kpi_samples'] > 0, 'KPI sampler produced no samples'; \
 	assert warm['kpi_t90_ms'] < cold['kpi_t90_ms'], \
 		'warm restart not faster to 90%% steady hit rate: warm %.1fms vs cold %.1fms' % (warm['kpi_t90_ms'], cold['kpi_t90_ms']); \
-	print('tierd-crash-smoke: ok (restored %d pages, %d warm; t90 warm %.1fms < cold %.1fms)' \
-		% (srv['restore_pages'], srv['restore_warm'], warm['kpi_t90_ms'], cold['kpi_t90_ms']))"
+	assert warm2['kpi_t90_ms'] < cold['kpi_t90_ms'], \
+		'top-K warm restart not faster to 90%% steady hit rate: topk %.1fms vs cold %.1fms' % (warm2['kpi_t90_ms'], cold['kpi_t90_ms']); \
+	print('tierd-crash-smoke: ok (restored %d pages over %d deltas, %d warm; topk restored %d with %d direct, %d fewer drops; t90 warm %.1fms / topk %.1fms < cold %.1fms)' \
+		% (srv['restore_pages'], srv['restore_chain_deltas'], srv['restore_warm'], \
+		srv3['restore_pages'], srv3['restore_warm_direct'], srv['restore_skipped'] - srv3['restore_skipped'], \
+		warm['kpi_t90_ms'], warm2['kpi_t90_ms'], cold['kpi_t90_ms']))"
 	@rm -f tierd-crash-bin; rm -rf tierd-crash-persist
 
 # Observability smoke: a background tierd -serve with the admin plane on,
@@ -204,8 +258,8 @@ clean:
 		tierd-net-serve.json tierd-net-client.json tierd-net-bin \
 		tierd-obs-serve.json tierd-obs-client.json tierd-obs-client2.json \
 		tierd-obs-metrics.txt tierd-obs-events.json tierd-obs-bin \
-		tierd-crash-serve1.json tierd-crash-serve2.json \
-		tierd-crash-cold.json tierd-crash-warm.json tierd-crash-bin \
+		tierd-crash-serve1.json tierd-crash-serve2.json tierd-crash-serve3.json \
+		tierd-crash-cold.json tierd-crash-warm.json tierd-crash-warm2.json tierd-crash-bin \
 		BENCH_tiered.json bench_tiered.txt
 	rm -rf tierd-crash-persist
 

@@ -57,17 +57,21 @@
 // STATS. See docs/protocol.md for the wire protocol.
 //
 // With -persist (serve mode), tierd checkpoints the NVM tier's residency
-// and hotness into <dir>/checkpoint.ckpt every -checkpoint-interval and
-// once more during the drain, and on restart restores residency from the
-// checkpoint before serving data: the RESP listener comes up immediately
-// but answers data commands with -LOADING (and /readyz stays not-ready)
-// until the restore finishes, after which the restored-hot pages are
-// re-promoted as a rate-limited warm-up through the migration daemon.
-// The client-side recovery KPI for that warm-up is -kpi: the client
-// samples the server's cumulative hit rate (accesses served from
-// resident memory rather than faulted in) over STATS and reports the
-// time it took to reach 90% of its steady-state value (kpi_t90_ms in
-// the artifact). See docs/persistence.md.
+// and hotness into <dir> every -checkpoint-interval and once more during
+// the drain: a full base snapshot (checkpoint.ckpt) every
+// -checkpoint-full-every cuts and O(dirty) delta cuts (delta-*.ckpt)
+// carrying only the changed pages in between. On restart tierd replays
+// base + deltas before serving data: the RESP listener comes up
+// immediately but answers data commands with -LOADING (and /readyz stays
+// not-ready) until the restore finishes, after which the restored-hot
+// pages are re-promoted as a rate-limited warm-up through the migration
+// daemon — or, with -warmup-dram-topk, the hottest K are placed straight
+// into DRAM before serving. The client-side recovery KPI for that
+// warm-up is -kpi: the client samples the server's cumulative hit rate
+// (accesses served from resident memory rather than faulted in, plus the
+// DRAM-only variant) over STATS and reports the time it took to reach
+// 90% of its steady-state value (kpi_t90_ms / kpi_dram_t90_ms in the
+// artifact). See docs/persistence.md.
 package main
 
 import (
@@ -123,6 +127,8 @@ func main() {
 		requireAuth = flag.Bool("require-auth", false, "serve mode: reject data commands until a successful AUTH")
 		persistDir  = flag.String("persist", "", "serve mode: checkpoint the NVM tier's residency into this directory and restore it on restart (data commands answer -LOADING until the restore finishes)")
 		ckptEvery   = flag.Duration("checkpoint-interval", time.Second, "serve mode with -persist: background checkpoint period")
+		ckptFull    = flag.Int("checkpoint-full-every", 8, "serve mode with -persist: cut a full snapshot every Nth checkpoint and O(dirty) delta cuts in between (1 = every cut full)")
+		warmupTopK  = flag.Int("warmup-dram-topk", 0, "serve mode with -persist: restore up to this many of the hottest checkpoint-warm pages directly into DRAM before serving (0 = storm-only warm-up)")
 		kpi         = flag.Bool("kpi", false, "client mode: sample the server's hit rate over STATS and report time-to-90%-of-steady-state (the recovery KPI)")
 
 		adminAddr = flag.String("admin", "", `admin plane: HTTP listen address (e.g. "127.0.0.1:6060") exposing /metrics (Prometheus text), /healthz, /readyz, /events (migration trace ring) and /debug/pprof; works in -serve and the in-process load modes`)
@@ -171,20 +177,22 @@ func main() {
 			log.Fatal("-serve and -connect are incompatible with -sync and -verify")
 		}
 		nf := netFlags{
-			serveAddr:    *serveAddr,
-			connectAddr:  *connectAddr,
-			connections:  *connections,
-			pipeline:     *pipeline,
-			openLoop:     *clientMode == "open",
-			rate:         *rate,
-			auth:         *authToken,
-			maxConns:     *maxConns,
-			idleTimeout:  *idleTimeout,
-			requireAuth:  *requireAuth,
-			persistDir:   *persistDir,
-			ckptInterval: *ckptEvery,
-			kpi:          *kpi,
-			admin:        admin,
+			serveAddr:     *serveAddr,
+			connectAddr:   *connectAddr,
+			connections:   *connections,
+			pipeline:      *pipeline,
+			openLoop:      *clientMode == "open",
+			rate:          *rate,
+			auth:          *authToken,
+			maxConns:      *maxConns,
+			idleTimeout:   *idleTimeout,
+			requireAuth:   *requireAuth,
+			persistDir:    *persistDir,
+			ckptInterval:  *ckptEvery,
+			ckptFullEvery: *ckptFull,
+			warmupTopK:    *warmupTopK,
+			kpi:           *kpi,
+			admin:         admin,
 		}
 		if *clientMode != "open" && *clientMode != "closed" {
 			log.Fatalf("-client-mode %q unknown (have open, closed)", *clientMode)
@@ -194,6 +202,12 @@ func main() {
 		}
 		if *ckptEvery <= 0 {
 			log.Fatal("-checkpoint-interval must be positive")
+		}
+		if *ckptFull < 1 {
+			log.Fatal("-checkpoint-full-every must be at least 1")
+		}
+		if *warmupTopK < 0 {
+			log.Fatal("-warmup-dram-topk must be non-negative")
 		}
 		if *kpi && *connectAddr == "" {
 			log.Fatal("-kpi requires -connect (the KPI is sampled client-side)")

@@ -1,0 +1,81 @@
+package persist
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hybridmem/internal/tiered"
+	"hybridmem/internal/trace"
+)
+
+// BenchmarkCheckpointCut measures one checkpoint cut against a ~2000-page
+// resident set. mode=full rewrites the whole residency every cut — the
+// pre-delta-log behavior and the restore-side worst case. mode=delta
+// emits only the pages dirtied since the previous cut; dirty=N is the
+// approximate percent of the resident set churned between cuts. The
+// delta rows are the tentpole's claim: cut cost O(dirty), not
+// O(resident), in both bytes (reported as bytes/op) and latency.
+//
+// Cuts fsync, so iterations are milliseconds — the Makefile runs this
+// suite with its own CKPT_BENCHTIME instead of the serve-path BENCHTIME.
+func BenchmarkCheckpointCut(b *testing.B) {
+	const resident = 2000
+	run := func(b *testing.B, fullEvery, dirtyPages int) {
+		e, err := tiered.New(tiered.Config{
+			DRAMPages: 256, NVMPages: 8192, ScanInterval: time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Start(); err != nil {
+			b.Fatal(err)
+		}
+		defer e.Stop()
+		ps := uint64(e.Config().Spec.Geometry.PageSizeBytes)
+		next := uint64(0)
+		touch := func(n int) {
+			for i := 0; i < n; i++ {
+				if _, err := e.Serve(next*ps, trace.OpRead); err != nil {
+					b.Fatal(err)
+				}
+				next++
+			}
+		}
+		touch(resident)
+		c, err := NewCheckpointer(e, Config{
+			Dir: b.TempDir(), Interval: time.Hour,
+			FullEvery: fullEvery, MaxDeltaRatio: -1, // the bench picks the cut kind, not the ratio trigger
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.CheckpointNow(); err != nil { // base outside the timer
+			b.Fatal(err)
+		}
+		start := c.Stats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if dirtyPages > 0 {
+				b.StopTimer()
+				touch(dirtyPages) // fresh pages: inserts, then evict churn
+				b.StartTimer()
+			}
+			if err := c.CheckpointNow(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := c.Stats()
+		b.ReportMetric(float64(st.BytesTotal-start.BytesTotal)/float64(b.N), "bytes/op")
+		if fullEvery > 1 && st.FullCuts != start.FullCuts {
+			b.Fatalf("delta bench compacted mid-run: %d extra full cuts", st.FullCuts-start.FullCuts)
+		}
+	}
+	b.Run("mode=full", func(b *testing.B) { run(b, 1, 0) })
+	for _, dirty := range []int{1, 25} {
+		b.Run(fmt.Sprintf("mode=delta/dirty=%d", dirty), func(b *testing.B) {
+			run(b, 1<<30, resident*dirty/100)
+		})
+	}
+}

@@ -1,0 +1,128 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Chain is a decoded checkpoint chain: the newest valid base snapshot
+// plus every delta that replayed cleanly on top of it. Records is the
+// merged residency — base records overlaid by each delta's changes and
+// removals in sequence order, last writer wins — which is what the
+// engine restores.
+type Chain struct {
+	// Base is the full snapshot the chain hangs off.
+	Base *Snapshot
+	// Seq is the last replayed cut's sequence number (Base.Seq when no
+	// delta applied); the checkpointer resumes numbering above it.
+	Seq uint64
+	// Deltas counts the delta cuts replayed; DeltaRecords and
+	// DeltaRemoved the changed-page records and removal keys they
+	// carried. Replay cost is O(len(Base.Records) + DeltaRecords +
+	// DeltaRemoved) — the restore bound.
+	Deltas       int
+	DeltaRecords int
+	DeltaRemoved int
+	// Truncated reports that replay stopped before the chain's end: a
+	// torn cut (its valid prefix still applied), a broken sequence link,
+	// or an unreadable delta. Records holds everything up to the stop.
+	Truncated bool
+	// Records is the merged residency, in first-seen order.
+	Records []Record
+}
+
+// ReadChain reads the checkpoint chain rooted at dir's base snapshot and
+// replays its deltas: delta Seq = base.Seq+1, base.Seq+2, ... each
+// chained by BaseSeq. Replay stops — without error, keeping everything
+// already applied — at the first missing file (the chain's natural end),
+// torn frame, wrong linkage, or unreadable delta; only a missing or
+// alien base fails (fs.ErrNotExist / ErrNotCheckpoint), exactly like
+// ReadSnapshot. A truncated base keeps its valid prefix but replays no
+// deltas: their diffs assume the base's complete content.
+func ReadChain(dir string) (*Chain, error) {
+	base, err := ReadSnapshot(filepath.Join(dir, FileName))
+	if err != nil {
+		return nil, err
+	}
+	if base.Delta {
+		return nil, fmt.Errorf("%w: base is a delta stream", ErrNotCheckpoint)
+	}
+	ch := &Chain{Base: base, Seq: base.Seq, Truncated: base.Truncated}
+
+	merged := make(map[uint64]Record, len(base.Records))
+	var order []uint64
+	apply := func(r Record) {
+		key := uint64(r.Tenant)<<48 | r.Page
+		if _, ok := merged[key]; !ok {
+			order = append(order, key)
+		}
+		merged[key] = r
+	}
+	for _, r := range base.Records {
+		apply(r)
+	}
+
+	if base.Complete {
+		for seq := base.Seq + 1; ; seq++ {
+			d, err := ReadSnapshot(filepath.Join(dir, DeltaFileName(seq)))
+			if errors.Is(err, fs.ErrNotExist) {
+				break // the chain's end
+			}
+			if err != nil || !d.Delta || d.Seq != seq || d.BaseSeq != base.Seq {
+				// Unreadable, or a stale orphan from a pruned chain:
+				// nothing past it can be trusted to follow this base.
+				ch.Truncated = true
+				break
+			}
+			for _, r := range d.Records {
+				apply(r)
+			}
+			for _, k := range d.Removed {
+				delete(merged, uint64(k.Tenant)<<48|k.Page)
+			}
+			ch.Deltas++
+			ch.DeltaRecords += len(d.Records)
+			ch.DeltaRemoved += len(d.Removed)
+			ch.Seq = seq
+			if !d.Complete {
+				// Torn delta: its valid prefix applied, nothing follows.
+				ch.Truncated = true
+				break
+			}
+		}
+	}
+
+	// order can repeat a key that was removed and later re-added, so
+	// consume merged entries as they materialize to emit each page once.
+	ch.Records = make([]Record, 0, len(merged))
+	for _, key := range order {
+		if r, ok := merged[key]; ok {
+			ch.Records = append(ch.Records, r)
+			delete(merged, key)
+		}
+	}
+	return ch, nil
+}
+
+// pruneDeltas removes every delta file (and stale delta temp file) in
+// dir, returning how many published deltas were removed. Called after a
+// full cut publishes: the new base subsumes the chain. Best-effort — a
+// file that refuses removal becomes an orphan the sequence linkage
+// already protects restore from.
+func pruneDeltas(dir string) int {
+	pruned := 0
+	matches, _ := filepath.Glob(filepath.Join(dir, "delta-*.ckpt"))
+	for _, m := range matches {
+		if os.Remove(m) == nil {
+			pruned++
+		}
+	}
+	tmps, _ := filepath.Glob(filepath.Join(dir, "delta-*.ckpt.tmp"))
+	for _, m := range tmps {
+		os.Remove(m)
+	}
+	return pruned
+}

@@ -15,9 +15,16 @@ import (
 	"hybridmem/internal/tiered"
 )
 
-// FileName is the published checkpoint's name inside the persistence
-// directory. The writer stages at FileName + ".tmp".
+// FileName is the published base checkpoint's name inside the
+// persistence directory. The writer stages at FileName + ".tmp". Delta
+// cuts live alongside it, named by DeltaFileName.
 const FileName = "checkpoint.ckpt"
+
+// DeltaFileName names the delta cut with the given sequence number. The
+// fixed-width hex keeps lexical and sequence order identical.
+func DeltaFileName(seq uint64) string {
+	return fmt.Sprintf("delta-%016x.ckpt", seq)
+}
 
 // WriteOptions tunes one checkpoint write.
 type WriteOptions struct {
@@ -32,7 +39,9 @@ type WriteOptions struct {
 }
 
 // WriteSnapshot writes snap as a framed checkpoint stream at path,
-// returning the bytes written. The stream goes through a file-mapped
+// returning the bytes written. Full and delta snapshots share the same
+// path through here; a delta stream's durability points report to the
+// injector as the OpDelta* family. The stream goes through a file-mapped
 // region sized exactly to the encoding, one frame per store, then sync;
 // in atomic mode the temp file is then renamed over path and the
 // directory synced, so the publish is all-or-nothing. On a clean failure
@@ -40,12 +49,16 @@ type WriteOptions struct {
 // injected crash (ErrCrashed) nothing is cleaned up, leaving the exact
 // bytes a dead process would have left.
 func WriteSnapshot(path string, snap *Snapshot, opt WriteOptions) (int64, error) {
+	ops := baseOps
+	if snap.Delta {
+		ops = deltaOps
+	}
 	target := path
 	if !opt.InPlace {
 		target = path + ".tmp"
 	}
-	size := encodedSize(len(snap.Records))
-	r, err := createRegion(target, size, opt.Injector)
+	size := encodedSize(snap)
+	r, err := createRegion(target, size, opt.Injector, ops)
 	if err != nil {
 		return 0, err
 	}
@@ -62,18 +75,13 @@ func WriteSnapshot(path string, snap *Snapshot, opt WriteOptions) (int64, error)
 	}
 
 	// One write call per frame (see Op docs): preamble, meta, page
-	// chunks, commit. buf is reused across frames.
+	// chunks, removed-key chunks (deltas), commit. buf is reused across
+	// frames.
 	buf := appendPreamble(nil)
 	if err := r.write(buf); err != nil {
 		return abort(err)
 	}
-	var meta [32]byte
-	le.PutUint64(meta[0:], snap.Seq)
-	le.PutUint64(meta[8:], uint64(snap.Taken.UnixNano()))
-	le.PutUint32(meta[16:], uint32(snap.DRAMPages))
-	le.PutUint32(meta[20:], uint32(snap.NVMPages))
-	le.PutUint32(meta[24:], uint32(snap.Nodes))
-	if err := r.write(appendFrame(buf[:0], frameMeta, meta[:])); err != nil {
+	if err := r.write(appendMeta(buf[:0], snap)); err != nil {
 		return abort(err)
 	}
 	var pl []byte
@@ -82,27 +90,22 @@ func WriteSnapshot(path string, snap *Snapshot, opt WriteOptions) (int64, error)
 		if end > len(snap.Records) {
 			end = len(snap.Records)
 		}
-		chunk := snap.Records[off:end]
-		pl = pl[:0]
-		pl = le.AppendUint32(pl, uint32(len(chunk)))
-		for _, rec := range chunk {
-			pl = le.AppendUint64(pl, uint64(rec.Tenant)<<48|rec.Page)
-			flags := byte(0)
-			if rec.Warm {
-				flags |= flagWarm
-			}
-			pl = append(pl, rec.Node, flags, 0, 0)
-			pl = le.AppendUint32(pl, rec.Reads)
-			pl = le.AppendUint32(pl, rec.Writes)
-		}
+		pl = appendPagesPayload(pl[:0], snap.Records[off:end])
 		if err := r.write(appendFrame(buf[:0], framePages, pl)); err != nil {
 			return abort(err)
 		}
 	}
-	var commit [16]byte
-	le.PutUint64(commit[0:], uint64(len(snap.Records)))
-	le.PutUint64(commit[8:], snap.Seq)
-	if err := r.write(appendFrame(buf[:0], frameCommit, commit[:])); err != nil {
+	for off := 0; off < len(snap.Removed); off += recsPerFrame {
+		end := off + recsPerFrame
+		if end > len(snap.Removed) {
+			end = len(snap.Removed)
+		}
+		pl = appendRemovedPayload(pl[:0], snap.Removed[off:end])
+		if err := r.write(appendFrame(buf[:0], frameRemoved, pl)); err != nil {
+			return abort(err)
+		}
+	}
+	if err := r.write(appendCommit(buf[:0], snap)); err != nil {
 		return abort(err)
 	}
 
@@ -114,7 +117,7 @@ func WriteSnapshot(path string, snap *Snapshot, opt WriteOptions) (int64, error)
 		return abort(err)
 	}
 	if !opt.InPlace {
-		if f, ok := opt.Injector.check(OpRename, 0); ok {
+		if f, ok := opt.Injector.check(ops.rename, 0); ok {
 			if f.Kind == KindCrash || f.Kind == KindTornWrite {
 				return 0, ErrCrashed
 			}
@@ -153,37 +156,70 @@ func ReadSnapshot(path string) (*Snapshot, error) {
 
 // Config tunes a Checkpointer.
 type Config struct {
-	// Dir is the persistence directory; the checkpoint lives at
-	// Dir/FileName. Created if missing.
+	// Dir is the persistence directory; the base checkpoint lives at
+	// Dir/FileName and delta cuts alongside it. Created if missing.
 	Dir string
 	// Interval is the periodic checkpoint cadence (default 1s).
 	Interval time.Duration
+	// FullEvery makes every FullEvery-th cut a full snapshot, with
+	// incremental delta cuts in between. <= 1 (and the zero default)
+	// means every cut is full — the pre-delta-log behavior. With deltas
+	// on, the first cut after construction or Restore is always full (it
+	// establishes the chain's base), and a full cut prunes the previous
+	// chain's deltas (compaction).
+	FullEvery int
+	// MaxDeltaRatio forces the next cut full when the chain's accumulated
+	// delta bytes exceed MaxDeltaRatio × the base's bytes, bounding both
+	// chain length on churny workloads and restore replay cost. 0 means
+	// the default 0.75; negative disables the trigger.
+	MaxDeltaRatio float64
 	// InPlace and Injector are passed to every write (see WriteOptions).
 	InPlace  bool
 	Injector *Injector
 }
 
 // Checkpointer periodically cuts the engine's residency over the RCU
-// table snapshots and persists it. One goroutine writes; the serve path
-// is never locked or touched. Restore, Start, CheckpointNow and Stop
-// wire into the server lifecycle: restore before Engine.Start, periodic
-// checkpoints while serving, a final checkpoint at drain.
+// table snapshots and persists it — full snapshots at the chain cadence,
+// O(dirty) delta cuts in between, diffed against the last persisted state
+// via the table's per-shard mutation generations. One goroutine writes;
+// the serve path is never locked or touched. Restore, Start,
+// CheckpointNow and Stop wire into the server lifecycle: restore before
+// Engine.Start, periodic checkpoints while serving, a final checkpoint
+// at drain.
 type Checkpointer struct {
 	e    *tiered.Engine
 	cfg  Config
 	path string
 
 	// mu serializes checkpoint writes (ticker loop, CheckpointNow, the
-	// final checkpoint in Stop) and guards seq and the record scratch.
+	// final checkpoint in Stop) and guards seq, the scratch slices, and
+	// the diff state below.
 	mu   sync.Mutex
 	seq  uint64
 	recs []Record
+	rems []PageKey
+	// gens and state are the dirty-tracking diff base: per table shard,
+	// the mutation generation and the key→record residency the last
+	// successful cut persisted. Both advance only after a write lands, so
+	// a failed cut leaves the diff base intact and the next delta simply
+	// re-emits. nil state means no base exists yet (fresh checkpointer,
+	// or just restored) and forces the next cut full.
+	gens          []uint64
+	state         []map[uint64]Record
+	cutsSinceBase int
+	baseSeq       uint64
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
 	wg       sync.WaitGroup
 
 	written, failures        atomic.Int64
+	fullCuts, deltaCuts      atomic.Int64
+	compactions              atomic.Int64
+	bytesTotal               atomic.Int64
+	baseBytes                atomic.Int64
+	chainDeltaBytes          atomic.Int64
+	lastDeltaBytes           atomic.Int64
 	lastRecords, lastBytes   atomic.Int64
 	lastDurNS, lastUnixMilli atomic.Int64
 }
@@ -200,6 +236,9 @@ func NewCheckpointer(e *tiered.Engine, cfg Config) (*Checkpointer, error) {
 	if cfg.Interval < 0 {
 		return nil, fmt.Errorf("persist: negative interval %v", cfg.Interval)
 	}
+	if cfg.MaxDeltaRatio == 0 {
+		cfg.MaxDeltaRatio = 0.75
+	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -211,16 +250,19 @@ func NewCheckpointer(e *tiered.Engine, cfg Config) (*Checkpointer, error) {
 	}, nil
 }
 
-// Path returns the published checkpoint's location.
+// Path returns the published base checkpoint's location.
 func (c *Checkpointer) Path() string { return c.path }
 
-// Restore reads the published checkpoint and rebuilds the engine's NVM
-// residency from it; call between tiered.New and Engine.Start. A missing
-// checkpoint is a cold start: nil snapshot, zero stats, no error. A torn
-// or truncated checkpoint restores its valid prefix. The checkpoint
-// sequence resumes above the restored snapshot's.
-func (c *Checkpointer) Restore() (*Snapshot, tiered.RestoreStats, error) {
-	snap, err := ReadSnapshot(c.path)
+// Restore reads the published checkpoint chain — newest valid base plus
+// its replayable deltas — and rebuilds the engine's NVM (and, with
+// age-tiered warm-up, DRAM) residency from it; call between tiered.New
+// and Engine.Start. A missing checkpoint is a cold start: nil chain, zero
+// stats, no error. A torn or truncated chain restores its valid prefix.
+// The checkpoint sequence resumes above the last replayed cut's, and the
+// first cut after Restore is always full — re-basing the chain, which
+// also prunes whatever deltas the previous life left behind.
+func (c *Checkpointer) Restore() (*Chain, tiered.RestoreStats, error) {
+	ch, err := ReadChain(c.cfg.Dir)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, tiered.RestoreStats{}, nil
 	}
@@ -233,8 +275,8 @@ func (c *Checkpointer) Restore() (*Snapshot, tiered.RestoreStats, error) {
 	if err != nil {
 		return nil, tiered.RestoreStats{}, err
 	}
-	pages := make([]tiered.RestoredPage, len(snap.Records))
-	for i, r := range snap.Records {
+	pages := make([]tiered.RestoredPage, len(ch.Records))
+	for i, r := range ch.Records {
 		pages[i] = tiered.RestoredPage{
 			Tenant: tiered.TenantID(r.Tenant),
 			Page:   r.Page,
@@ -247,12 +289,13 @@ func (c *Checkpointer) Restore() (*Snapshot, tiered.RestoreStats, error) {
 	}
 	rs, err := c.e.Restore(pages)
 	if err != nil {
-		return snap, rs, err
+		return ch, rs, err
 	}
 	c.mu.Lock()
-	c.seq = snap.Seq
+	c.seq = ch.Seq
+	c.gens, c.state = nil, nil // next cut re-bases the chain
 	c.mu.Unlock()
-	return snap, rs, nil
+	return ch, rs, nil
 }
 
 // Start launches the periodic checkpoint loop.
@@ -285,32 +328,64 @@ func (c *Checkpointer) Stop(final bool) error {
 	return nil
 }
 
-// CheckpointNow cuts and persists one checkpoint synchronously.
-// Serializes with the periodic loop; safe to call concurrently with
-// Serve, the daemon, and Engine.Stop.
+// CheckpointNow cuts and persists one checkpoint synchronously — full or
+// delta per the chain policy. Serializes with the periodic loop; safe to
+// call concurrently with Serve, the daemon, and Engine.Stop.
 func (c *Checkpointer) CheckpointNow() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	full := c.state == nil || c.cfg.FullEvery <= 1 || c.cutsSinceBase+1 >= c.cfg.FullEvery
+	if !full && c.cfg.MaxDeltaRatio >= 0 &&
+		float64(c.chainDeltaBytes.Load()) > c.cfg.MaxDeltaRatio*float64(c.baseBytes.Load()) {
+		full = true
+	}
+	if full {
+		return c.cutFull()
+	}
+	return c.cutDelta()
+}
+
+// snapRecord converts one SnapshotResidency callback into a Record.
+func snapRecord(t tiered.TenantID, page uint64, loc mm.Location, node int, reads, writes uint64) Record {
+	return Record{
+		Tenant: uint16(t),
+		Page:   page,
+		Node:   uint8(node),
+		Warm:   loc == mm.LocDRAM,
+		Reads:  clamp32(reads),
+		Writes: clamp32(writes),
+	}
+}
+
+// cutFull scans every shard, writes a full snapshot, re-bases the chain
+// and prunes the now-compacted deltas. Caller holds mu.
+func (c *Checkpointer) cutFull() error {
 	ecfg := c.e.Config()
+	ns := c.e.NumShards()
+	newGens := make([]uint64, ns)
+	newState := make([]map[uint64]Record, ns)
+	c.recs = c.recs[:0]
+	for i := 0; i < ns; i++ {
+		// Generation read strictly before the scan: a mutation landing
+		// mid-scan bumps past this value, so the next cut rescans the
+		// shard whether or not this scan saw the change.
+		newGens[i] = c.e.ShardGen(i)
+		m := make(map[uint64]Record)
+		c.e.SnapshotShardResidency(i, func(t tiered.TenantID, page uint64, loc mm.Location, node int, reads, writes uint64) {
+			rec := snapRecord(t, page, loc, node, reads, writes)
+			m[uint64(rec.Tenant)<<48|rec.Page] = rec
+			c.recs = append(c.recs, rec)
+		})
+		newState[i] = m
+	}
 	snap := &Snapshot{
 		Seq:       c.seq + 1,
 		Taken:     time.Now(),
 		DRAMPages: ecfg.DRAMPages,
 		NVMPages:  ecfg.NVMPages,
 		Nodes:     ecfg.Topology.NumNodes(),
+		Records:   c.recs,
 	}
-	c.recs = c.recs[:0]
-	c.e.SnapshotResidency(func(t tiered.TenantID, page uint64, loc mm.Location, node int, reads, writes uint64) {
-		c.recs = append(c.recs, Record{
-			Tenant: uint16(t),
-			Page:   page,
-			Node:   uint8(node),
-			Warm:   loc == mm.LocDRAM,
-			Reads:  clamp32(reads),
-			Writes: clamp32(writes),
-		})
-	})
-	snap.Records = c.recs
 	start := time.Now()
 	n, err := WriteSnapshot(c.path, snap, WriteOptions{InPlace: c.cfg.InPlace, Injector: c.cfg.Injector})
 	if err != nil {
@@ -318,8 +393,101 @@ func (c *Checkpointer) CheckpointNow() error {
 		return err
 	}
 	c.seq = snap.Seq
+	c.gens, c.state = newGens, newState
+	c.cutsSinceBase = 0
+	c.baseSeq = snap.Seq
+	c.baseBytes.Store(n)
+	c.chainDeltaBytes.Store(0)
+	c.lastDeltaBytes.Store(0)
+	// The new base subsumes every earlier delta; pruning them is the
+	// compaction. Deltas are only ever read below their base's sequence
+	// link, so a crash between the rename above and this prune leaves
+	// orphans that are skipped on restore and removed here next time.
+	if pruneDeltas(c.cfg.Dir) > 0 {
+		c.compactions.Add(1)
+	}
 	c.written.Add(1)
+	c.fullCuts.Add(1)
+	c.bytesTotal.Add(n)
 	c.lastRecords.Store(int64(len(snap.Records)))
+	c.lastBytes.Store(n)
+	c.lastDurNS.Store(time.Since(start).Nanoseconds())
+	c.lastUnixMilli.Store(snap.Taken.UnixMilli())
+	return nil
+}
+
+// cutDelta diffs the shards whose generation moved against the last
+// persisted state and writes only the changed records and removed keys,
+// chained to the current base. The diff base advances only after the
+// write lands. Caller holds mu.
+func (c *Checkpointer) cutDelta() error {
+	ecfg := c.e.Config()
+	c.recs = c.recs[:0]
+	c.rems = c.rems[:0]
+	type pendShard struct {
+		i   int
+		gen uint64
+		m   map[uint64]Record
+	}
+	var pend []pendShard
+	for i := range c.gens {
+		g := c.e.ShardGen(i)
+		if g == c.gens[i] {
+			continue // residency unchanged since the last cut: skip the scan
+		}
+		old := c.state[i]
+		m := make(map[uint64]Record, len(old))
+		c.e.SnapshotShardResidency(i, func(t tiered.TenantID, page uint64, loc mm.Location, node int, reads, writes uint64) {
+			rec := snapRecord(t, page, loc, node, reads, writes)
+			m[uint64(rec.Tenant)<<48|rec.Page] = rec
+		})
+		for key, rec := range m {
+			// Dirty means residency moved (tier or node); counter-only
+			// drift does not re-emit a page, so restored heat can lag the
+			// window by up to one chain — the storm re-ranks anyway.
+			if o, ok := old[key]; !ok || o.Node != rec.Node || o.Warm != rec.Warm {
+				c.recs = append(c.recs, rec)
+			}
+		}
+		for key := range old {
+			if _, ok := m[key]; !ok {
+				c.rems = append(c.rems, PageKey{Tenant: uint16(key >> 48), Page: key & (1<<48 - 1)})
+			}
+		}
+		pend = append(pend, pendShard{i: i, gen: g, m: m})
+	}
+	// An empty delta still gets written: the chain's sequence numbers
+	// must stay contiguous for replay to find its end by absence.
+	snap := &Snapshot{
+		Seq:       c.seq + 1,
+		Delta:     true,
+		BaseSeq:   c.baseSeq,
+		Taken:     time.Now(),
+		DRAMPages: ecfg.DRAMPages,
+		NVMPages:  ecfg.NVMPages,
+		Nodes:     ecfg.Topology.NumNodes(),
+		Records:   c.recs,
+		Removed:   c.rems,
+	}
+	start := time.Now()
+	n, err := WriteSnapshot(filepath.Join(c.cfg.Dir, DeltaFileName(snap.Seq)), snap,
+		WriteOptions{InPlace: c.cfg.InPlace, Injector: c.cfg.Injector})
+	if err != nil {
+		c.failures.Add(1)
+		return err
+	}
+	for _, p := range pend {
+		c.gens[p.i] = p.gen
+		c.state[p.i] = p.m
+	}
+	c.seq = snap.Seq
+	c.cutsSinceBase++
+	c.written.Add(1)
+	c.deltaCuts.Add(1)
+	c.bytesTotal.Add(n)
+	c.chainDeltaBytes.Add(n)
+	c.lastDeltaBytes.Store(n)
+	c.lastRecords.Store(int64(len(snap.Records) + len(snap.Removed)))
 	c.lastBytes.Store(n)
 	c.lastDurNS.Store(time.Since(start).Nanoseconds())
 	c.lastUnixMilli.Store(snap.Taken.UnixMilli())
@@ -330,11 +498,18 @@ func (c *Checkpointer) CheckpointNow() error {
 type Stats struct {
 	// Written and Failures count completed and failed checkpoint writes.
 	Written, Failures int64
-	// Seq is the last published checkpoint's sequence number.
+	// FullCuts and DeltaCuts split Written by cut kind; Compactions
+	// counts full cuts that pruned a delta chain.
+	FullCuts, DeltaCuts, Compactions int64
+	// Seq is the last published cut's sequence number.
 	Seq uint64
 	// LastRecords, LastBytes and LastDurNS describe the last successful
 	// write; LastUnixMilli its cut time.
 	LastRecords, LastBytes, LastDurNS, LastUnixMilli int64
+	// BytesTotal is cumulative published checkpoint bytes. BaseBytes is
+	// the current chain's base snapshot size, DeltaBytes its accumulated
+	// delta bytes since that base, LastDeltaBytes the newest delta's size.
+	BytesTotal, BaseBytes, DeltaBytes, LastDeltaBytes int64
 }
 
 // Stats returns the current counter snapshot.
@@ -343,21 +518,31 @@ func (c *Checkpointer) Stats() Stats {
 	seq := c.seq
 	c.mu.Unlock()
 	return Stats{
-		Written:       c.written.Load(),
-		Failures:      c.failures.Load(),
-		Seq:           seq,
-		LastRecords:   c.lastRecords.Load(),
-		LastBytes:     c.lastBytes.Load(),
-		LastDurNS:     c.lastDurNS.Load(),
-		LastUnixMilli: c.lastUnixMilli.Load(),
+		Written:        c.written.Load(),
+		Failures:       c.failures.Load(),
+		FullCuts:       c.fullCuts.Load(),
+		DeltaCuts:      c.deltaCuts.Load(),
+		Compactions:    c.compactions.Load(),
+		Seq:            seq,
+		LastRecords:    c.lastRecords.Load(),
+		LastBytes:      c.lastBytes.Load(),
+		LastDurNS:      c.lastDurNS.Load(),
+		LastUnixMilli:  c.lastUnixMilli.Load(),
+		BytesTotal:     c.bytesTotal.Load(),
+		BaseBytes:      c.baseBytes.Load(),
+		DeltaBytes:     c.chainDeltaBytes.Load(),
+		LastDeltaBytes: c.lastDeltaBytes.Load(),
 	}
 }
 
 // RegisterMetrics adds the checkpointer's series to reg, alongside the
 // engine catalog (docs/observability.md).
 func (c *Checkpointer) RegisterMetrics(reg *obs.Registry) {
-	reg.CounterFunc("tierd_checkpoints_total", "Checkpoints published.", c.written.Load)
+	reg.CounterFunc("tierd_checkpoints_total", "Checkpoints published (full + delta).", c.written.Load)
 	reg.CounterFunc("tierd_checkpoint_failures_total", "Checkpoint writes that failed.", c.failures.Load)
+	reg.CounterFunc("tierd_checkpoint_bytes_total", "Checkpoint bytes published (bases + deltas).", c.bytesTotal.Load)
+	reg.CounterFunc("tierd_checkpoint_delta_cuts_total", "Incremental (delta) cuts published.", c.deltaCuts.Load)
+	reg.CounterFunc("tierd_checkpoint_compactions_total", "Delta chains compacted into a fresh full snapshot.", c.compactions.Load)
 	reg.GaugeFunc("tierd_checkpoint_records_last", "Records in the last checkpoint.", c.lastRecords.Load)
 	reg.GaugeFunc("tierd_checkpoint_bytes_last", "Size of the last checkpoint.", c.lastBytes.Load)
 	reg.GaugeFunc("tierd_checkpoint_duration_ns", "Duration of the last checkpoint write.",

@@ -1,0 +1,528 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hybridmem/internal/mm"
+	"hybridmem/internal/tiered"
+	"hybridmem/internal/trace"
+)
+
+// rec builds one synthetic default-tenant record for hand-built chains.
+func rec(page uint64, warm bool, reads uint32) Record {
+	return Record{Tenant: uint16(tiered.DefaultTenant), Page: page, Warm: warm, Reads: reads}
+}
+
+// key folds a record the way the chain merge does.
+func key(r Record) uint64 { return uint64(r.Tenant)<<48 | r.Page }
+
+// writeCut writes snap into dir under its chain name (FileName for a
+// full snapshot, DeltaFileName(seq) for a delta).
+func writeCut(t *testing.T, dir string, snap *Snapshot) string {
+	t.Helper()
+	name := FileName
+	if snap.Delta {
+		name = DeltaFileName(snap.Seq)
+	}
+	path := filepath.Join(dir, name)
+	if _, err := WriteSnapshot(path, snap, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// fullSnap and deltaSnap build synthetic cuts with the test geometry.
+func fullSnap(seq uint64, recs []Record) *Snapshot {
+	return &Snapshot{Seq: seq, Taken: time.Now(), DRAMPages: 64, NVMPages: 1024, Nodes: 1, Records: recs}
+}
+
+func deltaSnap(seq, baseSeq uint64, recs []Record, removed []PageKey) *Snapshot {
+	return &Snapshot{Seq: seq, Delta: true, BaseSeq: baseSeq, Taken: time.Now(),
+		DRAMPages: 64, NVMPages: 1024, Nodes: 1, Records: recs, Removed: removed}
+}
+
+// pagesN builds records for pages [lo, hi).
+func pagesN(lo, hi uint64, warm bool) []Record {
+	var rs []Record
+	for p := lo; p < hi; p++ {
+		rs = append(rs, rec(p, warm, 1))
+	}
+	return rs
+}
+
+// TestDeltaRoundTrip drives the checkpointer itself through a chain:
+// full base, churn, delta cuts, then a chain read and a restore that must
+// land exactly on the engine's residency.
+func TestDeltaRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	e, ps := newEngine(t, 300)
+	defer e.Stop()
+	c, err := NewCheckpointer(e, Config{Dir: dir, Interval: time.Hour, FullEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckpointNow(); err != nil { // full base
+		t.Fatal(err)
+	}
+	// Churn: fault in 20 new pages, then cut a delta.
+	for p := 300; p < 320; p++ {
+		if _, err := e.Serve(uint64(p)*ps, trace.OpRead); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CheckpointNow(); err != nil { // delta seq 2
+		t.Fatal(err)
+	}
+	if err := c.CheckpointNow(); err != nil { // delta seq 3, no churn: empty
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.FullCuts != 1 || st.DeltaCuts != 2 {
+		t.Fatalf("cuts %+v, want 1 full + 2 delta", st)
+	}
+	if st.LastDeltaBytes*5 > st.BaseBytes {
+		t.Fatalf("quiescent delta is %d bytes vs %d base — not O(dirty)", st.LastDeltaBytes, st.BaseBytes)
+	}
+	d, err := ReadSnapshot(filepath.Join(dir, DeltaFileName(2)))
+	if err != nil || !d.Delta || d.BaseSeq != 1 || !d.Complete {
+		t.Fatalf("delta 2 bad: %+v err %v", d, err)
+	}
+	ch, err := ReadChain(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Deltas != 2 || ch.Seq != 3 || ch.Truncated {
+		t.Fatalf("chain %+v, want 2 deltas to seq 3", ch)
+	}
+	est := e.Stats()
+	if got, want := len(ch.Records), int(est.ResidentDRAM+est.ResidentNVM); got != want {
+		t.Fatalf("chain merged %d records, engine has %d residents", got, want)
+	}
+	restoreAndVerify(t, dir, len(ch.Records))
+}
+
+// TestDeltaWithoutBase covers the orphan cases: a delta with no base at
+// all is a cold start, and a delta stream sitting at the base's path is
+// rejected as not-a-checkpoint (also a cold start through Restore).
+func TestDeltaWithoutBase(t *testing.T) {
+	dir := t.TempDir()
+	writeCut(t, dir, deltaSnap(2, 1, pagesN(0, 10, false), nil))
+	if _, err := ReadChain(dir); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("chain with no base: %v, want ErrNotExist", err)
+	}
+	restoreAndVerify(t, dir, 0)
+
+	// A delta stream at the base path: structurally valid, semantically
+	// not a base.
+	snap := deltaSnap(2, 1, pagesN(0, 10, false), nil)
+	if _, err := WriteSnapshot(filepath.Join(dir, FileName), snap, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadChain(dir); !errors.Is(err, ErrNotCheckpoint) {
+		t.Fatalf("delta at base path: %v, want ErrNotCheckpoint", err)
+	}
+	restoreAndVerify(t, dir, 0)
+}
+
+// TestDeltaSequenceGap removes the middle delta of a three-delta chain:
+// replay must stop at the gap and never apply the orphan past it.
+func TestDeltaSequenceGap(t *testing.T) {
+	dir := t.TempDir()
+	writeCut(t, dir, fullSnap(1, pagesN(0, 100, false)))
+	writeCut(t, dir, deltaSnap(2, 1, pagesN(100, 110, false), nil))
+	gone := writeCut(t, dir, deltaSnap(3, 1, pagesN(110, 120, false), nil))
+	writeCut(t, dir, deltaSnap(4, 1, pagesN(120, 130, false), nil))
+	if err := os.Remove(gone); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := ReadChain(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Deltas != 1 || ch.Seq != 2 || len(ch.Records) != 110 {
+		t.Fatalf("chain %+v with %d records, want delta 2 only (110 records)", ch, len(ch.Records))
+	}
+	restoreAndVerify(t, dir, 110)
+}
+
+// TestDeltaWrongLinkage plants a stale orphan (chained to a pruned base)
+// at the next sequence: the linkage check must refuse it.
+func TestDeltaWrongLinkage(t *testing.T) {
+	dir := t.TempDir()
+	writeCut(t, dir, fullSnap(5, pagesN(0, 50, false)))
+	// Right sequence number, wrong base.
+	writeCut(t, dir, deltaSnap(6, 2, pagesN(50, 60, false), nil))
+	ch, err := ReadChain(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Deltas != 0 || !ch.Truncated || len(ch.Records) != 50 {
+		t.Fatalf("chain %+v (%d records), want base only + truncated", ch, len(ch.Records))
+	}
+	restoreAndVerify(t, dir, 50)
+}
+
+// TestTornDeltaTail truncates a delta at every interesting byte count:
+// replay applies the longest valid prefix and stops, and every prefix
+// restores with clean invariants.
+func TestTornDeltaTail(t *testing.T) {
+	dir := t.TempDir()
+	writeCut(t, dir, fullSnap(1, pagesN(0, 100, false)))
+	dpath := writeCut(t, dir, deltaSnap(2, 1, pagesN(100, 150, false), []PageKey{{Page: 0}, {Page: 1}}))
+	full, err := os.ReadFile(dpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterMeta := preambleSize + frameOverhead + delMetaSize
+	cuts := []struct {
+		name string
+		n    int
+		want int // merged chain records
+	}{
+		{"inside-commit", len(full) - 1, 148},                              // records + removals applied
+		{"inside-removed", len(full) - frameOverhead - 17 - 3, 150},        // removals lost, 50 adds kept
+		{"mid-pages", afterMeta + frameOverhead + 4 + 10*recSize + 2, 100}, // frames are atomic: torn pages frame drops whole
+		{"after-meta", afterMeta, 100},                                     // base only
+		{"mid-meta", preambleSize + 3, 100},                                // delta unreadable
+	}
+	for _, cut := range cuts {
+		t.Run(cut.name, func(t *testing.T) {
+			if err := os.WriteFile(dpath, full[:cut.n], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			ch, err := ReadChain(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ch.Truncated {
+				t.Fatalf("torn delta not reported: %+v", ch)
+			}
+			if len(ch.Records) != cut.want {
+				t.Fatalf("merged %d records, want %d", len(ch.Records), cut.want)
+			}
+			restoreAndVerify(t, dir, cut.want)
+		})
+	}
+}
+
+// TestDeltaLastWriterWins overlays the same page across base and deltas
+// (and duplicates it inside one stream): the newest record must win, and
+// removals must erase earlier records.
+func TestDeltaLastWriterWins(t *testing.T) {
+	dir := t.TempDir()
+	writeCut(t, dir, fullSnap(1, []Record{
+		rec(5, false, 1),
+		rec(5, false, 2), // duplicate inside one stream: the later one wins
+		rec(6, false, 1),
+		rec(7, true, 1),
+	}))
+	writeCut(t, dir, deltaSnap(2, 1, []Record{rec(5, true, 9)}, []PageKey{{Page: 7}}))
+	writeCut(t, dir, deltaSnap(3, 1, []Record{rec(7, false, 4)}, nil)) // 7 comes back
+	ch, err := ReadChain(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[uint64]Record{}
+	for _, r := range ch.Records {
+		got[key(r)] = r
+	}
+	if len(ch.Records) != 3 || len(got) != 3 {
+		t.Fatalf("merged %d records (%d unique), want 3", len(ch.Records), len(got))
+	}
+	if r := got[key(rec(5, false, 0))]; !r.Warm || r.Reads != 9 {
+		t.Fatalf("page 5 = %+v, want the delta's warm/reads=9 version", r)
+	}
+	if r := got[key(rec(7, false, 0))]; r.Warm || r.Reads != 4 {
+		t.Fatalf("page 7 = %+v, want the re-added cold version", r)
+	}
+	restoreAndVerify(t, dir, 3)
+}
+
+// TestDeltaFaultsPreserveChain arms every delta-targeted fault mode and
+// asserts the published chain — base plus the one good delta — survives
+// each failed delta cut untouched.
+func TestDeltaFaultsPreserveChain(t *testing.T) {
+	faults := map[string]*Injector{
+		"create-fail":  NewInjector(1).Fail(OpDeltaCreate, 0),
+		"write-fail":   NewInjector(2).Fail(OpDeltaWrite, 1),
+		"torn-write":   NewInjector(3).Arm(Fault{Op: OpDeltaWrite, Call: 1, Kind: KindTornWrite, Keep: -1}),
+		"sync-fail":    NewInjector(4).Fail(OpDeltaSync, 0),
+		"rename-fail":  NewInjector(5).Fail(OpDeltaRename, 0),
+		"crash-rename": NewInjector(6).CrashAt(OpDeltaRename, 0),
+	}
+	for name, inj := range faults {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			e, ps := newEngine(t, 200)
+			defer e.Stop()
+			good, err := NewCheckpointer(e, Config{Dir: dir, Interval: time.Hour, FullEvery: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := good.CheckpointNow(); err != nil { // base
+				t.Fatal(err)
+			}
+			for p := 200; p < 210; p++ {
+				if _, err := e.Serve(uint64(p)*ps, trace.OpRead); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := good.CheckpointNow(); err != nil { // delta seq 2
+				t.Fatal(err)
+			}
+			want, err := ReadChain(dir)
+			if err != nil || want.Truncated || want.Deltas != 1 {
+				t.Fatalf("baseline chain bad: %+v err %v", want, err)
+			}
+			bad, err := NewCheckpointer(e, Config{Dir: dir, Interval: time.Hour, FullEvery: 8, Injector: inj})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Re-base (injector only arms delta ops, so this full succeeds),
+			// then fail the following delta cut.
+			if err := bad.CheckpointNow(); err != nil {
+				t.Fatal(err)
+			}
+			if err := bad.CheckpointNow(); err == nil {
+				t.Fatal("injected delta fault did not surface")
+			}
+			if inj.Fired() == 0 {
+				t.Fatal("fault never fired")
+			}
+			if bad.Stats().Failures != 1 {
+				t.Fatalf("failures = %d, want 1", bad.Stats().Failures)
+			}
+			got, err := ReadChain(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// bad's full cut re-based the chain: same residency, no deltas.
+			if got.Truncated || got.Deltas != 0 || len(got.Records) != len(want.Records) {
+				t.Fatalf("chain after failed delta: %+v (%d records), want %d records clean",
+					got, len(got.Records), len(want.Records))
+			}
+			restoreAndVerify(t, dir, len(got.Records))
+		})
+	}
+}
+
+// TestCompactionCrashAtRename crashes the compacting full cut at its
+// rename: the old base+delta chain must survive, and retrying the cut
+// must compact cleanly (idempotence).
+func TestCompactionCrashAtRename(t *testing.T) {
+	dir := t.TempDir()
+	e, ps := newEngine(t, 200)
+	defer e.Stop()
+	a, err := NewCheckpointer(e, Config{Dir: dir, Interval: time.Hour, FullEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckpointNow(); err != nil { // base seq 1
+		t.Fatal(err)
+	}
+	for p := 200; p < 220; p++ {
+		if _, err := e.Serve(uint64(p)*ps, trace.OpRead); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.CheckpointNow(); err != nil { // delta seq 2
+		t.Fatal(err)
+	}
+	want, err := ReadChain(dir)
+	if err != nil || want.Deltas != 1 {
+		t.Fatalf("baseline chain bad: %+v err %v", want, err)
+	}
+
+	// FullEvery 1 forces the next cut full — the compaction — and the
+	// injector kills it at the publish rename.
+	inj := NewInjector(7).CrashAt(OpRename, 0)
+	b, err := NewCheckpointer(e, Config{Dir: dir, Interval: time.Hour, FullEvery: 1, Injector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckpointNow(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	got, err := ReadChain(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Deltas != want.Deltas || got.Seq != want.Seq || len(got.Records) != len(want.Records) {
+		t.Fatalf("chain damaged by crashed compaction: %+v, want %+v", got, want)
+	}
+
+	// Retry on the same checkpointer: the injector is spent, the cut must
+	// publish and prune the chain.
+	if err := b.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	if st := b.Stats(); st.Compactions != 1 {
+		t.Fatalf("compactions = %d, want 1", st.Compactions)
+	}
+	after, err := ReadChain(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Deltas != 0 || after.Truncated {
+		t.Fatalf("post-compaction chain %+v, want a lone base", after)
+	}
+	if left, _ := filepath.Glob(filepath.Join(dir, "delta-*.ckpt")); len(left) != 0 {
+		t.Fatalf("deltas not pruned: %v", left)
+	}
+	est := e.Stats()
+	if got, want := len(after.Records), int(est.ResidentDRAM+est.ResidentNVM); got != want {
+		t.Fatalf("compacted base has %d records, engine has %d residents", got, want)
+	}
+	restoreAndVerify(t, dir, len(after.Records))
+}
+
+// TestDeltaRatioTrigger floods the chain with churny deltas: once their
+// accumulated bytes pass MaxDeltaRatio of the base, the next cut must
+// compact even though FullEvery is far away.
+func TestDeltaRatioTrigger(t *testing.T) {
+	dir := t.TempDir()
+	e, ps := newEngine(t, 100)
+	defer e.Stop()
+	c, err := NewCheckpointer(e, Config{Dir: dir, Interval: time.Hour, FullEvery: 1000, MaxDeltaRatio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	page := 100
+	for cut := 0; cut < 50; cut++ {
+		for i := 0; i < 60; i++ {
+			if _, err := e.Serve(uint64(page)*ps, trace.OpRead); err != nil {
+				t.Fatal(err)
+			}
+			page++
+		}
+		if err := c.CheckpointNow(); err != nil {
+			t.Fatal(err)
+		}
+		if c.Stats().FullCuts > 1 {
+			break
+		}
+	}
+	st := c.Stats()
+	if st.FullCuts < 2 {
+		t.Fatalf("size-ratio trigger never compacted: %+v", st)
+	}
+	if st.Compactions == 0 {
+		t.Fatalf("compaction not counted: %+v", st)
+	}
+	restoreAndVerify(t, dir, int(e.Stats().ResidentDRAM+e.Stats().ResidentNVM))
+}
+
+// TestDeltaBytesAtOnePercentDirty pins the acceptance ratio: with ~1% of
+// the resident set churned between cuts, a delta cut must write at least
+// 5x fewer bytes than the full base it hangs off.
+func TestDeltaBytesAtOnePercentDirty(t *testing.T) {
+	dir := t.TempDir()
+	e, ps := newEngine(t, 1000)
+	defer e.Stop()
+	c, err := NewCheckpointer(e, Config{Dir: dir, Interval: time.Hour, FullEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	for p := 1000; p < 1010; p++ { // 1% of 1000 pages
+		if _, err := e.Serve(uint64(p)*ps, trace.OpRead); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.DeltaCuts != 1 {
+		t.Fatalf("stats %+v, want exactly one delta cut", st)
+	}
+	if st.LastDeltaBytes*5 > st.BaseBytes {
+		t.Fatalf("1%%-dirty delta wrote %d bytes vs %d base — want >=5x reduction",
+			st.LastDeltaBytes, st.BaseBytes)
+	}
+	restoreAndVerify(t, dir, int(e.Stats().ResidentDRAM+e.Stats().ResidentNVM))
+}
+
+// TestRestoreWarmupDRAMTopK exercises age-tiered warm-up: the K hottest
+// warm records restore straight into DRAM with exact frame accounting,
+// the rest take the NVM + storm path.
+func TestRestoreWarmupDRAMTopK(t *testing.T) {
+	e, err := tiered.New(tiered.Config{
+		DRAMPages: 16, NVMPages: 1024, ScanInterval: time.Hour, WarmupDRAMTopK: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pages []tiered.RestoredPage
+	for p := 0; p < 100; p++ {
+		pages = append(pages, tiered.RestoredPage{
+			Tenant: tiered.DefaultTenant, Page: uint64(p),
+			Warm: p < 40, Score: uint64(p), Reads: uint64(p),
+		})
+	}
+	rs, err := e.Restore(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Restored != 100 || rs.WarmDirect != 8 || rs.WarmQueued != 32 {
+		t.Fatalf("stats %+v, want 100 restored / 8 direct / 32 queued", rs)
+	}
+	st := e.Stats()
+	if st.ResidentDRAM != 8 || st.ResidentNVM != 92 {
+		t.Fatalf("residency DRAM %d / NVM %d, want 8 / 92", st.ResidentDRAM, st.ResidentNVM)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The hottest warm pages (scores 39 down to 32) must be the DRAM ones.
+	dram := map[uint64]bool{}
+	e.SnapshotResidency(func(_ tiered.TenantID, page uint64, loc mm.Location, _ int, _, _ uint64) {
+		if loc == mm.LocDRAM {
+			dram[page] = true
+		}
+	})
+	for p := uint64(32); p < 40; p++ {
+		if !dram[p] {
+			t.Fatalf("page %d not DRAM-resident after top-K restore", p)
+		}
+	}
+}
+
+// TestRestoreWarmupTopKQuotaBound gives top-K more candidates than DRAM
+// frames: the overflow must fall back to NVM + storm, never over-commit.
+func TestRestoreWarmupTopKQuotaBound(t *testing.T) {
+	e, err := tiered.New(tiered.Config{
+		DRAMPages: 4, NVMPages: 64, ScanInterval: time.Hour, WarmupDRAMTopK: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pages []tiered.RestoredPage
+	for p := 0; p < 32; p++ {
+		pages = append(pages, tiered.RestoredPage{
+			Tenant: tiered.DefaultTenant, Page: uint64(p), Warm: true, Score: uint64(p),
+		})
+	}
+	rs, err := e.Restore(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.WarmDirect != 4 || rs.Restored != 32 || rs.WarmQueued != 28 {
+		t.Fatalf("stats %+v, want 4 direct / 32 restored / 28 queued", rs)
+	}
+	if st := e.Stats(); st.ResidentDRAM != 4 || st.ResidentNVM != 28 {
+		t.Fatalf("residency DRAM %d / NVM %d, want 4 / 28", st.ResidentDRAM, st.ResidentNVM)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

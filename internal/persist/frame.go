@@ -32,19 +32,70 @@ func appendPreamble(dst []byte) []byte {
 	return le.AppendUint32(dst, 0) // reserved
 }
 
-// encode serializes a snapshot into the framed stream, reusing buf's
-// capacity. The layout is preamble, meta frame, page frames of up to
-// recsPerFrame records, commit frame.
-func encode(buf []byte, snap *Snapshot) []byte {
-	buf = appendPreamble(buf[:0])
-
+// appendMeta appends the stream's meta frame: frameMeta (32 bytes) for a
+// full snapshot, frameDeltaMeta (36 bytes, adding the base-chain linkage)
+// for a delta cut.
+func appendMeta(buf []byte, snap *Snapshot) []byte {
+	if snap.Delta {
+		var meta [delMetaSize]byte
+		le.PutUint64(meta[0:], snap.Seq)
+		le.PutUint64(meta[8:], snap.BaseSeq)
+		le.PutUint64(meta[16:], uint64(snap.Taken.UnixNano()))
+		le.PutUint32(meta[24:], uint32(snap.DRAMPages))
+		le.PutUint32(meta[28:], uint32(snap.NVMPages))
+		le.PutUint32(meta[32:], uint32(snap.Nodes))
+		return appendFrame(buf, frameDeltaMeta, meta[:])
+	}
 	var meta [32]byte
 	le.PutUint64(meta[0:], snap.Seq)
 	le.PutUint64(meta[8:], uint64(snap.Taken.UnixNano()))
 	le.PutUint32(meta[16:], uint32(snap.DRAMPages))
 	le.PutUint32(meta[20:], uint32(snap.NVMPages))
 	le.PutUint32(meta[24:], uint32(snap.Nodes))
-	buf = appendFrame(buf, frameMeta, meta[:])
+	return appendFrame(buf, frameMeta, meta[:])
+}
+
+// appendPagesPayload fills pl with one page frame's payload.
+func appendPagesPayload(pl []byte, chunk []Record) []byte {
+	pl = le.AppendUint32(pl, uint32(len(chunk)))
+	for _, r := range chunk {
+		pl = le.AppendUint64(pl, uint64(r.Tenant)<<48|r.Page)
+		flags := byte(0)
+		if r.Warm {
+			flags |= flagWarm
+		}
+		pl = append(pl, r.Node, flags, 0, 0)
+		pl = le.AppendUint32(pl, r.Reads)
+		pl = le.AppendUint32(pl, r.Writes)
+	}
+	return pl
+}
+
+// appendRemovedPayload fills pl with one removed-keys frame's payload.
+func appendRemovedPayload(pl []byte, chunk []PageKey) []byte {
+	pl = le.AppendUint32(pl, uint32(len(chunk)))
+	for _, k := range chunk {
+		pl = le.AppendUint64(pl, uint64(k.Tenant)<<48|k.Page)
+	}
+	return pl
+}
+
+// appendCommit appends the commit frame: total element count (records
+// plus removed keys) and a sequence echo.
+func appendCommit(buf []byte, snap *Snapshot) []byte {
+	var commit [16]byte
+	le.PutUint64(commit[0:], uint64(len(snap.Records)+len(snap.Removed)))
+	le.PutUint64(commit[8:], snap.Seq)
+	return appendFrame(buf, frameCommit, commit[:])
+}
+
+// encode serializes a snapshot into the framed stream, reusing buf's
+// capacity. The layout is preamble, meta frame, page frames of up to
+// recsPerFrame records, removed-key frames (delta streams only), commit
+// frame.
+func encode(buf []byte, snap *Snapshot) []byte {
+	buf = appendPreamble(buf[:0])
+	buf = appendMeta(buf, snap)
 
 	var pl []byte
 	for off := 0; off < len(snap.Records); off += recsPerFrame {
@@ -52,38 +103,41 @@ func encode(buf []byte, snap *Snapshot) []byte {
 		if end > len(snap.Records) {
 			end = len(snap.Records)
 		}
-		chunk := snap.Records[off:end]
-		pl = pl[:0]
-		pl = le.AppendUint32(pl, uint32(len(chunk)))
-		for _, r := range chunk {
-			key := uint64(r.Tenant)<<48 | r.Page
-			pl = le.AppendUint64(pl, key)
-			flags := byte(0)
-			if r.Warm {
-				flags |= flagWarm
-			}
-			pl = append(pl, r.Node, flags, 0, 0)
-			pl = le.AppendUint32(pl, r.Reads)
-			pl = le.AppendUint32(pl, r.Writes)
-		}
+		pl = appendPagesPayload(pl[:0], snap.Records[off:end])
 		buf = appendFrame(buf, framePages, pl)
 	}
-
-	var commit [16]byte
-	le.PutUint64(commit[0:], uint64(len(snap.Records)))
-	le.PutUint64(commit[8:], snap.Seq)
-	return appendFrame(buf, frameCommit, commit[:])
+	for off := 0; off < len(snap.Removed); off += recsPerFrame {
+		end := off + recsPerFrame
+		if end > len(snap.Removed) {
+			end = len(snap.Removed)
+		}
+		pl = appendRemovedPayload(pl[:0], snap.Removed[off:end])
+		buf = appendFrame(buf, frameRemoved, pl)
+	}
+	return appendCommit(buf, snap)
 }
 
-// encodedSize returns the exact stream size for n records: the region the
-// writer maps is sized to this before any byte is stored.
-func encodedSize(n int) int {
-	size := preambleSize + frameOverhead + 32 // meta
+// chunkedSize returns the framed size of n elements of recBytes each,
+// chunked at recsPerFrame per frame.
+func chunkedSize(n, recBytes int) int {
 	full, rem := n/recsPerFrame, n%recsPerFrame
-	size += full * (frameOverhead + 4 + recsPerFrame*recSize)
+	size := full * (frameOverhead + 4 + recsPerFrame*recBytes)
 	if rem > 0 {
-		size += frameOverhead + 4 + rem*recSize
+		size += frameOverhead + 4 + rem*recBytes
 	}
+	return size
+}
+
+// encodedSize returns the exact stream size for snap: the region the
+// writer maps is sized to this before any byte is stored.
+func encodedSize(snap *Snapshot) int {
+	metaBytes := 32
+	if snap.Delta {
+		metaBytes = delMetaSize
+	}
+	size := preambleSize + frameOverhead + metaBytes
+	size += chunkedSize(len(snap.Records), recSize)
+	size += chunkedSize(len(snap.Removed), delRecSize)
 	return size + frameOverhead + 16 // commit
 }
 
@@ -137,6 +191,19 @@ func decode(b []byte) (*Snapshot, error) {
 			snap.DRAMPages = int(le.Uint32(payload[16:]))
 			snap.NVMPages = int(le.Uint32(payload[20:]))
 			snap.Nodes = int(le.Uint32(payload[24:]))
+		case frameDeltaMeta:
+			if len(payload) != delMetaSize || sawMeta {
+				valid = false
+				break
+			}
+			sawMeta = true
+			snap.Delta = true
+			snap.Seq = le.Uint64(payload[0:])
+			snap.BaseSeq = le.Uint64(payload[8:])
+			snap.Taken = time.Unix(0, int64(le.Uint64(payload[16:])))
+			snap.DRAMPages = int(le.Uint32(payload[24:]))
+			snap.NVMPages = int(le.Uint32(payload[28:]))
+			snap.Nodes = int(le.Uint32(payload[32:]))
 		case framePages:
 			if !sawMeta || len(payload) < 4 {
 				valid = false
@@ -159,12 +226,32 @@ func decode(b []byte) (*Snapshot, error) {
 					Writes: le.Uint32(p[16:]),
 				})
 			}
+		case frameRemoved:
+			// Removal keys are a delta-stream concept: a full snapshot is
+			// already the complete residency, so one here is structural
+			// damage and truncates.
+			if !sawMeta || !snap.Delta || len(payload) < 4 {
+				valid = false
+				break
+			}
+			count := int(le.Uint32(payload))
+			if len(payload) != 4+count*delRecSize {
+				valid = false
+				break
+			}
+			for i := 0; i < count; i++ {
+				key := le.Uint64(payload[4+i*delRecSize:])
+				snap.Removed = append(snap.Removed, PageKey{
+					Tenant: uint16(key >> 48),
+					Page:   key & (1<<48 - 1),
+				})
+			}
 		case frameCommit:
 			if !sawMeta || len(payload) != 16 {
 				valid = false
 				break
 			}
-			if le.Uint64(payload) == uint64(len(snap.Records)) && le.Uint64(payload[8:]) == snap.Seq {
+			if le.Uint64(payload) == uint64(len(snap.Records)+len(snap.Removed)) && le.Uint64(payload[8:]) == snap.Seq {
 				snap.Complete = true
 			} else {
 				valid = false

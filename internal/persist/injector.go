@@ -20,6 +20,14 @@ const (
 	OpSync
 	// OpRename is the atomic publish of the finished checkpoint.
 	OpRename
+	// OpDeltaCreate..OpDeltaRename are the same durability points on
+	// delta-file writes. Keeping them as a separate op family lets a
+	// chaos scenario target "the second delta's commit frame" without
+	// counting the base snapshot's calls.
+	OpDeltaCreate
+	OpDeltaWrite
+	OpDeltaSync
+	OpDeltaRename
 	numOps
 )
 
@@ -33,6 +41,14 @@ func (o Op) String() string {
 		return "sync"
 	case OpRename:
 		return "rename"
+	case OpDeltaCreate:
+		return "delta-create"
+	case OpDeltaWrite:
+		return "delta-write"
+	case OpDeltaSync:
+		return "delta-sync"
+	case OpDeltaRename:
+		return "delta-rename"
 	}
 	return "unknown"
 }

@@ -18,10 +18,21 @@
 // instruction leaves either the previous checkpoint or a recoverable
 // prefix of the new one.
 //
+// Checkpoints are log-structured: periodic full snapshots (the base)
+// with incremental delta cuts chained between them, each carrying only
+// the pages whose residency changed — or vanished — since the previous
+// cut, so steady-state checkpoint I/O is O(dirty) instead of O(table).
+// Every FullEvery cuts (or when the chain outgrows the base by
+// MaxDeltaRatio) the chain compacts into a fresh full snapshot and the
+// deltas are pruned. Restore loads the newest valid base and replays its
+// deltas in sequence order, stopping at the first gap, torn frame or
+// broken linkage, which bounds restore cost by O(base + replay length).
+//
 // Injector provides deterministic, seeded fault injection at every
-// durability point (create, write, sync, rename): failed calls, short
-// writes, torn writes and crash-at-point, which the chaos suite uses to
-// prove the recovery path against each corruption mode.
+// durability point (create, write, sync, rename — with a parallel op set
+// for delta files): failed calls, short writes, torn writes and
+// crash-at-point, which the chaos suite uses to prove the recovery path
+// against each corruption mode.
 package persist
 
 import (
@@ -51,9 +62,20 @@ const (
 
 // Frame kinds.
 const (
-	frameMeta   = 1 // checkpoint sequence, timestamp, geometry
-	framePages  = 2 // a chunk of page records
-	frameCommit = 3 // record count + sequence echo; marks the stream complete
+	frameMeta      = 1 // checkpoint sequence, timestamp, geometry
+	framePages     = 2 // a chunk of page records
+	frameCommit    = 3 // record count + sequence echo; marks the stream complete
+	frameDeltaMeta = 4 // delta sequence, base-chain linkage, timestamp, geometry
+	frameRemoved   = 5 // a chunk of removed-page keys (delta streams only)
+)
+
+// Delta stream geometry.
+const (
+	// delMetaSize is the delta meta payload: seq(8) + baseSeq(8) +
+	// timestamp(8) + dram(4) + nvm(4) + nodes(4).
+	delMetaSize = 36
+	// delRecSize is one removed-page key on disk.
+	delRecSize = 8
 )
 
 // Record flag bits.
@@ -87,17 +109,34 @@ type Record struct {
 // magnitude, matching the daemon's candidate scoring.
 func (r Record) Score() uint64 { return uint64(r.Reads) + uint64(r.Writes) }
 
-// Snapshot is one decoded checkpoint: the geometry it was cut under and
-// the records the reader could validate.
+// PageKey names one page without residency payload: the removal records
+// a delta stream carries for pages that left memory since the last cut.
+type PageKey struct {
+	Tenant uint16
+	Page   uint64
+}
+
+// Snapshot is one decoded checkpoint stream — a full cut or, with Delta
+// set, an incremental cut carrying only the pages that changed (Records)
+// or vanished (Removed) since the previous cut in its chain.
 type Snapshot struct {
-	// Seq is the checkpoint sequence number (monotonic per Checkpointer).
+	// Seq is the cut sequence number (monotonic per Checkpointer).
 	Seq uint64
+	// Delta marks an incremental stream; BaseSeq is then the sequence of
+	// the full snapshot its chain hangs off (every delta in one chain
+	// names the same base, and chains replay in Seq order: base.Seq+1,
+	// base.Seq+2, ...).
+	Delta   bool
+	BaseSeq uint64
 	// Taken is the checkpoint's cut timestamp.
 	Taken time.Time
 	// DRAMPages, NVMPages and Nodes record the writing engine's geometry,
 	// so a restore into a different shape can be detected and reported.
 	DRAMPages, NVMPages, Nodes int
 	Records                    []Record
+	// Removed holds the keys a delta cut observed leaving memory; replay
+	// deletes them from the reconstructed residency. Empty on full cuts.
+	Removed []PageKey
 	// Complete reports that the commit frame was present and consistent
 	// (sequence echo and record count both match).
 	Complete bool

@@ -504,23 +504,42 @@ func TestRestoreSkipsMisfits(t *testing.T) {
 // checkpoint) must not put allocations on the engine's serve hit path —
 // the checkpointer reads RCU snapshots off-path and never hooks Serve.
 func TestServeZeroAllocWithCheckpointer(t *testing.T) {
-	e, ps := newEngine(t, 32)
-	defer e.Stop()
-	c, err := NewCheckpointer(e, ckptConfig(t))
-	if err != nil {
-		t.Fatal(err)
+	modes := []struct {
+		name      string
+		fullEvery int
+		cuts      int
+	}{
+		{"full", 1, 1},
+		{"delta", 4, 3}, // one base + two delta cuts before measuring
 	}
-	defer c.Stop(false)
-	if err := c.CheckpointNow(); err != nil {
-		t.Fatal(err)
-	}
-	i := 0
-	if n := testing.AllocsPerRun(1000, func() {
-		if _, err := e.Serve(uint64(i%32)*ps, trace.OpRead); err != nil {
-			t.Fatal(err)
-		}
-		i++
-	}); n > 0 {
-		t.Fatalf("serve path allocated %.1f times per op with a checkpointer attached, want 0", n)
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			e, ps := newEngine(t, 32)
+			defer e.Stop()
+			cfg := ckptConfig(t)
+			cfg.FullEvery = mode.fullEvery
+			c, err := NewCheckpointer(e, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Stop(false)
+			for i := 0; i < mode.cuts; i++ {
+				if err := c.CheckpointNow(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if mode.fullEvery > 1 && c.Stats().DeltaCuts == 0 {
+				t.Fatal("delta mode never cut a delta")
+			}
+			i := 0
+			if n := testing.AllocsPerRun(1000, func() {
+				if _, err := e.Serve(uint64(i%32)*ps, trace.OpRead); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			}); n > 0 {
+				t.Fatalf("serve path allocated %.1f times per op with a checkpointer attached, want 0", n)
+			}
+		})
 	}
 }

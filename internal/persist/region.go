@@ -18,11 +18,23 @@ type region struct {
 	size   int
 	off    int
 	inject *Injector
+	ops    opSet
 }
 
+// opSet names the injector op family a stream's durability points report
+// as, so base snapshots and delta files fault independently.
+type opSet struct {
+	create, write, sync, rename Op
+}
+
+var (
+	baseOps  = opSet{OpCreate, OpWrite, OpSync, OpRename}
+	deltaOps = opSet{OpDeltaCreate, OpDeltaWrite, OpDeltaSync, OpDeltaRename}
+)
+
 // createRegion creates (truncating) path as a size-byte region.
-func createRegion(path string, size int, inject *Injector) (*region, error) {
-	if f, ok := inject.check(OpCreate, size); ok {
+func createRegion(path string, size int, inject *Injector, ops opSet) (*region, error) {
+	if f, ok := inject.check(ops.create, size); ok {
 		if f.Kind == KindCrash || f.Kind == KindTornWrite {
 			return nil, ErrCrashed
 		}
@@ -36,7 +48,7 @@ func createRegion(path string, size int, inject *Injector) (*region, error) {
 		f.Close()
 		return nil, err
 	}
-	r := &region{f: f, size: size, inject: inject}
+	r := &region{f: f, size: size, inject: inject, ops: ops}
 	if size > 0 {
 		// Best-effort: a failed map (or a non-unix build) degrades to
 		// file I/O, not to an error.
@@ -48,7 +60,7 @@ func createRegion(path string, size int, inject *Injector) (*region, error) {
 // write appends b at the region's cursor, honoring armed write faults:
 // on a short or torn write only the fault's Keep prefix is stored.
 func (r *region) write(b []byte) error {
-	f, armed := r.inject.check(OpWrite, len(b))
+	f, armed := r.inject.check(r.ops.write, len(b))
 	if armed {
 		switch f.Kind {
 		case KindCrash:
@@ -80,7 +92,7 @@ func (r *region) write(b []byte) error {
 
 // sync makes every store so far durable.
 func (r *region) sync() error {
-	if f, ok := r.inject.check(OpSync, r.off); ok {
+	if f, ok := r.inject.check(r.ops.sync, r.off); ok {
 		if f.Kind == KindCrash || f.Kind == KindTornWrite {
 			return ErrCrashed
 		}

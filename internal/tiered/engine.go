@@ -108,6 +108,12 @@ type Config struct {
 	// paced replay: a few migration epochs instead of one burst that would
 	// monopolize the promotion queues against live scan traffic.
 	WarmupRate int
+	// WarmupDRAMTopK is age-tiered warm-up: Restore places up to this many
+	// of the hottest checkpoint-warm pages directly into DRAM (quota- and
+	// node-pool-permitting) before serving begins, leaving only the tail
+	// to the paced storm. 0 (the default) restores everything into NVM
+	// and lets the storm re-promote — the pre-delta-log behavior.
+	WarmupDRAMTopK int
 	// Events, when non-nil, receives one obs.Event per migration decision
 	// (promotion, demotion, eviction, drop) with tenant, node and tier
 	// attribution — the trace the admin plane's /events endpoint streams.
@@ -401,6 +407,7 @@ type Engine struct {
 	restoreSkips atomic.Int64
 	warmPending  atomic.Int64
 	warmEnqueued atomic.Int64
+	warmDirect   atomic.Int64
 
 	// ring is the optional migration-event trace (Config.Events); nil
 	// when no observer is attached.
@@ -433,6 +440,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.WarmupRate < 1 {
 		return nil, fmt.Errorf("tiered: invalid warm-up rate %d", cfg.WarmupRate)
+	}
+	if cfg.WarmupDRAMTopK < 0 {
+		return nil, fmt.Errorf("tiered: invalid warm-up DRAM top-K %d", cfg.WarmupDRAMTopK)
 	}
 	spill, err := validateTenants(cfg.Tenants, cfg.DRAMPages)
 	if err != nil {

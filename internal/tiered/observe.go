@@ -84,6 +84,23 @@ func (e *Engine) SnapshotResidency(fn func(tenant TenantID, page uint64, loc mm.
 	}
 }
 
+// NumShards returns the page table's shard count — the granularity of the
+// incremental checkpointer's dirty tracking.
+func (e *Engine) NumShards() int { return e.tbl.NumShards() }
+
+// ShardGen returns shard i's residency-mutation generation (see
+// Table.ShardGen). The incremental checkpointer reads it before cutting a
+// shard: an unchanged generation means the shard's residency is exactly
+// what the previous cut saw, and the shard can be skipped.
+func (e *Engine) ShardGen(i int) uint64 { return e.tbl.ShardGen(i) }
+
+// SnapshotShardResidency is SnapshotResidency restricted to one shard —
+// the incremental checkpointer's unit of work. Same consistency model:
+// the shard's published RCU snapshot, no locks, windows not reset.
+func (e *Engine) SnapshotShardResidency(i int, fn func(tenant TenantID, page uint64, loc mm.Location, node int, reads, writes uint64)) {
+	e.tbl.ScanShard(i, false, fn)
+}
+
 // SpillUsed returns the number of spill-pool frames currently borrowed
 // across all tenants.
 func (e *Engine) SpillUsed() int64 { return e.spillUsed.Load() }
@@ -248,6 +265,8 @@ func (e *Engine) RegisterMetrics(reg *obs.Registry) {
 		e.restored.Load)
 	reg.CounterFunc("tierd_restore_skipped_total", "Checkpoint records dropped at restore (unknown tenant, duplicate, capacity).",
 		e.restoreSkips.Load)
+	reg.CounterFunc("tierd_restore_warm_direct_total", "Hot pages restored straight into DRAM by age-tiered warm-up.",
+		e.warmDirect.Load)
 	reg.GaugeFunc("tierd_warmup_pending", "Restored-hot pages awaiting the warm-up promotion storm.",
 		e.warmPending.Load)
 	reg.CounterFunc("tierd_warmup_enqueued_total", "Restored-hot pages handed to the promotion queues.",

@@ -54,6 +54,10 @@ type RestoreStats struct {
 	CapacityDrops int
 	// WarmQueued pages await the warm-up promotion storm.
 	WarmQueued int
+	// WarmDirect pages went straight into DRAM at restore — the age-tiered
+	// warm-up path (Config.WarmupDRAMTopK), which skips the storm for the
+	// hottest checkpoint-warm pages.
+	WarmDirect int
 }
 
 // Restore rebuilds residency from checkpoint records. It must run between
@@ -61,10 +65,14 @@ type RestoreStats struct {
 // NVM resident (frame accounting goes through the same per-node pools the
 // fault path uses, so CheckInvariants holds afterwards), counters are
 // seeded with the checkpointed window, and Warm records queue for the
-// warm-up promotion storm that Start launches. Records that no longer fit
-// — unknown tenant, out-of-range page, NVM full — are counted and
-// skipped, never fatal: a checkpoint from a larger or differently-
-// configured deployment restores as much as the current geometry allows.
+// warm-up promotion storm that Start launches. With Config.WarmupDRAMTopK
+// set, the K hottest Warm records instead restore directly into DRAM —
+// the age-tiered warm-up: each goes through the same CAS-exact quota and
+// node-pool reservation a fault-time load uses, and one that finds no
+// frame falls back to the NVM + storm path. Records that no longer fit —
+// unknown tenant, out-of-range page, NVM full — are counted and skipped,
+// never fatal: a checkpoint from a larger or differently-configured
+// deployment restores as much as the current geometry allows.
 func (e *Engine) Restore(pages []RestoredPage) (RestoreStats, error) {
 	var st RestoreStats
 	if e.backing != nil {
@@ -73,6 +81,7 @@ func (e *Engine) Restore(pages []RestoredPage) (RestoreStats, error) {
 	if e.state.Load() != stateNew {
 		return st, ErrRestoreStarted
 	}
+	topK := e.topWarmSet(pages)
 	for _, rp := range pages {
 		ts := e.tenants[rp.Tenant]
 		if ts == nil || rp.Page > maxTablePage {
@@ -82,6 +91,24 @@ func (e *Engine) Restore(pages []RestoredPage) (RestoreStats, error) {
 		prefer := rp.Node
 		if prefer < 0 || prefer >= len(e.nodes) {
 			prefer = e.tbl.HomeNode(rp.Tenant, rp.Page)
+		}
+		if _, hot := topK[tableKey(rp.Tenant, rp.Page)]; hot {
+			if node, r := e.reserveDRAM(ts, prefer); r == dramReserved {
+				if !e.tbl.InsertNode(rp.Tenant, rp.Page, mm.LocDRAM, node) {
+					e.releaseDRAM(ts, node)
+					st.Duplicates++
+					continue
+				}
+				if rp.Reads|rp.Writes != 0 {
+					e.tbl.SeedCounters(rp.Tenant, rp.Page, rp.Reads, rp.Writes)
+				}
+				st.Restored++
+				st.WarmDirect++
+				e.publishEvent(rp.Tenant, rp.Page, node, obs.TierNone, obs.TierDRAM, obs.ReasonRestore, rp.Score)
+				continue
+			}
+			// Quota, node pools and spill all exhausted for this tenant:
+			// fall through to the NVM + storm path.
 		}
 		node, ok := e.reserveNVM(prefer)
 		if !ok {
@@ -106,8 +133,35 @@ func (e *Engine) Restore(pages []RestoredPage) (RestoreStats, error) {
 	orderCandidates(e.warmup)
 	e.restored.Add(int64(st.Restored))
 	e.restoreSkips.Add(int64(st.Duplicates + st.Skipped + st.CapacityDrops))
+	e.warmDirect.Add(int64(st.WarmDirect))
 	e.warmPending.Store(int64(len(e.warmup)))
 	return st, nil
+}
+
+// topWarmSet picks the table keys of the WarmupDRAMTopK hottest
+// checkpoint-warm records that the current config could restore at all —
+// the set Restore places directly into DRAM. Nil when the feature is off.
+func (e *Engine) topWarmSet(pages []RestoredPage) map[uint64]struct{} {
+	k := e.cfg.WarmupDRAMTopK
+	if k <= 0 {
+		return nil
+	}
+	cands := make([]candidate, 0, len(pages))
+	for _, rp := range pages {
+		if !rp.Warm || e.tenants[rp.Tenant] == nil || rp.Page > maxTablePage {
+			continue
+		}
+		cands = append(cands, candidate{key: tableKey(rp.Tenant, rp.Page), score: rp.Score})
+	}
+	orderCandidates(cands)
+	if k > len(cands) {
+		k = len(cands)
+	}
+	set := make(map[uint64]struct{}, k)
+	for _, c := range cands[:k] {
+		set[c.key] = struct{}{}
+	}
+	return set
 }
 
 // WarmupPending returns how many restored-hot pages still await the

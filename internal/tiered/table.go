@@ -129,7 +129,13 @@ type shard struct {
 	// array (writer-guarded); their sum drives the rebuild threshold.
 	live int
 	dead int
-	_    [88]byte
+	// gen counts residency mutations (insert/move/remove), bumped as the
+	// last step of each successful one. The incremental checkpointer reads
+	// it before scanning: an unchanged gen means the shard's residency is
+	// exactly what the last cut persisted, so the scan can be skipped.
+	// Counter-only traffic (the serve path) never touches it.
+	gen atomic.Uint64
+	_   [80]byte
 }
 
 // grow rebuilds the shard's bucket array sized for the live population,
@@ -237,6 +243,12 @@ func NewTableNUMA(shardCount, nodes int) (*Table, error) {
 
 // NumShards returns the (power-of-two) shard count.
 func (t *Table) NumShards() int { return len(t.shards) }
+
+// ShardGen returns shard i's residency-mutation generation. Read it
+// before ScanShard: if a later read returns the same value, the scan saw
+// every residency change (mutations publish before bumping, so a bump
+// racing the scan only makes the next comparison conservatively rescan).
+func (t *Table) ShardGen(i int) uint64 { return t.shards[i].gen.Load() }
 
 // NumNodes returns the NUMA node count the shard space is tiled over.
 func (t *Table) NumNodes() int { return t.nodes }
@@ -391,6 +403,7 @@ func (t *Table) InsertNode(tenant TenantID, page uint64, loc mm.Location, node i
 	// sees the fully initialized entry.
 	b.slots[at].Store(ne)
 	s.live++
+	s.gen.Add(1)
 	return true
 }
 
@@ -426,6 +439,7 @@ func (t *Table) MoveIfNode(tenant TenantID, page uint64, from, to mm.Location, t
 		e.node.Store(uint32(toNode))
 	}
 	e.state.Store(uint32(to))
+	s.gen.Add(1)
 	return fromNode, true
 }
 
@@ -457,6 +471,7 @@ func (t *Table) RemoveIfNode(tenant TenantID, page uint64, from mm.Location) (no
 	b.slots[slot].Store(tombstone)
 	s.live--
 	s.dead++
+	s.gen.Add(1)
 	return node, true
 }
 
